@@ -1,0 +1,150 @@
+//===- bench/BenchMicro.cpp - Transformer micro-benchmarks ---------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// google-benchmark microbenchmarks for the building blocks whose costs
+// drive the Figure 7-11 curves: interval arithmetic, ⟨T,n⟩ joins and
+// restrictions, cprob#/ent#, concrete and abstract bestSplit, DTrace, and
+// end-to-end verification queries.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractBestSplit.h"
+#include "antidote/Verifier.h"
+#include "data/Registry.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace antidote;
+
+namespace {
+
+/// Shared lazily-constructed workloads (benchmark registration happens
+/// before main, so construction must be deferred into the benchmarks).
+const BenchmarkDataset &mammo() {
+  static BenchmarkDataset Bench =
+      loadBenchmarkDataset("mammography", BenchScale::Scaled);
+  return Bench;
+}
+
+const SplitContext &mammoCtx() {
+  static SplitContext Ctx(mammo().Split.Train);
+  return Ctx;
+}
+
+const Verifier &mammoVerifier() {
+  static Verifier V(mammo().Split.Train);
+  return V;
+}
+
+} // namespace
+
+static void BM_IntervalArithmetic(benchmark::State &State) {
+  Interval A(0.25, 0.75);
+  Interval B(0.1, 0.9);
+  for (auto _ : State) {
+    Interval C = A * B + (B - A);
+    Interval D = C.join(A).meet(B);
+    benchmark::DoNotOptimize(D);
+  }
+}
+BENCHMARK(BM_IntervalArithmetic);
+
+static void BM_AbstractJoin(benchmark::State &State) {
+  const Dataset &Train = mammo().Split.Train;
+  RowIndexList Even, Odd;
+  for (uint32_t Row = 0; Row < Train.numRows(); ++Row)
+    (Row % 2 ? Odd : Even).push_back(Row);
+  AbstractDataset A(Train, Even, 4);
+  AbstractDataset B(Train, Odd, 2);
+  for (auto _ : State) {
+    AbstractDataset J = AbstractDataset::join(A, B);
+    benchmark::DoNotOptimize(J.budget());
+  }
+}
+BENCHMARK(BM_AbstractJoin);
+
+static void BM_AbstractRestrict(benchmark::State &State) {
+  const Dataset &Train = mammo().Split.Train;
+  AbstractDataset A = AbstractDataset::entire(Train, 8);
+  SplitPredicate Pred = SplitPredicate::symbolic(1, 50.0, 55.0);
+  for (auto _ : State) {
+    AbstractDataset R = A.restrict(Pred, true);
+    benchmark::DoNotOptimize(R.size());
+  }
+}
+BENCHMARK(BM_AbstractRestrict);
+
+static void BM_CprobTransformer(benchmark::State &State) {
+  CprobTransformerKind Kind =
+      State.range(0) ? CprobTransformerKind::NaiveInterval
+                     : CprobTransformerKind::Optimal;
+  std::vector<uint32_t> Counts = {311, 353};
+  for (auto _ : State) {
+    std::vector<Interval> Probs =
+        abstractClassProbabilities(Counts, 664, 16, Kind);
+    benchmark::DoNotOptimize(Probs.data());
+  }
+}
+BENCHMARK(BM_CprobTransformer)->Arg(0)->Arg(1);
+
+static void BM_AbstractGini(benchmark::State &State) {
+  std::vector<Interval> Probs = {Interval(0.4, 0.6), Interval(0.4, 0.6)};
+  for (auto _ : State) {
+    Interval Ent = abstractGiniImpurity(Probs);
+    benchmark::DoNotOptimize(Ent);
+  }
+}
+BENCHMARK(BM_AbstractGini);
+
+static void BM_ConcreteBestSplit(benchmark::State &State) {
+  RowIndexList Rows = allRows(mammo().Split.Train);
+  for (auto _ : State) {
+    std::optional<SplitPredicate> Best = bestSplit(mammoCtx(), Rows);
+    benchmark::DoNotOptimize(Best);
+  }
+}
+BENCHMARK(BM_ConcreteBestSplit);
+
+static void BM_AbstractBestSplit(benchmark::State &State) {
+  AbstractDataset A = AbstractDataset::entire(
+      mammo().Split.Train, static_cast<uint32_t>(State.range(0)));
+  for (auto _ : State) {
+    PredicateSet Psi =
+        abstractBestSplit(mammoCtx(), A, CprobTransformerKind::Optimal);
+    benchmark::DoNotOptimize(Psi.size());
+  }
+}
+BENCHMARK(BM_AbstractBestSplit)->Arg(1)->Arg(8)->Arg(64);
+
+static void BM_ConcreteDTrace(benchmark::State &State) {
+  RowIndexList Rows = allRows(mammo().Split.Train);
+  const float *X = mammo().Split.Test.row(0);
+  for (auto _ : State) {
+    TraceResult Trace = runDTrace(mammoCtx(), Rows, X, 3);
+    benchmark::DoNotOptimize(Trace.PredictedClass);
+  }
+}
+BENCHMARK(BM_ConcreteDTrace);
+
+static void BM_VerifyQuery(benchmark::State &State) {
+  VerifierConfig Config;
+  Config.Depth = 2;
+  Config.Domain = State.range(0) ? AbstractDomainKind::Disjuncts
+                                 : AbstractDomainKind::Box;
+  Config.TimeoutSeconds = 5.0;
+  const float *X = mammo().Split.Test.row(1);
+  uint32_t Budget = static_cast<uint32_t>(State.range(1));
+  for (auto _ : State) {
+    Certificate Cert = mammoVerifier().verify(X, Budget, Config);
+    benchmark::DoNotOptimize(Cert.Kind);
+  }
+}
+BENCHMARK(BM_VerifyQuery)
+    ->Args({0, 2})
+    ->Args({1, 2})
+    ->Args({0, 16})
+    ->Args({1, 16});
+
+BENCHMARK_MAIN();

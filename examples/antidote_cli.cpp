@@ -1,0 +1,212 @@
+//===- examples/antidote_cli.cpp - Command-line verifier ----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// A standalone command-line front end to the verifier, for certifying CSV
+// datasets without writing any C++:
+//
+//   antidote_cli --train train.csv --query "5.1,3.5,1.4,0.2" --n 8
+//                --depth 2 --domain disjuncts
+//   antidote_cli --dataset mammography --row 3 --n 16 --flip
+//
+// Exit code 0 = robust proven, 1 = not proven, 2 = usage/load error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/LabelFlip.h"
+#include "antidote/Verifier.h"
+#include "data/Csv.h"
+#include "data/Registry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace antidote;
+
+namespace {
+
+/// Parsed command line.
+struct CliOptions {
+  std::string TrainCsv;
+  std::string DatasetName;
+  std::string QueryValues; ///< Comma-separated feature vector.
+  int TestRow = -1;        ///< Row of the registry test split to query.
+  uint32_t Budget = 1;
+  unsigned Depth = 2;
+  AbstractDomainKind Domain = AbstractDomainKind::Disjuncts;
+  size_t DisjunctCap = 64;
+  double TimeoutSeconds = 60.0;
+  bool FlipModel = false;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: antidote_cli (--train FILE.csv | --dataset NAME)\n"
+      "                    (--query \"v1,v2,...\" | --row K)\n"
+      "                    [--n N] [--depth D]\n"
+      "                    [--domain box|disjuncts|capped] [--cap K]\n"
+      "                    [--timeout SECONDS] [--flip]\n\n"
+      "  --train    training set CSV (features..., integer label)\n"
+      "  --dataset  built-in benchmark:");
+  for (const std::string &Name : benchmarkDatasetNames())
+    std::printf(" %s", Name.c_str());
+  std::printf("\n"
+              "  --query    feature vector of the input to certify\n"
+              "  --row      use row K of the benchmark's test split\n"
+              "  --n        poisoning budget (default 1)\n"
+              "  --flip     certify against label flips instead of row\n"
+              "             insertions/removals\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--help" || Arg == "-h")
+      return false;
+    const char *Value = nullptr;
+    if (Arg == "--flip") {
+      Options.FlipModel = true;
+      continue;
+    }
+    if (!(Value = Next())) {
+      std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+      return false;
+    }
+    if (Arg == "--train")
+      Options.TrainCsv = Value;
+    else if (Arg == "--dataset")
+      Options.DatasetName = Value;
+    else if (Arg == "--query")
+      Options.QueryValues = Value;
+    else if (Arg == "--row")
+      Options.TestRow = std::atoi(Value);
+    else if (Arg == "--n")
+      Options.Budget = static_cast<uint32_t>(std::atoi(Value));
+    else if (Arg == "--depth")
+      Options.Depth = static_cast<unsigned>(std::atoi(Value));
+    else if (Arg == "--cap")
+      Options.DisjunctCap = static_cast<size_t>(std::atoi(Value));
+    else if (Arg == "--timeout")
+      Options.TimeoutSeconds = std::atof(Value);
+    else if (Arg == "--domain") {
+      if (std::strcmp(Value, "box") == 0)
+        Options.Domain = AbstractDomainKind::Box;
+      else if (std::strcmp(Value, "disjuncts") == 0)
+        Options.Domain = AbstractDomainKind::Disjuncts;
+      else if (std::strcmp(Value, "capped") == 0)
+        Options.Domain = AbstractDomainKind::DisjunctsCapped;
+      else {
+        std::fprintf(stderr, "error: unknown domain '%s'\n", Value);
+        return false;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  bool HaveData = !Options.TrainCsv.empty() ^ !Options.DatasetName.empty();
+  bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0;
+  if (!HaveData || !HaveQuery) {
+    std::fprintf(stderr, "error: need one data source and one query\n");
+    return false;
+  }
+  return true;
+}
+
+/// Parses "v1,v2,..." into floats; returns false on malformed input.
+bool parseQuery(const std::string &Text, unsigned NumFeatures,
+                std::vector<float> &Query) {
+  const char *Cursor = Text.c_str();
+  while (*Cursor) {
+    char *End = nullptr;
+    float V = std::strtof(Cursor, &End);
+    if (End == Cursor)
+      return false;
+    Query.push_back(V);
+    Cursor = End;
+    if (*Cursor == ',')
+      ++Cursor;
+  }
+  return Query.size() == NumFeatures;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Options;
+  if (!parseArgs(Argc, Argv, Options)) {
+    printUsage();
+    return 2;
+  }
+
+  // Resolve the training set and query vector.
+  Dataset Train;
+  Dataset Test;
+  if (!Options.TrainCsv.empty()) {
+    CsvLoadResult Loaded = loadCsvDataset(Options.TrainCsv);
+    if (!Loaded.succeeded()) {
+      std::fprintf(stderr, "error: %s\n", Loaded.Error.c_str());
+      return 2;
+    }
+    Train = std::move(*Loaded.Data);
+  } else {
+    BenchmarkDataset Bench =
+        loadBenchmarkDataset(Options.DatasetName, benchScaleFromEnv());
+    Train = std::move(Bench.Split.Train);
+    Test = std::move(Bench.Split.Test);
+  }
+  std::vector<float> Query;
+  if (!Options.QueryValues.empty()) {
+    if (!parseQuery(Options.QueryValues, Train.numFeatures(), Query)) {
+      std::fprintf(stderr, "error: query must have %u numeric values\n",
+                   Train.numFeatures());
+      return 2;
+    }
+  } else {
+    if (Test.numRows() == 0 ||
+        Options.TestRow >= static_cast<int>(Test.numRows())) {
+      std::fprintf(stderr, "error: --row requires a --dataset test split "
+                           "with that many rows\n");
+      return 2;
+    }
+    const float *Row = Test.row(static_cast<unsigned>(Options.TestRow));
+    Query.assign(Row, Row + Train.numFeatures());
+  }
+
+  std::printf("training set: %u rows x %u features, %u classes\n",
+              Train.numRows(), Train.numFeatures(), Train.numClasses());
+  std::printf("threat model: up to %u %s\n", Options.Budget,
+              Options.FlipModel ? "label flips"
+                                : "attacker-contributed rows (removals)");
+
+  if (Options.FlipModel) {
+    SplitContext Ctx(Train);
+    LabelFlipConfig Config;
+    Config.Depth = Options.Depth;
+    Config.TimeoutSeconds = Options.TimeoutSeconds;
+    LabelFlipResult Result = verifyLabelFlipRobustness(
+        Ctx, allRows(Train), Query.data(), Options.Budget, Config);
+    std::printf("prediction: class %u\n", Result.ConcretePrediction);
+    std::printf("verdict: %s (%zu terminals, %.3fs)\n",
+                Result.Robust ? "ROBUST (proven)" : "unknown",
+                Result.NumTerminals, Result.Seconds);
+    return Result.Robust ? 0 : 1;
+  }
+
+  Verifier V(Train);
+  VerifierConfig Config;
+  Config.Depth = Options.Depth;
+  Config.Domain = Options.Domain;
+  Config.DisjunctCap = Options.DisjunctCap;
+  Config.TimeoutSeconds = Options.TimeoutSeconds;
+  Certificate Cert = V.verify(Query.data(), Options.Budget, Config);
+  std::printf("prediction: class %u\n", Cert.ConcretePrediction);
+  std::printf("verdict: %s\n", Cert.summary().c_str());
+  return Cert.isRobust() ? 0 : 1;
+}

@@ -1,0 +1,106 @@
+//===- examples/quickstart.cpp - The paper's running example ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// Walks through the paper's §2 running example end to end: build the
+// 13-element black/white dataset of Figure 2, learn the depth-1 tree, and
+// prove that the classification of the input 5 cannot be changed by an
+// attacker who contributed one malicious training element — contrasting
+// the naive enumeration baseline, the box domain, and the disjunctive
+// domain along the way.
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Enumeration.h"
+#include "antidote/Verifier.h"
+#include "concrete/DecisionTree.h"
+
+#include <cstdio>
+
+using namespace antidote;
+
+/// The Figure 2 training set: one real feature, class 0 = white, 1 = black.
+static Dataset buildFigure2Dataset() {
+  DatasetSchema Schema = DatasetSchema::uniform(1, FeatureKind::Real, 2);
+  Schema.ClassNames = {"white", "black"};
+  Dataset Data(Schema);
+  struct Point {
+    float X;
+    unsigned Label;
+  };
+  static const Point Points[] = {
+      {0, 1}, {1, 0}, {2, 0}, {3, 0},  {4, 1},  {7, 0},  {8, 0},
+      {9, 0}, {10, 0}, {11, 1}, {12, 1}, {13, 1}, {14, 1},
+  };
+  for (const Point &P : Points)
+    Data.addRow({P.X}, P.Label);
+  return Data;
+}
+
+int main() {
+  Dataset Train = buildFigure2Dataset();
+  std::printf("=== Antidote quickstart: the PLDI'20 running example ===\n\n");
+  std::printf("Training set: %u points, %u white / %u black\n",
+              Train.numRows(), classCounts(Train, allRows(Train))[0],
+              classCounts(Train, allRows(Train))[1]);
+
+  // 1. Learn and show the depth-1 decision tree (Figure 2, bottom).
+  SplitContext Ctx(Train);
+  DecisionTree Tree = DecisionTree::learn(Ctx, allRows(Train), 1);
+  std::printf("\nLearned depth-1 tree:\n%s\n", Tree.dump(Train).c_str());
+
+  // 2. Classify the paper's query input x = 5.
+  Verifier V(Train);
+  float X = 5.0f;
+  TraceResult Trace = V.trace(&X, 1);
+  std::printf("DTrace(T, 5): class %u (%s) with probability %.3f\n",
+              Trace.PredictedClass,
+              Train.schema().ClassNames[Trace.PredictedClass].c_str(),
+              Trace.ClassProbs[Trace.PredictedClass]);
+
+  // 3. How big is the attack surface at n = 1 and n = 2?
+  for (uint32_t N : {1u, 2u})
+    std::printf("|Delta_%u(T)| = %llu possible training sets\n", N,
+                static_cast<unsigned long long>(
+                    perturbationSetCount(Train.numRows(), N)));
+
+  // 4. Prove robustness at n = 1 with each domain.
+  std::printf("\n--- Verifying robustness of x = 5 at n = 1 ---\n");
+  for (AbstractDomainKind Domain :
+       {AbstractDomainKind::Box, AbstractDomainKind::Disjuncts}) {
+    VerifierConfig Config;
+    Config.Depth = 1;
+    Config.Domain = Domain;
+    Certificate Cert = V.verify(&X, 1, Config);
+    std::printf("%-18s %s\n", domainKindName(Domain),
+                Cert.summary().c_str());
+  }
+
+  // 5. Cross-check with the naive enumeration baseline (feasible only
+  //    because this example is tiny).
+  EnumerationResult Oracle =
+      verifyByEnumeration(V.context(), allRows(Train), &X, 1, 1);
+  std::printf("%-18s %s after retraining on %llu sets\n", "enumeration",
+              Oracle.Robust ? "robust" : "NOT robust",
+              static_cast<unsigned long long>(Oracle.SetsChecked));
+
+  // 6. Show the precision gap the paper's §2 discusses: at n = 2 the
+  //    instance is still robust (enumeration says so), but the abstraction
+  //    cannot prove it — sound, necessarily incomplete.
+  std::printf("\n--- The incompleteness gap at n = 2 ---\n");
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Certificate Cert2 = V.verify(&X, 2, Config);
+  EnumerationResult Oracle2 =
+      verifyByEnumeration(V.context(), allRows(Train), &X, 2, 1);
+  std::printf("disjuncts:   %s\n", verdictKindName(Cert2.Kind));
+  std::printf("enumeration: %s (%llu sets retrained)\n",
+              Oracle2.Robust ? "robust" : "NOT robust",
+              static_cast<unsigned long long>(Oracle2.SetsChecked));
+  std::printf("\nAntidote is sound: whenever it says \"robust\" no attack "
+              "exists;\nwhen it says \"unknown\" the truth may go either "
+              "way.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+//===- abstract/AbstractBestSplit.cpp - bestSplit# ----------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractBestSplit.h"
+
+#include <limits>
+
+using namespace antidote;
+
+namespace {
+
+/// A Φ∃ member together with its score interval's lower bound.
+struct ScoredCandidate {
+  SplitPredicate Pred;
+  double ScoreLb;
+
+  ScoredCandidate(SplitPredicate Pred, double ScoreLb)
+      : Pred(Pred), ScoreLb(ScoreLb) {}
+};
+
+} // namespace
+
+PredicateSet antidote::abstractBestSplit(const SplitContext &Ctx,
+                                         const AbstractDataset &Data,
+                                         CprobTransformerKind Kind,
+                                         GiniLiftingKind Lifting) {
+  assert(!Data.isEmptySet() && "bestSplit# of the empty abstract set");
+  const std::vector<uint32_t> &Totals = Data.counts();
+  uint32_t Total = Data.size();
+  uint32_t N = Data.budget();
+  unsigned NumClasses = Data.base().numClasses();
+
+  std::vector<ScoredCandidate> Existential;
+  double LubUniversal = std::numeric_limits<double>::infinity();
+  bool AnyUniversal = false;
+  std::vector<uint32_t> NegCounts(NumClasses);
+
+  // The enumerator already skips trivial candidates, so everything it
+  // produces is in Φ∃: both sides non-empty as row sets, hence non-empty
+  // for at least one concretization. Splits are exact here because the
+  // symbolic thresholds come from adjacent values of this very row set
+  // (DESIGN.md §5), so the side budgets are min(n, |side|) per equation (1).
+  forEachCandidateSplit(
+      Ctx, Data.rows(), PredicateMode::SymbolicInterval,
+      [&](const SplitPredicate &Pred, const std::vector<uint32_t> &PosCounts,
+          uint32_t PosTotal) {
+        uint32_t NegTotal = Total - PosTotal;
+        for (unsigned C = 0; C < NumClasses; ++C)
+          NegCounts[C] = Totals[C] - PosCounts[C];
+        Interval Score = abstractSplitScore(
+            PosCounts, PosTotal, std::min(N, PosTotal), NegCounts, NegTotal,
+            std::min(N, NegTotal), Kind, Lifting);
+        Existential.emplace_back(Pred, Score.lb());
+        // Φ∀ membership: neither side can be emptied by dropping n rows.
+        if (PosTotal > N && NegTotal > N) {
+          AnyUniversal = true;
+          LubUniversal = std::min(LubUniversal, Score.ub());
+        }
+      });
+
+  PredicateSet Result;
+  if (!AnyUniversal) {
+    // No predicate is guaranteed non-trivial for every concretization, so
+    // some concretization may make bestSplit return ⋄ (§4.6).
+    for (const ScoredCandidate &Cand : Existential)
+      Result.add(Cand.Pred);
+    Result.addNull();
+  } else {
+    for (const ScoredCandidate &Cand : Existential)
+      if (Cand.ScoreLb <= LubUniversal)
+        Result.add(Cand.Pred);
+  }
+  Result.canonicalize();
+  return Result;
+}

@@ -1,0 +1,49 @@
+//===- abstract/AbstractBestSplit.h - bestSplit# ----------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `bestSplit#` — the abstract predicate-selection transformer (§4.6,
+/// Appendix B.2).
+///
+/// Where the concrete `bestSplit` returns the single score-minimizing
+/// predicate, the abstract version must return every predicate that *could*
+/// be minimal for *some* training set in γ(⟨T,n⟩):
+///
+///   1. Candidate predicates come from adjacent value pairs of the current
+///      abstract set (symbolic `x ≤ [a,b)` for real features, `x ≤ 0.5` for
+///      boolean ones). Lemma B.5 shows this set covers every predicate any
+///      concretization's learner would construct.
+///   2. Φ∃ — candidates splitting at least one concretization non-trivially
+///      (both sides non-empty as sets); Φ∀ — candidates splitting *every*
+///      concretization non-trivially (both sides larger than n).
+///   3. If Φ∀ is empty, return Φ∃ ∪ {⋄} (some concretization may admit no
+///      split at all). Otherwise return the Φ∃ predicates whose `score#`
+///      lower bound does not exceed lubΦ∀, the least upper bound among Φ∀
+///      scores — i.e. everything whose score interval overlaps the minimal
+///      interval.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ABSTRACT_ABSTRACTBESTSPLIT_H
+#define ANTIDOTE_ABSTRACT_ABSTRACTBESTSPLIT_H
+
+#include "abstract/AbstractDataset.h"
+#include "abstract/AbstractGini.h"
+#include "abstract/PredicateSet.h"
+#include "concrete/BestSplit.h"
+
+namespace antidote {
+
+/// `bestSplit#(⟨T,n⟩)`. Requires a non-empty abstract set.
+PredicateSet
+abstractBestSplit(const SplitContext &Ctx, const AbstractDataset &Data,
+                  CprobTransformerKind Kind,
+                  GiniLiftingKind Lifting = GiniLiftingKind::ExactTerm);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ABSTRACT_ABSTRACTBESTSPLIT_H

@@ -1,0 +1,231 @@
+//===- abstract/AbstractDTrace.cpp - The DTrace# abstract learner -------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractDTrace.h"
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace antidote;
+
+const char *antidote::domainKindName(AbstractDomainKind Kind) {
+  switch (Kind) {
+  case AbstractDomainKind::Box:
+    return "box";
+  case AbstractDomainKind::Disjuncts:
+    return "disjuncts";
+  case AbstractDomainKind::DisjunctsCapped:
+    return "disjuncts-capped";
+  }
+  assert(false && "unknown domain kind");
+  return "?";
+}
+
+namespace {
+
+/// Mutable run state threaded through the driver helpers.
+class LearnerRun {
+public:
+  LearnerRun(const SplitContext &Ctx, const float *X,
+             const AbstractLearnerConfig &Config)
+      : Ctx(Ctx), X(X), Config(Config), Tracker(Config.Cprob),
+        Budget(Config.TimeoutSeconds) {}
+
+  AbstractLearnerResult run(const AbstractDataset &Initial);
+
+private:
+  /// Adds a terminal abstract state (a place where some concrete run of
+  /// DTrace returns) and folds it into the domination check.
+  void addTerminal(AbstractDataset Terminal) {
+    Tracker.addTerminal(Terminal);
+    Result.Terminals.push_back(std::move(Terminal));
+  }
+
+  /// True once the run should stop (refutation shortcut, timeout, or
+  /// resource limit). Sets Result.Status accordingly.
+  bool shouldAbort(size_t FrontierDisjuncts, uint64_t FrontierBytes) {
+    if (Config.StopOnRefutation && Tracker.failed())
+      return true;
+    if (Budget.expired()) {
+      Result.Status = LearnerStatus::Timeout;
+      return true;
+    }
+    if (Config.MaxDisjuncts && FrontierDisjuncts > Config.MaxDisjuncts) {
+      Result.Status = LearnerStatus::ResourceLimit;
+      return true;
+    }
+    if (Config.MaxStateBytes && FrontierBytes > Config.MaxStateBytes) {
+      Result.Status = LearnerStatus::ResourceLimit;
+      return true;
+    }
+    return false;
+  }
+
+  /// Handles the `ent(T) = 0` conditional (§4.7) for one disjunct: feasible
+  /// pure restrictions become terminals; returns false iff the `ent ≠ 0`
+  /// else-branch is infeasible (every concretization is already pure).
+  bool processEntropyConditional(const AbstractDataset &Cur);
+
+  /// Advances one disjunct through bestSplit# / the ⋄ conditional /
+  /// filter#, appending its successors to \p Next.
+  void step(const AbstractDataset &Cur, std::vector<AbstractDataset> &Next);
+
+  const SplitContext &Ctx;
+  const float *X;
+  const AbstractLearnerConfig &Config;
+  DominationTracker Tracker;
+  Deadline Budget;
+  AbstractLearnerResult Result;
+};
+
+} // namespace
+
+bool LearnerRun::processEntropyConditional(const AbstractDataset &Cur) {
+  // Then-branch: restrict to single-class concretizations. A pure
+  // restriction with no rows corresponds only to the empty training set,
+  // which no concrete DTrace state can be (the initial set is non-empty and
+  // filter keeps the non-empty side x lies on), so it is skipped.
+  if (Config.Domain == AbstractDomainKind::Box) {
+    std::optional<AbstractDataset> Joined;
+    for (unsigned C = 0; C < Cur.base().numClasses(); ++C) {
+      std::optional<AbstractDataset> Pure = Cur.restrictToPureClass(C);
+      if (!Pure || Pure->isEmptySet())
+        continue;
+      Joined = Joined ? AbstractDataset::join(*Joined, std::move(*Pure))
+                      : std::move(*Pure);
+    }
+    if (Joined)
+      addTerminal(std::move(*Joined));
+  } else {
+    for (unsigned C = 0; C < Cur.base().numClasses(); ++C) {
+      std::optional<AbstractDataset> Pure = Cur.restrictToPureClass(C);
+      if (Pure && !Pure->isEmptySet())
+        addTerminal(std::move(*Pure));
+    }
+  }
+  // Else-branch feasibility: if the whole abstract set is single-class,
+  // every concretization has zero entropy and no concrete run continues.
+  return !Cur.isSingleClass();
+}
+
+void LearnerRun::step(const AbstractDataset &Cur,
+                      std::vector<AbstractDataset> &Next) {
+  PredicateSet Psi =
+      abstractBestSplit(Ctx, Cur, Config.Cprob, Config.Gini);
+  ++Result.BestSplitCalls;
+
+  // The φ = ⋄ conditional (§4.7): if ⋄ ∈ Ψ, some concrete run returns here
+  // with its training set unchanged.
+  if (Psi.containsNull())
+    addTerminal(Cur);
+  if (Psi.predicates().empty())
+    return;
+
+  if (Config.Domain == AbstractDomainKind::Box) {
+    Next.push_back(abstractFilter(Cur, Psi, X));
+    return;
+  }
+  // Disjunctive filter#: one disjunct per (predicate, feasible side of x).
+  for (const SplitPredicate &Pred : Psi.predicates()) {
+    ThreeValued V = Pred.evaluate(X);
+    if (V != ThreeValued::False)
+      Next.push_back(Cur.restrict(Pred, /*Positive=*/true));
+    if (V != ThreeValued::True)
+      Next.push_back(Cur.restrict(Pred, /*Positive=*/false));
+  }
+}
+
+AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
+  assert(!Initial.isEmptySet() && "DTrace# needs a non-empty abstract set");
+  Timer Elapsed;
+  std::vector<AbstractDataset> Frontier;
+  Frontier.push_back(Initial);
+  Result.PeakDisjuncts = 1;
+  Result.PeakStateBytes = Initial.stateBytes();
+
+  bool Aborted = false;
+  for (unsigned Iter = 0; Iter < Config.Depth && !Frontier.empty(); ++Iter) {
+    std::vector<AbstractDataset> Next;
+    uint64_t FrontierBytes = 0;
+    for (const AbstractDataset &Cur : Frontier) {
+      if ((Aborted = shouldAbort(Frontier.size() + Next.size(),
+                                 FrontierBytes)))
+        break;
+      size_t SizeBefore = Next.size();
+      if (processEntropyConditional(Cur))
+        step(Cur, Next);
+      for (size_t I = SizeBefore, E = Next.size(); I < E; ++I)
+        FrontierBytes += Next[I].stateBytes();
+    }
+    if (Aborted)
+      break;
+
+    if (Config.Domain != AbstractDomainKind::Box) {
+      // Deduplicate structurally identical disjuncts; tied predicates often
+      // induce the same restriction.
+      std::sort(Next.begin(), Next.end(),
+                [](const AbstractDataset &A, const AbstractDataset &B) {
+                  if (A.budget() != B.budget())
+                    return A.budget() < B.budget();
+                  return A.rows() < B.rows();
+                });
+      Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+
+      if (Config.Domain == AbstractDomainKind::DisjunctsCapped &&
+          Config.DisjunctCap > 0) {
+        // §6.3's precision-for-memory trade: collapse the frontier to the
+        // cap by joining *adjacent* disjuncts. After the lexicographic
+        // sort above, neighbours share most of their rows, so pairwise
+        // halving loses far less precision than folding an arbitrary
+        // overflow tail into one element.
+        while (Next.size() > Config.DisjunctCap) {
+          std::vector<AbstractDataset> Halved;
+          Halved.reserve((Next.size() + 1) / 2);
+          for (size_t I = 0; I + 1 < Next.size(); I += 2)
+            Halved.push_back(AbstractDataset::join(Next[I], Next[I + 1]));
+          if (Next.size() % 2)
+            Halved.push_back(std::move(Next.back()));
+          Next = std::move(Halved);
+        }
+      }
+    }
+
+    uint64_t LiveBytes = 0;
+    for (const AbstractDataset &D : Next)
+      LiveBytes += D.stateBytes();
+    for (const AbstractDataset &D : Result.Terminals)
+      LiveBytes += D.stateBytes();
+    Result.PeakDisjuncts = std::max(Result.PeakDisjuncts, Next.size());
+    Result.PeakStateBytes = std::max(Result.PeakStateBytes, LiveBytes);
+
+    if ((Aborted = shouldAbort(Next.size(), LiveBytes)))
+      break;
+    Frontier = std::move(Next);
+  }
+
+  // Depth exhaustion: the surviving frontier states are terminal.
+  if (!Aborted)
+    for (AbstractDataset &D : Frontier) {
+      addTerminal(std::move(D));
+      if (Config.StopOnRefutation && Tracker.failed())
+        break;
+    }
+
+  Result.Refuted = Tracker.failed();
+  if (Result.Status == LearnerStatus::Completed && !Result.Refuted)
+    Result.DominatingClass = Tracker.dominatingClass();
+  Result.Seconds = Elapsed.seconds();
+  return Result;
+}
+
+AbstractLearnerResult
+antidote::runAbstractDTrace(const SplitContext &Ctx,
+                            const AbstractDataset &Initial, const float *X,
+                            const AbstractLearnerConfig &Config) {
+  return LearnerRun(Ctx, X, Config).run(Initial);
+}

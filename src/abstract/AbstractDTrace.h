@@ -1,0 +1,117 @@
+//===- abstract/AbstractDTrace.h - The DTrace# abstract learner -*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `DTrace#` — the abstract interpretation of the trace-based learner
+/// (§4.3-§4.7), in three domain configurations:
+///
+///  - **Box** (the paper's non-disjunctive domain): the learner state is a
+///    single (⟨T,n⟩, Ψ) pair; `filter#` joins all per-predicate
+///    restrictions, and the feasible `pure` restrictions of the
+///    `ent(T) = 0` conditional are joined into one terminal.
+///  - **Disjuncts** (§5.2): the state is a set of disjuncts; `filter#`
+///    emits one disjunct per (predicate, side of x) and each feasible
+///    `pure` restriction becomes its own terminal. Joins are set unions.
+///  - **DisjunctsCapped** (our implementation of the future-work strategy
+///    §6.3 sketches): like Disjuncts, but whenever the frontier exceeds a
+///    cap the overflow disjuncts are joined into one, trading precision
+///    for bounded memory.
+///
+/// Terminal abstract states arise from three places — feasible `ent = 0`
+/// pure branches, ⋄ ∈ `bestSplit#` branches, and depth exhaustion — and are
+/// streamed into a `DominationTracker` so verification can stop the moment
+/// Corollary 4.12 becomes unsatisfiable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ABSTRACT_ABSTRACTDTRACE_H
+#define ANTIDOTE_ABSTRACT_ABSTRACTDTRACE_H
+
+#include "abstract/AbstractBestSplit.h"
+#include "abstract/AbstractDataset.h"
+#include "abstract/AbstractFilter.h"
+#include "abstract/Domination.h"
+#include "concrete/BestSplit.h"
+
+#include <optional>
+
+namespace antidote {
+
+/// Which abstract-state representation to run DTrace# with.
+enum class AbstractDomainKind : uint8_t {
+  Box,             ///< Single-element domain (§4.3).
+  Disjuncts,       ///< Unbounded disjunctive domain (§5.2).
+  DisjunctsCapped, ///< Disjunctive with join-on-overflow (§6.3).
+};
+
+const char *domainKindName(AbstractDomainKind Kind);
+
+/// Knobs for one DTrace# run.
+struct AbstractLearnerConfig {
+  unsigned Depth = 1;
+  AbstractDomainKind Domain = AbstractDomainKind::Box;
+  CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
+  GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
+
+  /// DisjunctsCapped only: max disjuncts kept per iteration before the
+  /// overflow is joined.
+  size_t DisjunctCap = 64;
+
+  /// Resource cap standing in for the paper's 160 GB OOM condition:
+  /// exceeding it aborts with `LearnerStatus::ResourceLimit`. 0 disables.
+  size_t MaxDisjuncts = 1u << 20;
+
+  /// Same, in live abstract-state bytes. 0 disables.
+  uint64_t MaxStateBytes = 0;
+
+  /// Per-run wall-clock budget (the paper uses 1 hour). 0 disables.
+  double TimeoutSeconds = 0.0;
+
+  /// Stop as soon as domination becomes impossible (sound for
+  /// verification; disable to obtain the complete terminal set in tests).
+  bool StopOnRefutation = true;
+};
+
+/// Why the learner stopped.
+enum class LearnerStatus : uint8_t {
+  Completed,     ///< Fixed depth reached (or every path terminated early).
+  Timeout,       ///< Wall-clock budget exhausted.
+  ResourceLimit, ///< Disjunct/state-byte cap exceeded (the paper's OOM).
+};
+
+/// Everything a DTrace# run produces.
+struct AbstractLearnerResult {
+  LearnerStatus Status = LearnerStatus::Completed;
+
+  /// Terminal abstract training sets. Possibly truncated when the run
+  /// stopped early (refutation, timeout, or resource limit).
+  std::vector<AbstractDataset> Terminals;
+
+  /// The Corollary 4.12 dominating class over all terminals, when it
+  /// exists and Status == Completed.
+  std::optional<unsigned> DominatingClass;
+
+  /// True iff domination was conclusively refuted (some terminal has no
+  /// dominator or two terminals disagree).
+  bool Refuted = false;
+
+  size_t PeakDisjuncts = 0;
+  uint64_t PeakStateBytes = 0;
+  unsigned BestSplitCalls = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs DTrace#(⟨T,n⟩, x). \p Initial must be a non-empty abstract set over
+/// `Ctx.base()`.
+AbstractLearnerResult runAbstractDTrace(const SplitContext &Ctx,
+                                        const AbstractDataset &Initial,
+                                        const float *X,
+                                        const AbstractLearnerConfig &Config);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ABSTRACT_ABSTRACTDTRACE_H

@@ -1,0 +1,118 @@
+//===- abstract/AbstractDataset.cpp - The <T,n> training-set domain ----------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractDataset.h"
+
+#include "concrete/Gini.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace antidote;
+
+AbstractDataset::AbstractDataset(const Dataset &Base, RowIndexList Rows,
+                                 uint32_t Budget)
+    : Base(&Base), Rows(std::move(Rows)),
+      Budget(std::min<uint32_t>(Budget,
+                                static_cast<uint32_t>(this->Rows.size()))) {
+  assert(isCanonicalRowSet(this->Rows) && "rows must be sorted and unique");
+  Counts = classCounts(Base, this->Rows);
+}
+
+AbstractDataset AbstractDataset::entire(const Dataset &Base,
+                                        uint32_t Budget) {
+  return AbstractDataset(Base, allRows(Base), Budget);
+}
+
+bool AbstractDataset::isSingleClass() const {
+  return isPure(Counts);
+}
+
+bool AbstractDataset::leq(const AbstractDataset &Other) const {
+  assert(Base == Other.Base && "elements over different base datasets");
+  if (!rowSetIncludes(Rows, Other.Rows))
+    return false;
+  uint32_t Extra = static_cast<uint32_t>(Other.Rows.size() - Rows.size());
+  return Budget + Extra <= Other.Budget;
+}
+
+AbstractDataset AbstractDataset::join(const AbstractDataset &A,
+                                      const AbstractDataset &B) {
+  assert(A.Base == B.Base && "joining elements over different base datasets");
+  RowIndexList Union = rowSetUnion(A.Rows, B.Rows);
+  // |T1 \ T2| = |T1 ∪ T2| − |T2| for the sorted unions we just built.
+  uint32_t AOnly = static_cast<uint32_t>(Union.size() - B.Rows.size());
+  uint32_t BOnly = static_cast<uint32_t>(Union.size() - A.Rows.size());
+  uint32_t NewBudget = std::max(AOnly + B.Budget, BOnly + A.Budget);
+  return AbstractDataset(*A.Base, std::move(Union), NewBudget);
+}
+
+std::optional<AbstractDataset>
+AbstractDataset::meet(const AbstractDataset &A, const AbstractDataset &B) {
+  assert(A.Base == B.Base && "meeting elements over different base datasets");
+  RowIndexList Inter = rowSetIntersection(A.Rows, B.Rows);
+  uint32_t AOnly = static_cast<uint32_t>(A.Rows.size() - Inter.size());
+  uint32_t BOnly = static_cast<uint32_t>(B.Rows.size() - Inter.size());
+  if (AOnly > A.Budget || BOnly > B.Budget)
+    return std::nullopt;
+  uint32_t NewBudget = std::min(A.Budget - AOnly, B.Budget - BOnly);
+  return AbstractDataset(*A.Base, std::move(Inter), NewBudget);
+}
+
+bool AbstractDataset::concretizationContains(
+    const RowIndexList &Candidate) const {
+  assert(isCanonicalRowSet(Candidate) && "candidate must be canonical");
+  if (!rowSetIncludes(Candidate, Rows))
+    return false;
+  return Rows.size() - Candidate.size() <= Budget;
+}
+
+AbstractDataset AbstractDataset::restrict(const SplitPredicate &Pred,
+                                          bool Positive) const {
+  // Partition the rows into definitely / possibly on the requested side.
+  // For a concrete predicate "possibly" and "definitely" coincide and this
+  // is exactly equation (1); for a symbolic ρ the Maybe rows are kept but
+  // charged to the budget, which is the closed form of the Appendix B.1
+  // join ⟨T,n⟩↓#φa ⊔ ⟨T,n⟩↓#φb.
+  RowIndexList Possible;
+  uint32_t Definite = 0;
+  for (uint32_t Row : Rows) {
+    ThreeValued V = Pred.evaluate(Base->value(Row, Pred.feature()));
+    bool IsDefinite =
+        Positive ? V == ThreeValued::True : V == ThreeValued::False;
+    bool IsPossible = IsDefinite || V == ThreeValued::Maybe;
+    if (IsPossible)
+      Possible.push_back(Row);
+    Definite += IsDefinite;
+  }
+  uint32_t PossibleSize = static_cast<uint32_t>(Possible.size());
+  uint32_t NewBudget =
+      std::max(std::min(Budget, PossibleSize),
+               (PossibleSize - Definite) + std::min(Budget, Definite));
+  return AbstractDataset(*Base, std::move(Possible), NewBudget);
+}
+
+std::optional<AbstractDataset>
+AbstractDataset::restrictToPureClass(unsigned Class) const {
+  assert(Class < Base->numClasses() && "class out of range");
+  uint32_t Keep = Counts[Class];
+  uint32_t Drop = size() - Keep;
+  if (Drop > Budget)
+    return std::nullopt;
+  RowIndexList Pure;
+  Pure.reserve(Keep);
+  for (uint32_t Row : Rows)
+    if (Base->label(Row) == Class)
+      Pure.push_back(Row);
+  return AbstractDataset(*Base, std::move(Pure), Budget - Drop);
+}
+
+std::string AbstractDataset::str() const {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "<|T|=%u, n=%u>", size(), Budget);
+  return Buf;
+}

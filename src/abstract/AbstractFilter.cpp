@@ -1,0 +1,36 @@
+//===- abstract/AbstractFilter.cpp - filter# ----------------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractFilter.h"
+
+#include <optional>
+
+using namespace antidote;
+
+AbstractDataset antidote::abstractFilter(const AbstractDataset &Data,
+                                         const PredicateSet &Preds,
+                                         const float *X) {
+  assert(!Preds.predicates().empty() &&
+         "filter# requires at least one predicate");
+  // ⟨∅, 0⟩ is the identity of ⊔ (Example 4.8); starting from "nothing yet"
+  // is equivalent.
+  std::optional<AbstractDataset> Acc;
+  auto Include = [&Acc](AbstractDataset Part) {
+    if (!Acc)
+      Acc = std::move(Part);
+    else
+      Acc = AbstractDataset::join(*Acc, Part);
+  };
+  for (const SplitPredicate &Pred : Preds.predicates()) {
+    ThreeValued V = Pred.evaluate(X);
+    if (V != ThreeValued::False) // ρ ∈ Ψx
+      Include(Data.restrict(Pred, /*Positive=*/true));
+    if (V != ThreeValued::True) // ρ ∈ Ψ¬x
+      Include(Data.restrict(Pred, /*Positive=*/false));
+  }
+  return *Acc;
+}

@@ -1,0 +1,37 @@
+//===- abstract/AbstractFilter.h - filter# ----------------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `filter#` — the abstract dataset-refinement transformer (§4.5, extended
+/// to three-valued symbolic predicates in Appendix B.2).
+///
+/// Given the abstract set, the predicate set Ψ returned by `bestSplit#`,
+/// and the test input x, the box-domain filter joins `⟨T,n⟩↓#ρ` for every
+/// ρ ∈ Ψ that x possibly satisfies and `⟨T,n⟩↓#¬ρ` for every ρ that x
+/// possibly falsifies (a `maybe` predicate contributes both sides). The
+/// disjunctive domain instead keeps every restriction as its own disjunct;
+/// that path lives in `AbstractDTrace.cpp` and calls
+/// `AbstractDataset::restrict` directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ABSTRACT_ABSTRACTFILTER_H
+#define ANTIDOTE_ABSTRACT_ABSTRACTFILTER_H
+
+#include "abstract/AbstractDataset.h"
+#include "abstract/PredicateSet.h"
+
+namespace antidote {
+
+/// `filter#(⟨T,n⟩, Ψ, x)` in the box domain. Requires Ψ to contain at least
+/// one (non-⋄) predicate; the ⋄ branch is handled by the learner driver.
+AbstractDataset abstractFilter(const AbstractDataset &Data,
+                               const PredicateSet &Preds, const float *X);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ABSTRACT_ABSTRACTFILTER_H

@@ -1,0 +1,114 @@
+//===- abstract/AbstractGini.cpp - cprob# / ent# / score# --------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractGini.h"
+
+#include <algorithm>
+
+using namespace antidote;
+
+std::vector<Interval>
+antidote::abstractClassProbabilities(const std::vector<uint32_t> &Counts,
+                                     uint32_t Total, uint32_t Budget,
+                                     CprobTransformerKind Kind) {
+  assert(Total > 0 && "cprob# of the bottom element is undefined");
+  assert(Budget <= Total && "budget exceeds the training-set size");
+  std::vector<Interval> Probs;
+  Probs.reserve(Counts.size());
+
+  // Corner case n = |T|: the empty set is a possible concretization, where
+  // cprob is undefined behaviour; the paper assigns [0, 1] to every class.
+  if (Budget == Total) {
+    Probs.assign(Counts.size(), Interval(0.0, 1.0));
+    return Probs;
+  }
+
+  if (Kind == CprobTransformerKind::Optimal) {
+    // Footnote 6: averaging the m = |T| − n least / greatest indicator
+    // values gives the exact extremal probabilities.
+    double M = static_cast<double>(Total - Budget);
+    for (uint32_t C : Counts) {
+      double Lo = C > Budget ? (C - Budget) / M : 0.0;
+      double Hi = std::min<uint32_t>(C, Total - Budget) / M;
+      Probs.emplace_back(Lo, Hi);
+    }
+    return Probs;
+  }
+
+  // Naive lifting: [max(0, c − n), c] / [|T| − n, |T|]. Both operands are
+  // non-negative and the divisor excludes zero here, so the quotient is
+  // [lo_num / hi_den, hi_num / lo_den].
+  Interval Denominator(static_cast<double>(Total - Budget),
+                       static_cast<double>(Total));
+  for (uint32_t C : Counts) {
+    Interval Numerator(C > Budget ? static_cast<double>(C - Budget) : 0.0,
+                       static_cast<double>(C));
+    Probs.push_back(Numerator / Denominator);
+  }
+  return Probs;
+}
+
+std::vector<Interval>
+antidote::abstractClassProbabilities(const AbstractDataset &Data,
+                                     CprobTransformerKind Kind) {
+  return abstractClassProbabilities(Data.counts(), Data.size(), Data.budget(),
+                                    Kind);
+}
+
+Interval antidote::abstractGiniTermRange(const Interval &Prob) {
+  if (Prob.isEmpty())
+    return Interval::makeEmpty();
+  auto F = [](double X) { return X * (1.0 - X); };
+  double Lo = std::min(F(Prob.lb()), F(Prob.ub()));
+  double Hi = Prob.contains(0.5) ? 0.25
+                                 : std::max(F(Prob.lb()), F(Prob.ub()));
+  return Interval(Lo, Hi);
+}
+
+Interval antidote::abstractGiniImpurity(const std::vector<Interval> &Probs,
+                                        GiniLiftingKind Lifting) {
+  Interval Sum(0.0);
+  Interval One(1.0);
+  for (const Interval &P : Probs) {
+    if (Lifting == GiniLiftingKind::ExactTerm)
+      Sum = Sum + abstractGiniTermRange(P);
+    else
+      Sum = Sum + P * (One - P);
+  }
+  return Sum;
+}
+
+Interval antidote::abstractGiniImpurityFromCounts(
+    const std::vector<uint32_t> &Counts, uint32_t Total, uint32_t Budget,
+    CprobTransformerKind Kind, GiniLiftingKind Lifting) {
+  return abstractGiniImpurity(
+      abstractClassProbabilities(Counts, Total, Budget, Kind), Lifting);
+}
+
+Interval antidote::abstractSplitScore(
+    const std::vector<uint32_t> &PosCounts, uint32_t PosTotal,
+    uint32_t PosBudget, const std::vector<uint32_t> &NegCounts,
+    uint32_t NegTotal, uint32_t NegBudget, CprobTransformerKind Kind,
+    GiniLiftingKind Lifting) {
+  Interval PosSize(static_cast<double>(PosTotal - PosBudget),
+                   static_cast<double>(PosTotal));
+  Interval NegSize(static_cast<double>(NegTotal - NegBudget),
+                   static_cast<double>(NegTotal));
+  return PosSize * abstractGiniImpurityFromCounts(PosCounts, PosTotal,
+                                                  PosBudget, Kind, Lifting) +
+         NegSize * abstractGiniImpurityFromCounts(NegCounts, NegTotal,
+                                                  NegBudget, Kind, Lifting);
+}
+
+Interval antidote::abstractSplitScore(const AbstractDataset &Pos,
+                                      const AbstractDataset &Neg,
+                                      CprobTransformerKind Kind,
+                                      GiniLiftingKind Lifting) {
+  return abstractSplitScore(Pos.counts(), Pos.size(), Pos.budget(),
+                            Neg.counts(), Neg.size(), Neg.budget(), Kind,
+                            Lifting);
+}

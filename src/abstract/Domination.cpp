@@ -1,0 +1,45 @@
+//===- abstract/Domination.cpp - Robustness domination check ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/Domination.h"
+
+using namespace antidote;
+
+std::optional<unsigned>
+antidote::dominatingClassOf(const std::vector<Interval> &Probs) {
+  for (unsigned I = 0, E = static_cast<unsigned>(Probs.size()); I < E; ++I) {
+    bool Dominates = true;
+    for (unsigned J = 0; J < E && Dominates; ++J)
+      if (J != I && Probs[I].lb() <= Probs[J].ub())
+        Dominates = false;
+    if (Dominates)
+      return I;
+  }
+  return std::nullopt;
+}
+
+void DominationTracker::addTerminal(const AbstractDataset &Terminal) {
+  if (Failed)
+    return;
+  std::optional<unsigned> Dominator =
+      dominatingClassOf(abstractClassProbabilities(Terminal, Kind));
+  if (!Dominator || (SeenAny && *Dominator != Class)) {
+    Failed = true;
+    return;
+  }
+  Class = *Dominator;
+  SeenAny = true;
+}
+
+std::optional<unsigned> antidote::dominatingClassOverTerminals(
+    const std::vector<AbstractDataset> &Terminals,
+    CprobTransformerKind Kind) {
+  DominationTracker Tracker(Kind);
+  for (const AbstractDataset &Terminal : Terminals)
+    Tracker.addTerminal(Terminal);
+  return Tracker.dominatingClass();
+}

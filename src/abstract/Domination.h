@@ -1,0 +1,68 @@
+//===- abstract/Domination.h - Robustness domination check ------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Corollary 4.12: if one class's `cprob#` interval dominates (its lower
+/// bound strictly exceeds every other class's upper bound) in every
+/// terminal abstract state of `DTrace#`, then every concrete run selects
+/// that class and the input is robust to n-poisoning.
+///
+/// `DominationTracker` evaluates the condition incrementally so the learner
+/// can stop as soon as domination becomes impossible — once two terminals
+/// disagree (or one has no dominating class), adding more terminals can
+/// never restore domination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ABSTRACT_DOMINATION_H
+#define ANTIDOTE_ABSTRACT_DOMINATION_H
+
+#include "abstract/AbstractGini.h"
+
+#include <optional>
+
+namespace antidote {
+
+/// The class whose interval dominates the vector, if any. At most one class
+/// can dominate, since domination of i forces u_j < l_i ≤ u_i for all j≠i.
+std::optional<unsigned>
+dominatingClassOf(const std::vector<Interval> &Probs);
+
+/// Incremental Corollary 4.12 evaluation over a stream of terminal states.
+class DominationTracker {
+public:
+  explicit DominationTracker(CprobTransformerKind Kind) : Kind(Kind) {}
+
+  /// Folds one terminal abstract training set into the check.
+  void addTerminal(const AbstractDataset &Terminal);
+
+  /// True once domination has become impossible.
+  bool failed() const { return Failed; }
+
+  /// The common dominating class; meaningful only after at least one
+  /// terminal was added and only if the check has not failed.
+  std::optional<unsigned> dominatingClass() const {
+    if (Failed || !SeenAny)
+      return std::nullopt;
+    return Class;
+  }
+
+private:
+  CprobTransformerKind Kind;
+  bool Failed = false;
+  bool SeenAny = false;
+  unsigned Class = 0;
+};
+
+/// One-shot Corollary 4.12 over a full terminal list.
+std::optional<unsigned>
+dominatingClassOverTerminals(const std::vector<AbstractDataset> &Terminals,
+                             CprobTransformerKind Kind);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ABSTRACT_DOMINATION_H

@@ -1,0 +1,334 @@
+//===- abstract/LabelFlip.cpp - Label-flip robustness certification -----------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/LabelFlip.h"
+
+#include "abstract/AbstractGini.h"
+#include "support/Timer.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace antidote;
+
+std::vector<Interval>
+antidote::flipClassProbabilities(const std::vector<uint32_t> &Counts,
+                                 uint32_t Total, uint32_t Budget) {
+  assert(Total > 0 && "flip cprob# of an empty training set");
+  std::vector<Interval> Probs;
+  Probs.reserve(Counts.size());
+  double T = Total;
+  for (uint32_t C : Counts) {
+    double Lo = C > Budget ? (C - Budget) / T : 0.0;
+    double Hi = std::min<uint64_t>(static_cast<uint64_t>(C) + Budget,
+                                   Total) /
+                T;
+    Probs.emplace_back(Lo, Hi);
+  }
+  return Probs;
+}
+
+Interval antidote::flipSplitScore(const std::vector<uint32_t> &PosCounts,
+                                  uint32_t PosTotal,
+                                  const std::vector<uint32_t> &NegCounts,
+                                  uint32_t NegTotal, uint32_t Budget) {
+  assert(PosTotal > 0 && NegTotal > 0 && "score of a trivial split");
+  // Side sizes are exact under flips; each side can absorb at most
+  // min(n, |side|) of the flipped rows.
+  Interval PosEnt = abstractGiniImpurity(flipClassProbabilities(
+      PosCounts, PosTotal, std::min(Budget, PosTotal)));
+  Interval NegEnt = abstractGiniImpurity(flipClassProbabilities(
+      NegCounts, NegTotal, std::min(Budget, NegTotal)));
+  return Interval(static_cast<double>(PosTotal)) * PosEnt +
+         Interval(static_cast<double>(NegTotal)) * NegEnt;
+}
+
+std::vector<SplitPredicate>
+antidote::flipBestSplit(const SplitContext &Ctx, const RowIndexList &Rows,
+                        uint32_t Budget) {
+  std::vector<uint32_t> Totals = classCounts(Ctx.base(), Rows);
+  uint32_t Total = static_cast<uint32_t>(Rows.size());
+  unsigned NumClasses = Ctx.base().numClasses();
+
+  struct Scored {
+    SplitPredicate Pred;
+    double Lb;
+  };
+  std::vector<Scored> Candidates;
+  double Lub = std::numeric_limits<double>::infinity();
+  std::vector<uint32_t> NegCounts(NumClasses);
+  // Every candidate splits every concretization identically (flips do not
+  // move feature values), so all candidates are "universal" and the
+  // minimal-interval rule of §4.6 applies over the whole set.
+  forEachCandidateSplit(
+      Ctx, Rows, PredicateMode::ConcreteMidpoint,
+      [&](const SplitPredicate &Pred, const std::vector<uint32_t> &PosCounts,
+          uint32_t PosTotal) {
+        for (unsigned C = 0; C < NumClasses; ++C)
+          NegCounts[C] = Totals[C] - PosCounts[C];
+        Interval Score = flipSplitScore(PosCounts, PosTotal, NegCounts,
+                                        Total - PosTotal, Budget);
+        Candidates.push_back({Pred, Score.lb()});
+        Lub = std::min(Lub, Score.ub());
+      });
+
+  std::vector<SplitPredicate> Kept;
+  for (const Scored &Candidate : Candidates)
+    if (Candidate.Lb <= Lub)
+      Kept.push_back(Candidate.Pred);
+  std::sort(Kept.begin(), Kept.end());
+  return Kept;
+}
+
+namespace {
+
+/// One disjunct of the flip analysis: an exact row set plus the number of
+/// flipped rows that may be among them.
+struct FlipState {
+  RowIndexList Rows;
+  uint32_t Budget;
+
+  bool operator==(const FlipState &Other) const {
+    return Budget == Other.Budget && Rows == Other.Rows;
+  }
+  bool operator<(const FlipState &Other) const {
+    if (Budget != Other.Budget)
+      return Budget < Other.Budget;
+    return Rows < Other.Rows;
+  }
+};
+
+/// Incremental Corollary 4.12 over terminal probability-interval vectors.
+class VectorDominationTracker {
+public:
+  void addTerminal(const std::vector<Interval> &Probs) {
+    if (Failed)
+      return;
+    std::optional<unsigned> Dominator = dominatingClassOf(Probs);
+    if (!Dominator || (SeenAny && *Dominator != Class)) {
+      Failed = true;
+      return;
+    }
+    Class = *Dominator;
+    SeenAny = true;
+  }
+
+  bool failed() const { return Failed; }
+  std::optional<unsigned> dominatingClass() const {
+    if (Failed || !SeenAny)
+      return std::nullopt;
+    return Class;
+  }
+
+private:
+  bool Failed = false;
+  bool SeenAny = false;
+  unsigned Class = 0;
+};
+
+/// Exact unit probability vector for a forced-pure terminal of \p Class.
+std::vector<Interval> unitProbabilities(unsigned NumClasses,
+                                        unsigned Class) {
+  std::vector<Interval> Probs(NumClasses, Interval(0.0));
+  Probs[Class] = Interval(1.0);
+  return Probs;
+}
+
+} // namespace
+
+LabelFlipResult
+antidote::verifyLabelFlipRobustness(const SplitContext &Ctx,
+                                    const RowIndexList &Rows, const float *X,
+                                    uint32_t Budget,
+                                    const LabelFlipConfig &Config) {
+  assert(!Rows.empty() && "flip verification over an empty training set");
+  const Dataset &Base = Ctx.base();
+  Timer Elapsed;
+  Deadline Deadline(Config.TimeoutSeconds);
+  LabelFlipResult Result;
+  Result.ConcretePrediction =
+      runDTrace(Ctx, Rows, X, Config.Depth).PredictedClass;
+
+  VectorDominationTracker Tracker;
+  std::vector<FlipState> Frontier;
+  Frontier.push_back(
+      {Rows, std::min<uint32_t>(Budget, static_cast<uint32_t>(Rows.size()))});
+
+  size_t NumTerminals = 0;
+  auto AddTerminal = [&](const std::vector<Interval> &Probs) {
+    Tracker.addTerminal(Probs);
+    ++NumTerminals;
+  };
+
+  bool Aborted = false;
+  for (unsigned Iter = 0; Iter < Config.Depth && !Frontier.empty(); ++Iter) {
+    std::vector<FlipState> Next;
+    for (const FlipState &Cur : Frontier) {
+      if (Tracker.failed()) {
+        Aborted = true;
+        break;
+      }
+      if (Deadline.expired()) {
+        Result.RunStatus = LabelFlipResult::Status::Timeout;
+        Aborted = true;
+        break;
+      }
+      uint32_t Total = static_cast<uint32_t>(Cur.Rows.size());
+      std::vector<uint32_t> Counts = classCounts(Base, Cur.Rows);
+
+      // ent(T_L) = 0 conditional: the attacker may be able to force a pure
+      // leaf of class i by flipping every other-class row.
+      bool BasePure = isPure(Counts);
+      for (unsigned C = 0; C < Base.numClasses(); ++C)
+        if (Total - Counts[C] <= Cur.Budget)
+          AddTerminal(unitProbabilities(Base.numClasses(), C));
+      // The ent != 0 branch needs some *mixed* labeling: impossible for a
+      // singleton, and for n = 0 it needs mixed base labels.
+      if (Total < 2 || (Cur.Budget == 0 && BasePure))
+        continue;
+
+      std::vector<SplitPredicate> Preds =
+          flipBestSplit(Ctx, Cur.Rows, Cur.Budget);
+      if (Preds.empty()) {
+        // No non-trivial split exists for *any* labeling (triviality is
+        // label-independent): every concrete run returns here.
+        AddTerminal(flipClassProbabilities(Counts, Total, Cur.Budget));
+        continue;
+      }
+      for (const SplitPredicate &Pred : Preds) {
+        // Predicates are concrete midpoints, so x's side and the kept row
+        // set are exact; only the flip budget is carried over.
+        bool Satisfied = Pred.evaluate(X) == ThreeValued::True;
+        RowIndexList Side = filterRows(Base, Cur.Rows, Pred, Satisfied);
+        uint32_t SideBudget =
+            std::min(Cur.Budget, static_cast<uint32_t>(Side.size()));
+        Next.push_back({std::move(Side), SideBudget});
+      }
+    }
+    if (Aborted)
+      break;
+    std::sort(Next.begin(), Next.end());
+    Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
+    Result.PeakDisjuncts = std::max(Result.PeakDisjuncts, Next.size());
+    if (Config.MaxDisjuncts && Next.size() > Config.MaxDisjuncts) {
+      Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
+      Aborted = true;
+      break;
+    }
+    Frontier = std::move(Next);
+  }
+
+  if (!Aborted)
+    for (const FlipState &Cur : Frontier) {
+      AddTerminal(flipClassProbabilities(
+          classCounts(Base, Cur.Rows),
+          static_cast<uint32_t>(Cur.Rows.size()), Cur.Budget));
+      if (Tracker.failed())
+        break;
+    }
+
+  Result.NumTerminals = NumTerminals;
+  Result.Seconds = Elapsed.seconds();
+  if (Result.RunStatus != LabelFlipResult::Status::Completed)
+    return Result;
+  std::optional<unsigned> Dominator = Tracker.dominatingClass();
+  if (Dominator) {
+    assert(*Dominator == Result.ConcretePrediction &&
+           "dominating class contradicts the unflipped learner");
+    Result.Robust = true;
+    Result.DominatingClass = *Dominator;
+  }
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive flip oracle
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursively enumerates every relabeling with at most the remaining
+/// number of flips, retraining at each complete assignment.
+class FlipEnumerator {
+public:
+  FlipEnumerator(const SplitContext &Ctx, const RowIndexList &Rows,
+                 const float *X, unsigned Depth, uint64_t MaxSets,
+                 FlipEnumerationResult &Result)
+      : BaseCtx(Ctx), Rows(Rows), X(X), Depth(Depth), MaxSets(MaxSets),
+        Result(Result) {
+    Labels.reserve(Rows.size());
+    for (uint32_t Row : Rows)
+      Labels.push_back(Ctx.base().label(Row));
+  }
+
+  bool explore(size_t Index, uint32_t Remaining) {
+    if (Index == Rows.size())
+      return check();
+    // Keep the base label.
+    if (!explore(Index + 1, Remaining))
+      return false;
+    if (Remaining == 0)
+      return true;
+    unsigned BaseLabel = Labels[Index];
+    for (unsigned C = 0; C < BaseCtx.base().numClasses(); ++C) {
+      if (C == BaseLabel)
+        continue;
+      Labels[Index] = C;
+      bool Continue = explore(Index + 1, Remaining - 1);
+      Labels[Index] = BaseLabel;
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+private:
+  bool check() {
+    if (Result.SetsChecked >= MaxSets) {
+      Result.Exhausted = false;
+      return false;
+    }
+    // Materialize the relabeled training set and retrain from scratch.
+    const Dataset &Base = BaseCtx.base();
+    Dataset Flipped(Base.schema());
+    Flipped.reserveRows(static_cast<unsigned>(Rows.size()));
+    for (size_t I = 0; I < Rows.size(); ++I)
+      Flipped.addRow(Base.row(Rows[I]), Labels[I]);
+    SplitContext Ctx(Flipped);
+    TraceResult Trace = runDTrace(Ctx, allRows(Flipped), X, Depth);
+    ++Result.SetsChecked;
+    if (Trace.PredictedClass == Result.OriginalPrediction)
+      return true;
+    Result.Robust = false;
+    return false;
+  }
+
+  const SplitContext &BaseCtx;
+  const RowIndexList &Rows;
+  const float *X;
+  unsigned Depth;
+  uint64_t MaxSets;
+  FlipEnumerationResult &Result;
+  std::vector<unsigned> Labels;
+};
+
+} // namespace
+
+FlipEnumerationResult
+antidote::verifyByFlipEnumeration(const SplitContext &Ctx,
+                                  const RowIndexList &Rows, const float *X,
+                                  uint32_t Budget, unsigned Depth,
+                                  uint64_t MaxSets) {
+  assert(!Rows.empty() && "flip enumeration over an empty training set");
+  FlipEnumerationResult Result;
+  Result.OriginalPrediction =
+      runDTrace(Ctx, Rows, X, Depth).PredictedClass;
+  FlipEnumerator Enumerator(Ctx, Rows, X, Depth, MaxSets, Result);
+  Enumerator.explore(0, std::min<uint32_t>(
+                            Budget, static_cast<uint32_t>(Rows.size())));
+  return Result;
+}

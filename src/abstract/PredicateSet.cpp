@@ -1,0 +1,35 @@
+//===- abstract/PredicateSet.cpp - Abstract predicate domain -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/PredicateSet.h"
+
+#include <algorithm>
+
+using namespace antidote;
+
+void PredicateSet::canonicalize() {
+  std::sort(Preds.begin(), Preds.end());
+  Preds.erase(std::unique(Preds.begin(), Preds.end()), Preds.end());
+}
+
+PredicateSet PredicateSet::join(const PredicateSet &A, const PredicateSet &B) {
+  PredicateSet Result;
+  Result.Preds.reserve(A.Preds.size() + B.Preds.size());
+  Result.Preds = A.Preds;
+  Result.Preds.insert(Result.Preds.end(), B.Preds.begin(), B.Preds.end());
+  Result.HasNull = A.HasNull || B.HasNull;
+  Result.canonicalize();
+  return Result;
+}
+
+bool PredicateSet::concretizationContains(uint32_t Feature,
+                                          double Threshold) const {
+  for (const SplitPredicate &Pred : Preds)
+    if (Pred.concretizationContains(Feature, Threshold))
+      return true;
+  return false;
+}

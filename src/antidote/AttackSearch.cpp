@@ -1,0 +1,100 @@
+//===- antidote/AttackSearch.cpp - Greedy poisoning-attack search -------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/AttackSearch.h"
+
+#include <algorithm>
+
+using namespace antidote;
+
+/// Margin of the predicted class at the trace's leaf: how many more rows of
+/// class \p Predicted the leaf holds than of the runner-up class. The
+/// greedy attack drives this toward zero.
+static int64_t leafMargin(const TraceResult &Trace, unsigned Predicted) {
+  int64_t Best = 0;
+  for (unsigned C = 0; C < Trace.FinalCounts.size(); ++C)
+    if (C != Predicted)
+      Best = std::max<int64_t>(Best, Trace.FinalCounts[C]);
+  return static_cast<int64_t>(Trace.FinalCounts[Predicted]) - Best;
+}
+
+AttackResult antidote::findPoisoningAttack(const SplitContext &Ctx,
+                                           const RowIndexList &Rows,
+                                           const float *X, uint32_t Budget,
+                                           unsigned Depth,
+                                           unsigned CandidatePoolPerStep) {
+  assert(!Rows.empty() && "attack search over an empty training set");
+  AttackResult Result;
+  RowIndexList Current = Rows;
+  TraceResult Trace = runDTrace(Ctx, Current, X, Depth);
+  ++Result.Retrainings;
+  Result.OriginalPrediction = Trace.PredictedClass;
+
+  for (uint32_t Step = 0; Step < Budget && Current.size() > 1; ++Step) {
+    unsigned Predicted = Trace.PredictedClass;
+
+    // Candidates: the leaf's supporters of the current prediction. Removing
+    // anything else can only help via a changed split, which the greedy
+    // re-derivation after each committed removal picks up anyway.
+    RowIndexList Candidates;
+    for (uint32_t Row : Trace.FinalRows)
+      if (Ctx.base().label(Row) == Predicted)
+        Candidates.push_back(Row);
+    if (Candidates.empty())
+      break;
+    if (Candidates.size() > CandidatePoolPerStep) {
+      RowIndexList Sampled;
+      Sampled.reserve(CandidatePoolPerStep);
+      double Stride =
+          static_cast<double>(Candidates.size()) / CandidatePoolPerStep;
+      for (unsigned I = 0; I < CandidatePoolPerStep; ++I)
+        Sampled.push_back(Candidates[static_cast<size_t>(I * Stride)]);
+      Candidates = std::move(Sampled);
+    }
+
+    // Evaluate each candidate removal by full retraining.
+    std::optional<uint32_t> BestRow;
+    int64_t BestMargin = 0;
+    TraceResult BestTrace;
+    for (uint32_t Candidate : Candidates) {
+      RowIndexList Reduced;
+      Reduced.reserve(Current.size() - 1);
+      for (uint32_t Row : Current)
+        if (Row != Candidate)
+          Reduced.push_back(Row);
+      TraceResult Attempt = runDTrace(Ctx, std::move(Reduced), X, Depth);
+      ++Result.Retrainings;
+      if (Attempt.PredictedClass != Result.OriginalPrediction) {
+        Result.Found = true;
+        Result.FlippedPrediction = Attempt.PredictedClass;
+        Result.RemovedRows.push_back(Candidate);
+        std::sort(Result.RemovedRows.begin(), Result.RemovedRows.end());
+        return Result;
+      }
+      int64_t Margin = leafMargin(Attempt, Attempt.PredictedClass);
+      if (!BestRow || Margin < BestMargin) {
+        BestRow = Candidate;
+        BestMargin = Margin;
+        BestTrace = std::move(Attempt);
+      }
+    }
+    if (!BestRow)
+      break;
+
+    // Commit the best removal and continue from its trace.
+    Result.RemovedRows.push_back(*BestRow);
+    RowIndexList Reduced;
+    Reduced.reserve(Current.size() - 1);
+    for (uint32_t Row : Current)
+      if (Row != *BestRow)
+        Reduced.push_back(Row);
+    Current = std::move(Reduced);
+    Trace = std::move(BestTrace);
+  }
+  std::sort(Result.RemovedRows.begin(), Result.RemovedRows.end());
+  return Result;
+}

@@ -1,0 +1,56 @@
+//===- antidote/AttackSearch.h - Greedy poisoning-attack search -*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A greedy search for concrete poisoning attacks — the complement of the
+/// verifier.
+///
+/// The attack literature the paper positions itself against (§7) *finds*
+/// poisoned training sets rather than proving their absence. This module
+/// provides that baseline for decision trees under the ∆n removal model:
+/// it greedily removes the training row whose deletion most erodes the
+/// predicted class's margin at x's leaf, re-deriving the trace after each
+/// removal. A found attack certifies non-robustness (it is a concrete
+/// witness); failure to find one proves nothing — which is precisely the
+/// asymmetry Antidote's sound verification resolves from the other side.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ANTIDOTE_ATTACKSEARCH_H
+#define ANTIDOTE_ANTIDOTE_ATTACKSEARCH_H
+
+#include "concrete/DTrace.h"
+
+namespace antidote {
+
+/// Result of a greedy attack search.
+struct AttackResult {
+  /// True iff removing `RemovedRows` flips the prediction on x.
+  bool Found = false;
+
+  /// The removal set (⊆ original rows, |RemovedRows| ≤ budget).
+  RowIndexList RemovedRows;
+
+  unsigned OriginalPrediction = 0;
+  unsigned FlippedPrediction = 0;
+
+  /// Number of DTrace retrainings performed.
+  uint64_t Retrainings = 0;
+};
+
+/// Searches for T' ∈ ∆n(T) with L(T')(x) ≠ L(T)(x) by greedy margin
+/// descent. \p CandidatePoolPerStep bounds how many removal candidates are
+/// evaluated per step (the rows of x's current leaf carrying the predicted
+/// label, subsampled evenly if more).
+AttackResult findPoisoningAttack(const SplitContext &Ctx,
+                                 const RowIndexList &Rows, const float *X,
+                                 uint32_t Budget, unsigned Depth,
+                                 unsigned CandidatePoolPerStep = 48);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ANTIDOTE_ATTACKSEARCH_H

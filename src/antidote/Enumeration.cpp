@@ -1,0 +1,120 @@
+//===- antidote/Enumeration.cpp - Naive enumeration baseline ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Enumeration.h"
+
+#include <limits>
+
+using namespace antidote;
+
+uint64_t antidote::perturbationSetCount(uint32_t Size, uint32_t Budget) {
+  uint64_t Total = 0;
+  uint64_t Binomial = 1; // C(Size, 0)
+  for (uint32_t I = 0; I <= Budget && I <= Size; ++I) {
+    if (std::numeric_limits<uint64_t>::max() - Total < Binomial)
+      return std::numeric_limits<uint64_t>::max();
+    Total += Binomial;
+    // C(Size, I+1) = C(Size, I) * (Size - I) / (I + 1), watching overflow.
+    uint64_t Numerator = Size - I;
+    if (Binomial > std::numeric_limits<uint64_t>::max() / (Numerator + 1))
+      return std::numeric_limits<uint64_t>::max();
+    Binomial = Binomial * Numerator / (I + 1);
+  }
+  return Total;
+}
+
+namespace {
+
+/// Depth-first enumeration of removal subsets of size ≤ Budget.
+class SubsetEnumerator {
+public:
+  SubsetEnumerator(const SplitContext &Ctx, const RowIndexList &Rows,
+                   const float *X, unsigned Depth, uint64_t MaxSets,
+                   EnumerationResult &Result)
+      : Ctx(Ctx), Rows(Rows), X(X), Depth(Depth), MaxSets(MaxSets),
+        Result(Result) {
+    Removed.assign(Rows.size(), 0);
+  }
+
+  /// Explores removals of positions >= \p First with \p Remaining budget.
+  /// Returns false to stop the whole exploration (counterexample found or
+  /// the set cap was hit).
+  bool explore(size_t First, uint32_t Remaining) {
+    if (!check())
+      return false;
+    if (Remaining == 0)
+      return true;
+    for (size_t I = First; I < Rows.size(); ++I) {
+      // Keep at least one row: DTrace is undefined on an empty set, and no
+      // concrete learner run corresponds to it.
+      if (NumRemoved + 1 == Rows.size())
+        break;
+      Removed[I] = 1;
+      ++NumRemoved;
+      bool Continue = explore(I + 1, Remaining - 1);
+      Removed[I] = 0;
+      --NumRemoved;
+      if (!Continue)
+        return false;
+    }
+    return true;
+  }
+
+private:
+  /// Retrains on the current subset and checks the prediction.
+  bool check() {
+    if (Result.SetsChecked >= MaxSets) {
+      Result.Exhausted = false;
+      return false;
+    }
+    RowIndexList Kept;
+    Kept.reserve(Rows.size() - NumRemoved);
+    for (size_t I = 0; I < Rows.size(); ++I)
+      if (!Removed[I])
+        Kept.push_back(Rows[I]);
+    TraceResult Trace = runDTrace(Ctx, std::move(Kept), X, Depth);
+    ++Result.SetsChecked;
+    if (Trace.PredictedClass == Result.OriginalPrediction)
+      return true;
+    Result.Robust = false;
+    Result.CounterexamplePrediction = Trace.PredictedClass;
+    RowIndexList Witness;
+    for (size_t I = 0; I < Rows.size(); ++I)
+      if (!Removed[I])
+        Witness.push_back(Rows[I]);
+    Result.CounterexampleRows = std::move(Witness);
+    return false;
+  }
+
+  const SplitContext &Ctx;
+  const RowIndexList &Rows;
+  const float *X;
+  unsigned Depth;
+  uint64_t MaxSets;
+  EnumerationResult &Result;
+  std::vector<uint8_t> Removed;
+  size_t NumRemoved = 0;
+};
+
+} // namespace
+
+EnumerationResult antidote::verifyByEnumeration(const SplitContext &Ctx,
+                                                const RowIndexList &Rows,
+                                                const float *X,
+                                                uint32_t Budget,
+                                                unsigned Depth,
+                                                uint64_t MaxSets) {
+  assert(!Rows.empty() && "enumeration over an empty training set");
+  EnumerationResult Result;
+  Result.OriginalPrediction =
+      runDTrace(Ctx, Rows, X, Depth).PredictedClass;
+  SubsetEnumerator Enumerator(Ctx, Rows, X, Depth, MaxSets, Result);
+  Enumerator.explore(0, std::min<uint32_t>(Budget,
+                                           static_cast<uint32_t>(
+                                               Rows.size())));
+  return Result;
+}

@@ -1,0 +1,78 @@
+//===- antidote/Report.cpp - Table/series output helpers ----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Report.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace antidote;
+
+void TableWriter::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Headers.size() && "row width mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+void TableWriter::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Headers.size());
+  for (size_t C = 0; C < Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const std::vector<std::string> &Row : Rows)
+    for (size_t C = 0; C < Row.size(); ++C)
+      Widths[C] = std::max(Widths[C], Row[C].size());
+
+  auto PrintRow = [&](const std::vector<std::string> &Cells) {
+    for (size_t C = 0; C < Cells.size(); ++C)
+      std::fprintf(Out, "%-*s%s", static_cast<int>(Widths[C]),
+                   Cells[C].c_str(), C + 1 == Cells.size() ? "\n" : "  ");
+  };
+  PrintRow(Headers);
+  size_t TotalWidth = 0;
+  for (size_t C = 0; C < Widths.size(); ++C)
+    TotalWidth += Widths[C] + (C + 1 == Widths.size() ? 0 : 2);
+  std::string Underline(TotalWidth, '-');
+  std::fprintf(Out, "%s\n", Underline.c_str());
+  for (const std::vector<std::string> &Row : Rows)
+    PrintRow(Row);
+}
+
+std::string antidote::formatSeconds(double Seconds) {
+  char Buf[48];
+  if (Seconds < 0.001)
+    std::snprintf(Buf, sizeof(Buf), "%.0f us", Seconds * 1e6);
+  else if (Seconds < 1.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1f ms", Seconds * 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.2f s", Seconds);
+  return Buf;
+}
+
+std::string antidote::formatBytes(double Bytes) {
+  char Buf[48];
+  if (Bytes < 1024.0)
+    std::snprintf(Buf, sizeof(Buf), "%.0f B", Bytes);
+  else if (Bytes < 1024.0 * 1024.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1f KB", Bytes / 1024.0);
+  else if (Bytes < 1024.0 * 1024.0 * 1024.0)
+    std::snprintf(Buf, sizeof(Buf), "%.1f MB", Bytes / (1024.0 * 1024.0));
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.2f GB",
+                  Bytes / (1024.0 * 1024.0 * 1024.0));
+  return Buf;
+}
+
+std::string antidote::formatPercent(double Fraction) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.1f", Fraction * 100.0);
+  return Buf;
+}
+
+std::string antidote::formatDouble(double Value, int Decimals) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}

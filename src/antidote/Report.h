@@ -1,0 +1,54 @@
+//===- antidote/Report.h - Table/series output helpers ----------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plain-text table rendering shared by the bench binaries that regenerate
+/// the paper's tables and figure series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ANTIDOTE_REPORT_H
+#define ANTIDOTE_ANTIDOTE_REPORT_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace antidote {
+
+/// Column-aligned text table accumulated row by row.
+class TableWriter {
+public:
+  explicit TableWriter(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders with a header underline and two-space gutters.
+  void print(std::FILE *Out = stdout) const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// "1.23 s" / "45 ms" style durations.
+std::string formatSeconds(double Seconds);
+
+/// "1.5 MB" style byte counts.
+std::string formatBytes(double Bytes);
+
+/// "97.4" percentages (one decimal, no sign).
+std::string formatPercent(double Fraction);
+
+/// Fixed-point double with \p Decimals digits.
+std::string formatDouble(double Value, int Decimals = 2);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ANTIDOTE_REPORT_H

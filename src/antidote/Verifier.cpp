@@ -1,0 +1,97 @@
+//===- antidote/Verifier.cpp - Poisoning-robustness verifier ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Verifier.h"
+
+#include <cstdio>
+
+using namespace antidote;
+
+const char *antidote::verdictKindName(VerdictKind Kind) {
+  switch (Kind) {
+  case VerdictKind::Robust:
+    return "robust";
+  case VerdictKind::Unknown:
+    return "unknown";
+  case VerdictKind::Timeout:
+    return "timeout";
+  case VerdictKind::ResourceLimit:
+    return "resource-limit";
+  }
+  assert(false && "unknown verdict kind");
+  return "?";
+}
+
+std::string Certificate::summary() const {
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "%s (n=%u, depth=%u, %s): prediction %u, %zu terminals, "
+                "%zu peak disjuncts, %.3fs",
+                verdictKindName(Kind), PoisoningBudget, Depth,
+                domainKindName(Domain), ConcretePrediction, NumTerminals,
+                PeakDisjuncts, Seconds);
+  return Buf;
+}
+
+unsigned Verifier::predict(const float *X, unsigned Depth) const {
+  return trace(X, Depth).PredictedClass;
+}
+
+TraceResult Verifier::trace(const float *X, unsigned Depth) const {
+  return runDTrace(Ctx, AllTrainRows, X, Depth);
+}
+
+Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
+                             const VerifierConfig &Config) const {
+  Certificate Cert;
+  Cert.PoisoningBudget = PoisoningBudget;
+  Cert.Depth = Config.Depth;
+  Cert.Domain = Config.Domain;
+  Cert.ConcretePrediction = predict(X, Config.Depth);
+
+  AbstractLearnerConfig LearnerConfig;
+  LearnerConfig.Depth = Config.Depth;
+  LearnerConfig.Domain = Config.Domain;
+  LearnerConfig.Cprob = Config.Cprob;
+  LearnerConfig.Gini = Config.Gini;
+  LearnerConfig.DisjunctCap = Config.DisjunctCap;
+  LearnerConfig.MaxDisjuncts = Config.MaxDisjuncts;
+  LearnerConfig.MaxStateBytes = Config.MaxStateBytes;
+  LearnerConfig.TimeoutSeconds = Config.TimeoutSeconds;
+
+  AbstractDataset Initial = AbstractDataset::entire(*Train, PoisoningBudget);
+  AbstractLearnerResult Run = runAbstractDTrace(Ctx, Initial, X,
+                                                LearnerConfig);
+
+  Cert.NumTerminals = Run.Terminals.size();
+  Cert.PeakDisjuncts = Run.PeakDisjuncts;
+  Cert.PeakStateBytes = Run.PeakStateBytes;
+  Cert.BestSplitCalls = Run.BestSplitCalls;
+  Cert.Seconds = Run.Seconds;
+  Cert.DominatingClass = Run.DominatingClass;
+
+  switch (Run.Status) {
+  case LearnerStatus::Timeout:
+    Cert.Kind = VerdictKind::Timeout;
+    return Cert;
+  case LearnerStatus::ResourceLimit:
+    Cert.Kind = VerdictKind::ResourceLimit;
+    return Cert;
+  case LearnerStatus::Completed:
+    break;
+  }
+  if (!Run.DominatingClass) {
+    Cert.Kind = VerdictKind::Unknown;
+    return Cert;
+  }
+  // The unpoisoned set T is itself in ∆n(T), so a dominating class must be
+  // the concrete prediction.
+  assert(*Run.DominatingClass == Cert.ConcretePrediction &&
+         "dominating class contradicts the concrete learner");
+  Cert.Kind = VerdictKind::Robust;
+  return Cert;
+}

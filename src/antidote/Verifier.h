@@ -1,0 +1,76 @@
+//===- antidote/Verifier.h - Poisoning-robustness verifier ------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The library's main entry point: given a training set once, verify
+/// n-poisoning robustness (Definition 3.1 with the ∆n model of §4.1) for
+/// any number of inputs.
+///
+/// Typical use (see examples/quickstart.cpp):
+/// \code
+///   Verifier V(Train);
+///   VerifierConfig Config;
+///   Config.Depth = 2;
+///   Config.Domain = AbstractDomainKind::Disjuncts;
+///   Certificate Cert = V.verify(Test.row(0), /*PoisoningBudget=*/8, Config);
+///   if (Cert.isRobust()) { ... }
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_ANTIDOTE_VERIFIER_H
+#define ANTIDOTE_ANTIDOTE_VERIFIER_H
+
+#include "antidote/Certificate.h"
+#include "concrete/DTrace.h"
+
+namespace antidote {
+
+/// Per-query verification parameters.
+struct VerifierConfig {
+  unsigned Depth = 2;
+  AbstractDomainKind Domain = AbstractDomainKind::Box;
+  CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
+  GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
+  size_t DisjunctCap = 64;        ///< DisjunctsCapped only.
+  size_t MaxDisjuncts = 1u << 20; ///< Resource cap; 0 disables.
+  uint64_t MaxStateBytes = 0;     ///< Resource cap in bytes; 0 disables.
+  double TimeoutSeconds = 0.0;    ///< Per-query budget; 0 disables.
+};
+
+/// Verifies data-poisoning robustness of decision-tree learning on a fixed
+/// training set. Holds the per-dataset acceleration structures, so
+/// constructing one Verifier and reusing it across queries is the intended
+/// pattern.
+class Verifier {
+public:
+  explicit Verifier(const Dataset &Train)
+      : Train(&Train), Ctx(Train), AllTrainRows(allRows(Train)) {}
+
+  const Dataset &trainingSet() const { return *Train; }
+  const SplitContext &context() const { return Ctx; }
+
+  /// L(T)(x): the unpoisoned learner's prediction at depth \p Depth.
+  unsigned predict(const float *X, unsigned Depth) const;
+
+  /// Full concrete trace (exposes `cprob`, the trace σ, and the leaf).
+  TraceResult trace(const float *X, unsigned Depth) const;
+
+  /// Attempts to prove that x's prediction is invariant across every
+  /// training set in ∆n(T), n = \p PoisoningBudget.
+  Certificate verify(const float *X, uint32_t PoisoningBudget,
+                     const VerifierConfig &Config) const;
+
+private:
+  const Dataset *Train;
+  SplitContext Ctx;
+  RowIndexList AllTrainRows;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_ANTIDOTE_VERIFIER_H

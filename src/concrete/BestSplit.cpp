@@ -1,0 +1,68 @@
+//===- concrete/BestSplit.cpp - Split candidate enumeration ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/BestSplit.h"
+
+#include <algorithm>
+
+using namespace antidote;
+
+SplitContext::SplitContext(const Dataset &Base) : Base(&Base) {
+  Orders.resize(Base.numFeatures());
+  for (unsigned F = 0; F < Base.numFeatures(); ++F) {
+    if (Base.schema().FeatureKinds[F] != FeatureKind::Real)
+      continue;
+    RowIndexList &Order = Orders[F];
+    Order = allRows(Base);
+    std::sort(Order.begin(), Order.end(), [&Base, F](uint32_t A, uint32_t B) {
+      double Va = Base.value(A, F);
+      double Vb = Base.value(B, F);
+      if (Va != Vb)
+        return Va < Vb;
+      return A < B;
+    });
+  }
+}
+
+std::optional<SplitPredicate> antidote::bestSplit(const SplitContext &Ctx,
+                                                  const RowIndexList &Rows) {
+  std::vector<uint32_t> Totals = classCounts(Ctx.base(), Rows);
+  uint32_t Total = static_cast<uint32_t>(Rows.size());
+  std::optional<SplitPredicate> Best;
+  double BestScore = 0.0;
+  std::vector<uint32_t> NegCounts(Totals.size());
+  forEachCandidateSplit(
+      Ctx, Rows, PredicateMode::ConcreteMidpoint,
+      [&](const SplitPredicate &Pred, const std::vector<uint32_t> &PosCounts,
+          uint32_t PosTotal) {
+        for (size_t C = 0; C < Totals.size(); ++C)
+          NegCounts[C] = Totals[C] - PosCounts[C];
+        double Score = splitScore(PosCounts, PosTotal, NegCounts,
+                                  Total - PosTotal);
+        // Candidates arrive in ascending (feature, threshold) order, so a
+        // strict improvement test yields the smallest tied predicate.
+        if (!Best || Score < BestScore) {
+          Best = Pred;
+          BestScore = Score;
+        }
+      });
+  return Best;
+}
+
+RowIndexList antidote::filterRows(const Dataset &Base,
+                                  const RowIndexList &Rows,
+                                  const SplitPredicate &Pred, bool Positive) {
+  assert(!Pred.isSymbolic() && "concrete filter needs a concrete predicate");
+  RowIndexList Result;
+  for (uint32_t Row : Rows) {
+    bool Sat = Pred.evaluate(Base.value(Row, Pred.feature())) ==
+               ThreeValued::True;
+    if (Sat == Positive)
+      Result.push_back(Row);
+  }
+  return Result;
+}

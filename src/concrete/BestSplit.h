@@ -1,0 +1,171 @@
+//===- concrete/BestSplit.h - Split candidate enumeration -------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Candidate split enumeration and the concrete `bestSplit` (paper §3.3,
+/// §5.1).
+///
+/// For a real-valued feature the learner considers one threshold per pair of
+/// adjacent distinct values occurring in the current training set, namely
+/// the midpoint (a+b)/2 (`DTraceR`, §5.1); the abstract learner considers
+/// the symbolic interval [a, b) for the same pairs (Appendix B.2). Both the
+/// concrete and abstract `bestSplit` operators therefore share one
+/// enumerator, `forEachCandidateSplit`, which streams every candidate
+/// together with the class counts of its positive side.
+///
+/// `SplitContext` caches, per base dataset, the per-feature value-sorted row
+/// orders that make each enumeration a single filtered pass (O(|features| ×
+/// |base rows|)) instead of a fresh sort per tree node.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_CONCRETE_BESTSPLIT_H
+#define ANTIDOTE_CONCRETE_BESTSPLIT_H
+
+#include "concrete/Gini.h"
+#include "concrete/Predicate.h"
+#include "data/Dataset.h"
+
+#include <optional>
+
+namespace antidote {
+
+/// Whether the enumerator should emit the concrete midpoint threshold or
+/// the symbolic interval predicate for each adjacent value pair.
+enum class PredicateMode : uint8_t {
+  ConcreteMidpoint, ///< `x ≤ (a+b)/2` — used by DTrace / DTraceR.
+  SymbolicInterval, ///< `x ≤ [a, b)` — used by DTrace#_R (Appendix B.2).
+};
+
+/// Immutable per-dataset acceleration structure for split enumeration.
+class SplitContext {
+public:
+  explicit SplitContext(const Dataset &Base);
+
+  const Dataset &base() const { return *Base; }
+
+  /// Row ids of the base dataset sorted by (value of \p Feature, row id).
+  /// Only available for Real features.
+  const RowIndexList &sortedOrder(unsigned Feature) const {
+    assert(Base->schema().FeatureKinds[Feature] == FeatureKind::Real &&
+           "sorted order is only built for real features");
+    return Orders[Feature];
+  }
+
+private:
+  const Dataset *Base;
+  std::vector<RowIndexList> Orders; ///< Indexed by feature; empty if Boolean.
+};
+
+/// Streams every candidate split of \p Rows (which must be a canonical row
+/// set over `Ctx.base()`).
+///
+/// For each candidate, invokes
+///   `Cb(const SplitPredicate &P, const std::vector<uint32_t> &PosCounts,
+///       uint32_t PosTotal)`
+/// where PosCounts/PosTotal describe `T↓P` (rows satisfying the predicate).
+/// The negative side is `Totals - PosCounts`. Candidates whose positive
+/// side would be empty or the whole set are skipped: they are trivial for
+/// the concrete learner (Φ' in §3.3) and excluded from both Φ∃ and Φ∀ in
+/// the abstract learner (§4.6), so no consumer wants them.
+///
+/// Boolean features contribute at most the single predicate `x_F ≤ 0.5`
+/// (present iff both values occur in \p Rows); real features contribute one
+/// candidate per adjacent pair of distinct values, in ascending feature /
+/// threshold order.
+template <typename Callback>
+void forEachCandidateSplit(const SplitContext &Ctx, const RowIndexList &Rows,
+                           PredicateMode Mode, Callback &&Cb) {
+  const Dataset &Base = Ctx.base();
+  assert(isCanonicalRowSet(Rows) && "rows must be a canonical row set");
+  unsigned NumClasses = Base.numClasses();
+  unsigned NumFeatures = Base.numFeatures();
+  uint32_t Total = static_cast<uint32_t>(Rows.size());
+
+  // Membership mask over the base dataset, so the per-feature passes can
+  // walk the cached global sorted orders.
+  std::vector<uint8_t> InRows(Base.numRows(), 0);
+  for (uint32_t Row : Rows)
+    InRows[Row] = 1;
+
+  // Boolean features: one row-major pass accumulates, for every boolean
+  // feature at once, the class counts of the `value == 0` side.
+  bool HasBoolean = false;
+  for (unsigned F = 0; F < NumFeatures; ++F)
+    if (Base.schema().FeatureKinds[F] == FeatureKind::Boolean)
+      HasBoolean = true;
+  std::vector<uint32_t> ZeroCounts;
+  if (HasBoolean) {
+    ZeroCounts.assign(static_cast<size_t>(NumFeatures) * NumClasses, 0);
+    for (uint32_t Row : Rows) {
+      const float *Values = Base.row(Row);
+      unsigned Label = Base.label(Row);
+      for (unsigned F = 0; F < NumFeatures; ++F)
+        if (Values[F] == 0.0f)
+          ++ZeroCounts[static_cast<size_t>(F) * NumClasses + Label];
+    }
+  }
+
+  std::vector<uint32_t> PosCounts(NumClasses);
+  for (unsigned F = 0; F < NumFeatures; ++F) {
+    if (Base.schema().FeatureKinds[F] == FeatureKind::Boolean) {
+      const uint32_t *Counts =
+          ZeroCounts.data() + static_cast<size_t>(F) * NumClasses;
+      uint32_t PosTotal = 0;
+      for (unsigned C = 0; C < NumClasses; ++C) {
+        PosCounts[C] = Counts[C];
+        PosTotal += Counts[C];
+      }
+      if (PosTotal == 0 || PosTotal == Total)
+        continue;
+      Cb(SplitPredicate::threshold(F, 0.5), PosCounts, PosTotal);
+      continue;
+    }
+
+    // Real feature: walk the global order restricted to the current rows,
+    // emitting a candidate at every boundary between distinct values.
+    std::fill(PosCounts.begin(), PosCounts.end(), 0);
+    uint32_t PosTotal = 0;
+    bool HavePrev = false;
+    double Prev = 0.0;
+    for (uint32_t Row : Ctx.sortedOrder(F)) {
+      if (!InRows[Row])
+        continue;
+      double V = Base.value(Row, F);
+      if (HavePrev && V != Prev) {
+        assert(PosTotal > 0 && PosTotal < Total && "boundary must split");
+        if (Mode == PredicateMode::ConcreteMidpoint)
+          Cb(SplitPredicate::threshold(F, (Prev + V) / 2.0), PosCounts,
+             PosTotal);
+        else
+          Cb(SplitPredicate::symbolic(F, Prev, V), PosCounts, PosTotal);
+      }
+      Prev = V;
+      HavePrev = true;
+      ++PosCounts[Base.label(Row)];
+      ++PosTotal;
+    }
+    std::fill(PosCounts.begin(), PosCounts.end(), 0);
+  }
+}
+
+/// The concrete `bestSplit(T)` of §3.3 (with §5.1's dynamic thresholds for
+/// real features): the non-trivially-splitting predicate minimizing
+/// `score`, or `std::nullopt` for ⋄ when no such predicate exists. Ties are
+/// broken toward the smallest (feature, threshold); the paper leaves them
+/// nondeterministic (see DESIGN.md §5).
+std::optional<SplitPredicate> bestSplit(const SplitContext &Ctx,
+                                        const RowIndexList &Rows);
+
+/// Rows of \p Rows on the requested side of a concrete predicate. The
+/// predicate must not be symbolic.
+RowIndexList filterRows(const Dataset &Base, const RowIndexList &Rows,
+                        const SplitPredicate &Pred, bool Positive);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_CONCRETE_BESTSPLIT_H

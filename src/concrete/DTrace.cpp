@@ -1,0 +1,42 @@
+//===- concrete/DTrace.cpp - Trace-based decision-tree learner ---------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/DTrace.h"
+
+using namespace antidote;
+
+TraceResult antidote::runDTrace(const SplitContext &Ctx, RowIndexList Rows,
+                                const float *X, unsigned Depth) {
+  assert(!Rows.empty() && "DTrace requires a non-empty training set");
+  const Dataset &Base = Ctx.base();
+  TraceResult Result;
+  Result.Stop = TraceStopReason::DepthExhausted;
+
+  std::vector<uint32_t> Counts = classCounts(Base, Rows);
+  for (unsigned Iter = 0; Iter < Depth; ++Iter) {
+    if (isPure(Counts)) {
+      Result.Stop = TraceStopReason::PureLeaf;
+      break;
+    }
+    std::optional<SplitPredicate> Pred = bestSplit(Ctx, Rows);
+    if (!Pred) {
+      Result.Stop = TraceStopReason::NoSplit;
+      break;
+    }
+    bool Satisfied = Pred->evaluate(X) == ThreeValued::True;
+    Rows = filterRows(Base, Rows, *Pred, Satisfied);
+    assert(!Rows.empty() && "non-trivial split left x's side empty");
+    Counts = classCounts(Base, Rows);
+    Result.Trace.emplace_back(*Pred, Satisfied);
+  }
+
+  Result.FinalRows = std::move(Rows);
+  Result.FinalCounts = Counts;
+  Result.ClassProbs = classProbabilities(Counts);
+  Result.PredictedClass = argmaxClass(Counts);
+  return Result;
+}

@@ -1,0 +1,76 @@
+//===- concrete/DTrace.h - Trace-based decision-tree learner ----*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `DTrace` — the input-directed, trace-based learner of paper Figure 4.
+///
+/// Given a training set T and an input x, DTrace constructs only the
+/// root-to-leaf trace that x would traverse in the tree learned on T: it
+/// repeatedly (i) checks for a zero-entropy set, (ii) picks the best
+/// predicate, and (iii) filters T down to the side x falls on, up to a
+/// maximum depth d. This trace-based view is what makes the abstract
+/// interpretation in `abstract/AbstractDTrace.h` tractable — there is no
+/// need to abstract whole trees, only the evolving training set along one
+/// trace (§3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_CONCRETE_DTRACE_H
+#define ANTIDOTE_CONCRETE_DTRACE_H
+
+#include "concrete/BestSplit.h"
+
+namespace antidote {
+
+/// Why the learner's loop stopped.
+enum class TraceStopReason : uint8_t {
+  PureLeaf,       ///< `ent(T) = 0` held.
+  NoSplit,        ///< `bestSplit` returned ⋄ (no non-trivial predicate).
+  DepthExhausted, ///< The d-iteration budget ran out.
+};
+
+/// One executed step of the trace: the chosen predicate and whether x
+/// satisfied it (i.e. which side `filter` kept).
+struct TraceStep {
+  SplitPredicate Pred;
+  bool Satisfied;
+
+  TraceStep(SplitPredicate Pred, bool Satisfied)
+      : Pred(Pred), Satisfied(Satisfied) {}
+};
+
+/// The final state of a DTrace run.
+struct TraceResult {
+  /// `argmax_i p_i` over the final training set, lowest-index tie-break.
+  unsigned PredictedClass = 0;
+
+  /// `cprob` of the final training set.
+  std::vector<double> ClassProbs;
+
+  /// Class counts of the final training set (used by tests and by the
+  /// attack-search baseline).
+  std::vector<uint32_t> FinalCounts;
+
+  /// Rows of the final (filtered) training set.
+  RowIndexList FinalRows;
+
+  /// The sequence σ of predicates along the trace, with x's outcomes.
+  std::vector<TraceStep> Trace;
+
+  TraceStopReason Stop = TraceStopReason::DepthExhausted;
+};
+
+/// Runs DTrace(T, x) for `T = Rows` (a canonical row set over Ctx.base())
+/// up to depth \p Depth. \p Rows must be non-empty. Nondeterministic
+/// choices in the paper (tied predicates, tied labels) are resolved to the
+/// smallest candidate; the abstract learner instead tracks all of them.
+TraceResult runDTrace(const SplitContext &Ctx, RowIndexList Rows,
+                      const float *X, unsigned Depth);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_CONCRETE_DTRACE_H

@@ -1,0 +1,136 @@
+//===- concrete/DecisionTree.cpp - Full-tree learner -------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/DecisionTree.h"
+
+#include <cstdio>
+
+using namespace antidote;
+
+namespace {
+
+/// Work-list entry for iterative tree construction.
+struct PendingNode {
+  size_t NodeIndex;
+  RowIndexList Rows;
+  unsigned RemainingDepth;
+};
+
+} // namespace
+
+DecisionTree DecisionTree::learn(const SplitContext &Ctx,
+                                 const RowIndexList &Rows, unsigned Depth) {
+  assert(!Rows.empty() && "cannot learn from an empty training set");
+  const Dataset &Base = Ctx.base();
+  DecisionTree Tree;
+
+  std::vector<PendingNode> WorkList;
+  Tree.Nodes.emplace_back();
+  WorkList.push_back(PendingNode{0, Rows, Depth});
+
+  while (!WorkList.empty()) {
+    PendingNode Item = std::move(WorkList.back());
+    WorkList.pop_back();
+
+    std::vector<uint32_t> Counts = classCounts(Base, Item.Rows);
+    Tree.Nodes[Item.NodeIndex].ClassCounts = Counts;
+    Tree.Nodes[Item.NodeIndex].LeafClass = argmaxClass(Counts);
+
+    if (Item.RemainingDepth == 0 || isPure(Counts))
+      continue;
+    std::optional<SplitPredicate> Pred = bestSplit(Ctx, Item.Rows);
+    if (!Pred)
+      continue;
+
+    RowIndexList TrueRows = filterRows(Base, Item.Rows, *Pred, true);
+    RowIndexList FalseRows = filterRows(Base, Item.Rows, *Pred, false);
+    assert(!TrueRows.empty() && !FalseRows.empty() &&
+           "bestSplit returned a trivial split");
+
+    size_t TrueIndex = Tree.Nodes.size();
+    Tree.Nodes.emplace_back();
+    size_t FalseIndex = Tree.Nodes.size();
+    Tree.Nodes.emplace_back();
+
+    Node &Parent = Tree.Nodes[Item.NodeIndex];
+    Parent.IsLeaf = false;
+    Parent.Pred = *Pred;
+    Parent.TrueChild = static_cast<int32_t>(TrueIndex);
+    Parent.FalseChild = static_cast<int32_t>(FalseIndex);
+
+    WorkList.push_back(PendingNode{TrueIndex, std::move(TrueRows),
+                                   Item.RemainingDepth - 1});
+    WorkList.push_back(PendingNode{FalseIndex, std::move(FalseRows),
+                                   Item.RemainingDepth - 1});
+  }
+  return Tree;
+}
+
+unsigned DecisionTree::leafIndexFor(const float *X) const {
+  assert(!Nodes.empty() && "classifying with an empty tree");
+  unsigned Index = 0;
+  while (!Nodes[Index].IsLeaf) {
+    const Node &N = Nodes[Index];
+    bool Sat = N.Pred.evaluate(X) == ThreeValued::True;
+    Index = static_cast<unsigned>(Sat ? N.TrueChild : N.FalseChild);
+  }
+  return Index;
+}
+
+unsigned DecisionTree::classify(const float *X) const {
+  return Nodes[leafIndexFor(X)].LeafClass;
+}
+
+std::vector<double> DecisionTree::classProbabilitiesAt(const float *X) const {
+  return classProbabilities(Nodes[leafIndexFor(X)].ClassCounts);
+}
+
+size_t DecisionTree::numTraces() const {
+  size_t Leaves = 0;
+  for (const Node &N : Nodes)
+    if (N.IsLeaf)
+      ++Leaves;
+  return Leaves;
+}
+
+static void dumpNode(const DecisionTree &Tree, size_t Index, unsigned Indent,
+                     std::string &Out) {
+  const DecisionTree::Node &N = Tree.node(Index);
+  Out.append(Indent * 2, ' ');
+  if (N.IsLeaf) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "leaf: class %u (", N.LeafClass);
+    Out += Buf;
+    for (size_t C = 0; C < N.ClassCounts.size(); ++C) {
+      std::snprintf(Buf, sizeof(Buf), "%s%u", C ? ", " : "",
+                    N.ClassCounts[C]);
+      Out += Buf;
+    }
+    Out += ")\n";
+    return;
+  }
+  Out += "if " + N.Pred.str() + ":\n";
+  dumpNode(Tree, static_cast<size_t>(N.TrueChild), Indent + 1, Out);
+  Out.append(Indent * 2, ' ');
+  Out += "else:\n";
+  dumpNode(Tree, static_cast<size_t>(N.FalseChild), Indent + 1, Out);
+}
+
+std::string DecisionTree::dump(const Dataset &) const {
+  std::string Out;
+  dumpNode(*this, 0, 0, Out);
+  return Out;
+}
+
+double antidote::testAccuracy(const DecisionTree &Tree, const Dataset &Test) {
+  assert(Test.numRows() > 0 && "accuracy of an empty test set");
+  unsigned Correct = 0;
+  for (unsigned Row = 0; Row < Test.numRows(); ++Row)
+    if (Tree.classify(Test.row(Row)) == Test.label(Row))
+      ++Correct;
+  return static_cast<double>(Correct) / Test.numRows();
+}

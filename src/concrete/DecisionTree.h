@@ -1,0 +1,75 @@
+//===- concrete/DecisionTree.h - Full-tree learner --------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conventional greedy decision-tree learner (CART-style with Gini
+/// impurity) sharing `bestSplit` with DTrace.
+///
+/// The paper (§3.3) observes that collecting `DTrace(T, x)` over all inputs
+/// x yields exactly the conventional tree; this class materializes that
+/// tree once so that Table 1's test-set accuracies can be computed without
+/// re-running DTrace per test point, and so the equivalence can be checked
+/// as a property test (`tests/ConcreteLearnerTests.cpp`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_CONCRETE_DECISIONTREE_H
+#define ANTIDOTE_CONCRETE_DECISIONTREE_H
+
+#include "concrete/BestSplit.h"
+
+#include <string>
+
+namespace antidote {
+
+/// An immutable learned decision tree (paper §3.2: a well-formed set of
+/// root-to-leaf traces).
+class DecisionTree {
+public:
+  struct Node {
+    /// Valid for internal nodes only.
+    SplitPredicate Pred = SplitPredicate::threshold(0, 0.0);
+    int32_t TrueChild = -1;  ///< Node index for rows satisfying Pred.
+    int32_t FalseChild = -1; ///< Node index otherwise.
+    bool IsLeaf = true;
+    unsigned LeafClass = 0;              ///< argmax label (leaves).
+    std::vector<uint32_t> ClassCounts;   ///< Training counts at this node.
+  };
+
+  /// Learns a depth-≤ \p Depth tree on the given rows (canonical row set
+  /// over Ctx.base(), non-empty). Expansion stops at pure nodes and nodes
+  /// with no non-trivial split, exactly as DTrace's trace construction
+  /// does.
+  static DecisionTree learn(const SplitContext &Ctx, const RowIndexList &Rows,
+                            unsigned Depth);
+
+  unsigned classify(const float *X) const;
+
+  /// Class probabilities (`cprob`) at x's leaf.
+  std::vector<double> classProbabilitiesAt(const float *X) const;
+
+  size_t numNodes() const { return Nodes.size(); }
+  const Node &node(size_t I) const { return Nodes[I]; }
+
+  /// Number of root-to-leaf traces (= number of leaves).
+  size_t numTraces() const;
+
+  /// Human-readable rendering for examples/diagnostics.
+  std::string dump(const Dataset &Schema) const;
+
+private:
+  unsigned leafIndexFor(const float *X) const;
+
+  std::vector<Node> Nodes; ///< Nodes[0] is the root.
+};
+
+/// Fraction of \p Test rows classified correctly.
+double testAccuracy(const DecisionTree &Tree, const Dataset &Test);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_CONCRETE_DECISIONTREE_H

@@ -1,0 +1,69 @@
+//===- concrete/Gini.cpp - Concrete cprob / ent / score ----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Gini.h"
+
+#include <cassert>
+#include <cstddef>
+#include <numeric>
+
+using namespace antidote;
+
+std::vector<double>
+antidote::classProbabilities(const std::vector<uint32_t> &Counts) {
+  uint64_t Total = std::accumulate(Counts.begin(), Counts.end(), uint64_t(0));
+  assert(Total > 0 && "cprob of an empty training set is undefined");
+  std::vector<double> Probs(Counts.size());
+  for (size_t I = 0, E = Counts.size(); I < E; ++I)
+    Probs[I] = static_cast<double>(Counts[I]) / static_cast<double>(Total);
+  return Probs;
+}
+
+double antidote::giniImpurity(const std::vector<double> &Probs) {
+  double Impurity = 0.0;
+  for (double P : Probs)
+    Impurity += P * (1.0 - P);
+  return Impurity;
+}
+
+double antidote::giniImpurityFromCounts(const std::vector<uint32_t> &Counts,
+                                        uint32_t Total) {
+  assert(Total > 0 && "impurity of an empty training set is undefined");
+  double Impurity = 0.0;
+  double T = Total;
+  for (uint32_t C : Counts) {
+    double P = C / T;
+    Impurity += P * (1.0 - P);
+  }
+  return Impurity;
+}
+
+double antidote::splitScore(const std::vector<uint32_t> &PosCounts,
+                            uint32_t PosTotal,
+                            const std::vector<uint32_t> &NegCounts,
+                            uint32_t NegTotal) {
+  assert(PosTotal > 0 && NegTotal > 0 && "score requires a non-trivial split");
+  return PosTotal * giniImpurityFromCounts(PosCounts, PosTotal) +
+         NegTotal * giniImpurityFromCounts(NegCounts, NegTotal);
+}
+
+bool antidote::isPure(const std::vector<uint32_t> &Counts) {
+  unsigned NonZero = 0;
+  for (uint32_t C : Counts)
+    if (C > 0)
+      ++NonZero;
+  return NonZero <= 1;
+}
+
+unsigned antidote::argmaxClass(const std::vector<uint32_t> &Counts) {
+  assert(!Counts.empty() && "no classes");
+  unsigned Best = 0;
+  for (unsigned I = 1, E = static_cast<unsigned>(Counts.size()); I < E; ++I)
+    if (Counts[I] > Counts[Best])
+      Best = I;
+  return Best;
+}

@@ -1,0 +1,21 @@
+//===- concrete/Predicate.cpp - Split predicates -----------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concrete/Predicate.h"
+
+#include <cstdio>
+
+using namespace antidote;
+
+std::string SplitPredicate::str() const {
+  char Buf[96];
+  if (isSymbolic())
+    std::snprintf(Buf, sizeof(Buf), "x%u <= [%g, %g)", Feature, Lo, Hi);
+  else
+    std::snprintf(Buf, sizeof(Buf), "x%u <= %g", Feature, Lo);
+  return Buf;
+}

@@ -1,0 +1,116 @@
+//===- concrete/Predicate.h - Split predicates ------------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Threshold predicates over feature vectors, both concrete and symbolic.
+///
+/// Decision-tree learners split datasets with predicates of the form
+/// `λx. x_i ≤ τ` (paper §3.3, §5.1). The abstract learner additionally needs
+/// *symbolic* real-valued predicates `λx. x_i ≤ [a, b)` that stand for every
+/// threshold an adversary could have induced by dropping training rows
+/// (paper Appendix B, Definition B.2); their evaluation on a point is
+/// three-valued. Both flavours share one representation here: a concrete
+/// predicate is the degenerate case where the threshold interval collapses
+/// to a single point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_CONCRETE_PREDICATE_H
+#define ANTIDOTE_CONCRETE_PREDICATE_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+namespace antidote {
+
+/// Three-valued truth for symbolic predicate evaluation (Definition B.2).
+enum class ThreeValued : uint8_t { False, Maybe, True };
+
+/// A predicate `λx. x_F ≤ τ` with τ either a fixed threshold or ranging
+/// over a half-open interval [Lo, Hi).
+class SplitPredicate {
+public:
+  /// Concrete predicate `x_Feature ≤ Threshold`.
+  static SplitPredicate threshold(uint32_t Feature, double Threshold) {
+    return SplitPredicate(Feature, Threshold, Threshold);
+  }
+
+  /// Symbolic predicate `x_Feature ≤ τ` for τ ∈ [Lo, Hi); requires Lo < Hi.
+  static SplitPredicate symbolic(uint32_t Feature, double Lo, double Hi) {
+    assert(Lo < Hi && "symbolic threshold interval must be non-degenerate");
+    return SplitPredicate(Feature, Lo, Hi);
+  }
+
+  uint32_t feature() const { return Feature; }
+  double lo() const { return Lo; }
+  double hi() const { return Hi; }
+  bool isSymbolic() const { return Lo < Hi; }
+
+  /// The fixed threshold of a concrete predicate.
+  double thresholdValue() const {
+    assert(!isSymbolic() && "symbolic predicate has no single threshold");
+    return Lo;
+  }
+
+  /// Three-valued evaluation on a feature value (Definition B.2): True if
+  /// `V ≤ τ` for every τ in the threshold set, False if for none, Maybe
+  /// otherwise. Concrete predicates never evaluate to Maybe.
+  ThreeValued evaluate(double V) const {
+    if (V <= Lo)
+      return ThreeValued::True;
+    if (V < Hi)
+      return ThreeValued::Maybe;
+    return ThreeValued::False;
+  }
+
+  /// Evaluation on a full feature vector.
+  ThreeValued evaluate(const float *X) const { return evaluate(X[Feature]); }
+
+  /// True iff the concrete predicate `x_Feature ≤ Threshold` is a member of
+  /// this predicate's concretization γ(ρ) = {x ≤ τ | τ ∈ [Lo, Hi)} (for a
+  /// concrete predicate, γ is the singleton {x ≤ Lo}).
+  bool concretizationContains(uint32_t OtherFeature, double Threshold) const {
+    if (Feature != OtherFeature)
+      return false;
+    if (!isSymbolic())
+      return Threshold == Lo;
+    return Lo <= Threshold && Threshold < Hi;
+  }
+
+  bool operator==(const SplitPredicate &Other) const {
+    return Feature == Other.Feature && Lo == Other.Lo && Hi == Other.Hi;
+  }
+  bool operator!=(const SplitPredicate &Other) const {
+    return !(*this == Other);
+  }
+
+  /// Deterministic total order (feature, then threshold interval); used for
+  /// reproducible tie-breaking and canonical predicate-set ordering.
+  bool operator<(const SplitPredicate &Other) const {
+    return std::tie(Feature, Lo, Hi) <
+           std::tie(Other.Feature, Other.Lo, Other.Hi);
+  }
+
+  /// Renders e.g. "x17 <= 4.5" or "x17 <= [4, 7)".
+  std::string str() const;
+
+private:
+  SplitPredicate(uint32_t Feature, double Lo, double Hi)
+      : Feature(Feature), Lo(Lo), Hi(Hi) {
+    assert(Lo <= Hi && "malformed threshold interval");
+  }
+
+  uint32_t Feature;
+  double Lo;
+  double Hi;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_CONCRETE_PREDICATE_H

@@ -1,0 +1,186 @@
+//===- data/Csv.cpp - CSV dataset I/O ---------------------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Csv.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+using namespace antidote;
+
+namespace {
+
+/// One parsed numeric row: features plus trailing label.
+struct RawRow {
+  std::vector<float> Features;
+  long Label;
+};
+
+} // namespace
+
+static bool parseLine(const std::string &Line, size_t LineNo, RawRow &Row,
+                      std::string &Error) {
+  Row.Features.clear();
+  const char *Cursor = Line.c_str();
+  std::vector<double> Cells;
+  while (*Cursor) {
+    char *End = nullptr;
+    errno = 0;
+    double V = std::strtod(Cursor, &End);
+    if (End == Cursor || errno == ERANGE) {
+      Error = "line " + std::to_string(LineNo) + ": malformed numeric cell";
+      return false;
+    }
+    Cells.push_back(V);
+    Cursor = End;
+    while (*Cursor == ' ' || *Cursor == '\t')
+      ++Cursor;
+    if (*Cursor == ',') {
+      ++Cursor;
+      continue;
+    }
+    if (*Cursor == '\0' || *Cursor == '\r')
+      break;
+    Error = "line " + std::to_string(LineNo) + ": unexpected character '" +
+            std::string(1, *Cursor) + "'";
+    return false;
+  }
+  if (Cells.size() < 2) {
+    Error = "line " + std::to_string(LineNo) +
+            ": need at least one feature and a label";
+    return false;
+  }
+  double LabelCell = Cells.back();
+  Cells.pop_back();
+  if (LabelCell != std::floor(LabelCell) || LabelCell < 0) {
+    Error = "line " + std::to_string(LineNo) +
+            ": label must be a non-negative integer";
+    return false;
+  }
+  Row.Label = static_cast<long>(LabelCell);
+  Row.Features.reserve(Cells.size());
+  for (double V : Cells)
+    Row.Features.push_back(static_cast<float>(V));
+  return true;
+}
+
+CsvLoadResult
+antidote::parseCsvDataset(const std::string &Text,
+                          const std::optional<DatasetSchema> &Schema) {
+  CsvLoadResult Result;
+  std::vector<RawRow> Rows;
+  std::istringstream Stream(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  long MaxLabel = -1;
+  size_t NumFeatures = Schema ? Schema->numFeatures() : 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    // Skip blanks and comments.
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    RawRow Row;
+    if (!parseLine(Line, LineNo, Row, Result.Error))
+      return Result;
+    if (Rows.empty() && !Schema)
+      NumFeatures = Row.Features.size();
+    if (Row.Features.size() != NumFeatures) {
+      Result.Error = "line " + std::to_string(LineNo) + ": expected " +
+                     std::to_string(NumFeatures) + " features, got " +
+                     std::to_string(Row.Features.size());
+      return Result;
+    }
+    MaxLabel = std::max(MaxLabel, Row.Label);
+    Rows.push_back(std::move(Row));
+  }
+  if (Rows.empty()) {
+    Result.Error = "no data rows";
+    return Result;
+  }
+
+  DatasetSchema Resolved;
+  if (Schema) {
+    Resolved = *Schema;
+    if (MaxLabel >= static_cast<long>(Resolved.NumClasses)) {
+      Result.Error = "label " + std::to_string(MaxLabel) +
+                     " out of range for schema with " +
+                     std::to_string(Resolved.NumClasses) + " classes";
+      return Result;
+    }
+  } else {
+    // Infer: a column is Boolean iff every value is exactly 0 or 1.
+    Resolved.NumClasses = static_cast<unsigned>(MaxLabel + 1);
+    Resolved.FeatureKinds.assign(NumFeatures, FeatureKind::Boolean);
+    for (const RawRow &Row : Rows)
+      for (size_t F = 0; F < NumFeatures; ++F)
+        if (Row.Features[F] != 0.0f && Row.Features[F] != 1.0f)
+          Resolved.FeatureKinds[F] = FeatureKind::Real;
+  }
+
+  Dataset Data(Resolved);
+  Data.reserveRows(static_cast<unsigned>(Rows.size()));
+  for (const RawRow &Row : Rows)
+    Data.addRow(Row.Features, static_cast<unsigned>(Row.Label));
+  Result.Data = std::move(Data);
+  return Result;
+}
+
+CsvLoadResult
+antidote::loadCsvDataset(const std::string &Path,
+                         const std::optional<DatasetSchema> &Schema) {
+  CsvLoadResult Result;
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    Result.Error = "cannot open " + Path + ": " + std::strerror(errno);
+    return Result;
+  }
+  std::string Text;
+  char Buf[1 << 16];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return parseCsvDataset(Text, Schema);
+}
+
+std::string antidote::writeCsvDataset(const Dataset &Data) {
+  std::string Out;
+  Out.reserve(static_cast<size_t>(Data.numRows()) *
+              (Data.numFeatures() * 4 + 4));
+  char Buf[64];
+  for (unsigned Row = 0; Row < Data.numRows(); ++Row) {
+    for (unsigned F = 0; F < Data.numFeatures(); ++F) {
+      std::snprintf(Buf, sizeof(Buf), "%g,", Data.value(Row, F));
+      Out += Buf;
+    }
+    std::snprintf(Buf, sizeof(Buf), "%u\n", Data.label(Row));
+    Out += Buf;
+  }
+  return Out;
+}
+
+bool antidote::saveCsvDataset(const Dataset &Data, const std::string &Path,
+                              std::string &Error) {
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    Error = "cannot open " + Path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string Text = writeCsvDataset(Data);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  if (Written != Text.size()) {
+    Error = "short write to " + Path;
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,108 @@
+//===- data/Dataset.cpp - Training/test set substrate ----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace antidote;
+
+DatasetSchema DatasetSchema::uniform(unsigned NumFeatures, FeatureKind Kind,
+                                     unsigned NumClasses) {
+  DatasetSchema Schema;
+  Schema.FeatureKinds.assign(NumFeatures, Kind);
+  Schema.NumClasses = NumClasses;
+  return Schema;
+}
+
+void Dataset::reserveRows(unsigned N) {
+  Values.reserve(static_cast<size_t>(N) * numFeatures());
+  Labels.reserve(N);
+}
+
+void Dataset::addRow(const std::vector<float> &Features, unsigned Label) {
+  assert(Features.size() == numFeatures() && "feature count mismatch");
+  addRow(Features.data(), Label);
+}
+
+void Dataset::addRow(const float *Features, unsigned Label) {
+  assert(Label < numClasses() && "label out of range");
+#ifndef NDEBUG
+  for (unsigned F = 0; F < numFeatures(); ++F)
+    if (Schema.FeatureKinds[F] == FeatureKind::Boolean)
+      assert((Features[F] == 0.0f || Features[F] == 1.0f) &&
+             "boolean feature must be 0 or 1");
+#endif
+  Values.insert(Values.end(), Features, Features + numFeatures());
+  Labels.push_back(Label);
+}
+
+RowIndexList antidote::allRows(const Dataset &Base) {
+  RowIndexList Rows(Base.numRows());
+  std::iota(Rows.begin(), Rows.end(), 0);
+  return Rows;
+}
+
+std::vector<uint32_t> antidote::classCounts(const Dataset &Base,
+                                            const RowIndexList &Rows) {
+  std::vector<uint32_t> Counts(Base.numClasses(), 0);
+  for (uint32_t Row : Rows)
+    ++Counts[Base.label(Row)];
+  return Counts;
+}
+
+bool antidote::isCanonicalRowSet(const RowIndexList &Rows) {
+  for (size_t I = 1, E = Rows.size(); I < E; ++I)
+    if (Rows[I - 1] >= Rows[I])
+      return false;
+  return true;
+}
+
+uint32_t antidote::rowSetDifferenceSize(const RowIndexList &A,
+                                        const RowIndexList &B) {
+  assert(isCanonicalRowSet(A) && isCanonicalRowSet(B) && "unsorted row sets");
+  uint32_t Count = 0;
+  size_t I = 0, J = 0;
+  while (I < A.size() && J < B.size()) {
+    if (A[I] < B[J]) {
+      ++Count;
+      ++I;
+    } else if (A[I] > B[J]) {
+      ++J;
+    } else {
+      ++I;
+      ++J;
+    }
+  }
+  Count += static_cast<uint32_t>(A.size() - I);
+  return Count;
+}
+
+RowIndexList antidote::rowSetUnion(const RowIndexList &A,
+                                   const RowIndexList &B) {
+  assert(isCanonicalRowSet(A) && isCanonicalRowSet(B) && "unsorted row sets");
+  RowIndexList Result;
+  Result.reserve(A.size() + B.size());
+  std::set_union(A.begin(), A.end(), B.begin(), B.end(),
+                 std::back_inserter(Result));
+  return Result;
+}
+
+RowIndexList antidote::rowSetIntersection(const RowIndexList &A,
+                                          const RowIndexList &B) {
+  assert(isCanonicalRowSet(A) && isCanonicalRowSet(B) && "unsorted row sets");
+  RowIndexList Result;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::back_inserter(Result));
+  return Result;
+}
+
+bool antidote::rowSetIncludes(const RowIndexList &A, const RowIndexList &B) {
+  assert(isCanonicalRowSet(A) && isCanonicalRowSet(B) && "unsorted row sets");
+  return std::includes(B.begin(), B.end(), A.begin(), A.end());
+}

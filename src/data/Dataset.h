@@ -1,0 +1,134 @@
+//===- data/Dataset.h - Training/test set substrate ------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Immutable feature/label storage plus sorted row-index views.
+///
+/// A training set T ⊆ X × Y (paper §3.1) is represented as an immutable
+/// `Dataset` (row-major feature matrix + labels) and, everywhere else in the
+/// system, as a *sorted vector of row indices* into such a base dataset.
+/// Both the concrete learner's `filter` and the abstract domain's `⟨T,n⟩`
+/// element refine training sets by dropping rows, so index views make every
+/// refinement a cheap subsequence selection and make the set algebra the
+/// abstract domain needs (|T1 \ T2|, unions, intersections) linear merges.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_DATA_DATASET_H
+#define ANTIDOTE_DATA_DATASET_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace antidote {
+
+/// The kind of values a feature column holds (paper §5 distinguishes the
+/// Boolean MNIST-1-7-Binary predicates from real-valued features, which
+/// require dynamic threshold selection).
+enum class FeatureKind : uint8_t {
+  Boolean, ///< Values restricted to {0, 1}; a single predicate per feature.
+  Real,    ///< Arbitrary reals; thresholds are chosen from the data.
+};
+
+/// Column/label structure shared by every row of a dataset.
+struct DatasetSchema {
+  std::vector<FeatureKind> FeatureKinds;
+  unsigned NumClasses = 0;
+  std::vector<std::string> ClassNames; ///< Optional; size 0 or NumClasses.
+
+  unsigned numFeatures() const {
+    return static_cast<unsigned>(FeatureKinds.size());
+  }
+
+  /// Convenience: a schema whose features all share one kind.
+  static DatasetSchema uniform(unsigned NumFeatures, FeatureKind Kind,
+                               unsigned NumClasses);
+};
+
+/// An immutable, row-major labeled dataset.
+///
+/// Feature values are stored as `float`: the benchmark datasets are small
+/// integers or 8-bit pixel intensities, and halving the footprint matters
+/// for the 13,007 x 784 MNIST-like matrices. All arithmetic on values is
+/// performed in `double`.
+class Dataset {
+public:
+  /// An empty dataset with no features/classes; a placeholder until a real
+  /// schema is assigned (e.g. registry/loader result structs).
+  Dataset() = default;
+
+  explicit Dataset(DatasetSchema Schema) : Schema(std::move(Schema)) {}
+
+  const DatasetSchema &schema() const { return Schema; }
+  unsigned numFeatures() const { return Schema.numFeatures(); }
+  unsigned numClasses() const { return Schema.NumClasses; }
+  unsigned numRows() const { return static_cast<unsigned>(Labels.size()); }
+
+  double value(unsigned Row, unsigned Feature) const {
+    assert(Row < numRows() && Feature < numFeatures() && "index out of range");
+    return Values[static_cast<size_t>(Row) * numFeatures() + Feature];
+  }
+
+  unsigned label(unsigned Row) const {
+    assert(Row < numRows() && "row out of range");
+    return Labels[Row];
+  }
+
+  /// Pointer to the feature vector of \p Row (numFeatures() floats).
+  const float *row(unsigned Row) const {
+    assert(Row < numRows() && "row out of range");
+    return Values.data() + static_cast<size_t>(Row) * numFeatures();
+  }
+
+  void reserveRows(unsigned N);
+
+  /// Appends a row; \p Features must hold numFeatures() values and
+  /// \p Label must be < numClasses(). Boolean columns must hold 0 or 1.
+  void addRow(const std::vector<float> &Features, unsigned Label);
+  void addRow(const float *Features, unsigned Label);
+
+  /// Bytes of feature/label storage (for the memory reports).
+  uint64_t storageBytes() const {
+    return Values.size() * sizeof(float) + Labels.size() * sizeof(uint32_t);
+  }
+
+private:
+  DatasetSchema Schema;
+  std::vector<float> Values;
+  std::vector<uint32_t> Labels;
+};
+
+/// A sorted-ascending set of row indices into some base `Dataset`.
+using RowIndexList = std::vector<uint32_t>;
+
+/// Returns [0, Base.numRows()) as a view over the whole dataset.
+RowIndexList allRows(const Dataset &Base);
+
+/// Per-class row counts of the view (the `c_i` of paper §4.4).
+std::vector<uint32_t> classCounts(const Dataset &Base,
+                                  const RowIndexList &Rows);
+
+/// True iff \p Rows is sorted ascending with no duplicates.
+bool isCanonicalRowSet(const RowIndexList &Rows);
+
+/// |A \ B| for sorted row sets.
+uint32_t rowSetDifferenceSize(const RowIndexList &A, const RowIndexList &B);
+
+/// A ∪ B for sorted row sets (sorted result).
+RowIndexList rowSetUnion(const RowIndexList &A, const RowIndexList &B);
+
+/// A ∩ B for sorted row sets (sorted result).
+RowIndexList rowSetIntersection(const RowIndexList &A, const RowIndexList &B);
+
+/// True iff A ⊆ B for sorted row sets.
+bool rowSetIncludes(const RowIndexList &A, const RowIndexList &B);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_DATA_DATASET_H

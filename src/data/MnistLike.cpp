@@ -1,0 +1,169 @@
+//===- data/MnistLike.cpp - Synthetic MNIST-1-7 generator -------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/MnistLike.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace antidote;
+
+static constexpr unsigned GridSide = 28;
+static constexpr unsigned GridPixels = GridSide * GridSide;
+
+/// Deposits ink at (X, Y) with the given radius, keeping the brightest
+/// value per pixel. Gaussian falloff gives anti-aliased stroke edges like
+/// the blurring in real scanned digits.
+static void stampInk(float *Pixels, double X, double Y, double Radius,
+                     double Intensity) {
+  int MinX = std::max(0, static_cast<int>(std::floor(X - Radius - 1)));
+  int MaxX = std::min<int>(GridSide - 1,
+                           static_cast<int>(std::ceil(X + Radius + 1)));
+  int MinY = std::max(0, static_cast<int>(std::floor(Y - Radius - 1)));
+  int MaxY = std::min<int>(GridSide - 1,
+                           static_cast<int>(std::ceil(Y + Radius + 1)));
+  for (int Py = MinY; Py <= MaxY; ++Py) {
+    for (int Px = MinX; Px <= MaxX; ++Px) {
+      double Dx = Px - X;
+      double Dy = Py - Y;
+      double Dist2 = Dx * Dx + Dy * Dy;
+      double Sigma = Radius * 0.75;
+      double Value = Intensity * std::exp(-Dist2 / (2.0 * Sigma * Sigma));
+      float &Cell = Pixels[Py * GridSide + Px];
+      Cell = std::max(Cell, static_cast<float>(Value));
+    }
+  }
+}
+
+/// Draws a line segment by stamping ink along it.
+static void drawStroke(float *Pixels, double X0, double Y0, double X1,
+                       double Y1, double Radius, double Intensity) {
+  double Dx = X1 - X0;
+  double Dy = Y1 - Y0;
+  double Length = std::sqrt(Dx * Dx + Dy * Dy);
+  unsigned Steps = std::max(2u, static_cast<unsigned>(Length * 3));
+  for (unsigned I = 0; I <= Steps; ++I) {
+    double T = static_cast<double>(I) / Steps;
+    stampInk(Pixels, X0 + T * Dx, Y0 + T * Dy, Radius, Intensity);
+  }
+}
+
+void antidote::renderMnistLikeDigit(unsigned Label, Rng &R, float *Pixels) {
+  assert((Label == 0 || Label == 1) && "labels are 0 (one) and 1 (seven)");
+  std::fill(Pixels, Pixels + GridPixels, 0.0f);
+
+  double Radius = R.uniform(1.0, 1.9);
+  double Intensity = R.uniform(215.0, 255.0);
+
+  if (Label == 0) {
+    // A "1": near-vertical stroke with a slight slant, occasionally with a
+    // short flag at the top and a base serif.
+    double CenterX = 14.0 + R.gaussian(0.0, 1.6);
+    double Slant = R.gaussian(0.0, 1.3);
+    double TopY = R.uniform(3.0, 6.0);
+    double BotY = R.uniform(22.0, 25.0);
+    drawStroke(Pixels, CenterX + Slant, TopY, CenterX - Slant, BotY, Radius,
+               Intensity);
+    if (R.bernoulli(0.55)) // Top flag.
+      drawStroke(Pixels, CenterX + Slant - R.uniform(2.5, 4.5),
+                 TopY + R.uniform(1.5, 3.0), CenterX + Slant, TopY, Radius,
+                 Intensity);
+    if (R.bernoulli(0.3)) // Base serif.
+      drawStroke(Pixels, CenterX - Slant - 2.5, BotY, CenterX - Slant + 2.5,
+                 BotY, Radius, Intensity);
+  } else {
+    // A "7": horizontal top bar plus a diagonal descender, occasionally
+    // with a middle crossbar (European style).
+    double LeftX = R.uniform(5.0, 8.0);
+    double RightX = R.uniform(19.0, 23.0);
+    double TopY = R.uniform(4.0, 7.0);
+    double FootX = R.uniform(8.0, 13.0);
+    double FootY = R.uniform(22.0, 25.0);
+    drawStroke(Pixels, LeftX, TopY + R.gaussian(0.0, 0.5), RightX, TopY,
+               Radius, Intensity);
+    drawStroke(Pixels, RightX, TopY, FootX, FootY, Radius, Intensity);
+    if (R.bernoulli(0.25)) {
+      double MidY = (TopY + FootY) * 0.5;
+      double MidX = RightX + (FootX - RightX) * 0.5;
+      drawStroke(Pixels, MidX - 3.0, MidY, MidX + 3.0, MidY, Radius,
+                 Intensity);
+    }
+  }
+
+  // Sensor noise: faint speckle everywhere, mild jitter on ink.
+  for (unsigned P = 0; P < GridPixels; ++P) {
+    double V = Pixels[P];
+    if (V > 0.0)
+      V += R.gaussian(0.0, 8.0);
+    if (R.bernoulli(0.02))
+      V += R.uniform(0.0, 40.0);
+    Pixels[P] = static_cast<float>(std::clamp(V, 0.0, 255.0));
+  }
+}
+
+TrainTestSplit antidote::makeMnistLike17(const MnistLikeConfig &Config) {
+  FeatureKind Kind = Config.Variant == MnistVariant::Binary
+                         ? FeatureKind::Boolean
+                         : FeatureKind::Real;
+  DatasetSchema Schema = DatasetSchema::uniform(GridPixels, Kind, 2);
+  Schema.ClassNames = {"one", "seven"};
+
+  // Class balance of the real MNIST-1-7 task: 6742/13007 training ones,
+  // 1135/2163 test ones.
+  auto OnesIn = [](unsigned Total, unsigned Full, unsigned FullOnes) {
+    return static_cast<unsigned>(
+        std::lround(static_cast<double>(Total) * FullOnes / Full));
+  };
+  unsigned TrainOnes = OnesIn(Config.TrainRows, 13007, 6742);
+  unsigned TestOnes = OnesIn(Config.TestRows, 2163, 1135);
+
+  // Note: the variant changes the feature encoding, not the underlying
+  // images; both variants of the same seed/scale describe the same digits,
+  // mirroring how the paper derives Binary from Real.
+  Rng R(Config.Seed ^ 0x177ULL);
+  float Pixels[GridPixels];
+  auto Emit = [&](Dataset &Target, unsigned Rows, unsigned Ones) {
+    Target.reserveRows(Rows);
+    for (unsigned I = 0; I < Rows; ++I) {
+      // Interleave classes deterministically so any prefix subsample keeps
+      // the class balance (the scaled benches rely on this).
+      unsigned Label =
+          (static_cast<uint64_t>(I) * Ones) % Rows < Ones ? 0u : 1u;
+      renderMnistLikeDigit(Label, R, Pixels);
+      if (Config.Variant == MnistVariant::Binary)
+        for (float &V : Pixels)
+          V = V >= 128.0f ? 1.0f : 0.0f;
+      Target.addRow(Pixels, Label);
+    }
+  };
+
+  TrainTestSplit Split{Dataset(Schema), Dataset(Schema)};
+  Emit(Split.Train, Config.TrainRows, TrainOnes);
+  Emit(Split.Test, Config.TestRows, TestOnes);
+  return Split;
+}
+
+std::string antidote::asciiArtDigit(const float *Pixels) {
+  static const char Shades[] = " .:-=+*#%@";
+  // Binary images store {0, 1}; scale them to the 8-bit range so they
+  // render with the same shade table as greyscale images.
+  bool Binary = true;
+  for (unsigned P = 0; P < GridPixels && Binary; ++P)
+    Binary = Pixels[P] == 0.0f || Pixels[P] == 1.0f;
+  double Scale = Binary ? 255.0 : 1.0;
+  std::string Art;
+  Art.reserve((GridSide + 1) * GridSide);
+  for (unsigned Y = 0; Y < GridSide; ++Y) {
+    for (unsigned X = 0; X < GridSide; ++X) {
+      double V =
+          std::clamp<double>(Pixels[Y * GridSide + X] * Scale, 0.0, 255.0);
+      Art += Shades[static_cast<unsigned>(V / 256.0 * 10)];
+    }
+    Art += '\n';
+  }
+  return Art;
+}

@@ -1,0 +1,57 @@
+//===- data/MnistLike.h - Synthetic MNIST-1-7 generator --------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic generator for MNIST-like "1" vs "7" images (§6.1).
+///
+/// The paper restricts MNIST to the ones-versus-sevens task used in the
+/// poisoning literature (13,007 training and 2,163 test instances) and
+/// evaluates two variants: MNIST-1-7-Real (8-bit pixel intensities treated
+/// as reals) and MNIST-1-7-Binary (each pixel's most significant bit). With
+/// no network access we synthesize the images: jittered stroke models of
+/// the two digits rendered on a 28x28 grid with greyscale noise. The
+/// binary variant thresholds at 128, exactly as taking the MSB does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_DATA_MNISTLIKE_H
+#define ANTIDOTE_DATA_MNISTLIKE_H
+
+#include "data/Synthetic.h"
+#include "support/Rng.h"
+
+namespace antidote {
+
+/// Which feature representation to emit.
+enum class MnistVariant {
+  Real,   ///< 784 real-valued features in [0, 255].
+  Binary, ///< 784 boolean features (pixel >= 128).
+};
+
+/// Generation parameters; the defaults reproduce the paper's scale.
+struct MnistLikeConfig {
+  unsigned TrainRows = 13007; ///< 6742 ones + 6265 sevens, as in MNIST-1-7.
+  unsigned TestRows = 2163;   ///< 1135 ones + 1028 sevens.
+  MnistVariant Variant = MnistVariant::Real;
+  uint64_t Seed = DefaultDataSeed;
+};
+
+/// Generates the train/test split. Class 0 is "one", class 1 is "seven"
+/// (test accuracy and robustness experiments follow the paper's labels).
+TrainTestSplit makeMnistLike17(const MnistLikeConfig &Config);
+
+/// Renders one 28x28 digit (label 0 = one, 1 = seven) into \p Pixels
+/// (row-major, 784 values in [0, 255]). Exposed for the image-rendering
+/// example and the generator tests.
+void renderMnistLikeDigit(unsigned Label, Rng &R, float *Pixels);
+
+/// ASCII-art rendering of a 784-pixel image (for examples/diagnostics).
+std::string asciiArtDigit(const float *Pixels);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_DATA_MNISTLIKE_H

@@ -1,0 +1,199 @@
+//===- data/Synthetic.cpp - Synthetic UCI-like dataset generators ----------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Synthetic.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace antidote;
+
+namespace {
+
+/// A labeled row buffered before shuffling into train/test splits.
+struct PendingRow {
+  std::vector<float> Features;
+  unsigned Label;
+};
+
+} // namespace
+
+/// Fisher-Yates shuffle driven by our deterministic RNG.
+static void shuffleRows(std::vector<PendingRow> &Rows, Rng &R) {
+  for (size_t I = Rows.size(); I > 1; --I)
+    std::swap(Rows[I - 1], Rows[R.uniformInt(I)]);
+}
+
+static TrainTestSplit splitRows(const DatasetSchema &Schema,
+                                std::vector<PendingRow> Rows,
+                                unsigned TrainCount) {
+  assert(TrainCount <= Rows.size() && "train split larger than dataset");
+  TrainTestSplit Split{Dataset(Schema), Dataset(Schema)};
+  Split.Train.reserveRows(TrainCount);
+  Split.Test.reserveRows(static_cast<unsigned>(Rows.size()) - TrainCount);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    Dataset &Target = I < TrainCount ? Split.Train : Split.Test;
+    Target.addRow(Rows[I].Features, Rows[I].Label);
+  }
+  return Split;
+}
+
+static float roundTo(double V, double Step) {
+  return static_cast<float>(std::round(V / Step) * Step);
+}
+
+//===----------------------------------------------------------------------===//
+// Iris-like
+//===----------------------------------------------------------------------===//
+
+TrainTestSplit antidote::makeIrisLike(uint64_t Seed) {
+  // Published per-class means/stddevs of the real Iris data, in the order
+  // sepal length, sepal width, petal length, petal width.
+  static const double Means[3][4] = {
+      {5.01, 3.43, 1.46, 0.25}, // Setosa
+      {5.94, 2.77, 4.26, 1.33}, // Versicolour
+      {6.59, 2.97, 5.55, 2.03}, // Virginica
+  };
+  static const double Stddevs[3][4] = {
+      {0.35, 0.38, 0.17, 0.11},
+      {0.52, 0.31, 0.47, 0.20},
+      {0.64, 0.32, 0.55, 0.27},
+  };
+
+  DatasetSchema Schema = DatasetSchema::uniform(4, FeatureKind::Real, 3);
+  Schema.ClassNames = {"Setosa", "Versicolour", "Virginica"};
+
+  Rng R(Seed ^ 0x1215ULL);
+  // Generate exactly 40 train + 10 test rows per class; keeping the train
+  // class counts exactly equal reproduces the footnote-10 depth-1 tie.
+  std::vector<PendingRow> TrainRows, TestRows;
+  for (unsigned Class = 0; Class < 3; ++Class) {
+    for (unsigned I = 0; I < 50; ++I) {
+      PendingRow Row;
+      Row.Label = Class;
+      Row.Features.reserve(4);
+      for (unsigned F = 0; F < 4; ++F) {
+        double V = R.gaussian(Means[Class][F], Stddevs[Class][F]);
+        V = std::max(0.1, V); // Physical measurements are positive.
+        Row.Features.push_back(roundTo(V, 0.1));
+      }
+      (I < 40 ? TrainRows : TestRows).push_back(std::move(Row));
+    }
+  }
+  shuffleRows(TrainRows, R);
+  shuffleRows(TestRows, R);
+
+  TrainTestSplit Split{Dataset(Schema), Dataset(Schema)};
+  Split.Train.reserveRows(120);
+  Split.Test.reserveRows(30);
+  for (const PendingRow &Row : TrainRows)
+    Split.Train.addRow(Row.Features, Row.Label);
+  for (const PendingRow &Row : TestRows)
+    Split.Test.addRow(Row.Features, Row.Label);
+  return Split;
+}
+
+//===----------------------------------------------------------------------===//
+// Mammographic-Masses-like
+//===----------------------------------------------------------------------===//
+
+static float ordinal(Rng &R, double Mean, double Stddev, double Lo,
+                     double Hi) {
+  double V = std::round(R.gaussian(Mean, Stddev));
+  return static_cast<float>(std::clamp(V, Lo, Hi));
+}
+
+TrainTestSplit antidote::makeMammographicLike(uint64_t Seed) {
+  DatasetSchema Schema = DatasetSchema::uniform(5, FeatureKind::Real, 2);
+  Schema.ClassNames = {"benign", "malignant"};
+
+  Rng R(Seed ^ 0x3a3a0ULL);
+  // The real data has 830 complete rows, ~51.5% benign. Features are the
+  // BI-RADS assessment (1-5), patient age (years), mass shape (1-4),
+  // mass margin (1-5), and density (1-4); malignancy shifts every ordinal
+  // upward (higher BI-RADS, older, irregular shape, spiculated margin).
+  std::vector<PendingRow> Rows;
+  Rows.reserve(830);
+  for (unsigned I = 0; I < 830; ++I) {
+    bool Malignant = I >= 427;
+    PendingRow Row;
+    Row.Label = Malignant ? 1 : 0;
+    if (!Malignant) {
+      Row.Features = {
+          ordinal(R, 3.7, 0.8, 1, 5),            // BI-RADS
+          ordinal(R, 52.0, 14.0, 18, 96),        // age
+          ordinal(R, 1.9, 1.0, 1, 4),            // shape
+          ordinal(R, 1.8, 1.1, 1, 5),            // margin
+          ordinal(R, 2.9, 0.4, 1, 4),            // density
+      };
+    } else {
+      Row.Features = {
+          ordinal(R, 4.8, 0.7, 1, 5),
+          ordinal(R, 63.0, 12.0, 18, 96),
+          ordinal(R, 3.4, 0.9, 1, 4),
+          ordinal(R, 3.9, 1.2, 1, 5),
+          ordinal(R, 3.0, 0.5, 1, 4),
+      };
+    }
+    Rows.push_back(std::move(Row));
+  }
+  shuffleRows(Rows, R);
+  return splitRows(Schema, std::move(Rows), 664);
+}
+
+//===----------------------------------------------------------------------===//
+// WDBC-like
+//===----------------------------------------------------------------------===//
+
+TrainTestSplit antidote::makeWdbcLike(uint64_t Seed) {
+  // Ten base cell-nucleus measurements; the real dataset stores each as a
+  // (mean, standard error, worst) triple for 30 features total. Means and
+  // stddevs approximate the published per-class statistics; malignant
+  // nuclei are larger, more irregular, and more concave.
+  static const double BenignMean[10] = {12.1, 17.9, 78.1, 463.0, 0.092,
+                                        0.080, 0.046, 0.026, 0.174, 0.063};
+  static const double BenignStd[10] = {1.8, 4.0, 11.8, 134.0, 0.013,
+                                       0.034, 0.044, 0.016, 0.025, 0.007};
+  static const double MalignantMean[10] = {17.5, 21.6, 115.4, 978.0, 0.103,
+                                           0.145, 0.161, 0.088, 0.193, 0.063};
+  static const double MalignantStd[10] = {3.2, 3.8, 21.9, 368.0, 0.013,
+                                          0.054, 0.075, 0.034, 0.027, 0.007};
+
+  DatasetSchema Schema = DatasetSchema::uniform(30, FeatureKind::Real, 2);
+  Schema.ClassNames = {"benign", "malignant"};
+
+  Rng R(Seed ^ 0x8dbcULL);
+  std::vector<PendingRow> Rows;
+  Rows.reserve(569);
+  for (unsigned I = 0; I < 569; ++I) {
+    bool Malignant = I >= 357; // Real class balance: 357 benign / 212.
+    const double *Mean = Malignant ? MalignantMean : BenignMean;
+    const double *Std = Malignant ? MalignantStd : BenignStd;
+    PendingRow Row;
+    Row.Label = Malignant ? 1 : 0;
+    Row.Features.resize(30);
+    double Base[10];
+    for (unsigned F = 0; F < 10; ++F)
+      Base[F] = std::max(1e-4, R.gaussian(Mean[F], Std[F]));
+    // Keep the original's internal correlations: perimeter/area follow the
+    // radius of the same nucleus rather than being drawn independently.
+    Base[2] = std::max(1e-4, Base[0] * 6.55 + R.gaussian(0.0, 2.0));
+    Base[3] = std::max(1e-4, Base[0] * Base[0] * 3.1 + R.gaussian(0.0, 25.0));
+    for (unsigned F = 0; F < 10; ++F) {
+      double SE = std::abs(R.gaussian(0.07, 0.03)) * Base[F];
+      double Worst = Base[F] * (1.15 + std::abs(R.gaussian(0.0, 0.08)));
+      Row.Features[F] = static_cast<float>(Base[F]);       // mean
+      Row.Features[F + 10] = static_cast<float>(SE);       // standard error
+      Row.Features[F + 20] = static_cast<float>(Worst);    // worst
+    }
+    Rows.push_back(std::move(Row));
+  }
+  shuffleRows(Rows, R);
+  return splitRows(Schema, std::move(Rows), 456);
+}

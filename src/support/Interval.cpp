@@ -1,0 +1,83 @@
+//===- support/Interval.cpp - Interval arithmetic domain ------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interval.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace antidote;
+
+Interval Interval::join(const Interval &Other) const {
+  if (Empty)
+    return Other;
+  if (Other.Empty)
+    return *this;
+  return Interval(std::min(Lo, Other.Lo), std::max(Hi, Other.Hi));
+}
+
+Interval Interval::meet(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return makeEmpty();
+  double NewLo = std::max(Lo, Other.Lo);
+  double NewHi = std::min(Hi, Other.Hi);
+  if (NewLo > NewHi)
+    return makeEmpty();
+  return Interval(NewLo, NewHi);
+}
+
+Interval Interval::operator+(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return makeEmpty();
+  return Interval(Lo + Other.Lo, Hi + Other.Hi);
+}
+
+Interval Interval::operator-(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return makeEmpty();
+  return Interval(Lo - Other.Hi, Hi - Other.Lo);
+}
+
+Interval Interval::operator*(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return makeEmpty();
+  double A = Lo * Other.Lo;
+  double B = Lo * Other.Hi;
+  double C = Hi * Other.Lo;
+  double D = Hi * Other.Hi;
+  return Interval(std::min(std::min(A, B), std::min(C, D)),
+                  std::max(std::max(A, B), std::max(C, D)));
+}
+
+Interval Interval::operator/(const Interval &Other) const {
+  if (Empty || Other.Empty)
+    return makeEmpty();
+  assert(!Other.contains(0.0) && "interval division by zero");
+  double A = Lo / Other.Lo;
+  double B = Lo / Other.Hi;
+  double C = Hi / Other.Lo;
+  double D = Hi / Other.Hi;
+  return Interval(std::min(std::min(A, B), std::min(C, D)),
+                  std::max(std::max(A, B), std::max(C, D)));
+}
+
+Interval Interval::clamp(const Interval &Bounds) const {
+  if (Empty)
+    return makeEmpty();
+  assert(!Bounds.Empty && "clamping against empty bounds");
+  double NewLo = std::clamp(Lo, Bounds.Lo, Bounds.Hi);
+  double NewHi = std::clamp(Hi, Bounds.Lo, Bounds.Hi);
+  return Interval(NewLo, NewHi);
+}
+
+std::string Interval::str() const {
+  if (Empty)
+    return "[bot]";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "[%g, %g]", Lo, Hi);
+  return Buf;
+}

@@ -1,0 +1,110 @@
+//===- support/Interval.h - Interval arithmetic domain ---------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The standard intervals abstract domain over the reals (paper §4.2).
+///
+/// Antidote uses intervals to overapproximate the sets of numerical values
+/// (class probabilities, Gini impurities, split scores) that arise when a
+/// decision-tree learner is run on every training set in a perturbed set
+/// ∆n(T). All transformers in `abstract/` bottom out in the operations
+/// defined here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_INTERVAL_H
+#define ANTIDOTE_SUPPORT_INTERVAL_H
+
+#include <cassert>
+#include <string>
+
+namespace antidote {
+
+/// A closed real interval [Lo, Hi], with Lo <= Hi, plus a distinguished
+/// empty (bottom) element.
+///
+/// The arithmetic operations implement the usual sound interval lifting:
+/// the result of `A op B` contains {a op b | a in A, b in B}. Occurrences
+/// of the same variable are treated independently, exactly as the paper's
+/// "natural lifting" does (see footnote 6), so e.g. `x * (1 - x)` computed
+/// through intervals may be wider than the optimal image.
+class Interval {
+public:
+  /// Constructs the empty interval (bottom).
+  Interval() : Lo(1.0), Hi(0.0), Empty(true) {}
+
+  /// Constructs the singleton interval [V, V].
+  explicit Interval(double V) : Lo(V), Hi(V), Empty(false) {}
+
+  /// Constructs [Lo, Hi]; requires Lo <= Hi.
+  Interval(double Lo, double Hi) : Lo(Lo), Hi(Hi), Empty(false) {
+    assert(Lo <= Hi && "malformed interval");
+  }
+
+  static Interval makeEmpty() { return Interval(); }
+
+  bool isEmpty() const { return Empty; }
+
+  double lb() const {
+    assert(!Empty && "lower bound of empty interval");
+    return Lo;
+  }
+  double ub() const {
+    assert(!Empty && "upper bound of empty interval");
+    return Hi;
+  }
+
+  /// True iff this interval is the single point [V, V].
+  bool isSingleton() const { return !Empty && Lo == Hi; }
+
+  bool contains(double V) const { return !Empty && Lo <= V && V <= Hi; }
+
+  /// True iff every point of \p Other is contained in this interval.
+  bool containsInterval(const Interval &Other) const {
+    if (Other.Empty)
+      return true;
+    return !Empty && Lo <= Other.Lo && Other.Hi <= Hi;
+  }
+
+  bool operator==(const Interval &Other) const {
+    if (Empty || Other.Empty)
+      return Empty == Other.Empty;
+    return Lo == Other.Lo && Hi == Other.Hi;
+  }
+  bool operator!=(const Interval &Other) const { return !(*this == Other); }
+
+  /// Least upper bound: the smallest interval containing both operands.
+  Interval join(const Interval &Other) const;
+
+  /// Greatest lower bound: the intersection (possibly empty).
+  Interval meet(const Interval &Other) const;
+
+  Interval operator+(const Interval &Other) const;
+  Interval operator-(const Interval &Other) const;
+  Interval operator*(const Interval &Other) const;
+
+  /// Interval division. Requires the divisor to exclude zero; callers in
+  /// the abstract `cprob#` transformer guard the degenerate `n = |T|`
+  /// case explicitly (paper §4.4).
+  Interval operator/(const Interval &Other) const;
+
+  /// Clamps both endpoints into [Lo, Hi] of \p Bounds; used to intersect
+  /// probability intervals with [0, 1] where the semantics guarantees it.
+  Interval clamp(const Interval &Bounds) const;
+
+  /// Renders "[lo, hi]" (or "⊥") for diagnostics and reports.
+  std::string str() const;
+
+private:
+  double Lo;
+  double Hi;
+  bool Empty;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_INTERVAL_H

@@ -1,0 +1,43 @@
+//===- support/MemoryUsage.cpp - Memory accounting -------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/MemoryUsage.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace antidote;
+
+static uint64_t readProcStatusKb(const char *Key) {
+  std::FILE *F = std::fopen("/proc/self/status", "r");
+  if (!F)
+    return 0;
+  char Line[256];
+  uint64_t ValueKb = 0;
+  size_t KeyLen = std::strlen(Key);
+  while (std::fgets(Line, sizeof(Line), F)) {
+    if (std::strncmp(Line, Key, KeyLen) != 0)
+      continue;
+    unsigned long long Kb = 0;
+    if (std::sscanf(Line + KeyLen, ": %llu kB", &Kb) == 1)
+      ValueKb = Kb;
+    break;
+  }
+  std::fclose(F);
+  return ValueKb * 1024;
+}
+
+uint64_t antidote::processPeakRssBytes() {
+  // Some container kernels omit VmHWM; fall back to the current RSS so the
+  // reports still carry a usable number.
+  uint64_t Peak = readProcStatusKb("VmHWM");
+  return Peak ? Peak : readProcStatusKb("VmRSS");
+}
+
+uint64_t antidote::processCurrentRssBytes() {
+  return readProcStatusKb("VmRSS");
+}

@@ -1,0 +1,36 @@
+//===- support/MemoryUsage.h - Memory accounting ---------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory metrics for the Figure 7-11 reproductions.
+///
+/// The paper plots "average max memory" per verification instance. We track
+/// two metrics: the process-wide peak RSS (VmHWM, matching what the authors
+/// measured, but not resettable per instance) and a deterministic per-run
+/// "live abstract-state bytes" counter maintained by the abstract learner,
+/// which is what the bench harness plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_MEMORYUSAGE_H
+#define ANTIDOTE_SUPPORT_MEMORYUSAGE_H
+
+#include <cstdint>
+
+namespace antidote {
+
+/// Process peak resident set size in bytes (Linux VmHWM), or 0 when the
+/// probe is unavailable.
+uint64_t processPeakRssBytes();
+
+/// Process current resident set size in bytes (Linux VmRSS), or 0 when the
+/// probe is unavailable.
+uint64_t processCurrentRssBytes();
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_MEMORYUSAGE_H

@@ -1,0 +1,89 @@
+//===- support/Rng.cpp - Deterministic random number generation -----------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace antidote;
+
+static uint64_t splitmix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  // Expand the seed through splitmix64, as the xoshiro authors recommend.
+  uint64_t S = Seed;
+  for (uint64_t &Word : State)
+    Word = splitmix64(S);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256** 1.0.
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+double Rng::uniform() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double Lo, double Hi) {
+  assert(Lo <= Hi && "malformed uniform range");
+  return Lo + (Hi - Lo) * uniform();
+}
+
+uint64_t Rng::uniformInt(uint64_t Bound) {
+  assert(Bound > 0 && "uniformInt requires a positive bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Rng::gaussian() {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return SpareGaussian;
+  }
+  double U1 = uniform();
+  double U2 = uniform();
+  // Guard against log(0).
+  if (U1 <= 0.0)
+    U1 = 0x1.0p-53;
+  double R = std::sqrt(-2.0 * std::log(U1));
+  double Theta = 2.0 * M_PI * U2;
+  SpareGaussian = R * std::sin(Theta);
+  HasSpareGaussian = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::gaussian(double Mean, double Stddev) {
+  return Mean + Stddev * gaussian();
+}
+
+bool Rng::bernoulli(double P) { return uniform() < P; }

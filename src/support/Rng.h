@@ -1,0 +1,59 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fully deterministic PRNG (splitmix64 seeding + xoshiro256**).
+///
+/// Every synthetic dataset, train/test split, and randomized property test
+/// in this repository draws from this generator so that runs are exactly
+/// reproducible across machines and standard-library versions (std::mt19937
+/// distributions are not portable across implementations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_RNG_H
+#define ANTIDOTE_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace antidote {
+
+/// Deterministic 64-bit PRNG with convenience distributions.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed);
+
+  /// Next raw 64-bit value.
+  uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [Lo, Hi).
+  double uniform(double Lo, double Hi);
+
+  /// Uniform integer in [0, Bound); requires Bound > 0.
+  uint64_t uniformInt(uint64_t Bound);
+
+  /// Standard normal via Box-Muller (deterministic given the stream).
+  double gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double Mean, double Stddev);
+
+  /// Bernoulli draw with success probability \p P.
+  bool bernoulli(double P);
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_RNG_H

@@ -1,0 +1,341 @@
+//===- tests/AbstractDatasetTests.cpp - <T,n> domain unit tests ---------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractDataset.h"
+
+#include "TestUtil.h"
+#include "concrete/Gini.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+/// A 6-row dataset with easy-to-track labels for domain-operation tests.
+Dataset smallDataset() {
+  Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Data.addRow({0.0f}, 0);
+  Data.addRow({1.0f}, 0);
+  Data.addRow({2.0f}, 1);
+  Data.addRow({3.0f}, 1);
+  Data.addRow({4.0f}, 0);
+  Data.addRow({5.0f}, 1);
+  return Data;
+}
+
+} // namespace
+
+TEST(AbstractDatasetTest, EntireIsPreciseInitialAbstraction) {
+  Dataset Data = smallDataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 2);
+  EXPECT_EQ(A.size(), 6u);
+  EXPECT_EQ(A.budget(), 2u);
+  EXPECT_EQ(A.counts()[0], 3u);
+  EXPECT_EQ(A.counts()[1], 3u);
+  EXPECT_FALSE(A.isEmptySet());
+  EXPECT_FALSE(A.emptySetPossible());
+  EXPECT_FALSE(A.isSingleClass());
+  EXPECT_EQ(A.sizeInterval(), Interval(4.0, 6.0));
+  EXPECT_EQ(A.str(), "<|T|=6, n=2>");
+}
+
+TEST(AbstractDatasetTest, BudgetClampedToSize) {
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 1}, 10);
+  EXPECT_EQ(A.budget(), 2u);
+  EXPECT_TRUE(A.emptySetPossible());
+}
+
+TEST(AbstractDatasetTest, ConcretizationMembership) {
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 1, 2, 3}, 2);
+  EXPECT_TRUE(A.concretizationContains({0, 1, 2, 3})); // Zero removals.
+  EXPECT_TRUE(A.concretizationContains({0, 3}));       // Two removals.
+  EXPECT_FALSE(A.concretizationContains({0}));         // Three removals.
+  EXPECT_FALSE(A.concretizationContains({0, 1, 4}));   // 4 not a subset row.
+}
+
+TEST(AbstractDatasetTest, Example43JoinSameRows) {
+  // Example 4.3: ⟨T1, 2⟩ ⊔ ⟨T1, 3⟩ = ⟨T1, 3⟩.
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 1, 2, 3}, 2);
+  AbstractDataset B(Data, {0, 1, 2, 3}, 3);
+  AbstractDataset J = AbstractDataset::join(A, B);
+  EXPECT_EQ(J, B);
+}
+
+TEST(AbstractDatasetTest, Example43JoinExtraElement) {
+  // Example 4.3: ⟨T2, 2⟩ ⊔ ⟨T2 ∪ {x3}, 2⟩ = ⟨T2 ∪ {x3}, 3⟩.
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 1}, 2);
+  AbstractDataset B(Data, {0, 1, 2}, 2);
+  AbstractDataset J = AbstractDataset::join(A, B);
+  EXPECT_EQ(J.rows(), (RowIndexList{0, 1, 2}));
+  EXPECT_EQ(J.budget(), 3u);
+}
+
+TEST(AbstractDatasetTest, JoinIsCommutativeAndIdempotent) {
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 2, 4}, 1);
+  AbstractDataset B(Data, {1, 2, 5}, 2);
+  EXPECT_EQ(AbstractDataset::join(A, B), AbstractDataset::join(B, A));
+  EXPECT_EQ(AbstractDataset::join(A, A), A);
+}
+
+TEST(AbstractDatasetTest, PartialOrder) {
+  Dataset Data = smallDataset();
+  AbstractDataset Small(Data, {0, 1}, 0);
+  AbstractDataset Large(Data, {0, 1, 2}, 1);
+  // ⟨{0,1}, 0⟩ ⊑ ⟨{0,1,2}, 1⟩: 0 ≤ 1 − |{2}| = 0. Holds.
+  EXPECT_TRUE(Small.leq(Large));
+  EXPECT_FALSE(Large.leq(Small));
+  // Budget too large for the gap.
+  AbstractDataset Mid(Data, {0, 1}, 1);
+  EXPECT_FALSE(Mid.leq(Large)); // 1 > 1 − 1.
+  EXPECT_TRUE(Mid.leq(AbstractDataset(Data, {0, 1, 2}, 2)));
+  EXPECT_TRUE(Small.leq(Small));
+}
+
+TEST(AbstractDatasetTest, JoinIsUpperBound) {
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 2, 4}, 1);
+  AbstractDataset B(Data, {1, 2, 5}, 2);
+  AbstractDataset J = AbstractDataset::join(A, B);
+  EXPECT_TRUE(A.leq(J));
+  EXPECT_TRUE(B.leq(J));
+}
+
+TEST(AbstractDatasetTest, MeetBasics) {
+  Dataset Data = smallDataset();
+  // Footnote 4: ⟨T1∩T2, min(n1 − |T1\T2|, n2 − |T2\T1|)⟩ when feasible.
+  AbstractDataset A(Data, {0, 1, 2}, 1);
+  AbstractDataset B(Data, {1, 2, 3}, 2);
+  std::optional<AbstractDataset> M = AbstractDataset::meet(A, B);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->rows(), (RowIndexList{1, 2}));
+  EXPECT_EQ(M->budget(), 0u); // min(1−1, 2−1) = 0.
+  // Infeasible: A would need to drop 2 rows but n1 = 1.
+  AbstractDataset C(Data, {3, 4, 5}, 1);
+  EXPECT_FALSE(AbstractDataset::meet(A, C).has_value());
+}
+
+TEST(AbstractDatasetTest, MeetIsLowerBound) {
+  Dataset Data = smallDataset();
+  AbstractDataset A(Data, {0, 1, 2, 3}, 2);
+  AbstractDataset B(Data, {1, 2, 3, 4}, 3);
+  std::optional<AbstractDataset> M = AbstractDataset::meet(A, B);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->leq(A));
+  EXPECT_TRUE(M->leq(B));
+}
+
+TEST(AbstractDatasetTest, RestrictConcretePredicate) {
+  // Equation (1): ⟨T,n⟩↓#φ = ⟨T↓φ, min(n, |T↓φ|)⟩.
+  Dataset Data = smallDataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 4);
+  SplitPredicate Pred = SplitPredicate::threshold(0, 2.5);
+  AbstractDataset Pos = A.restrict(Pred, true);
+  EXPECT_EQ(Pos.rows(), (RowIndexList{0, 1, 2}));
+  EXPECT_EQ(Pos.budget(), 3u); // min(4, 3).
+  AbstractDataset Neg = A.restrict(Pred, false);
+  EXPECT_EQ(Neg.rows(), (RowIndexList{3, 4, 5}));
+  EXPECT_EQ(Neg.budget(), 3u);
+}
+
+TEST(AbstractDatasetTest, RestrictSymbolicChargesMaybeRows) {
+  // ρ = x ≤ [1, 4): row values 2 and 3 are 'maybe'; they are kept on both
+  // sides but charged to the budget (Appendix B.1 closed form).
+  Dataset Data = smallDataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 1);
+  SplitPredicate Rho = SplitPredicate::symbolic(0, 1.0, 4.0);
+  AbstractDataset Pos = A.restrict(Rho, true);
+  // Possible: values ≤ anything < 4 → rows {0,1,2,3}; definite: {0,1}.
+  EXPECT_EQ(Pos.rows(), (RowIndexList{0, 1, 2, 3}));
+  // max(min(1,4), (4−2) + min(1,2)) = max(1, 3) = 3.
+  EXPECT_EQ(Pos.budget(), 3u);
+  AbstractDataset Neg = A.restrict(Rho, false);
+  // Possible negatives: values > 1 → rows {2,3,4,5}; definite: {4,5}.
+  EXPECT_EQ(Neg.rows(), (RowIndexList{2, 3, 4, 5}));
+  EXPECT_EQ(Neg.budget(), 3u);
+}
+
+TEST(AbstractDatasetTest, PureRestriction) {
+  Dataset Data = smallDataset(); // Labels: 0,0,1,1,0,1.
+  AbstractDataset A = AbstractDataset::entire(Data, 3);
+  std::optional<AbstractDataset> Pure0 = A.restrictToPureClass(0);
+  ASSERT_TRUE(Pure0.has_value());
+  EXPECT_EQ(Pure0->rows(), (RowIndexList{0, 1, 4}));
+  EXPECT_EQ(Pure0->budget(), 0u); // 3 − 3 dropped.
+  // Budget 2 cannot drop the three class-1 rows.
+  AbstractDataset B = AbstractDataset::entire(Data, 2);
+  EXPECT_FALSE(B.restrictToPureClass(0).has_value());
+}
+
+TEST(AbstractDatasetTest, SingleClassDetection) {
+  Dataset Data = smallDataset();
+  EXPECT_FALSE(AbstractDataset(Data, {0, 2}, 1).isSingleClass());
+  EXPECT_TRUE(AbstractDataset(Data, {0, 1, 4}, 1).isSingleClass());
+  EXPECT_TRUE(AbstractDataset(Data, {2}, 0).isSingleClass());
+}
+
+//===----------------------------------------------------------------------===//
+// Property-based soundness (Propositions 4.2, 4.4, B.3 and footnote 4)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class AbstractDatasetPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+/// A random sub-element of the domain over \p Data.
+AbstractDataset randomElement(Rng &R, const Dataset &Data) {
+  RowIndexList Rows;
+  for (uint32_t I = 0; I < Data.numRows(); ++I)
+    if (R.bernoulli(0.6))
+      Rows.push_back(I);
+  if (Rows.empty())
+    Rows.push_back(static_cast<uint32_t>(R.uniformInt(Data.numRows())));
+  uint32_t Budget = static_cast<uint32_t>(R.uniformInt(Rows.size() + 1));
+  return AbstractDataset(Data, std::move(Rows), Budget);
+}
+
+} // namespace
+
+TEST_P(AbstractDatasetPropertyTest, JoinSoundness) {
+  // Proposition 4.2: γ(A) ∪ γ(B) ⊆ γ(A ⊔ B).
+  Rng R(GetParam());
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    AbstractDataset A = randomElement(R, Data);
+    AbstractDataset B = randomElement(R, Data);
+    AbstractDataset J = AbstractDataset::join(A, B);
+    forEachPerturbedSubset(A.rows(), A.budget(),
+                           [&](const RowIndexList &Subset) {
+                             EXPECT_TRUE(J.concretizationContains(Subset));
+                           });
+    forEachPerturbedSubset(B.rows(), B.budget(),
+                           [&](const RowIndexList &Subset) {
+                             EXPECT_TRUE(J.concretizationContains(Subset));
+                           });
+  }
+}
+
+TEST_P(AbstractDatasetPropertyTest, LeqImpliesConcretizationInclusion) {
+  Rng R(GetParam() ^ 0x11);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    AbstractDataset A = randomElement(R, Data);
+    AbstractDataset B = randomElement(R, Data);
+    if (!A.leq(B))
+      continue;
+    forEachPerturbedSubset(A.rows(), A.budget(),
+                           [&](const RowIndexList &Subset) {
+                             EXPECT_TRUE(B.concretizationContains(Subset));
+                           });
+  }
+}
+
+TEST_P(AbstractDatasetPropertyTest, MeetSoundness) {
+  // γ(A ⊓ B) ⊇ γ(A) ∩ γ(B); infeasible meet ⇒ empty intersection.
+  Rng R(GetParam() ^ 0x22);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 7;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    AbstractDataset A = randomElement(R, Data);
+    AbstractDataset B = randomElement(R, Data);
+    std::optional<AbstractDataset> M = AbstractDataset::meet(A, B);
+    forEachPerturbedSubset(
+        A.rows(), A.budget(), [&](const RowIndexList &Subset) {
+          if (!B.concretizationContains(Subset))
+            return;
+          ASSERT_TRUE(M.has_value())
+              << "common concretization but meet is bottom";
+          EXPECT_TRUE(M->concretizationContains(Subset));
+        });
+  }
+}
+
+TEST_P(AbstractDatasetPropertyTest, RestrictSoundness) {
+  // Propositions 4.4 / B.3: T' ∈ γ(⟨T,n⟩) ⇒ T'↓φ ∈ γ(⟨T,n⟩↓#φ), for both
+  // concrete thresholds and symbolic predicates (any φ ∈ γ(ρ)).
+  Rng R(GetParam() ^ 0x33);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 7;
+  Spec.NumFeatures = 2;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    AbstractDataset A = randomElement(R, Data);
+    uint32_t Feature = static_cast<uint32_t>(R.uniformInt(2));
+    double Lo = static_cast<double>(R.uniformInt(5));
+    bool Symbolic = R.bernoulli(0.5);
+    double Hi = Symbolic ? Lo + 1 + static_cast<double>(R.uniformInt(2))
+                         : Lo;
+    SplitPredicate Rho =
+        Symbolic ? SplitPredicate::symbolic(Feature, Lo, Hi)
+                 : SplitPredicate::threshold(Feature, Lo);
+    AbstractDataset Pos = A.restrict(Rho, true);
+    AbstractDataset Neg = A.restrict(Rho, false);
+    // Sample thresholds from γ(ρ).
+    for (double Tau = Lo; Tau < Hi + 0.25; Tau += 0.5) {
+      if (Symbolic && Tau >= Hi)
+        continue;
+      if (!Symbolic && Tau != Lo)
+        continue;
+      SplitPredicate Phi = SplitPredicate::threshold(Feature, Tau);
+      forEachPerturbedSubset(
+          A.rows(), A.budget(), [&](const RowIndexList &Subset) {
+            RowIndexList SubPos, SubNeg;
+            for (uint32_t Row : Subset) {
+              if (Phi.evaluate(Data.value(Row, Feature)) ==
+                  ThreeValued::True)
+                SubPos.push_back(Row);
+              else
+                SubNeg.push_back(Row);
+            }
+            EXPECT_TRUE(Pos.concretizationContains(SubPos))
+                << "positive restriction unsound for tau=" << Tau;
+            EXPECT_TRUE(Neg.concretizationContains(SubNeg))
+                << "negative restriction unsound for tau=" << Tau;
+          });
+    }
+  }
+}
+
+TEST_P(AbstractDatasetPropertyTest, PureRestrictionSoundness) {
+  // §4.7: every single-class concretization of ⟨T,n⟩ with class i is in
+  // γ(pure(⟨T,n⟩, i)).
+  Rng R(GetParam() ^ 0x44);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 7;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    AbstractDataset A = randomElement(R, Data);
+    std::vector<std::optional<AbstractDataset>> Pures;
+    for (unsigned C = 0; C < Data.numClasses(); ++C)
+      Pures.push_back(A.restrictToPureClass(C));
+    forEachPerturbedSubset(
+        A.rows(), A.budget(), [&](const RowIndexList &Subset) {
+          std::vector<uint32_t> Counts = classCounts(Data, Subset);
+          if (!isPure(Counts))
+            return;
+          unsigned Class = argmaxClass(Counts);
+          ASSERT_TRUE(Pures[Class].has_value());
+          EXPECT_TRUE(Pures[Class]->concretizationContains(Subset));
+        });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AbstractDatasetPropertyTest,
+                         ::testing::Values(1000ull, 2000ull, 3000ull,
+                                           4000ull));

@@ -1,0 +1,137 @@
+//===- tests/AbstractFilterTests.cpp - filter# unit tests ---------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractFilter.h"
+
+#include "TestUtil.h"
+#include "concrete/BestSplit.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+TEST(AbstractFilterTest, Example48SingleSatisfiedPredicate) {
+  // Example 4.8: x = 4, Ψ = {x ≤ 10}; Ψ¬x is empty, so the result is just
+  // ⟨T↓x≤10, 2⟩.
+  Dataset Data = figure2Dataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 2);
+  PredicateSet Psi;
+  Psi.add(SplitPredicate::threshold(0, 10.0));
+  float X = 4.0f;
+  AbstractDataset Filtered = abstractFilter(A, Psi, &X);
+  EXPECT_EQ(Filtered.size(), 9u);
+  EXPECT_EQ(Filtered.budget(), 2u);
+  EXPECT_EQ(Filtered.counts()[0], 7u);
+  EXPECT_EQ(Filtered.counts()[1], 2u);
+}
+
+TEST(AbstractFilterTest, Example53JoinImprecision) {
+  // Example 5.3: T = {0..4, 7..10} with n = 1, Ψ = {x ≤ 3, x ≤ 4}, x = 4.
+  // The box join must produce ⟨T, 5⟩ — the documented precision loss.
+  Dataset Data = figure2Dataset();
+  RowIndexList Rows = {0, 1, 2, 3, 4, 5, 6, 7, 8}; // Values 0..4, 7..10.
+  AbstractDataset A(Data, Rows, 1);
+  PredicateSet Psi;
+  Psi.add(SplitPredicate::threshold(0, 3.0));
+  Psi.add(SplitPredicate::threshold(0, 4.0));
+  float X = 4.0f;
+  AbstractDataset Filtered = abstractFilter(A, Psi, &X);
+  EXPECT_EQ(Filtered.rows(), Rows); // Back to the full set...
+  EXPECT_EQ(Filtered.budget(), 5u); // ...with a much larger budget.
+}
+
+TEST(AbstractFilterTest, MaybePredicateContributesBothSides) {
+  // A symbolic predicate that is 'maybe' on x adds both its restrictions.
+  Dataset Data = figure2Dataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 1);
+  PredicateSet Psi;
+  Psi.add(SplitPredicate::symbolic(0, 4.0, 7.0));
+  float X = 5.0f; // Strictly between 4 and 7 → maybe.
+  AbstractDataset Filtered = abstractFilter(A, Psi, &X);
+  // Positive side possible rows: values < 7 (rows 0..4); negative side
+  // possible rows: values > 4 (rows 5..12); the join is the whole set.
+  EXPECT_EQ(Filtered.size(), 13u);
+}
+
+TEST(AbstractFilterTest, DisagreeingPredicatesJoinBothBranches) {
+  Dataset Data = figure2Dataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 0);
+  PredicateSet Psi;
+  Psi.add(SplitPredicate::threshold(0, 3.0));  // x=4 falsifies.
+  Psi.add(SplitPredicate::threshold(0, 10.0)); // x=4 satisfies.
+  float X = 4.0f;
+  AbstractDataset Filtered = abstractFilter(A, Psi, &X);
+  // ⟨T↓>3, 0⟩ ⊔ ⟨T↓≤10, 0⟩: both sides have 9 rows, the union is all 13,
+  // and each side misses 4 of the other's rows, so Definition 4.1 gives
+  // budget max(4 + 0, 4 + 0) = 4.
+  EXPECT_EQ(Filtered.size(), 13u);
+  EXPECT_EQ(Filtered.budget(), 4u);
+}
+
+//===----------------------------------------------------------------------===//
+// Proposition 4.7 / B.4 soundness property
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class FilterSoundnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(FilterSoundnessTest, ContainsEveryConcreteFilter) {
+  // For every T' ∈ γ(⟨T,n⟩), every φ' ∈ γ(Ψ), and the actual side x takes:
+  // filter(T', φ', x) ∈ γ(filter#(⟨T,n⟩, Ψ, x)).
+  Rng R(GetParam());
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  Spec.NumFeatures = 2;
+  Spec.DistinctValues = 4;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    RowIndexList Rows = allRows(Data);
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(3));
+    AbstractDataset A(Data, Rows, Budget);
+
+    // Random predicate set with 1-3 members, mixing concrete and symbolic.
+    PredicateSet Psi;
+    unsigned NumPreds = 1 + static_cast<unsigned>(R.uniformInt(3));
+    for (unsigned I = 0; I < NumPreds; ++I) {
+      uint32_t F = static_cast<uint32_t>(R.uniformInt(2));
+      double Lo = static_cast<double>(R.uniformInt(4));
+      if (R.bernoulli(0.5))
+        Psi.add(SplitPredicate::threshold(F, Lo + 0.5));
+      else
+        Psi.add(SplitPredicate::symbolic(F, Lo, Lo + 1.0));
+    }
+    Psi.canonicalize();
+    std::vector<float> X = makeRandomQuery(R, Spec);
+    AbstractDataset Filtered = abstractFilter(A, Psi, X.data());
+
+    forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
+      for (const SplitPredicate &Rho : Psi.predicates()) {
+        // Sample concrete thresholds from γ(ρ).
+        for (double Tau = Rho.lo(); Tau <= Rho.hi(); Tau += 0.5) {
+          if (Rho.isSymbolic() && Tau >= Rho.hi())
+            continue;
+          if (!Rho.isSymbolic() && Tau != Rho.lo())
+            continue;
+          SplitPredicate Phi =
+              SplitPredicate::threshold(Rho.feature(), Tau);
+          bool Sat = Phi.evaluate(X.data()) == ThreeValued::True;
+          RowIndexList Concrete =
+              filterRows(Data, Subset, Phi, Sat);
+          EXPECT_TRUE(Filtered.concretizationContains(Concrete))
+              << "filter(T', " << Phi.str() << ", x) escaped filter#";
+        }
+      }
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterSoundnessTest,
+                         ::testing::Values(7ull, 8ull, 9ull));

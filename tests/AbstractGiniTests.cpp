@@ -1,0 +1,273 @@
+//===- tests/AbstractGiniTests.cpp - cprob#/ent#/score# unit tests ------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractGini.h"
+
+#include "TestUtil.h"
+#include "concrete/Gini.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+//===----------------------------------------------------------------------===//
+// cprob# — Example 4.6 and the footnote-6 transformers
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractCprobTest, Example46NaiveTransformer) {
+  // Tℓ has 7 white, 2 black; n = 2. The naive transformer of §4.4 yields
+  // ⟨[5/9, 1], [0, 2/7]⟩ — including the imprecise 5/9 lower bound the
+  // example calls out.
+  std::vector<Interval> Probs = abstractClassProbabilities(
+      {7, 2}, 9, 2, CprobTransformerKind::NaiveInterval);
+  ASSERT_EQ(Probs.size(), 2u);
+  EXPECT_DOUBLE_EQ(Probs[0].lb(), 5.0 / 9.0);
+  EXPECT_DOUBLE_EQ(Probs[0].ub(), 1.0);
+  EXPECT_DOUBLE_EQ(Probs[1].lb(), 0.0);
+  EXPECT_DOUBLE_EQ(Probs[1].ub(), 2.0 / 7.0);
+}
+
+TEST(AbstractCprobTest, OptimalTransformerIsTighter) {
+  // The optimal transformer recovers the true extremal probability 5/7
+  // (drop two white points), as §2 discusses ("[0.71, 1] instead of 0.78").
+  std::vector<Interval> Probs = abstractClassProbabilities(
+      {7, 2}, 9, 2, CprobTransformerKind::Optimal);
+  EXPECT_DOUBLE_EQ(Probs[0].lb(), 5.0 / 7.0);
+  EXPECT_DOUBLE_EQ(Probs[0].ub(), 1.0);
+  EXPECT_DOUBLE_EQ(Probs[1].lb(), 0.0);
+  EXPECT_DOUBLE_EQ(Probs[1].ub(), 2.0 / 7.0);
+}
+
+TEST(AbstractCprobTest, ZeroBudgetIsExact) {
+  for (CprobTransformerKind Kind : {CprobTransformerKind::Optimal,
+                                    CprobTransformerKind::NaiveInterval}) {
+    std::vector<Interval> Probs =
+        abstractClassProbabilities({3, 1, 4}, 8, 0, Kind);
+    EXPECT_DOUBLE_EQ(Probs[0].lb(), 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(Probs[0].ub(), 3.0 / 8.0);
+    EXPECT_DOUBLE_EQ(Probs[2].lb(), 0.5);
+    EXPECT_DOUBLE_EQ(Probs[2].ub(), 0.5);
+  }
+}
+
+TEST(AbstractCprobTest, FullBudgetCornerCase) {
+  // n = |T|: the paper assigns [0, 1] to every class.
+  for (CprobTransformerKind Kind : {CprobTransformerKind::Optimal,
+                                    CprobTransformerKind::NaiveInterval}) {
+    std::vector<Interval> Probs =
+        abstractClassProbabilities({2, 3}, 5, 5, Kind);
+    for (const Interval &P : Probs)
+      EXPECT_EQ(P, Interval(0.0, 1.0));
+  }
+}
+
+TEST(AbstractCprobTest, OptimalStaysWithinUnitInterval) {
+  std::vector<Interval> Probs = abstractClassProbabilities(
+      {5, 1}, 6, 3, CprobTransformerKind::Optimal);
+  for (const Interval &P : Probs) {
+    EXPECT_GE(P.lb(), 0.0);
+    EXPECT_LE(P.ub(), 1.0);
+  }
+}
+
+TEST(AbstractCprobTest, NaiveCanExceedUnitInterval) {
+  // Footnote 6's observation: the naive quotient is not confined to [0,1].
+  std::vector<Interval> Probs = abstractClassProbabilities(
+      {5, 1}, 6, 3, CprobTransformerKind::NaiveInterval);
+  EXPECT_GT(Probs[0].ub(), 1.0); // 5 / (6-3) = 5/3.
+}
+
+TEST(AbstractCprobTest, OptimalContainedInNaive) {
+  Rng R(77);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    uint32_t C0 = static_cast<uint32_t>(R.uniformInt(10));
+    uint32_t C1 = static_cast<uint32_t>(R.uniformInt(10));
+    uint32_t Total = C0 + C1;
+    if (Total == 0)
+      continue;
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(Total + 1));
+    std::vector<Interval> Opt = abstractClassProbabilities(
+        {C0, C1}, Total, Budget, CprobTransformerKind::Optimal);
+    std::vector<Interval> Naive = abstractClassProbabilities(
+        {C0, C1}, Total, Budget, CprobTransformerKind::NaiveInterval);
+    for (size_t I = 0; I < Opt.size(); ++I)
+      EXPECT_TRUE(Naive[I].containsInterval(Opt[I]))
+          << "c=" << (I ? C1 : C0) << " total=" << Total
+          << " n=" << Budget;
+  }
+}
+
+namespace {
+
+class CprobSoundnessTest
+    : public ::testing::TestWithParam<CprobTransformerKind> {};
+
+} // namespace
+
+TEST_P(CprobSoundnessTest, ContainsEveryConcretization) {
+  // Proposition 4.5 by exhaustive enumeration on small sets.
+  Rng R(4242);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  Spec.NumClasses = 3;
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    RowIndexList Rows = allRows(Data);
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(Rows.size()));
+    std::vector<Interval> Abstract = abstractClassProbabilities(
+        classCounts(Data, Rows), static_cast<uint32_t>(Rows.size()), Budget,
+        GetParam());
+    forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
+      std::vector<double> Concrete =
+          classProbabilities(classCounts(Data, Subset));
+      for (size_t C = 0; C < Concrete.size(); ++C)
+        EXPECT_TRUE(Abstract[C].contains(Concrete[C]))
+            << "class " << C << " prob " << Concrete[C] << " outside "
+            << Abstract[C].str();
+    });
+  }
+}
+
+TEST_P(CprobSoundnessTest, OptimalBoundsAreAttained) {
+  if (GetParam() != CprobTransformerKind::Optimal)
+    GTEST_SKIP() << "tightness holds only for the optimal transformer";
+  // Footnote 6 claims exact extremal behaviour: both endpoints of each
+  // class's interval are attained by some concretization.
+  Rng R(777);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    RowIndexList Rows = allRows(Data);
+    uint32_t Budget =
+        static_cast<uint32_t>(R.uniformInt(Rows.size())); // < |T|.
+    std::vector<Interval> Abstract = abstractClassProbabilities(
+        classCounts(Data, Rows), static_cast<uint32_t>(Rows.size()), Budget,
+        CprobTransformerKind::Optimal);
+    std::vector<double> MinSeen(Data.numClasses(), 2.0);
+    std::vector<double> MaxSeen(Data.numClasses(), -1.0);
+    forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
+      std::vector<double> Concrete =
+          classProbabilities(classCounts(Data, Subset));
+      for (size_t C = 0; C < Concrete.size(); ++C) {
+        MinSeen[C] = std::min(MinSeen[C], Concrete[C]);
+        MaxSeen[C] = std::max(MaxSeen[C], Concrete[C]);
+      }
+    });
+    for (unsigned C = 0; C < Data.numClasses(); ++C) {
+      EXPECT_NEAR(Abstract[C].lb(), MinSeen[C], 1e-12);
+      EXPECT_NEAR(Abstract[C].ub(), MaxSeen[C], 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transformers, CprobSoundnessTest,
+                         ::testing::Values(
+                             CprobTransformerKind::Optimal,
+                             CprobTransformerKind::NaiveInterval),
+                         [](const auto &Info) {
+                           return Info.param ==
+                                          CprobTransformerKind::Optimal
+                                      ? "Optimal"
+                                      : "Naive";
+                         });
+
+//===----------------------------------------------------------------------===//
+// ent# and score#
+//===----------------------------------------------------------------------===//
+
+TEST(AbstractGiniTest, PureSetHasZeroLowerImpurity) {
+  Interval Ent = abstractGiniImpurityFromCounts(
+      {4, 0}, 4, 1, CprobTransformerKind::Optimal);
+  EXPECT_DOUBLE_EQ(Ent.lb(), 0.0);
+}
+
+TEST(AbstractGiniTest, ZeroBudgetImpurityMatchesConcrete) {
+  std::vector<uint32_t> Counts = {7, 2};
+  Interval Ent = abstractGiniImpurityFromCounts(
+      Counts, 9, 0, CprobTransformerKind::Optimal);
+  double Concrete = giniImpurityFromCounts(Counts, 9);
+  EXPECT_NEAR(Ent.lb(), Concrete, 1e-12);
+  EXPECT_NEAR(Ent.ub(), Concrete, 1e-12);
+}
+
+TEST(AbstractGiniTest, ImpuritySoundOverEnumeration) {
+  Rng R(31337);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  Spec.NumClasses = 3;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    RowIndexList Rows = allRows(Data);
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(Rows.size() + 1));
+    for (CprobTransformerKind Kind : {CprobTransformerKind::Optimal,
+                                      CprobTransformerKind::NaiveInterval}) {
+      Interval Ent = abstractGiniImpurityFromCounts(
+          classCounts(Data, Rows), static_cast<uint32_t>(Rows.size()),
+          Budget, Kind);
+      forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
+        double Concrete = giniImpurityFromCounts(
+            classCounts(Data, Subset),
+            static_cast<uint32_t>(Subset.size()));
+        EXPECT_TRUE(Ent.contains(Concrete));
+      });
+    }
+  }
+}
+
+TEST(AbstractGiniTest, ScoreSoundOverEnumeration) {
+  // score# contains score(T', φ) for every concretization T' — checked by
+  // splitting each subset with a fixed predicate.
+  Rng R(90210);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  Spec.NumFeatures = 1;
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    RowIndexList Rows = allRows(Data);
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(3));
+    double Tau = 0.5 + static_cast<double>(R.uniformInt(4));
+    SplitPredicate Phi = SplitPredicate::threshold(0, Tau);
+    AbstractDataset A(Data, Rows, Budget);
+    AbstractDataset Pos = A.restrict(Phi, true);
+    AbstractDataset Neg = A.restrict(Phi, false);
+    if (Pos.isEmptySet() || Neg.isEmptySet())
+      continue;
+    Interval Score =
+        abstractSplitScore(Pos, Neg, CprobTransformerKind::Optimal);
+    forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
+      RowIndexList SubPos, SubNeg;
+      for (uint32_t Row : Subset)
+        if (Phi.evaluate(Data.value(Row, 0)) == ThreeValued::True)
+          SubPos.push_back(Row);
+        else
+          SubNeg.push_back(Row);
+      if (SubPos.empty() || SubNeg.empty())
+        return; // Concrete score undefined on trivial splits.
+      double Concrete = splitScore(
+          classCounts(Data, SubPos), static_cast<uint32_t>(SubPos.size()),
+          classCounts(Data, SubNeg), static_cast<uint32_t>(SubNeg.size()));
+      EXPECT_TRUE(Score.contains(Concrete))
+          << Concrete << " outside " << Score.str();
+    });
+  }
+}
+
+TEST(AbstractGiniTest, ScoreFromDatasetMatchesCountsOverload) {
+  Dataset Data = figure2Dataset();
+  AbstractDataset A = AbstractDataset::entire(Data, 2);
+  SplitPredicate Phi = SplitPredicate::threshold(0, 10.5);
+  AbstractDataset Pos = A.restrict(Phi, true);
+  AbstractDataset Neg = A.restrict(Phi, false);
+  Interval FromData =
+      abstractSplitScore(Pos, Neg, CprobTransformerKind::Optimal);
+  Interval FromCounts = abstractSplitScore(
+      Pos.counts(), Pos.size(), Pos.budget(), Neg.counts(), Neg.size(),
+      Neg.budget(), CprobTransformerKind::Optimal);
+  EXPECT_EQ(FromData, FromCounts);
+}

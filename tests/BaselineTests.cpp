@@ -1,0 +1,173 @@
+//===- tests/BaselineTests.cpp - Enumeration & attack-search tests ------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/AttackSearch.h"
+#include "antidote/Enumeration.h"
+
+#include "TestUtil.h"
+#include "antidote/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+//===----------------------------------------------------------------------===//
+// perturbationSetCount (the |∆n(T)| the paper quotes)
+//===----------------------------------------------------------------------===//
+
+TEST(PerturbationCountTest, SmallValues) {
+  // §2's toy computation: C(13,2) + C(13,1) + 1 = 92 trees for the running
+  // example at n = 2.
+  EXPECT_EQ(perturbationSetCount(13, 2), 92u);
+  EXPECT_EQ(perturbationSetCount(13, 0), 1u);
+  EXPECT_EQ(perturbationSetCount(13, 1), 14u);
+  EXPECT_EQ(perturbationSetCount(5, 5), 32u); // Full power set.
+}
+
+TEST(PerturbationCountTest, SaturatesInsteadOfOverflowing) {
+  EXPECT_EQ(perturbationSetCount(13007, 192),
+            std::numeric_limits<uint64_t>::max());
+}
+
+//===----------------------------------------------------------------------===//
+// Enumeration baseline
+//===----------------------------------------------------------------------===//
+
+TEST(EnumerationTest, Figure2RobustInstance) {
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  EnumerationResult Result =
+      verifyByEnumeration(Ctx, allRows(Data), &X, 2, 1);
+  EXPECT_TRUE(Result.Robust);
+  EXPECT_TRUE(Result.Exhausted);
+  EXPECT_EQ(Result.SetsChecked, 92u);
+  EXPECT_EQ(Result.OriginalPrediction, 0u);
+}
+
+TEST(EnumerationTest, FindsCounterexampleWhenNotRobust) {
+  // A 3-element set where removing one row flips the majority.
+  Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Data.addRow({0.0f}, 0);
+  Data.addRow({1.0f}, 0);
+  Data.addRow({2.0f}, 1);
+  SplitContext Ctx(Data);
+  float X = 1.0f;
+  // Depth 0: prediction is the majority label; dropping a class-0 row
+  // leaves a 1-1 tie → prediction 0 still (lowest index)... dropping both
+  // class-0 rows (n=2) leaves majority 1.
+  EnumerationResult Result =
+      verifyByEnumeration(Ctx, allRows(Data), &X, 2, 0);
+  EXPECT_FALSE(Result.Robust);
+  ASSERT_TRUE(Result.CounterexampleRows.has_value());
+  // Re-run the learner on the witness: the prediction must really differ.
+  TraceResult Witness =
+      runDTrace(Ctx, *Result.CounterexampleRows, &X, 0);
+  EXPECT_EQ(Witness.PredictedClass, Result.CounterexamplePrediction);
+  EXPECT_NE(Witness.PredictedClass, Result.OriginalPrediction);
+}
+
+TEST(EnumerationTest, RespectsMaxSetsCap) {
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  EnumerationResult Result =
+      verifyByEnumeration(Ctx, allRows(Data), &X, 3, 1, /*MaxSets=*/10);
+  EXPECT_FALSE(Result.Exhausted);
+  EXPECT_EQ(Result.SetsChecked, 10u);
+}
+
+TEST(EnumerationTest, AgreesWithItselfAcrossBudgets) {
+  // Robustness from enumeration is anti-monotone in n.
+  Rng R(2024);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 8;
+  for (int Trial = 0; Trial < 15; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    SplitContext Ctx(Data);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+    bool PrevRobust = true;
+    for (uint32_t N = 0; N <= 3; ++N) {
+      EnumerationResult Result =
+          verifyByEnumeration(Ctx, allRows(Data), X.data(), N, 2);
+      if (!PrevRobust) {
+        EXPECT_FALSE(Result.Robust);
+      }
+      PrevRobust = Result.Robust;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Attack search
+//===----------------------------------------------------------------------===//
+
+TEST(AttackSearchTest, FindsEasyFlip) {
+  Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Data.addRow({0.0f}, 0);
+  Data.addRow({1.0f}, 0);
+  Data.addRow({2.0f}, 1);
+  SplitContext Ctx(Data);
+  float X = 1.0f;
+  AttackResult Attack = findPoisoningAttack(Ctx, allRows(Data), &X, 2, 0);
+  ASSERT_TRUE(Attack.Found);
+  EXPECT_LE(Attack.RemovedRows.size(), 2u);
+  // Validate the witness by retraining without the removed rows.
+  RowIndexList Kept;
+  for (uint32_t Row : allRows(Data))
+    if (std::find(Attack.RemovedRows.begin(), Attack.RemovedRows.end(),
+                  Row) == Attack.RemovedRows.end())
+      Kept.push_back(Row);
+  TraceResult Witness = runDTrace(Ctx, Kept, &X, 0);
+  EXPECT_EQ(Witness.PredictedClass, Attack.FlippedPrediction);
+  EXPECT_NE(Witness.PredictedClass, Attack.OriginalPrediction);
+}
+
+TEST(AttackSearchTest, NeverContradictsTheVerifier) {
+  // If Antidote proves robustness, no attack can exist; conversely a found
+  // attack must be confirmed by enumeration.
+  Rng R(3030);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 9;
+  unsigned AttacksFound = 0;
+  for (int Trial = 0; Trial < 25; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    Verifier V(Data);
+    SplitContext Ctx(Data);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+    uint32_t Budget = 1 + static_cast<uint32_t>(R.uniformInt(2));
+    unsigned Depth = 1 + static_cast<unsigned>(R.uniformInt(2));
+    VerifierConfig Config;
+    Config.Depth = Depth;
+    Config.Domain = AbstractDomainKind::Disjuncts;
+    Certificate Cert = V.verify(X.data(), Budget, Config);
+    AttackResult Attack =
+        findPoisoningAttack(Ctx, allRows(Data), X.data(), Budget, Depth);
+    if (Cert.isRobust()) {
+      EXPECT_FALSE(Attack.Found)
+          << "attack found against a proven-robust instance";
+    }
+    if (Attack.Found) {
+      ++AttacksFound;
+      EnumerationResult Oracle = verifyByEnumeration(
+          Ctx, allRows(Data), X.data(), Budget, Depth);
+      EXPECT_FALSE(Oracle.Robust);
+    }
+  }
+  EXPECT_GT(AttacksFound, 0u);
+}
+
+TEST(AttackSearchTest, ReportsRetrainingEffort) {
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  AttackResult Attack = findPoisoningAttack(Ctx, allRows(Data), &X, 2, 1);
+  EXPECT_GT(Attack.Retrainings, 0u);
+  // The Figure 2 instance is provably robust at n = 2, so no attack.
+  EXPECT_FALSE(Attack.Found);
+}

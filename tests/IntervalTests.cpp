@@ -1,0 +1,143 @@
+//===- tests/IntervalTests.cpp - Interval domain unit tests -------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Interval.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+
+TEST(IntervalTest, EmptyIntervalBasics) {
+  Interval Empty = Interval::makeEmpty();
+  EXPECT_TRUE(Empty.isEmpty());
+  EXPECT_FALSE(Empty.contains(0.0));
+  EXPECT_EQ(Empty, Interval::makeEmpty());
+  EXPECT_EQ(Empty.str(), "[bot]");
+}
+
+TEST(IntervalTest, SingletonBasics) {
+  Interval Point(3.0);
+  EXPECT_FALSE(Point.isEmpty());
+  EXPECT_TRUE(Point.isSingleton());
+  EXPECT_EQ(Point.lb(), 3.0);
+  EXPECT_EQ(Point.ub(), 3.0);
+  EXPECT_TRUE(Point.contains(3.0));
+  EXPECT_FALSE(Point.contains(3.0001));
+}
+
+TEST(IntervalTest, ContainsInterval) {
+  Interval Outer(0.0, 10.0);
+  EXPECT_TRUE(Outer.containsInterval(Interval(2.0, 3.0)));
+  EXPECT_TRUE(Outer.containsInterval(Outer));
+  EXPECT_TRUE(Outer.containsInterval(Interval::makeEmpty()));
+  EXPECT_FALSE(Outer.containsInterval(Interval(-1.0, 3.0)));
+  EXPECT_FALSE(Interval::makeEmpty().containsInterval(Interval(1.0)));
+}
+
+TEST(IntervalTest, JoinIsLeastUpperBound) {
+  Interval A(0.0, 2.0);
+  Interval B(5.0, 7.0);
+  Interval J = A.join(B);
+  EXPECT_EQ(J, Interval(0.0, 7.0));
+  EXPECT_TRUE(J.containsInterval(A));
+  EXPECT_TRUE(J.containsInterval(B));
+  // Joining with empty is identity.
+  EXPECT_EQ(A.join(Interval::makeEmpty()), A);
+  EXPECT_EQ(Interval::makeEmpty().join(B), B);
+}
+
+TEST(IntervalTest, MeetIsIntersection) {
+  Interval A(0.0, 4.0);
+  Interval B(2.0, 7.0);
+  EXPECT_EQ(A.meet(B), Interval(2.0, 4.0));
+  EXPECT_TRUE(A.meet(Interval(5.0, 6.0)).isEmpty());
+  // Touching endpoints intersect in a point.
+  EXPECT_EQ(A.meet(Interval(4.0, 9.0)), Interval(4.0));
+  EXPECT_TRUE(A.meet(Interval::makeEmpty()).isEmpty());
+}
+
+TEST(IntervalTest, Addition) {
+  EXPECT_EQ(Interval(1.0, 2.0) + Interval(10.0, 20.0), Interval(11.0, 22.0));
+  EXPECT_TRUE((Interval::makeEmpty() + Interval(1.0)).isEmpty());
+}
+
+TEST(IntervalTest, Subtraction) {
+  EXPECT_EQ(Interval(1.0, 2.0) - Interval(10.0, 20.0),
+            Interval(-19.0, -8.0));
+}
+
+TEST(IntervalTest, MultiplicationSignCases) {
+  EXPECT_EQ(Interval(2.0, 3.0) * Interval(4.0, 5.0), Interval(8.0, 15.0));
+  EXPECT_EQ(Interval(-2.0, 3.0) * Interval(4.0, 5.0), Interval(-10.0, 15.0));
+  EXPECT_EQ(Interval(-3.0, -2.0) * Interval(-5.0, -4.0),
+            Interval(8.0, 15.0));
+  EXPECT_EQ(Interval(-1.0, 2.0) * Interval(-3.0, 4.0), Interval(-6.0, 8.0));
+}
+
+TEST(IntervalTest, DivisionPositiveDivisor) {
+  EXPECT_EQ(Interval(2.0, 6.0) / Interval(1.0, 2.0), Interval(1.0, 6.0));
+  EXPECT_EQ(Interval(0.0, 4.0) / Interval(2.0, 4.0), Interval(0.0, 2.0));
+}
+
+TEST(IntervalTest, ClampIntoUnit) {
+  Interval Unit(0.0, 1.0);
+  EXPECT_EQ(Interval(-0.5, 0.5).clamp(Unit), Interval(0.0, 0.5));
+  EXPECT_EQ(Interval(0.2, 1.7).clamp(Unit), Interval(0.2, 1.0));
+  EXPECT_EQ(Interval(2.0, 3.0).clamp(Unit), Interval(1.0, 1.0));
+}
+
+namespace {
+
+/// Property harness: every arithmetic op's result must contain the images
+/// of endpoint samples (soundness of the interval lifting).
+class IntervalPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+TEST_P(IntervalPropertyTest, ArithmeticIsSound) {
+  Rng R(GetParam());
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    double ALo = R.uniform(-10.0, 10.0);
+    double AHi = ALo + R.uniform(0.0, 5.0);
+    double BLo = R.uniform(-10.0, 10.0);
+    double BHi = BLo + R.uniform(0.0, 5.0);
+    Interval A(ALo, AHi);
+    Interval B(BLo, BHi);
+    for (int Sample = 0; Sample < 8; ++Sample) {
+      double X = R.uniform(ALo, AHi);
+      double Y = R.uniform(BLo, BHi);
+      EXPECT_TRUE((A + B).contains(X + Y));
+      EXPECT_TRUE((A - B).contains(X - Y));
+      EXPECT_TRUE((A * B).contains(X * Y));
+      EXPECT_TRUE(A.join(B).contains(X));
+      EXPECT_TRUE(A.join(B).contains(Y));
+      if (BLo > 0.0) {
+        EXPECT_TRUE((A / B).contains(X / Y));
+      }
+    }
+  }
+}
+
+TEST_P(IntervalPropertyTest, MeetCharacterizesMembership) {
+  Rng R(GetParam() ^ 0xbeef);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    double ALo = R.uniform(-5.0, 5.0);
+    double AHi = ALo + R.uniform(0.0, 3.0);
+    double BLo = R.uniform(-5.0, 5.0);
+    double BHi = BLo + R.uniform(0.0, 3.0);
+    Interval A(ALo, AHi);
+    Interval B(BLo, BHi);
+    Interval M = A.meet(B);
+    double X = R.uniform(-6.0, 6.0);
+    EXPECT_EQ(M.contains(X), A.contains(X) && B.contains(X));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalPropertyTest,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));

@@ -1,0 +1,87 @@
+//===- tests/RngTests.cpp - Deterministic RNG unit tests ----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace antidote;
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng A(42), B(43);
+  int Different = 0;
+  for (int I = 0; I < 100; ++I)
+    Different += A.next() != B.next();
+  EXPECT_GT(Different, 90);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double V = R.uniform();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+    double W = R.uniform(-3.0, 5.0);
+    EXPECT_GE(W, -3.0);
+    EXPECT_LT(W, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRangeAndHitsAllValues) {
+  Rng R(11);
+  std::vector<int> Histogram(6, 0);
+  for (int I = 0; I < 6000; ++I) {
+    uint64_t V = R.uniformInt(6);
+    ASSERT_LT(V, 6u);
+    ++Histogram[V];
+  }
+  for (int Count : Histogram) {
+    EXPECT_GT(Count, 800);
+    EXPECT_LT(Count, 1200);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng R(13);
+  double Sum = 0.0, SumSq = 0.0;
+  const int N = 50000;
+  for (int I = 0; I < N; ++I) {
+    double V = R.gaussian();
+    Sum += V;
+    SumSq += V * V;
+  }
+  double Mean = Sum / N;
+  double Var = SumSq / N - Mean * Mean;
+  EXPECT_NEAR(Mean, 0.0, 0.02);
+  EXPECT_NEAR(Var, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianAffineTransform) {
+  Rng R(17);
+  double Sum = 0.0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Sum += R.gaussian(10.0, 0.5);
+  EXPECT_NEAR(Sum / N, 10.0, 0.05);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng R(19);
+  int Hits = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.3, 0.02);
+}

@@ -1,0 +1,206 @@
+//===- tests/SweepTests.cpp - Experiment protocol tests -----------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Sweep.h"
+
+#include "TestUtil.h"
+#include "antidote/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+/// A tiny separable train/test pair the protocol can chew through quickly.
+struct TinyBench {
+  Dataset Train;
+  Dataset Test;
+  std::vector<uint32_t> VerifyRows;
+
+  TinyBench()
+      : Train(DatasetSchema::uniform(1, FeatureKind::Real, 2)),
+        Test(DatasetSchema::uniform(1, FeatureKind::Real, 2)) {
+    for (int I = 0; I < 16; ++I)
+      Train.addRow({static_cast<float>(I)}, I < 8 ? 0u : 1u);
+    for (int I = 0; I < 6; ++I) {
+      Test.addRow({static_cast<float>(I) + 0.25f}, I < 3 ? 0u : 1u);
+      VerifyRows.push_back(static_cast<uint32_t>(I));
+    }
+  }
+};
+
+SweepConfig tinyConfig() {
+  SweepConfig Config;
+  Config.Depths = {1, 2};
+  Config.MaxPoisoning = 16;
+  Config.InstanceTimeoutSeconds = 5.0;
+  return Config;
+}
+
+} // namespace
+
+TEST(SweepTest, ProtocolProducesSeriesPerDepthAndDomain) {
+  TinyBench Bench;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, tinyConfig());
+  EXPECT_EQ(Result.Series.size(), 4u); // 2 depths x 2 domains.
+  for (const SweepSeries &S : Result.Series) {
+    EXPECT_FALSE(S.Cells.empty());
+    EXPECT_EQ(S.MaxVerifiedN.size(), Bench.VerifyRows.size());
+    // Cells sorted ascending in n, starting at 1.
+    EXPECT_EQ(S.Cells.front().Poisoning, 1u);
+    for (size_t I = 1; I < S.Cells.size(); ++I)
+      EXPECT_LT(S.Cells[I - 1].Poisoning, S.Cells[I].Poisoning);
+  }
+}
+
+TEST(SweepTest, SeparableDataVerifiesAtSmallN) {
+  TinyBench Bench;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, tinyConfig());
+  // The margin is wide: at n = 1 everything should verify at depth 1.
+  double Fraction = Result.fractionVerified(1, 1);
+  EXPECT_DOUBLE_EQ(Fraction, 1.0);
+  // And nothing verifies beyond |T|.
+  EXPECT_DOUBLE_EQ(Result.fractionVerified(1, 16), 0.0);
+}
+
+TEST(SweepTest, FractionVerifiedIsAntiMonotoneInN) {
+  TinyBench Bench;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, tinyConfig());
+  for (unsigned Depth : {1u, 2u}) {
+    double Prev = 1.0;
+    for (uint32_t N : Result.attemptedPoisonings(Depth)) {
+      double Fraction = Result.fractionVerified(Depth, N);
+      EXPECT_LE(Fraction, Prev + 1e-12);
+      Prev = Fraction;
+    }
+  }
+}
+
+TEST(SweepTest, DomainFilterRestrictsUnion) {
+  TinyBench Bench;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, tinyConfig());
+  for (uint32_t N : Result.attemptedPoisonings(1)) {
+    double Box = Result.fractionVerified(1, N, {"box"});
+    double Disj = Result.fractionVerified(1, N, {"disjuncts"});
+    double Union = Result.fractionVerified(1, N);
+    EXPECT_GE(Union, Box);
+    EXPECT_GE(Union, Disj);
+    EXPECT_LE(Union, Box + Disj + 1e-12);
+  }
+}
+
+TEST(SweepTest, CellStatisticsAreConsistent) {
+  TinyBench Bench;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, tinyConfig());
+  for (const SweepSeries &S : Result.Series)
+    for (const SweepCell &Cell : S.Cells) {
+      EXPECT_LE(Cell.Verified + Cell.Timeouts + Cell.ResourceFailures,
+                Cell.Attempted);
+      EXPECT_GE(Cell.avgSeconds(), 0.0);
+      EXPECT_GE(Cell.avgPeakStateBytes(), 0.0);
+      EXPECT_GT(Cell.Attempted, 0u);
+    }
+}
+
+TEST(SweepTest, BinarySearchProbesBetweenLastSuccessAndFailure) {
+  // With survivors at some n and total failure at 2n, the protocol should
+  // record probes strictly between them.
+  TinyBench Bench;
+  SweepConfig Config = tinyConfig();
+  Config.Depths = {1};
+  Config.Domains = {{"box", AbstractDomainKind::Box, 0}};
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, Config);
+  ASSERT_EQ(Result.Series.size(), 1u);
+  const SweepSeries &S = Result.Series[0];
+  // Max verified n across instances.
+  uint32_t MaxN = 0;
+  for (uint32_t N : S.MaxVerifiedN)
+    MaxN = std::max(MaxN, N);
+  ASSERT_GT(MaxN, 0u);
+  // Some probe at the exact frontier: there is a cell with Poisoning ==
+  // MaxN where at least one instance verified, and (if MaxN isn't the last
+  // doubling point) a failing probe above it.
+  bool FrontierSeen = false;
+  for (const SweepCell &Cell : S.Cells)
+    if (Cell.Poisoning == MaxN && Cell.Verified > 0)
+      FrontierSeen = true;
+  EXPECT_TRUE(FrontierSeen);
+  // Binary search means the attempted n values are not only powers of two
+  // unless the frontier happens to be one.
+  bool NonPowerOfTwo = false;
+  for (const SweepCell &Cell : S.Cells)
+    if ((Cell.Poisoning & (Cell.Poisoning - 1)) != 0)
+      NonPowerOfTwo = true;
+  bool FrontierIsPower = (MaxN & (MaxN - 1)) == 0;
+  if (!FrontierIsPower) {
+    EXPECT_TRUE(NonPowerOfTwo);
+  }
+}
+
+TEST(SweepTest, DisablingBinarySearchLimitsToPowersOfTwo) {
+  TinyBench Bench;
+  SweepConfig Config = tinyConfig();
+  Config.BinarySearchOnFailure = false;
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, Config);
+  for (const SweepSeries &S : Result.Series)
+    for (const SweepCell &Cell : S.Cells)
+      EXPECT_EQ(Cell.Poisoning & (Cell.Poisoning - 1), 0u)
+          << Cell.Poisoning << " attempted without binary search";
+}
+
+//===----------------------------------------------------------------------===//
+// Report formatting
+//===----------------------------------------------------------------------===//
+
+TEST(ReportTest, FormatSeconds) {
+  EXPECT_EQ(formatSeconds(0.000001), "1 us");
+  EXPECT_EQ(formatSeconds(0.0123), "12.3 ms");
+  EXPECT_EQ(formatSeconds(1.5), "1.50 s");
+}
+
+TEST(ReportTest, FormatBytes) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(2048), "2.0 KB");
+  EXPECT_EQ(formatBytes(3.5 * 1024 * 1024), "3.5 MB");
+  EXPECT_EQ(formatBytes(2.0 * 1024 * 1024 * 1024), "2.00 GB");
+}
+
+TEST(ReportTest, FormatPercentAndDouble) {
+  EXPECT_EQ(formatPercent(0.974), "97.4");
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 0), "2");
+}
+
+TEST(ReportTest, TableAlignsColumns) {
+  TableWriter Table({"name", "n"});
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "12345"});
+  std::string Path = ::testing::TempDir() + "/antidote_table_test.txt";
+  std::FILE *F = std::fopen(Path.c_str(), "w+");
+  ASSERT_NE(F, nullptr);
+  Table.print(F);
+  std::fflush(F);
+  std::rewind(F);
+  char Buf[256];
+  std::string Content;
+  while (std::fgets(Buf, sizeof(Buf), F))
+    Content += Buf;
+  std::fclose(F);
+  std::remove(Path.c_str());
+  EXPECT_NE(Content.find("name   n"), std::string::npos);
+  EXPECT_NE(Content.find("alpha  1"), std::string::npos);
+  EXPECT_NE(Content.find("-----"), std::string::npos);
+}

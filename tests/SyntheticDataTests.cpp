@@ -1,0 +1,215 @@
+//===- tests/SyntheticDataTests.cpp - Dataset generator tests -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/MnistLike.h"
+#include "data/Registry.h"
+#include "data/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace antidote;
+
+TEST(SyntheticTest, IrisLikeShapeMatchesTable1) {
+  TrainTestSplit Split = makeIrisLike();
+  EXPECT_EQ(Split.Train.numRows(), 120u);
+  EXPECT_EQ(Split.Test.numRows(), 30u);
+  EXPECT_EQ(Split.Train.numFeatures(), 4u);
+  EXPECT_EQ(Split.Train.numClasses(), 3u);
+  // The exact-tie construction behind the footnote-10 quirk: equal
+  // per-class training counts.
+  std::vector<uint32_t> Counts = classCounts(Split.Train,
+                                             allRows(Split.Train));
+  EXPECT_EQ(Counts[0], 40u);
+  EXPECT_EQ(Counts[1], 40u);
+  EXPECT_EQ(Counts[2], 40u);
+}
+
+TEST(SyntheticTest, IrisLikeIsDeterministic) {
+  TrainTestSplit A = makeIrisLike(123);
+  TrainTestSplit B = makeIrisLike(123);
+  ASSERT_EQ(A.Train.numRows(), B.Train.numRows());
+  for (unsigned Row = 0; Row < A.Train.numRows(); ++Row) {
+    EXPECT_EQ(A.Train.label(Row), B.Train.label(Row));
+    for (unsigned F = 0; F < 4; ++F)
+      EXPECT_EQ(A.Train.value(Row, F), B.Train.value(Row, F));
+  }
+}
+
+TEST(SyntheticTest, IrisLikeSeedsDiffer) {
+  TrainTestSplit A = makeIrisLike(1);
+  TrainTestSplit B = makeIrisLike(2);
+  bool AnyDifferent = false;
+  for (unsigned Row = 0; Row < A.Train.numRows() && !AnyDifferent; ++Row)
+    for (unsigned F = 0; F < 4; ++F)
+      AnyDifferent |= A.Train.value(Row, F) != B.Train.value(Row, F);
+  EXPECT_TRUE(AnyDifferent);
+}
+
+TEST(SyntheticTest, MammographicShapeMatchesTable1) {
+  TrainTestSplit Split = makeMammographicLike();
+  EXPECT_EQ(Split.Train.numRows(), 664u);
+  EXPECT_EQ(Split.Test.numRows(), 166u);
+  EXPECT_EQ(Split.Train.numFeatures(), 5u);
+  EXPECT_EQ(Split.Train.numClasses(), 2u);
+  // All ordinal features within their documented ranges.
+  for (unsigned Row = 0; Row < Split.Train.numRows(); ++Row) {
+    EXPECT_GE(Split.Train.value(Row, 0), 1.0);
+    EXPECT_LE(Split.Train.value(Row, 0), 5.0);
+    EXPECT_GE(Split.Train.value(Row, 1), 18.0);
+    EXPECT_LE(Split.Train.value(Row, 1), 96.0);
+    EXPECT_GE(Split.Train.value(Row, 4), 1.0);
+    EXPECT_LE(Split.Train.value(Row, 4), 4.0);
+  }
+}
+
+TEST(SyntheticTest, WdbcShapeMatchesTable1) {
+  TrainTestSplit Split = makeWdbcLike();
+  EXPECT_EQ(Split.Train.numRows(), 456u);
+  EXPECT_EQ(Split.Test.numRows(), 113u);
+  EXPECT_EQ(Split.Train.numFeatures(), 30u);
+  EXPECT_EQ(Split.Train.numClasses(), 2u);
+}
+
+TEST(SyntheticTest, WdbcWorstExceedsMean) {
+  TrainTestSplit Split = makeWdbcLike();
+  // The (mean, se, worst) triple structure of the real data: "worst" is the
+  // largest of the per-nucleus values, so it must exceed the mean.
+  for (unsigned Row = 0; Row < Split.Train.numRows(); ++Row)
+    for (unsigned F = 0; F < 10; ++F)
+      EXPECT_GT(Split.Train.value(Row, F + 20), Split.Train.value(Row, F));
+}
+
+TEST(MnistLikeTest, ShapeMatchesPaper) {
+  MnistLikeConfig Config;
+  Config.TrainRows = 650;
+  Config.TestRows = 110;
+  TrainTestSplit Split = makeMnistLike17(Config);
+  EXPECT_EQ(Split.Train.numRows(), 650u);
+  EXPECT_EQ(Split.Test.numRows(), 110u);
+  EXPECT_EQ(Split.Train.numFeatures(), 784u);
+  EXPECT_EQ(Split.Train.numClasses(), 2u);
+}
+
+TEST(MnistLikeTest, ClassBalanceTracksMnist17) {
+  MnistLikeConfig Config;
+  Config.TrainRows = 1300;
+  Config.TestRows = 216;
+  TrainTestSplit Split = makeMnistLike17(Config);
+  std::vector<uint32_t> Counts = classCounts(Split.Train,
+                                             allRows(Split.Train));
+  // 6742/13007 ≈ 51.8% ones.
+  double OnesFraction = static_cast<double>(Counts[0]) / 1300.0;
+  EXPECT_NEAR(OnesFraction, 0.518, 0.01);
+}
+
+TEST(MnistLikeTest, BinaryVariantIsMsbOfReal) {
+  MnistLikeConfig RealConfig;
+  RealConfig.TrainRows = 60;
+  RealConfig.TestRows = 10;
+  RealConfig.Variant = MnistVariant::Real;
+  MnistLikeConfig BinConfig = RealConfig;
+  BinConfig.Variant = MnistVariant::Binary;
+  TrainTestSplit Real = makeMnistLike17(RealConfig);
+  TrainTestSplit Bin = makeMnistLike17(BinConfig);
+  ASSERT_EQ(Real.Train.numRows(), Bin.Train.numRows());
+  for (unsigned Row = 0; Row < Real.Train.numRows(); ++Row) {
+    EXPECT_EQ(Real.Train.label(Row), Bin.Train.label(Row));
+    for (unsigned P = 0; P < 784; ++P) {
+      float Expected = Real.Train.value(Row, P) >= 128.0 ? 1.0f : 0.0f;
+      EXPECT_EQ(Bin.Train.value(Row, P), Expected);
+    }
+  }
+}
+
+TEST(MnistLikeTest, PixelsWithinByteRange) {
+  MnistLikeConfig Config;
+  Config.TrainRows = 40;
+  Config.TestRows = 10;
+  TrainTestSplit Split = makeMnistLike17(Config);
+  for (unsigned Row = 0; Row < Split.Train.numRows(); ++Row)
+    for (unsigned P = 0; P < 784; ++P) {
+      EXPECT_GE(Split.Train.value(Row, P), 0.0);
+      EXPECT_LE(Split.Train.value(Row, P), 255.0);
+    }
+}
+
+TEST(MnistLikeTest, DigitsAreGeometricallyDistinct) {
+  // Sevens have a bright top bar; ones concentrate ink in the central
+  // columns. Check the aggregate statistics that make the task learnable.
+  Rng R(5);
+  float One[784], Seven[784];
+  double OneTopRow = 0, SevenTopRow = 0, OneCenter = 0, SevenCenter = 0;
+  const int Trials = 50;
+  for (int I = 0; I < Trials; ++I) {
+    renderMnistLikeDigit(0, R, One);
+    renderMnistLikeDigit(1, R, Seven);
+    for (unsigned Y = 3; Y <= 7; ++Y)
+      for (unsigned X = 6; X < 22; ++X) {
+        OneTopRow += One[Y * 28 + X];
+        SevenTopRow += Seven[Y * 28 + X];
+      }
+    for (unsigned Y = 8; Y < 24; ++Y)
+      for (unsigned X = 12; X < 17; ++X) {
+        OneCenter += One[Y * 28 + X];
+        SevenCenter += Seven[Y * 28 + X];
+      }
+  }
+  EXPECT_GT(SevenTopRow, OneTopRow * 1.5);
+  EXPECT_GT(OneCenter, SevenCenter * 1.2);
+}
+
+TEST(MnistLikeTest, AsciiArtHasGridShape) {
+  Rng R(6);
+  float Pixels[784];
+  renderMnistLikeDigit(1, R, Pixels);
+  std::string Art = asciiArtDigit(Pixels);
+  EXPECT_EQ(Art.size(), 29u * 28u); // 28 rows of 28 chars + newlines
+  EXPECT_NE(Art.find('@'), std::string::npos); // Some bright ink.
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, NamesListedInTable1Order) {
+  const std::vector<std::string> &Names = benchmarkDatasetNames();
+  ASSERT_EQ(Names.size(), 5u);
+  EXPECT_EQ(Names[0], "iris");
+  EXPECT_EQ(Names[4], "mnist17-real");
+}
+
+TEST(RegistryTest, ScaledDatasetsLoad) {
+  for (const std::string &Name : benchmarkDatasetNames()) {
+    BenchmarkDataset Bench = loadBenchmarkDataset(Name, BenchScale::Scaled);
+    EXPECT_EQ(Bench.Name, Name);
+    EXPECT_GT(Bench.Split.Train.numRows(), 0u);
+    EXPECT_GT(Bench.Split.Test.numRows(), 0u);
+    EXPECT_FALSE(Bench.VerifyRows.empty());
+    for (uint32_t Row : Bench.VerifyRows)
+      EXPECT_LT(Row, Bench.Split.Test.numRows());
+  }
+}
+
+TEST(RegistryTest, VerifyRowsAreDistinct) {
+  BenchmarkDataset Bench =
+      loadBenchmarkDataset("mnist17-binary", BenchScale::Scaled);
+  std::vector<uint32_t> Sorted = Bench.VerifyRows;
+  std::sort(Sorted.begin(), Sorted.end());
+  EXPECT_EQ(std::adjacent_find(Sorted.begin(), Sorted.end()), Sorted.end());
+}
+
+TEST(RegistryTest, ScaleFromEnvDefaultsToScaled) {
+  unsetenv("ANTIDOTE_BENCH_SCALE");
+  EXPECT_EQ(benchScaleFromEnv(), BenchScale::Scaled);
+  setenv("ANTIDOTE_BENCH_SCALE", "full", 1);
+  EXPECT_EQ(benchScaleFromEnv(), BenchScale::Full);
+  setenv("ANTIDOTE_BENCH_SCALE", "scaled", 1);
+  EXPECT_EQ(benchScaleFromEnv(), BenchScale::Scaled);
+  unsetenv("ANTIDOTE_BENCH_SCALE");
+}

@@ -1,0 +1,129 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared across the test suite: the paper's Figure 2 running
+/// example, random small datasets for the property-based soundness tests,
+/// and an exhaustive ∆n(T) subset enumerator used as a ground-truth oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_TESTS_TESTUTIL_H
+#define ANTIDOTE_TESTS_TESTUTIL_H
+
+#include "data/Dataset.h"
+#include "support/Rng.h"
+
+#include <functional>
+
+namespace antidote {
+namespace testutil {
+
+/// The 13-element black/white dataset of paper Figure 2: one real feature
+/// with values {0..4, 7..14}; class 0 = white, class 1 = black. Black
+/// elements are 0, 4, 11, 12, 13, 14.
+inline Dataset figure2Dataset() {
+  DatasetSchema Schema = DatasetSchema::uniform(1, FeatureKind::Real, 2);
+  Schema.ClassNames = {"white", "black"};
+  Dataset Data(Schema);
+  struct Point {
+    float X;
+    unsigned Label;
+  };
+  static const Point Points[] = {
+      {0, 1}, {1, 0}, {2, 0}, {3, 0},  {4, 1},  {7, 0},  {8, 0},
+      {9, 0}, {10, 0}, {11, 1}, {12, 1}, {13, 1}, {14, 1},
+  };
+  for (const Point &P : Points)
+    Data.addRow({P.X}, P.Label);
+  return Data;
+}
+
+/// Parameters for random dataset generation in property tests.
+struct RandomDatasetSpec {
+  unsigned MinRows = 4;
+  unsigned MaxRows = 10;
+  unsigned NumFeatures = 2;
+  unsigned NumClasses = 2;
+  bool BooleanFeatures = false;
+  /// Real features draw from {0, 1, ..., DistinctValues-1} so that ties and
+  /// duplicated values (the interesting edge cases) occur often.
+  unsigned DistinctValues = 5;
+};
+
+/// A small random dataset for property-based testing.
+inline Dataset makeRandomDataset(Rng &R, const RandomDatasetSpec &Spec) {
+  DatasetSchema Schema = DatasetSchema::uniform(
+      Spec.NumFeatures,
+      Spec.BooleanFeatures ? FeatureKind::Boolean : FeatureKind::Real,
+      Spec.NumClasses);
+  Dataset Data(Schema);
+  unsigned Rows =
+      Spec.MinRows +
+      static_cast<unsigned>(R.uniformInt(Spec.MaxRows - Spec.MinRows + 1));
+  std::vector<float> Features(Spec.NumFeatures);
+  for (unsigned Row = 0; Row < Rows; ++Row) {
+    for (float &V : Features)
+      V = Spec.BooleanFeatures
+              ? static_cast<float>(R.uniformInt(2))
+              : static_cast<float>(R.uniformInt(Spec.DistinctValues));
+    Data.addRow(Features, static_cast<unsigned>(
+                              R.uniformInt(Spec.NumClasses)));
+  }
+  return Data;
+}
+
+/// A random query point matching the value range of \p Spec (including
+/// half-integer values that fall *between* training values, to exercise the
+/// symbolic predicates' `maybe` evaluation).
+inline std::vector<float> makeRandomQuery(Rng &R,
+                                          const RandomDatasetSpec &Spec) {
+  std::vector<float> X(Spec.NumFeatures);
+  for (float &V : X) {
+    if (Spec.BooleanFeatures) {
+      V = static_cast<float>(R.uniformInt(2));
+      continue;
+    }
+    V = static_cast<float>(R.uniformInt(Spec.DistinctValues));
+    if (R.bernoulli(0.5))
+      V += 0.5f;
+  }
+  return X;
+}
+
+/// Invokes \p Fn on every T' ∈ ∆n(Rows) (kept-row subsets obtained by
+/// deleting at most \p Budget rows), excluding the empty set. Subsets are
+/// visited exactly once.
+inline void
+forEachPerturbedSubset(const RowIndexList &Rows, uint32_t Budget,
+                       const std::function<void(const RowIndexList &)> &Fn) {
+  std::vector<uint8_t> Removed(Rows.size(), 0);
+  std::function<void(size_t, uint32_t, size_t)> Recurse =
+      [&](size_t First, uint32_t Remaining, size_t NumRemoved) {
+        if (NumRemoved < Rows.size()) {
+          RowIndexList Kept;
+          Kept.reserve(Rows.size() - NumRemoved);
+          for (size_t I = 0; I < Rows.size(); ++I)
+            if (!Removed[I])
+              Kept.push_back(Rows[I]);
+          Fn(Kept);
+        }
+        if (Remaining == 0)
+          return;
+        for (size_t I = First; I < Rows.size(); ++I) {
+          Removed[I] = 1;
+          Recurse(I + 1, Remaining - 1, NumRemoved + 1);
+          Removed[I] = 0;
+        }
+      };
+  Recurse(0, Budget, 0);
+}
+
+} // namespace testutil
+} // namespace antidote
+
+#endif // ANTIDOTE_TESTS_TESTUTIL_H

@@ -1,0 +1,263 @@
+//===- tests/VerifierTests.cpp - Verifier facade + domination tests -----------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Verifier.h"
+
+#include "TestUtil.h"
+#include "antidote/Enumeration.h"
+#include "abstract/Domination.h"
+#include "data/Synthetic.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+//===----------------------------------------------------------------------===//
+// Domination (Corollary 4.12)
+//===----------------------------------------------------------------------===//
+
+TEST(DominationTest, ClearDomination) {
+  std::vector<Interval> Probs = {Interval(0.7, 0.9), Interval(0.1, 0.3)};
+  std::optional<unsigned> Class = dominatingClassOf(Probs);
+  ASSERT_TRUE(Class.has_value());
+  EXPECT_EQ(*Class, 0u);
+}
+
+TEST(DominationTest, OverlapMeansNoDomination) {
+  std::vector<Interval> Probs = {Interval(0.4, 0.6), Interval(0.5, 0.7)};
+  EXPECT_FALSE(dominatingClassOf(Probs).has_value());
+}
+
+TEST(DominationTest, TouchingBoundsDoNotDominate) {
+  // Strict inequality: l_i > u_j. Equal bounds could be a tie, which the
+  // paper's nondeterministic label choice may resolve either way.
+  std::vector<Interval> Probs = {Interval(0.5, 0.6), Interval(0.3, 0.5)};
+  EXPECT_FALSE(dominatingClassOf(Probs).has_value());
+}
+
+TEST(DominationTest, ThreeClassDomination) {
+  std::vector<Interval> Probs = {Interval(0.0, 0.2), Interval(0.5, 0.8),
+                                 Interval(0.1, 0.4)};
+  std::optional<unsigned> Class = dominatingClassOf(Probs);
+  ASSERT_TRUE(Class.has_value());
+  EXPECT_EQ(*Class, 1u);
+}
+
+TEST(DominationTest, TrackerRequiresAgreementAcrossTerminals) {
+  Dataset Data = figure2Dataset();
+  DominationTracker Tracker(CprobTransformerKind::Optimal);
+  EXPECT_FALSE(Tracker.dominatingClass().has_value()); // No terminals yet.
+  // Terminal 1: mostly white.
+  Tracker.addTerminal(AbstractDataset(Data, {1, 2, 3, 5}, 0)); // 4 white.
+  ASSERT_TRUE(Tracker.dominatingClass().has_value());
+  EXPECT_EQ(*Tracker.dominatingClass(), 0u);
+  // Terminal 2: all black → disagreement → failure.
+  Tracker.addTerminal(AbstractDataset(Data, {9, 10, 11}, 0));
+  EXPECT_TRUE(Tracker.failed());
+  EXPECT_FALSE(Tracker.dominatingClass().has_value());
+}
+
+TEST(DominationTest, TrackerFailsOnUndominatedTerminal) {
+  Dataset Data = figure2Dataset();
+  DominationTracker Tracker(CprobTransformerKind::Optimal);
+  // One white, one black, budget 1: intervals overlap.
+  Tracker.addTerminal(AbstractDataset(Data, {1, 4}, 1));
+  EXPECT_TRUE(Tracker.failed());
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier end-to-end on the running example
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class VerifierDomainTest
+    : public ::testing::TestWithParam<AbstractDomainKind> {};
+
+} // namespace
+
+TEST_P(VerifierDomainTest, Figure2InputFiveRobustAtZeroBudget) {
+  // Every domain proves the trivial ∆0 property on the running example.
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = GetParam();
+  float X = 5.0f;
+  Certificate Cert = V.verify(&X, 0, Config);
+  EXPECT_EQ(Cert.Kind, VerdictKind::Robust);
+  EXPECT_EQ(Cert.ConcretePrediction, 0u);
+  ASSERT_TRUE(Cert.DominatingClass.has_value());
+  EXPECT_EQ(*Cert.DominatingClass, 0u);
+  EXPECT_TRUE(Cert.isRobust());
+}
+
+TEST(VerifierTest, Figure2DisjunctsProveOnePoisoning) {
+  // The §2 narrative instances, provable with the disjunctive domain at
+  // n = 1: 5 stays white and 18 stays black no matter which single
+  // training element an attacker contributed.
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  float Five = 5.0f, Eighteen = 18.0f;
+  Certificate CertFive = V.verify(&Five, 1, Config);
+  EXPECT_EQ(CertFive.Kind, VerdictKind::Robust);
+  EXPECT_EQ(CertFive.ConcretePrediction, 0u);
+  Certificate CertEighteen = V.verify(&Eighteen, 1, Config);
+  EXPECT_EQ(CertEighteen.Kind, VerdictKind::Robust);
+  EXPECT_EQ(CertEighteen.ConcretePrediction, 1u);
+}
+
+TEST(VerifierTest, SoundButIncompleteAtTwoPoisonings) {
+  // §2 "Abstraction and Imprecision": the analysis is necessarily
+  // incomplete. At n = 2 the symbolic threshold gap (4, 7) keeps a
+  // non-dominated branch alive for x = 5 even though exhaustive
+  // enumeration shows the instance is robust.
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  SplitContext Ctx(Data);
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  float X = 5.0f;
+  Certificate Cert = V.verify(&X, 2, Config);
+  EXPECT_EQ(Cert.Kind, VerdictKind::Unknown);
+  EnumerationResult Oracle =
+      verifyByEnumeration(Ctx, allRows(Data), &X, 2, 1);
+  EXPECT_TRUE(Oracle.Robust);
+}
+
+TEST_P(VerifierDomainTest, ExcessiveBudgetIsNotProvable) {
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = GetParam();
+  float X = 5.0f;
+  Certificate Cert = V.verify(&X, 13, Config);
+  EXPECT_EQ(Cert.Kind, VerdictKind::Unknown);
+  EXPECT_FALSE(Cert.isRobust());
+}
+
+INSTANTIATE_TEST_SUITE_P(Domains, VerifierDomainTest,
+                         ::testing::Values(
+                             AbstractDomainKind::Box,
+                             AbstractDomainKind::Disjuncts,
+                             AbstractDomainKind::DisjunctsCapped),
+                         [](const auto &Info) {
+                           std::string Name = domainKindName(Info.param);
+                           for (char &C : Name)
+                             if (C == '-')
+                               C = '_';
+                           return Name;
+                         });
+
+TEST(VerifierTest, PredictMatchesTrace) {
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  float X = 9.0f;
+  TraceResult Trace = V.trace(&X, 2);
+  EXPECT_EQ(V.predict(&X, 2), Trace.PredictedClass);
+}
+
+TEST(VerifierTest, ZeroBudgetAlwaysRobust) {
+  // ∆0(T) = {T}: robustness is trivially provable for any input whose
+  // final cprob has a unique argmax.
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  VerifierConfig Config;
+  // Query points sit on training values (or beyond the range): a query
+  // strictly inside a gap between training values evaluates to `maybe` on
+  // the gap's symbolic predicate, which loses precision even at n = 0.
+  Config.Depth = 2;
+  for (float X : {0.0f, 3.0f, 8.0f, 12.0f, 20.0f}) {
+    Certificate Cert = V.verify(&X, 0, Config);
+    EXPECT_EQ(Cert.Kind, VerdictKind::Robust) << "x = " << X;
+  }
+}
+
+TEST(VerifierTest, CertificateSummaryMentionsVerdict) {
+  Dataset Data = figure2Dataset();
+  Verifier V(Data);
+  VerifierConfig Config;
+  Config.Depth = 1;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  float X = 5.0f;
+  Certificate Cert = V.verify(&X, 1, Config);
+  std::string Summary = Cert.summary();
+  EXPECT_NE(Summary.find("robust"), std::string::npos);
+  EXPECT_NE(Summary.find("n=1"), std::string::npos);
+}
+
+TEST(VerifierTest, TimeoutVerdictSurfaces) {
+  TrainTestSplit Split = makeIrisLike();
+  Verifier V(Split.Train);
+  VerifierConfig Config;
+  Config.Depth = 4;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.TimeoutSeconds = 1e-9;
+  Certificate Cert = V.verify(Split.Test.row(0), 8, Config);
+  EXPECT_EQ(Cert.Kind, VerdictKind::Timeout);
+}
+
+TEST(VerifierTest, ResourceLimitVerdictSurfaces) {
+  TrainTestSplit Split = makeIrisLike();
+  Verifier V(Split.Train);
+  VerifierConfig Config;
+  Config.Depth = 4;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.MaxDisjuncts = 1;
+  Certificate Cert = V.verify(Split.Test.row(1), 16, Config);
+  EXPECT_EQ(Cert.Kind, VerdictKind::ResourceLimit);
+}
+
+TEST(VerifierTest, IrisDepthOneFootnote10Quirk) {
+  // Footnote 10: the depth-1 Iris tree has an exact 50/50 leaf, so nothing
+  // reaching that leaf is provable even at n = 1; at depth 2 the extra
+  // split restores provability for a decent fraction.
+  TrainTestSplit Split = makeIrisLike();
+  Verifier V(Split.Train);
+  VerifierConfig Depth1;
+  Depth1.Depth = 1;
+  Depth1.Domain = AbstractDomainKind::Disjuncts;
+  VerifierConfig Depth2 = Depth1;
+  Depth2.Depth = 2;
+  unsigned Robust1 = 0, Robust2 = 0;
+  for (unsigned Row = 0; Row < Split.Test.numRows(); ++Row) {
+    Robust1 += V.verify(Split.Test.row(Row), 1, Depth1).isRobust();
+    Robust2 += V.verify(Split.Test.row(Row), 1, Depth2).isRobust();
+  }
+  EXPECT_LT(Robust1, Split.Test.numRows() / 2);
+  EXPECT_GT(Robust2, Robust1);
+}
+
+TEST(VerifierTest, VerdictsAcrossCprobTransformers) {
+  // The optimal transformer proves everything the naive one proves.
+  Rng R(1234);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 10;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    Verifier V(Data);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+    VerifierConfig Naive;
+    Naive.Depth = 2;
+    Naive.Cprob = CprobTransformerKind::NaiveInterval;
+    VerifierConfig Optimal = Naive;
+    Optimal.Cprob = CprobTransformerKind::Optimal;
+    for (uint32_t N : {1u, 2u}) {
+      bool NaiveRobust = V.verify(X.data(), N, Naive).isRobust();
+      bool OptimalRobust = V.verify(X.data(), N, Optimal).isRobust();
+      if (NaiveRobust) {
+        EXPECT_TRUE(OptimalRobust);
+      }
+    }
+  }
+}
