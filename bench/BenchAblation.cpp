@@ -74,7 +74,7 @@ int main() {
       VerifierConfig Optimal;
       Optimal.Depth = 2;
       Optimal.Domain = AbstractDomainKind::Disjuncts;
-      Optimal.TimeoutSeconds = 2.0;
+      Optimal.Limits.TimeoutSeconds = 2.0;
       VerifierConfig Naive = Optimal;
       Naive.Cprob = CprobTransformerKind::NaiveInterval;
       BatchOutcome A = runBatch(V, Test, Bench.VerifyRows, N, Optimal);
@@ -100,7 +100,7 @@ int main() {
       VerifierConfig Exact;
       Exact.Depth = 2;
       Exact.Domain = AbstractDomainKind::Disjuncts;
-      Exact.TimeoutSeconds = 2.0;
+      Exact.Limits.TimeoutSeconds = 2.0;
       VerifierConfig Natural = Exact;
       Natural.Gini = GiniLiftingKind::NaturalLifting;
       BatchOutcome A = runBatch(V, Test, Bench.VerifyRows, N, Exact);
@@ -134,7 +134,7 @@ int main() {
                        size_t(64), size_t(0)}) {
       VerifierConfig Config;
       Config.Depth = 3;
-      Config.TimeoutSeconds = 2.0;
+      Config.Limits.TimeoutSeconds = 2.0;
       if (Cap == 0) {
         Config.Domain = AbstractDomainKind::Disjuncts;
       } else {

@@ -19,7 +19,7 @@ int main() {
   Spec.PaperFigure = "Figure 10";
   Spec.Full = paperScaleConfig();
   Spec.Scaled = scaledConfig();
-  Spec.Scaled.InstanceTimeoutSeconds = 2.0;
+  Spec.Scaled.InstanceLimits.TimeoutSeconds = 2.0;
   Spec.PaperShapeNotes = {
       "Robustness provable out to n in the tens at depths >= 2",
       "30 real features make bestSplit# markedly more expensive than on "

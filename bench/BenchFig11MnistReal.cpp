@@ -24,7 +24,7 @@ int main() {
   // at depth 3 with disjuncts and 0.05% poisoning); at bench scale we keep
   // the instance budget tight and depths shallow so the suite terminates.
   Spec.Scaled.Depths = {1, 2};
-  Spec.Scaled.InstanceTimeoutSeconds = 1.5;
+  Spec.Scaled.InstanceLimits.TimeoutSeconds = 1.5;
   Spec.PaperShapeNotes = {
       "Same dataset size as MNIST-1-7-Binary but real features: a massive "
       "slowdown and fewer instances proven (the §6.3 binary-vs-real "

@@ -37,9 +37,9 @@ int main() {
       // most expensive corner (MNIST-like with real features).
       if (Name == "mnist17-real") {
         Config.Depths = {1, 2};
-        Config.InstanceTimeoutSeconds = 1.5;
+        Config.InstanceLimits.TimeoutSeconds = 1.5;
       } else if (Name == "mnist17-binary") {
-        Config.InstanceTimeoutSeconds = 0.75;
+        Config.InstanceLimits.TimeoutSeconds = 0.75;
       }
     }
     BenchmarkDataset Bench = loadBenchmarkDataset(Name, Scale);

@@ -20,7 +20,7 @@ int main() {
   Spec.PaperFigure = "Figure 7";
   Spec.Full = paperScaleConfig();
   Spec.Scaled = scaledConfig();
-  Spec.Scaled.InstanceTimeoutSeconds = 0.75;
+  Spec.Scaled.InstanceLimits.TimeoutSeconds = 0.75;
   Spec.PaperShapeNotes = {
       "Disjuncts verifies more instances than Box at every depth >= 2",
       "e.g. depth 3, n = 64: Disjuncts 52 vs Box 15 verified (of 100)",

@@ -20,7 +20,7 @@ int main() {
   Spec.PaperFigure = "Figure 8";
   Spec.Full = paperScaleConfig();
   Spec.Scaled = scaledConfig();
-  Spec.Scaled.InstanceTimeoutSeconds = 2.0;
+  Spec.Scaled.InstanceLimits.TimeoutSeconds = 2.0;
   Spec.PaperShapeNotes = {
       "Depth 1 verifies almost nothing even at n = 1: the depth-1 tree has "
       "an exact 50/50 leaf (footnote 10), so any single removal could flip "

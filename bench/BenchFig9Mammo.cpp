@@ -19,7 +19,7 @@ int main() {
   Spec.PaperFigure = "Figure 9";
   Spec.Full = paperScaleConfig();
   Spec.Scaled = scaledConfig();
-  Spec.Scaled.InstanceTimeoutSeconds = 2.0;
+  Spec.Scaled.InstanceLimits.TimeoutSeconds = 2.0;
   Spec.PaperShapeNotes = {
       "A sizable fraction verifies out to n in the tens (up to ~10% of the "
       "training set) — the most poisoning-tolerant UCI benchmark",

@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "abstract/AbstractBestSplit.h"
+#include "antidote/Sweep.h"
 #include "antidote/Verifier.h"
 #include "data/Registry.h"
 
@@ -133,7 +134,7 @@ static void BM_VerifyQuery(benchmark::State &State) {
   Config.Depth = 2;
   Config.Domain = State.range(0) ? AbstractDomainKind::Disjuncts
                                  : AbstractDomainKind::Box;
-  Config.TimeoutSeconds = 5.0;
+  Config.Limits.TimeoutSeconds = 5.0;
   const float *X = mammo().Split.Test.row(1);
   uint32_t Budget = static_cast<uint32_t>(State.range(1));
   for (auto _ : State) {
@@ -146,5 +147,30 @@ BENCHMARK(BM_VerifyQuery)
     ->Args({1, 2})
     ->Args({0, 16})
     ->Args({1, 16});
+
+// Serial-vs-parallel scaling of the §6.1 sweep: the same synthetic
+// workload at Jobs = 1/2/4. Aggregates are identical across thread counts
+// (tests/ParallelSweepTests.cpp enforces this); only wall clock should
+// move. Real time is what matters for a multithreaded region, hence
+// UseRealTime. On a single-core machine expect ~1x.
+static void BM_PoisoningSweepJobs(benchmark::State &State) {
+  const BenchmarkDataset &Bench = mammo();
+  SweepConfig Config;
+  Config.Depths = {1, 2};
+  Config.InstanceLimits.TimeoutSeconds = 5.0;
+  Config.MaxPoisoning = 64;
+  Config.Jobs = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    SweepResult Result = runPoisoningSweep(
+        Bench.Split.Train, Bench.Split.Test, Bench.VerifyRows, Config);
+    benchmark::DoNotOptimize(Result.Series.data());
+  }
+}
+BENCHMARK(BM_PoisoningSweepJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 BENCHMARK_MAIN();

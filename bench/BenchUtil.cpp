@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 
 using namespace antidote;
 using namespace antidote::benchutil;
@@ -20,9 +21,9 @@ using namespace antidote::benchutil;
 SweepConfig antidote::benchutil::paperScaleConfig() {
   SweepConfig Config;
   Config.Depths = {1, 2, 3, 4};
-  Config.InstanceTimeoutSeconds = 3600.0;
-  Config.MaxDisjuncts = 1u << 22;
-  Config.MaxStateBytes = 32ull << 30;
+  Config.InstanceLimits.TimeoutSeconds = 3600.0;
+  Config.InstanceLimits.MaxDisjuncts = 1u << 22;
+  Config.InstanceLimits.MaxStateBytes = 32ull << 30;
   Config.MaxPoisoning = 1u << 14;
   return Config;
 }
@@ -30,28 +31,37 @@ SweepConfig antidote::benchutil::paperScaleConfig() {
 SweepConfig antidote::benchutil::scaledConfig() {
   SweepConfig Config;
   Config.Depths = {1, 2, 3, 4};
-  Config.InstanceTimeoutSeconds = 1.0;
-  Config.MaxDisjuncts = 1u << 16;
-  Config.MaxStateBytes = 1ull << 30;
+  Config.InstanceLimits.TimeoutSeconds = 1.0;
+  Config.InstanceLimits.MaxDisjuncts = 1u << 16;
+  Config.InstanceLimits.MaxStateBytes = 1ull << 30;
   Config.MaxPoisoning = 1u << 12;
   return Config;
+}
+
+unsigned antidote::benchutil::benchJobsFromEnv() {
+  const char *Env = std::getenv("ANTIDOTE_JOBS");
+  if (!Env || !*Env)
+    return 1;
+  return static_cast<unsigned>(std::atoi(Env));
 }
 
 SweepResult
 antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   BenchScale Scale = benchScaleFromEnv();
-  const SweepConfig &Config =
-      Scale == BenchScale::Full ? Spec.Full : Spec.Scaled;
+  SweepConfig Config = Scale == BenchScale::Full ? Spec.Full : Spec.Scaled;
+  Config.Jobs = benchJobsFromEnv();
 
   BenchmarkDataset Bench = loadBenchmarkDataset(Spec.DatasetName, Scale);
   std::printf("=== %s reproduction: %s ===\n", Spec.PaperFigure.c_str(),
               Spec.DatasetName.c_str());
-  std::printf("scale: %s (set ANTIDOTE_BENCH_SCALE=full for paper scale)\n",
-              Scale == BenchScale::Full ? "full" : "scaled");
+  std::printf("scale: %s (set ANTIDOTE_BENCH_SCALE=full for paper scale); "
+              "jobs: %u (ANTIDOTE_JOBS; 0 = all cores)\n",
+              Scale == BenchScale::Full ? "full" : "scaled", Config.Jobs);
   std::printf("train %u rows x %u features; verifying %zu test inputs; "
               "timeout %.1fs/instance\n\n",
               Bench.Split.Train.numRows(), Bench.Split.Train.numFeatures(),
-              Bench.VerifyRows.size(), Config.InstanceTimeoutSeconds);
+              Bench.VerifyRows.size(),
+              Config.InstanceLimits.TimeoutSeconds);
 
   Timer Total;
   SweepResult Result = runPoisoningSweep(Bench.Split.Train, Bench.Split.Test,

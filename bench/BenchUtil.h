@@ -43,6 +43,10 @@ SweepConfig paperScaleConfig();
 /// Scaled-down defaults used when ANTIDOTE_BENCH_SCALE != full.
 SweepConfig scaledConfig();
 
+/// Reads ANTIDOTE_JOBS: the sweep's verification worker threads ("0" =
+/// one per hardware thread). Defaults to 1 (serial).
+unsigned benchJobsFromEnv();
+
 /// Runs the spec at the scale selected by the environment and prints the
 /// figure panels. Returns the sweep result for further custom reporting.
 SweepResult runFigureBench(const FigureBenchSpec &Spec);

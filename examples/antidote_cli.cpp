@@ -9,8 +9,10 @@
 //   antidote_cli --train train.csv --query "5.1,3.5,1.4,0.2" --n 8
 //                --depth 2 --domain disjuncts
 //   antidote_cli --dataset mammography --row 3 --n 16 --flip
+//   antidote_cli --dataset iris --all --n 4 --jobs 8
 //
-// Exit code 0 = robust proven, 1 = not proven, 2 = usage/load error.
+// Exit code 0 = robust proven (with --all: every row proven), 1 = not
+// proven, 2 = usage/load error.
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,9 +21,11 @@
 #include "data/Csv.h"
 #include "data/Registry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 using namespace antidote;
@@ -34,21 +38,23 @@ struct CliOptions {
   std::string DatasetName;
   std::string QueryValues; ///< Comma-separated feature vector.
   int TestRow = -1;        ///< Row of the registry test split to query.
+  bool AllRows = false;    ///< Verify every row of the test split.
   uint32_t Budget = 1;
   unsigned Depth = 2;
   AbstractDomainKind Domain = AbstractDomainKind::Disjuncts;
   size_t DisjunctCap = 64;
   double TimeoutSeconds = 60.0;
+  unsigned Jobs = 1; ///< Worker threads for --all; 0 = hardware threads.
   bool FlipModel = false;
 };
 
 void printUsage() {
   std::printf(
       "usage: antidote_cli (--train FILE.csv | --dataset NAME)\n"
-      "                    (--query \"v1,v2,...\" | --row K)\n"
+      "                    (--query \"v1,v2,...\" | --row K | --all)\n"
       "                    [--n N] [--depth D]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
-      "                    [--timeout SECONDS] [--flip]\n\n"
+      "                    [--timeout SECONDS] [--jobs N] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -56,7 +62,9 @@ void printUsage() {
   std::printf("\n"
               "  --query    feature vector of the input to certify\n"
               "  --row      use row K of the benchmark's test split\n"
+              "  --all      certify every row of the test split\n"
               "  --n        poisoning budget (default 1)\n"
+              "  --jobs     worker threads for --all (0 = all cores)\n"
               "  --flip     certify against label flips instead of row\n"
               "             insertions/removals\n");
 }
@@ -72,6 +80,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     const char *Value = nullptr;
     if (Arg == "--flip") {
       Options.FlipModel = true;
+      continue;
+    }
+    if (Arg == "--all") {
+      Options.AllRows = true;
       continue;
     }
     if (!(Value = Next())) {
@@ -94,6 +106,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.DisjunctCap = static_cast<size_t>(std::atoi(Value));
     else if (Arg == "--timeout")
       Options.TimeoutSeconds = std::atof(Value);
+    else if (Arg == "--jobs") {
+      int Jobs = std::atoi(Value);
+      if (Jobs < 0) {
+        std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+        return false;
+      }
+      Options.Jobs = static_cast<unsigned>(Jobs);
+    }
     else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -111,9 +131,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     }
   }
   bool HaveData = !Options.TrainCsv.empty() ^ !Options.DatasetName.empty();
-  bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0;
+  bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0 ||
+                   Options.AllRows;
   if (!HaveData || !HaveQuery) {
     std::fprintf(stderr, "error: need one data source and one query\n");
+    return false;
+  }
+  if (Options.AllRows && (Options.FlipModel || Options.DatasetName.empty())) {
+    std::fprintf(stderr, "error: --all needs --dataset and no --flip\n");
     return false;
   }
   return true;
@@ -162,7 +187,9 @@ int main(int Argc, char **Argv) {
     Test = std::move(Bench.Split.Test);
   }
   std::vector<float> Query;
-  if (!Options.QueryValues.empty()) {
+  if (Options.AllRows) {
+    // Resolved below; --all verifies the whole test split in one batch.
+  } else if (!Options.QueryValues.empty()) {
     if (!parseQuery(Options.QueryValues, Train.numFeatures(), Query)) {
       std::fprintf(stderr, "error: query must have %u numeric values\n",
                    Train.numFeatures());
@@ -189,7 +216,7 @@ int main(int Argc, char **Argv) {
     SplitContext Ctx(Train);
     LabelFlipConfig Config;
     Config.Depth = Options.Depth;
-    Config.TimeoutSeconds = Options.TimeoutSeconds;
+    Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
     LabelFlipResult Result = verifyLabelFlipRobustness(
         Ctx, allRows(Train), Query.data(), Options.Budget, Config);
     std::printf("prediction: class %u\n", Result.ConcretePrediction);
@@ -204,7 +231,26 @@ int main(int Argc, char **Argv) {
   Config.Depth = Options.Depth;
   Config.Domain = Options.Domain;
   Config.DisjunctCap = Options.DisjunctCap;
-  Config.TimeoutSeconds = Options.TimeoutSeconds;
+  Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
+
+  if (Options.AllRows) {
+    std::vector<const float *> Inputs;
+    for (uint32_t Row = 0; Row < Test.numRows(); ++Row)
+      Inputs.push_back(Test.row(Row));
+    std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Options.Jobs);
+    std::printf("verifying %zu test rows on %u thread(s)\n", Inputs.size(),
+                Pool ? Pool->size() + 1 : 1);
+    std::vector<Certificate> Certs =
+        V.verifyBatch(Inputs, Options.Budget, Config, Pool.get());
+    unsigned Robust = 0;
+    for (uint32_t Row = 0; Row < Certs.size(); ++Row) {
+      Robust += Certs[Row].isRobust();
+      std::printf("row %4u: %s\n", Row, Certs[Row].summary().c_str());
+    }
+    std::printf("robust: %u / %zu\n", Robust, Certs.size());
+    return Robust == Certs.size() ? 0 : 1;
+  }
+
   Certificate Cert = V.verify(Query.data(), Options.Budget, Config);
   std::printf("prediction: class %u\n", Cert.ConcretePrediction);
   std::printf("verdict: %s\n", Cert.summary().c_str());

@@ -37,7 +37,7 @@ int main() {
   VerifierConfig Query;
   Query.Depth = 2;
   Query.Domain = AbstractDomainKind::Disjuncts;
-  Query.TimeoutSeconds = 3.0;
+  Query.Limits.TimeoutSeconds = 3.0;
 
   unsigned NumProven = 0, NumAttacked = 0, NumOpen = 0;
   TableWriter Table({"test row", "n", "prediction", "verifier",

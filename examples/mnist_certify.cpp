@@ -35,7 +35,7 @@ int main() {
   VerifierConfig Query;
   Query.Depth = 2;
   Query.Domain = AbstractDomainKind::Disjuncts;
-  Query.TimeoutSeconds = 10.0;
+  Query.Limits.TimeoutSeconds = 10.0;
 
   for (unsigned Row : {0u, 1u}) {
     const float *Digit = Split.Test.row(Row);

@@ -8,8 +8,8 @@
 // fraction-verified curve (one row of the paper's Figure 6).
 //
 // Usage:
-//   uci_sweep [dataset-name]        # iris | mammography | wdbc | ...
-//   uci_sweep --csv train.csv test.csv
+//   uci_sweep [--jobs N] [dataset-name]   # iris | mammography | wdbc | ...
+//   uci_sweep [--jobs N] --csv train.csv test.csv
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,13 +19,16 @@
 #include "data/Registry.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 using namespace antidote;
 
 static void printUsage(const char *Program) {
-  std::printf("usage: %s [dataset-name]\n", Program);
-  std::printf("       %s --csv <train.csv> <test.csv>\n", Program);
+  std::printf("usage: %s [--jobs N] [dataset-name]\n", Program);
+  std::printf("       %s [--jobs N] --csv <train.csv> <test.csv>\n",
+              Program);
+  std::printf("  --jobs N   verification worker threads (0 = all cores)\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -36,14 +39,38 @@ int main(int Argc, char **Argv) {
   Dataset Train, Test;
   std::vector<uint32_t> VerifyRows;
   std::string Name = "mammography";
+  unsigned Jobs = 1;
+  const char *Program = Argv[0];
+
+  // Extract --jobs N from any position; the remaining arguments keep
+  // their historical positional meaning.
+  std::vector<char *> Rest = {Argv[0]};
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --jobs needs a value\n");
+        return 1;
+      }
+      int Parsed = std::atoi(Argv[++I]);
+      if (Parsed < 0) {
+        std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+        return 1;
+      }
+      Jobs = static_cast<unsigned>(Parsed);
+      continue;
+    }
+    Rest.push_back(Argv[I]);
+  }
+  Argc = static_cast<int>(Rest.size());
+  Argv = Rest.data();
 
   if (Argc >= 2 && std::strcmp(Argv[1], "--help") == 0) {
-    printUsage(Argv[0]);
+    printUsage(Program);
     return 0;
   }
   if (Argc >= 2 && std::strcmp(Argv[1], "--csv") == 0) {
     if (Argc < 4) {
-      printUsage(Argv[0]);
+      printUsage(Program);
       return 1;
     }
     CsvLoadResult TrainResult = loadCsvDataset(Argv[2]);
@@ -72,13 +99,16 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("=== Poisoning-robustness sweep: %s ===\n", Name.c_str());
-  std::printf("train %u rows x %u features, verifying %zu test inputs\n\n",
-              Train.numRows(), Train.numFeatures(), VerifyRows.size());
+  std::printf("train %u rows x %u features, verifying %zu test inputs, "
+              "%u job(s)\n\n",
+              Train.numRows(), Train.numFeatures(), VerifyRows.size(),
+              Jobs);
 
   SweepConfig Config;
   Config.Depths = {1, 2};
-  Config.InstanceTimeoutSeconds = 2.0;
+  Config.InstanceLimits.TimeoutSeconds = 2.0;
   Config.MaxPoisoning = Train.numRows();
+  Config.Jobs = Jobs;
   SweepResult Result = runPoisoningSweep(Train, Test, VerifyRows, Config);
 
   for (unsigned Depth : Config.Depths) {

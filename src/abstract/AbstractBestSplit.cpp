@@ -27,7 +27,8 @@ struct ScoredCandidate {
 PredicateSet antidote::abstractBestSplit(const SplitContext &Ctx,
                                          const AbstractDataset &Data,
                                          CprobTransformerKind Kind,
-                                         GiniLiftingKind Lifting) {
+                                         GiniLiftingKind Lifting,
+                                         const ResourceMeter *Meter) {
   assert(!Data.isEmptySet() && "bestSplit# of the empty abstract set");
   const std::vector<uint32_t> &Totals = Data.counts();
   uint32_t Total = Data.size();
@@ -39,6 +40,13 @@ PredicateSet antidote::abstractBestSplit(const SplitContext &Ctx,
   bool AnyUniversal = false;
   std::vector<uint32_t> NegCounts(NumClasses);
 
+  // Cooperative-cancellation checkpoint: scoring dominates the cost of
+  // this transformer, so once the meter trips we stop scoring and let the
+  // enumerator idle through the remaining candidates. The caller must
+  // discard the truncated result (see the header).
+  unsigned CandidatesSinceCheck = 0;
+  bool Interrupted = false;
+
   // The enumerator already skips trivial candidates, so everything it
   // produces is in Φ∃: both sides non-empty as row sets, hence non-empty
   // for at least one concretization. Splits are exact here because the
@@ -48,6 +56,15 @@ PredicateSet antidote::abstractBestSplit(const SplitContext &Ctx,
       Ctx, Data.rows(), PredicateMode::SymbolicInterval,
       [&](const SplitPredicate &Pred, const std::vector<uint32_t> &PosCounts,
           uint32_t PosTotal) {
+        if (Interrupted)
+          return;
+        if (Meter && ++CandidatesSinceCheck >= 64) {
+          CandidatesSinceCheck = 0;
+          if (Meter->interrupted()) {
+            Interrupted = true;
+            return;
+          }
+        }
         uint32_t NegTotal = Total - PosTotal;
         for (unsigned C = 0; C < NumClasses; ++C)
           NegCounts[C] = Totals[C] - PosCounts[C];
@@ -61,6 +78,15 @@ PredicateSet antidote::abstractBestSplit(const SplitContext &Ctx,
           LubUniversal = std::min(LubUniversal, Score.ub());
         }
       });
+
+  // A truncated enumeration must not leak: deciding ⋄-membership or the
+  // Φ∀ filter from a partial candidate set could fabricate terminals the
+  // untruncated run would never produce (spuriously refuting domination).
+  // Returning ⊥ keeps every recorded terminal genuine; the caller's next
+  // meter poll turns the run into Timeout/Cancelled before the missing
+  // successors could matter.
+  if (Interrupted)
+    return PredicateSet();
 
   PredicateSet Result;
   if (!AnyUniversal) {

@@ -35,14 +35,20 @@
 #include "abstract/AbstractGini.h"
 #include "abstract/PredicateSet.h"
 #include "concrete/BestSplit.h"
+#include "support/Budget.h"
 
 namespace antidote {
 
 /// `bestSplit#(⟨T,n⟩)`. Requires a non-empty abstract set.
+///
+/// When \p Meter is given, the candidate loop polls it periodically and
+/// stops scoring once interrupted; the (then possibly truncated) result is
+/// only safe to use if the caller re-checks the meter before acting on it.
 PredicateSet
 abstractBestSplit(const SplitContext &Ctx, const AbstractDataset &Data,
                   CprobTransformerKind Kind,
-                  GiniLiftingKind Lifting = GiniLiftingKind::ExactTerm);
+                  GiniLiftingKind Lifting = GiniLiftingKind::ExactTerm,
+                  const ResourceMeter *Meter = nullptr);
 
 } // namespace antidote
 

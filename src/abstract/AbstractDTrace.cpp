@@ -34,7 +34,7 @@ public:
   LearnerRun(const SplitContext &Ctx, const float *X,
              const AbstractLearnerConfig &Config)
       : Ctx(Ctx), X(X), Config(Config), Tracker(Config.Cprob),
-        Budget(Config.TimeoutSeconds) {}
+        Meter(Config.Limits, Config.Cancel) {}
 
   AbstractLearnerResult run(const AbstractDataset &Initial);
 
@@ -46,24 +46,25 @@ private:
     Result.Terminals.push_back(std::move(Terminal));
   }
 
-  /// True once the run should stop (refutation shortcut, timeout, or
-  /// resource limit). Sets Result.Status accordingly.
+  /// True once the run should stop (cancellation, timeout, resource
+  /// limit, or the refutation shortcut). Sets Result.Status accordingly.
+  /// The budget is checked *before* the refutation shortcut so that an
+  /// interrupted run always reports its interruption status.
   bool shouldAbort(size_t FrontierDisjuncts, uint64_t FrontierBytes) {
-    if (Config.StopOnRefutation && Tracker.failed())
+    switch (Meter.check(FrontierDisjuncts, FrontierBytes)) {
+    case BudgetOutcome::Ok:
+      break;
+    case BudgetOutcome::Cancelled:
+      Result.Status = LearnerStatus::Cancelled;
       return true;
-    if (Budget.expired()) {
+    case BudgetOutcome::Timeout:
       Result.Status = LearnerStatus::Timeout;
       return true;
-    }
-    if (Config.MaxDisjuncts && FrontierDisjuncts > Config.MaxDisjuncts) {
+    case BudgetOutcome::ResourceLimit:
       Result.Status = LearnerStatus::ResourceLimit;
       return true;
     }
-    if (Config.MaxStateBytes && FrontierBytes > Config.MaxStateBytes) {
-      Result.Status = LearnerStatus::ResourceLimit;
-      return true;
-    }
-    return false;
+    return Config.StopOnRefutation && Tracker.failed();
   }
 
   /// Handles the `ent(T) = 0` conditional (§4.7) for one disjunct: feasible
@@ -79,7 +80,7 @@ private:
   const float *X;
   const AbstractLearnerConfig &Config;
   DominationTracker Tracker;
-  Deadline Budget;
+  ResourceMeter Meter;
   AbstractLearnerResult Result;
 };
 
@@ -115,8 +116,13 @@ bool LearnerRun::processEntropyConditional(const AbstractDataset &Cur) {
 
 void LearnerRun::step(const AbstractDataset &Cur,
                       std::vector<AbstractDataset> &Next) {
+  // An interruption inside bestSplit# yields ⊥ (never a truncated Ψ, which
+  // could fabricate terminals), and one in the fan-out below leaves a
+  // truncated frontier; both are sound because the persistent meter trips
+  // the very next shouldAbort() poll — before the budget outcome could be
+  // masked — so a truncated state never reaches a Completed verdict.
   PredicateSet Psi =
-      abstractBestSplit(Ctx, Cur, Config.Cprob, Config.Gini);
+      abstractBestSplit(Ctx, Cur, Config.Cprob, Config.Gini, &Meter);
   ++Result.BestSplitCalls;
 
   // The φ = ⋄ conditional (§4.7): if ⋄ ∈ Ψ, some concrete run returns here
@@ -132,6 +138,8 @@ void LearnerRun::step(const AbstractDataset &Cur,
   }
   // Disjunctive filter#: one disjunct per (predicate, feasible side of x).
   for (const SplitPredicate &Pred : Psi.predicates()) {
+    if (Meter.interrupted())
+      return;
     ThreeValued V = Pred.evaluate(X);
     if (V != ThreeValued::False)
       Next.push_back(Cur.restrict(Pred, /*Positive=*/true));

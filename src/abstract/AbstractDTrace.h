@@ -36,6 +36,7 @@
 #include "abstract/AbstractFilter.h"
 #include "abstract/Domination.h"
 #include "concrete/BestSplit.h"
+#include "support/Budget.h"
 
 #include <optional>
 
@@ -58,18 +59,19 @@ struct AbstractLearnerConfig {
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
 
   /// DisjunctsCapped only: max disjuncts kept per iteration before the
-  /// overflow is joined.
+  /// overflow is joined. (A precision knob, not a resource cap — the caps
+  /// live in `Limits`.)
   size_t DisjunctCap = 64;
 
-  /// Resource cap standing in for the paper's 160 GB OOM condition:
-  /// exceeding it aborts with `LearnerStatus::ResourceLimit`. 0 disables.
-  size_t MaxDisjuncts = 1u << 20;
+  /// The run's resource budget (timeout / disjunct cap / state-byte cap);
+  /// see support/Budget.h, the single home of these knobs.
+  ResourceLimits Limits;
 
-  /// Same, in live abstract-state bytes. 0 disables.
-  uint64_t MaxStateBytes = 0;
-
-  /// Per-run wall-clock budget (the paper uses 1 hour). 0 disables.
-  double TimeoutSeconds = 0.0;
+  /// Optional shared cancellation token. The learner polls it inside each
+  /// depth iteration (per disjunct and inside bestSplit#'s candidate
+  /// enumeration), so a controller can stop an in-flight run cooperatively
+  /// without waiting for the current depth level to finish.
+  const CancellationToken *Cancel = nullptr;
 
   /// Stop as soon as domination becomes impossible (sound for
   /// verification; disable to obtain the complete terminal set in tests).
@@ -81,6 +83,7 @@ enum class LearnerStatus : uint8_t {
   Completed,     ///< Fixed depth reached (or every path terminated early).
   Timeout,       ///< Wall-clock budget exhausted.
   ResourceLimit, ///< Disjunct/state-byte cap exceeded (the paper's OOM).
+  Cancelled,     ///< Stopped via the shared CancellationToken.
 };
 
 /// Everything a DTrace# run produces.

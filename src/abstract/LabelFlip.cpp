@@ -148,7 +148,7 @@ antidote::verifyLabelFlipRobustness(const SplitContext &Ctx,
   assert(!Rows.empty() && "flip verification over an empty training set");
   const Dataset &Base = Ctx.base();
   Timer Elapsed;
-  Deadline Deadline(Config.TimeoutSeconds);
+  ResourceMeter Meter(Config.Limits, Config.Cancel);
   LabelFlipResult Result;
   Result.ConcretePrediction =
       runDTrace(Ctx, Rows, X, Config.Depth).PredictedClass;
@@ -172,8 +172,18 @@ antidote::verifyLabelFlipRobustness(const SplitContext &Ctx,
         Aborted = true;
         break;
       }
-      if (Deadline.expired()) {
-        Result.RunStatus = LabelFlipResult::Status::Timeout;
+      if (Meter.interrupted()) {
+        switch (Meter.interruptionReason()) {
+        case BudgetOutcome::Timeout:
+          Result.RunStatus = LabelFlipResult::Status::Timeout;
+          break;
+        case BudgetOutcome::ResourceLimit:
+          Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
+          break;
+        default:
+          Result.RunStatus = LabelFlipResult::Status::Cancelled;
+          break;
+        }
         Aborted = true;
         break;
       }
@@ -214,11 +224,27 @@ antidote::verifyLabelFlipRobustness(const SplitContext &Ctx,
     std::sort(Next.begin(), Next.end());
     Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
     Result.PeakDisjuncts = std::max(Result.PeakDisjuncts, Next.size());
-    if (Config.MaxDisjuncts && Next.size() > Config.MaxDisjuncts) {
+    uint64_t LiveBytes = 0;
+    for (const FlipState &S : Next)
+      LiveBytes += S.Rows.capacity() * sizeof(uint32_t) + sizeof(S);
+    switch (Meter.check(Next.size(), LiveBytes)) {
+    case BudgetOutcome::Ok:
+      break;
+    case BudgetOutcome::Cancelled:
+      Result.RunStatus = LabelFlipResult::Status::Cancelled;
+      Aborted = true;
+      break;
+    case BudgetOutcome::Timeout:
+      Result.RunStatus = LabelFlipResult::Status::Timeout;
+      Aborted = true;
+      break;
+    case BudgetOutcome::ResourceLimit:
       Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
       Aborted = true;
       break;
     }
+    if (Aborted)
+      break;
     Frontier = std::move(Next);
   }
 

@@ -39,6 +39,7 @@
 
 #include "abstract/Domination.h"
 #include "concrete/DTrace.h"
+#include "support/Budget.h"
 #include "support/Interval.h"
 
 #include <optional>
@@ -70,14 +71,20 @@ std::vector<SplitPredicate> flipBestSplit(const SplitContext &Ctx,
 /// Configuration of a flip-robustness query.
 struct LabelFlipConfig {
   unsigned Depth = 1;
-  size_t MaxDisjuncts = 1u << 20; ///< Resource cap; 0 disables.
-  double TimeoutSeconds = 0.0;    ///< Per-query budget; 0 disables.
+
+  /// Per-query resource budget (support/Budget.h is the single home of
+  /// the timeout/disjunct/state-byte knobs).
+  ResourceLimits Limits;
+
+  /// Optional shared cancellation token, polled per frontier element.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Result of a flip-robustness query.
 struct LabelFlipResult {
   /// Mirrors `LearnerStatus`; Completed means the analysis finished.
-  enum class Status : uint8_t { Completed, Timeout, ResourceLimit };
+  enum class Status : uint8_t { Completed, Timeout, ResourceLimit,
+                                Cancelled };
   Status RunStatus = Status::Completed;
 
   /// True iff robustness was proven: one class dominates every terminal.

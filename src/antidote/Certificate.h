@@ -32,6 +32,7 @@ enum class VerdictKind : uint8_t {
   Unknown,       ///< The overapproximation could not prove robustness.
   Timeout,       ///< Wall-clock budget exhausted.
   ResourceLimit, ///< Disjunct/memory cap exceeded (the paper's OOM case).
+  Cancelled,     ///< Stopped early via a shared CancellationToken.
 };
 
 const char *verdictKindName(VerdictKind Kind);

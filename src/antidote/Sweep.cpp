@@ -7,20 +7,26 @@
 
 #include "antidote/Sweep.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
+#include <memory>
 
 using namespace antidote;
 
 namespace {
 
 /// Executes the doubling/binary-search protocol for one (depth, domain).
+/// The control loop is sequential; the per-instance fan-out within each
+/// probe runs on \p Pool via `Verifier::verifyBatch`.
 class ProtocolRun {
 public:
   ProtocolRun(const Verifier &V, const Dataset &Test,
               const std::vector<uint32_t> &VerifyRows,
               const SweepConfig &Config, const SweepDomainSpec &Spec,
-              unsigned Depth)
-      : V(V), Test(Test), VerifyRows(VerifyRows), Config(Config) {
+              unsigned Depth, ThreadPool *Pool)
+      : V(V), Test(Test), VerifyRows(VerifyRows), Config(Config),
+        Pool(Pool) {
     Series.Depth = Depth;
     Series.DomainName = Spec.Name;
     Series.MaxVerifiedN.assign(VerifyRows.size(), 0);
@@ -29,9 +35,8 @@ public:
     QueryConfig.Cprob = Config.Cprob;
     QueryConfig.Gini = Config.Gini;
     QueryConfig.DisjunctCap = Spec.DisjunctCap;
-    QueryConfig.MaxDisjuncts = Config.MaxDisjuncts;
-    QueryConfig.MaxStateBytes = Config.MaxStateBytes;
-    QueryConfig.TimeoutSeconds = Config.InstanceTimeoutSeconds;
+    QueryConfig.Limits = Config.InstanceLimits;
+    QueryConfig.Cancel = Config.Cancel;
   }
 
   SweepSeries run() {
@@ -41,10 +46,10 @@ public:
       Survivors[I] = I;
 
     uint32_t N = 1;
-    while (!Survivors.empty() && N <= Config.MaxPoisoning) {
+    while (!Survivors.empty() && N <= Config.MaxPoisoning && !cancelled()) {
       std::vector<size_t> Next = attempt(N, Survivors);
       if (Next.empty()) {
-        if (Config.BinarySearchOnFailure)
+        if (Config.BinarySearchOnFailure && !cancelled())
           binarySearch(N / 2, N, Survivors);
         break;
       }
@@ -61,18 +66,32 @@ public:
   }
 
 private:
+  bool cancelled() const {
+    return Config.Cancel && Config.Cancel->cancelled();
+  }
+
   /// Attempts every instance in \p Candidates at poisoning \p N, records
-  /// the cell, and returns the verified survivors.
+  /// the cell, and returns the verified survivors. The queries run
+  /// concurrently; the fold below runs on this thread in candidate order,
+  /// so the cell and survivor list are deterministic whatever the
+  /// scheduling.
   std::vector<size_t> attempt(uint32_t N,
                               const std::vector<size_t> &Candidates) {
+    std::vector<const float *> Inputs;
+    Inputs.reserve(Candidates.size());
+    for (size_t Index : Candidates)
+      Inputs.push_back(Test.row(VerifyRows[Index]));
+    std::vector<Certificate> Certs =
+        V.verifyBatch(Inputs, N, QueryConfig, Pool);
+
     SweepCell Cell;
     Cell.Depth = Series.Depth;
     Cell.DomainName = Series.DomainName;
     Cell.Poisoning = N;
     std::vector<size_t> Verified;
-    for (size_t Index : Candidates) {
-      Certificate Cert =
-          V.verify(Test.row(VerifyRows[Index]), N, QueryConfig);
+    for (size_t I = 0; I < Candidates.size(); ++I) {
+      size_t Index = Candidates[I];
+      const Certificate &Cert = Certs[I];
       ++Cell.Attempted;
       Cell.TotalSeconds += Cert.Seconds;
       Cell.TotalPeakStateBytes += static_cast<double>(Cert.PeakStateBytes);
@@ -89,6 +108,9 @@ private:
       case VerdictKind::ResourceLimit:
         ++Cell.ResourceFailures;
         break;
+      case VerdictKind::Cancelled:
+        ++Cell.Cancellations;
+        break;
       case VerdictKind::Unknown:
         break;
       }
@@ -101,7 +123,7 @@ private:
   /// at which at least one instance verifies, recording every probe.
   void binarySearch(uint32_t Lo, uint32_t Hi,
                     std::vector<size_t> Candidates) {
-    while (Hi - Lo > 1) {
+    while (Hi - Lo > 1 && !cancelled()) {
       uint32_t Mid = Lo + (Hi - Lo) / 2;
       std::vector<size_t> Verified = attempt(Mid, Candidates);
       if (Verified.empty()) {
@@ -117,6 +139,7 @@ private:
   const Dataset &Test;
   const std::vector<uint32_t> &VerifyRows;
   const SweepConfig &Config;
+  ThreadPool *Pool;
   VerifierConfig QueryConfig;
   SweepSeries Series;
 };
@@ -167,9 +190,16 @@ SweepResult antidote::runPoisoningSweep(
   Verifier V(Train);
   SweepResult Result;
   Result.VerifyRows = VerifyRows;
+
+  // One pool for the whole sweep; Jobs == 1 stays strictly serial (the
+  // caller's thread does all the work inside verifyBatch).
+  std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Config.Jobs);
+
   for (unsigned Depth : Config.Depths)
     for (const SweepDomainSpec &Spec : Config.Domains) {
-      ProtocolRun Run(V, Test, VerifyRows, Config, Spec, Depth);
+      if (Config.Cancel && Config.Cancel->cancelled())
+        return Result;
+      ProtocolRun Run(V, Test, VerifyRows, Config, Spec, Depth, Pool.get());
       Result.Series.push_back(Run.run());
     }
   return Result;

@@ -23,12 +23,29 @@
 /// verified n (used to derive Figure 6's fraction-verified curves,
 /// including the "either domain" union the paper's Figure 6 reports).
 ///
+/// Execution model: the doubling/binary-search control loop is inherently
+/// sequential (each probe's candidate set depends on the previous probe's
+/// survivors), but the instances *within* one probe are independent, so
+/// `runPoisoningSweep` fans them out across `SweepConfig::Jobs` threads via
+/// `Verifier::verifyBatch`. Aggregation happens on the controller thread in
+/// instance order, so every count in the result is identical whatever the
+/// thread count — with one inherent caveat: a per-instance *wall-clock*
+/// timeout (`InstanceLimits.TimeoutSeconds`) is scheduling-dependent, so
+/// instances near the timeout boundary can flip verdict under CPU
+/// contention, exactly as they do between differently loaded machines.
+/// Runs whose instances finish within budget are bit-identical for every
+/// `Jobs` value. Per-instance budgets live in `SweepConfig::InstanceLimits`
+/// (see support/Budget.h), and an optional shared `CancellationToken`
+/// stops the whole sweep — including queries already in flight —
+/// cooperatively.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANTIDOTE_ANTIDOTE_SWEEP_H
 #define ANTIDOTE_ANTIDOTE_SWEEP_H
 
 #include "antidote/Verifier.h"
+#include "support/Budget.h"
 
 #include <string>
 #include <vector>
@@ -53,12 +70,19 @@ struct SweepConfig {
   /// Stop doubling once n would exceed this.
   uint32_t MaxPoisoning = 1u << 14;
 
-  /// Per-instance wall-clock budget (the paper uses 3600 s).
-  double InstanceTimeoutSeconds = 5.0;
+  /// Per-instance resource budget: wall clock (the paper uses 3600 s) and
+  /// the caps standing in for their 160 GB OOM bound.
+  ResourceLimits InstanceLimits = {/*TimeoutSeconds=*/5.0,
+                                   /*MaxDisjuncts=*/1u << 18,
+                                   /*MaxStateBytes=*/1ull << 31};
 
-  /// Resource caps standing in for the paper's 160 GB OOM bound.
-  size_t MaxDisjuncts = 1u << 18;
-  uint64_t MaxStateBytes = 1ull << 31;
+  /// Worker threads for the per-instance fan-out. 1 = serial; 0 = one per
+  /// hardware thread. Results are identical for every value.
+  unsigned Jobs = 1;
+
+  /// Optional shared stop lever: cancelling it ends the sweep early (the
+  /// partial result is still well-formed).
+  const CancellationToken *Cancel = nullptr;
 
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
@@ -77,6 +101,7 @@ struct SweepCell {
   unsigned Verified = 0;
   unsigned Timeouts = 0;
   unsigned ResourceFailures = 0;
+  unsigned Cancellations = 0; ///< Attempts cut short by the sweep's token.
 
   double TotalSeconds = 0.0;
   double TotalPeakStateBytes = 0.0;
@@ -118,7 +143,9 @@ struct SweepResult {
 };
 
 /// Runs the full protocol for every (depth, domain) in \p Config against
-/// the test rows \p VerifyRows of \p Test.
+/// the test rows \p VerifyRows of \p Test, fanning per-instance
+/// verification across `Config.Jobs` threads. Aggregates are
+/// thread-count-independent.
 SweepResult runPoisoningSweep(const Dataset &Train, const Dataset &Test,
                               const std::vector<uint32_t> &VerifyRows,
                               const SweepConfig &Config);

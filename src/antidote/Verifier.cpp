@@ -21,6 +21,8 @@ const char *antidote::verdictKindName(VerdictKind Kind) {
     return "timeout";
   case VerdictKind::ResourceLimit:
     return "resource-limit";
+  case VerdictKind::Cancelled:
+    return "cancelled";
   }
   assert(false && "unknown verdict kind");
   return "?";
@@ -59,9 +61,8 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   LearnerConfig.Cprob = Config.Cprob;
   LearnerConfig.Gini = Config.Gini;
   LearnerConfig.DisjunctCap = Config.DisjunctCap;
-  LearnerConfig.MaxDisjuncts = Config.MaxDisjuncts;
-  LearnerConfig.MaxStateBytes = Config.MaxStateBytes;
-  LearnerConfig.TimeoutSeconds = Config.TimeoutSeconds;
+  LearnerConfig.Limits = Config.Limits;
+  LearnerConfig.Cancel = Config.Cancel;
 
   AbstractDataset Initial = AbstractDataset::entire(*Train, PoisoningBudget);
   AbstractLearnerResult Run = runAbstractDTrace(Ctx, Initial, X,
@@ -81,6 +82,9 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   case LearnerStatus::ResourceLimit:
     Cert.Kind = VerdictKind::ResourceLimit;
     return Cert;
+  case LearnerStatus::Cancelled:
+    Cert.Kind = VerdictKind::Cancelled;
+    return Cert;
   case LearnerStatus::Completed:
     break;
   }
@@ -94,4 +98,15 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
          "dominating class contradicts the concrete learner");
   Cert.Kind = VerdictKind::Robust;
   return Cert;
+}
+
+std::vector<Certificate>
+Verifier::verifyBatch(const std::vector<const float *> &Inputs,
+                      uint32_t PoisoningBudget, const VerifierConfig &Config,
+                      ThreadPool *Pool) const {
+  std::vector<Certificate> Certs(Inputs.size());
+  parallelFor(Pool, Inputs.size(), [&](size_t I) {
+    Certs[I] = verify(Inputs[I], PoisoningBudget, Config);
+  });
+  return Certs;
 }

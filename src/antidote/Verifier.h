@@ -27,6 +27,8 @@
 
 #include "antidote/Certificate.h"
 #include "concrete/DTrace.h"
+#include "support/Budget.h"
+#include "support/ThreadPool.h"
 
 namespace antidote {
 
@@ -36,16 +38,27 @@ struct VerifierConfig {
   AbstractDomainKind Domain = AbstractDomainKind::Box;
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
-  size_t DisjunctCap = 64;        ///< DisjunctsCapped only.
-  size_t MaxDisjuncts = 1u << 20; ///< Resource cap; 0 disables.
-  uint64_t MaxStateBytes = 0;     ///< Resource cap in bytes; 0 disables.
-  double TimeoutSeconds = 0.0;    ///< Per-query budget; 0 disables.
+  size_t DisjunctCap = 64; ///< DisjunctsCapped only (precision knob).
+
+  /// Per-query resource budget (timeout / disjunct cap / state bytes);
+  /// support/Budget.h is the single home of these knobs.
+  ResourceLimits Limits;
+
+  /// Optional shared token; cancelling it stops in-flight queries
+  /// cooperatively (they report VerdictKind::Cancelled, or the token's
+  /// reason) — the lever `verifyBatch` callers use to abandon a batch.
+  const CancellationToken *Cancel = nullptr;
 };
 
 /// Verifies data-poisoning robustness of decision-tree learning on a fixed
 /// training set. Holds the per-dataset acceleration structures, so
 /// constructing one Verifier and reusing it across queries is the intended
 /// pattern.
+///
+/// Thread-safety: a constructed Verifier is immutable — `predict`, `trace`,
+/// `verify`, and `verifyBatch` only read the dataset, the SplitContext's
+/// cached sort orders, and per-call state, so any number of threads may
+/// issue queries against one instance concurrently.
 class Verifier {
 public:
   explicit Verifier(const Dataset &Train)
@@ -64,6 +77,17 @@ public:
   /// training set in ∆n(T), n = \p PoisoningBudget.
   Certificate verify(const float *X, uint32_t PoisoningBudget,
                      const VerifierConfig &Config) const;
+
+  /// Verifies every input of \p Inputs under the same budget and config,
+  /// fanning the independent queries out across \p Pool (plus the calling
+  /// thread). Certificates come back indexed like Inputs, and each query's
+  /// verdict is independent of scheduling, so results are deterministic
+  /// and thread-count-independent (timings aside). A null/empty pool runs
+  /// serially.
+  std::vector<Certificate> verifyBatch(const std::vector<const float *> &Inputs,
+                                       uint32_t PoisoningBudget,
+                                       const VerifierConfig &Config,
+                                       ThreadPool *Pool = nullptr) const;
 
 private:
   const Dataset *Train;

@@ -1,0 +1,36 @@
+//===- support/Budget.cpp - Cancellation and resource budgets -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Budget.h"
+
+#include <cassert>
+
+using namespace antidote;
+
+const char *antidote::budgetOutcomeName(BudgetOutcome Outcome) {
+  switch (Outcome) {
+  case BudgetOutcome::Ok:
+    return "ok";
+  case BudgetOutcome::Cancelled:
+    return "cancelled";
+  case BudgetOutcome::Timeout:
+    return "timeout";
+  case BudgetOutcome::ResourceLimit:
+    return "resource-limit";
+  }
+  assert(false && "unknown budget outcome");
+  return "?";
+}
+
+void CancellationToken::cancel(BudgetOutcome WithReason) {
+  assert(WithReason != BudgetOutcome::Ok && "cancelling with reason Ok");
+  uint8_t Expected = static_cast<uint8_t>(BudgetOutcome::Ok);
+  // First cancellation wins; concurrent cancels with other reasons no-op.
+  Reason.compare_exchange_strong(Expected,
+                                 static_cast<uint8_t>(WithReason),
+                                 std::memory_order_acq_rel);
+}

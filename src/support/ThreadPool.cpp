@@ -1,0 +1,111 @@
+//===- support/ThreadPool.cpp - Fixed-size worker pool ------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+using namespace antidote;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &Worker : Workers)
+    Worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(!Workers.empty() && "submitting to a worker-less pool");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!Stopping && "submitting to a stopping pool");
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+unsigned ThreadPool::hardwareConcurrency() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Stopping and drained.
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Task();
+  }
+}
+
+void antidote::parallelFor(ThreadPool *Pool, size_t Count,
+                           const std::function<void(size_t)> &Body) {
+  if (!Pool || Pool->size() == 0 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I)
+      Body(I);
+    return;
+  }
+
+  // Self-scheduling: every executor (each pool worker plus the calling
+  // thread) repeatedly claims the next unclaimed index. The shared state
+  // outlives the call only until the last helper decrements Pending, which
+  // happens before this function returns, so capturing Body by reference
+  // is safe.
+  struct SharedState {
+    std::atomic<size_t> Next{0};
+    std::mutex Mutex;
+    std::condition_variable Done;
+    size_t Pending = 0;
+  };
+  auto State = std::make_shared<SharedState>();
+
+  auto Drain = [State, &Body, Count] {
+    for (size_t I; (I = State->Next.fetch_add(1)) < Count;)
+      Body(I);
+  };
+
+  size_t NumHelpers = std::min<size_t>(Pool->size(), Count - 1);
+  State->Pending = NumHelpers;
+  for (size_t I = 0; I < NumHelpers; ++I)
+    Pool->submit([State, Drain] {
+      Drain();
+      std::lock_guard<std::mutex> Lock(State->Mutex);
+      if (--State->Pending == 0)
+        State->Done.notify_all();
+    });
+
+  Drain();
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->Done.wait(Lock, [&State] { return State->Pending == 0; });
+}
+
+std::unique_ptr<ThreadPool> antidote::makeVerificationPool(unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = ThreadPool::hardwareConcurrency();
+  Jobs = std::min(Jobs, 16u * ThreadPool::hardwareConcurrency());
+  if (Jobs <= 1)
+    return nullptr;
+  return std::make_unique<ThreadPool>(Jobs - 1);
+}

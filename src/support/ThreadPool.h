@@ -1,0 +1,91 @@
+//===- support/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size worker pool for the embarrassingly parallel parts of the
+/// §6 experiment protocol (per-instance verification fan-out).
+///
+/// Two layers:
+///  - `ThreadPool` — N workers draining a shared FIFO of opaque tasks.
+///  - `parallelFor` — the scheduling idiom all callers actually use: items
+///    are claimed one at a time from a shared atomic cursor (self-
+///    scheduling, the work-stealing-friendly discipline: an idle worker
+///    always takes the globally next unclaimed item, so imbalanced item
+///    costs never strand work behind a slow thread), with the calling
+///    thread participating as the (N+1)-th worker. The call returns only
+///    once every item has finished, and item indices are handed out in
+///    order, so callers can aggregate results deterministically by index
+///    regardless of thread count.
+///
+/// Tasks must not throw; the verifier reports failures through
+/// `Certificate`/`BudgetOutcome` values, never exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_THREADPOOL_H
+#define ANTIDOTE_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace antidote {
+
+/// A fixed-size pool of worker threads draining a shared task queue.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers workers (0 is allowed and makes `submit`
+  /// illegal; `parallelFor` degrades to the serial path).
+  explicit ThreadPool(unsigned NumWorkers);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Enqueues \p Task for execution on some worker. Tasks needing
+  /// completion tracking bring their own latch (as `parallelFor` does).
+  void submit(std::function<void()> Task);
+
+  /// The machine's hardware thread count (at least 1).
+  static unsigned hardwareConcurrency();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mutex;
+  std::condition_variable WorkAvailable; ///< Signalled on submit/stop.
+  bool Stopping = false;
+};
+
+/// Runs `Body(0) ... Body(Count-1)` across \p Pool plus the calling thread,
+/// returning once all have finished. Items are claimed from a shared atomic
+/// cursor. With a null/empty pool (or fewer than two items) this is a plain
+/// serial loop, so callers need no separate serial code path.
+void parallelFor(ThreadPool *Pool, size_t Count,
+                 const std::function<void(size_t)> &Body);
+
+/// The one policy for turning a user-facing Jobs knob into a pool:
+/// 0 means one executor per hardware thread, requests are clamped to 16x
+/// the hardware threads (guarding against wrapped/absurd values), and the
+/// pool gets Jobs-1 workers because the calling thread participates in
+/// `parallelFor`. Returns null for Jobs == 1 (strictly serial).
+std::unique_ptr<ThreadPool> makeVerificationPool(unsigned Jobs);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_THREADPOOL_H

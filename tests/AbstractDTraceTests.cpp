@@ -121,7 +121,7 @@ TEST(AbstractDTraceTest, TimeoutIsReported) {
   SplitContext Ctx(Data);
   float X = 5.0f;
   AbstractLearnerConfig Config = baseConfig(AbstractDomainKind::Disjuncts, 4);
-  Config.TimeoutSeconds = 1e-9; // Expire immediately.
+  Config.Limits.TimeoutSeconds = 1e-9; // Expire immediately.
   AbstractDataset Initial = AbstractDataset::entire(Data, 4);
   AbstractLearnerResult Result = runAbstractDTrace(Ctx, Initial, &X, Config);
   EXPECT_EQ(Result.Status, LearnerStatus::Timeout);
@@ -146,7 +146,7 @@ TEST(AbstractDTraceTest, ResourceLimitIsReported) {
   SplitContext Ctx(Data);
   float X = 5.0f;
   AbstractLearnerConfig Config = baseConfig(AbstractDomainKind::Disjuncts, 4);
-  Config.MaxDisjuncts = 1; // Any branching trips the cap.
+  Config.Limits.MaxDisjuncts = 1; // Any branching trips the cap.
   AbstractDataset Initial = AbstractDataset::entire(Data, 6);
   AbstractLearnerResult Result = runAbstractDTrace(Ctx, Initial, &X, Config);
   EXPECT_EQ(Result.Status, LearnerStatus::ResourceLimit);

@@ -206,7 +206,7 @@ TEST(LabelFlipVerifyTest, TimeoutSurfaces) {
   float X = 5.0f;
   LabelFlipConfig Config;
   Config.Depth = 3;
-  Config.TimeoutSeconds = 1e-9;
+  Config.Limits.TimeoutSeconds = 1e-9;
   LabelFlipResult Result =
       verifyLabelFlipRobustness(Ctx, allRows(Data), &X, 3, Config);
   EXPECT_EQ(Result.RunStatus, LabelFlipResult::Status::Timeout);
@@ -219,7 +219,7 @@ TEST(LabelFlipVerifyTest, ResourceLimitSurfaces) {
   float X = 5.0f;
   LabelFlipConfig Config;
   Config.Depth = 2;
-  Config.MaxDisjuncts = 1;
+  Config.Limits.MaxDisjuncts = 1;
   LabelFlipResult Result =
       verifyLabelFlipRobustness(Ctx, allRows(Data), &X, 4, Config);
   EXPECT_EQ(Result.RunStatus, LabelFlipResult::Status::ResourceLimit);

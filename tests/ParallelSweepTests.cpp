@@ -1,0 +1,246 @@
+//===- tests/ParallelSweepTests.cpp - Parallel engine tests -------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// Determinism and cancellation of the parallel verification engine: a
+// sweep's aggregates must be bit-identical whatever SweepConfig::Jobs is,
+// and a shared CancellationToken must stop in-flight runs cooperatively
+// with the token's reason surfacing as the run status.
+//
+//===----------------------------------------------------------------------===//
+
+#include "antidote/Sweep.h"
+
+#include "TestUtil.h"
+#include "data/Registry.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+#include <thread>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+/// A synthetic two-cluster workload big enough that a parallel sweep
+/// actually fans out (dozens of instances, several depths) but small
+/// enough to finish in well under a second per sweep.
+struct SyntheticBench {
+  Dataset Train;
+  Dataset Test;
+  std::vector<uint32_t> VerifyRows;
+
+  SyntheticBench()
+      : Train(DatasetSchema::uniform(2, FeatureKind::Real, 2)),
+        Test(DatasetSchema::uniform(2, FeatureKind::Real, 2)) {
+    // Two separable clusters with a handful of label-noise rows so that
+    // different instances stop verifying at different n.
+    for (int I = 0; I < 24; ++I) {
+      float Offset = static_cast<float>(I % 6);
+      Train.addRow({Offset, Offset * 0.5f}, I % 11 == 10 ? 1u : 0u);
+      Train.addRow({10.0f + Offset, 8.0f - Offset * 0.5f},
+                   I % 9 == 8 ? 0u : 1u);
+    }
+    for (int I = 0; I < 12; ++I) {
+      Test.addRow({static_cast<float>(I % 6) + 0.25f, 1.0f}, 0u);
+      Test.addRow({10.5f + static_cast<float>(I % 6), 6.0f}, 1u);
+    }
+    for (uint32_t Row = 0; Row < Test.numRows(); ++Row)
+      VerifyRows.push_back(Row);
+  }
+};
+
+SweepConfig deterministicConfig() {
+  SweepConfig Config;
+  Config.Depths = {1, 2};
+  Config.MaxPoisoning = 64;
+  // No wall-clock budget: timing must not influence verdicts, or the
+  // Jobs=1 vs Jobs=4 comparison below would be scheduling-dependent.
+  Config.InstanceLimits.TimeoutSeconds = 0.0;
+  Config.InstanceLimits.MaxDisjuncts = 1u << 14;
+  Config.InstanceLimits.MaxStateBytes = 1ull << 28;
+  return Config;
+}
+
+/// Everything except timings must match exactly.
+void expectIdenticalResults(const SweepResult &A, const SweepResult &B) {
+  ASSERT_EQ(A.VerifyRows, B.VerifyRows);
+  ASSERT_EQ(A.Series.size(), B.Series.size());
+  for (size_t S = 0; S < A.Series.size(); ++S) {
+    const SweepSeries &X = A.Series[S];
+    const SweepSeries &Y = B.Series[S];
+    EXPECT_EQ(X.Depth, Y.Depth);
+    EXPECT_EQ(X.DomainName, Y.DomainName);
+    EXPECT_EQ(X.MaxVerifiedN, Y.MaxVerifiedN);
+    ASSERT_EQ(X.Cells.size(), Y.Cells.size());
+    for (size_t C = 0; C < X.Cells.size(); ++C) {
+      EXPECT_EQ(X.Cells[C].Poisoning, Y.Cells[C].Poisoning);
+      EXPECT_EQ(X.Cells[C].Attempted, Y.Cells[C].Attempted);
+      EXPECT_EQ(X.Cells[C].Verified, Y.Cells[C].Verified);
+      EXPECT_EQ(X.Cells[C].Timeouts, Y.Cells[C].Timeouts);
+      EXPECT_EQ(X.Cells[C].ResourceFailures, Y.Cells[C].ResourceFailures);
+      EXPECT_EQ(X.Cells[C].Cancellations, Y.Cells[C].Cancellations);
+    }
+  }
+}
+
+} // namespace
+
+TEST(ParallelSweepTest, JobsDoNotChangeResults) {
+  SyntheticBench Bench;
+  SweepConfig Serial = deterministicConfig();
+  Serial.Jobs = 1;
+  SweepConfig Parallel = deterministicConfig();
+  Parallel.Jobs = 4;
+
+  SweepResult A = runPoisoningSweep(Bench.Train, Bench.Test,
+                                    Bench.VerifyRows, Serial);
+  SweepResult B = runPoisoningSweep(Bench.Train, Bench.Test,
+                                    Bench.VerifyRows, Parallel);
+  expectIdenticalResults(A, B);
+
+  // Sanity: the workload is non-trivial (something verified somewhere,
+  // and the protocol probed several n values).
+  EXPECT_GT(A.fractionVerified(1, 1), 0.0);
+  EXPECT_GT(A.attemptedPoisonings(1).size(), 1u);
+}
+
+TEST(ParallelSweepTest, AutoJobsMatchesSerial) {
+  SyntheticBench Bench;
+  SweepConfig Serial = deterministicConfig();
+  SweepConfig Auto = deterministicConfig();
+  Auto.Jobs = 0; // One worker per hardware thread.
+  SweepResult A = runPoisoningSweep(Bench.Train, Bench.Test,
+                                    Bench.VerifyRows, Serial);
+  SweepResult B = runPoisoningSweep(Bench.Train, Bench.Test,
+                                    Bench.VerifyRows, Auto);
+  expectIdenticalResults(A, B);
+}
+
+TEST(ParallelSweepTest, VerifyBatchMatchesSequentialVerify) {
+  SyntheticBench Bench;
+  Verifier V(Bench.Train);
+  VerifierConfig Config;
+  Config.Depth = 2;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+
+  std::vector<const float *> Inputs;
+  for (uint32_t Row : Bench.VerifyRows)
+    Inputs.push_back(Bench.Test.row(Row));
+
+  ThreadPool Pool(3);
+  std::vector<Certificate> Batch = V.verifyBatch(Inputs, 4, Config, &Pool);
+  ASSERT_EQ(Batch.size(), Inputs.size());
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    Certificate Lone = V.verify(Inputs[I], 4, Config);
+    EXPECT_EQ(Batch[I].Kind, Lone.Kind) << "instance " << I;
+    EXPECT_EQ(Batch[I].ConcretePrediction, Lone.ConcretePrediction);
+    EXPECT_EQ(Batch[I].NumTerminals, Lone.NumTerminals);
+    EXPECT_EQ(Batch[I].PeakDisjuncts, Lone.PeakDisjuncts);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cancellation
+//===----------------------------------------------------------------------===//
+
+TEST(ParallelSweepTest, DeadlineTokenStopsDisjunctsRunWithTimeoutStatus) {
+  // A token cancelled for deadline reasons must stop a Disjuncts run
+  // mid-iteration and still surface as LearnerStatus::Timeout, exactly as
+  // if the learner's own deadline had expired.
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  CancellationToken Token;
+  Token.cancel(BudgetOutcome::Timeout);
+
+  AbstractLearnerConfig Config;
+  Config.Depth = 4;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.Cancel = &Token;
+  AbstractDataset Initial = AbstractDataset::entire(Data, 6);
+  AbstractLearnerResult Result = runAbstractDTrace(Ctx, Initial, &X, Config);
+  EXPECT_EQ(Result.Status, LearnerStatus::Timeout);
+  EXPECT_FALSE(Result.DominatingClass.has_value());
+}
+
+TEST(ParallelSweepTest, PlainCancellationSurfacesAsCancelled) {
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  CancellationToken Token;
+  Token.cancel();
+
+  AbstractLearnerConfig Config;
+  Config.Depth = 4;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.Cancel = &Token;
+  AbstractDataset Initial = AbstractDataset::entire(Data, 6);
+  AbstractLearnerResult Result = runAbstractDTrace(Ctx, Initial, &X, Config);
+  EXPECT_EQ(Result.Status, LearnerStatus::Cancelled);
+  EXPECT_FALSE(Result.DominatingClass.has_value());
+
+  // The learner's own budget statuses are untouched by the token
+  // machinery: a real deadline still reports Timeout, a real cap still
+  // reports ResourceLimit. (StopOnRefutation is off for the cap case so
+  // the frontier actually grows instead of refuting first.)
+  AbstractLearnerConfig ByDeadline = Config;
+  ByDeadline.Cancel = nullptr;
+  ByDeadline.Limits.TimeoutSeconds = 1e-9;
+  EXPECT_EQ(runAbstractDTrace(Ctx, Initial, &X, ByDeadline).Status,
+            LearnerStatus::Timeout);
+  AbstractLearnerConfig ByCap = Config;
+  ByCap.Cancel = nullptr;
+  ByCap.StopOnRefutation = false;
+  ByCap.Limits.MaxDisjuncts = 1;
+  EXPECT_EQ(runAbstractDTrace(Ctx, Initial, &X, ByCap).Status,
+            LearnerStatus::ResourceLimit);
+}
+
+TEST(ParallelSweepTest, MidRunCancellationStopsInFlightVerification) {
+  // Cancel from another thread while an exhaustive Disjuncts run (no
+  // refutation shortcut, no caps — several seconds on its own) is in
+  // flight; the cooperative checkpoints inside the depth iteration must
+  // wind it down long before that.
+  BenchmarkDataset Bench =
+      loadBenchmarkDataset("mammography", BenchScale::Scaled);
+  SplitContext Ctx(Bench.Split.Train);
+  AbstractLearnerConfig Config;
+  Config.Depth = 5;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.StopOnRefutation = false;
+  Config.Limits.MaxDisjuncts = 0;  // Uncapped:
+  Config.Limits.MaxStateBytes = 0; // only the token can stop this run.
+  CancellationToken Token;
+  Config.Cancel = &Token;
+  AbstractDataset Initial =
+      AbstractDataset::entire(Bench.Split.Train, 16);
+
+  std::thread Canceller([&Token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Token.cancel();
+  });
+  AbstractLearnerResult Result = runAbstractDTrace(
+      Ctx, Initial, Bench.Split.Test.row(0), Config);
+  Canceller.join();
+  EXPECT_EQ(Result.Status, LearnerStatus::Cancelled);
+  EXPECT_FALSE(Result.DominatingClass.has_value());
+  // Early stop, not a full traversal (the uncancelled run takes seconds).
+  EXPECT_LT(Result.Seconds, 1.0);
+}
+
+TEST(ParallelSweepTest, CancelledSweepReturnsPartialWellFormedResult) {
+  SyntheticBench Bench;
+  SweepConfig Config = deterministicConfig();
+  Config.Jobs = 2;
+  CancellationToken Token;
+  Config.Cancel = &Token;
+  Token.cancel();
+
+  SweepResult Result = runPoisoningSweep(Bench.Train, Bench.Test,
+                                         Bench.VerifyRows, Config);
+  // Cancelled before any (depth, domain) started: no series at all.
+  EXPECT_TRUE(Result.Series.empty());
+}

@@ -39,7 +39,7 @@ SweepConfig tinyConfig() {
   SweepConfig Config;
   Config.Depths = {1, 2};
   Config.MaxPoisoning = 16;
-  Config.InstanceTimeoutSeconds = 5.0;
+  Config.InstanceLimits.TimeoutSeconds = 5.0;
   return Config;
 }
 

@@ -202,7 +202,7 @@ TEST(VerifierTest, TimeoutVerdictSurfaces) {
   VerifierConfig Config;
   Config.Depth = 4;
   Config.Domain = AbstractDomainKind::Disjuncts;
-  Config.TimeoutSeconds = 1e-9;
+  Config.Limits.TimeoutSeconds = 1e-9;
   Certificate Cert = V.verify(Split.Test.row(0), 8, Config);
   EXPECT_EQ(Cert.Kind, VerdictKind::Timeout);
 }
@@ -213,7 +213,7 @@ TEST(VerifierTest, ResourceLimitVerdictSurfaces) {
   VerifierConfig Config;
   Config.Depth = 4;
   Config.Domain = AbstractDomainKind::Disjuncts;
-  Config.MaxDisjuncts = 1;
+  Config.Limits.MaxDisjuncts = 1;
   Certificate Cert = V.verify(Split.Test.row(1), 16, Config);
   EXPECT_EQ(Cert.Kind, VerdictKind::ResourceLimit);
 }
