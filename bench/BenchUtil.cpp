@@ -38,11 +38,27 @@ SweepConfig antidote::benchutil::scaledConfig() {
   return Config;
 }
 
-unsigned antidote::benchutil::benchJobsFromEnv() {
-  const char *Env = std::getenv("ANTIDOTE_JOBS");
+static unsigned jobsFromEnvVar(const char *Name) {
+  const char *Env = std::getenv(Name);
   if (!Env || !*Env)
     return 1;
-  return static_cast<unsigned>(std::atoi(Env));
+  int Parsed = std::atoi(Env);
+  if (Parsed < 0) {
+    // Mirror the CLI parsers: a typo must not wrap to a huge unsigned
+    // and silently spawn a clamped-but-large worker pool.
+    std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores), got %s\n",
+                 Name, Env);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(Parsed);
+}
+
+unsigned antidote::benchutil::benchJobsFromEnv() {
+  return jobsFromEnvVar("ANTIDOTE_JOBS");
+}
+
+unsigned antidote::benchutil::benchFrontierJobsFromEnv() {
+  return jobsFromEnvVar("ANTIDOTE_FRONTIER_JOBS");
 }
 
 SweepResult
@@ -50,13 +66,16 @@ antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   BenchScale Scale = benchScaleFromEnv();
   SweepConfig Config = Scale == BenchScale::Full ? Spec.Full : Spec.Scaled;
   Config.Jobs = benchJobsFromEnv();
+  Config.FrontierJobs = benchFrontierJobsFromEnv();
 
   BenchmarkDataset Bench = loadBenchmarkDataset(Spec.DatasetName, Scale);
   std::printf("=== %s reproduction: %s ===\n", Spec.PaperFigure.c_str(),
               Spec.DatasetName.c_str());
   std::printf("scale: %s (set ANTIDOTE_BENCH_SCALE=full for paper scale); "
-              "jobs: %u (ANTIDOTE_JOBS; 0 = all cores)\n",
-              Scale == BenchScale::Full ? "full" : "scaled", Config.Jobs);
+              "jobs: %u (ANTIDOTE_JOBS; 0 = all cores); "
+              "frontier jobs: %u (ANTIDOTE_FRONTIER_JOBS)\n",
+              Scale == BenchScale::Full ? "full" : "scaled", Config.Jobs,
+              Config.FrontierJobs);
   std::printf("train %u rows x %u features; verifying %zu test inputs; "
               "timeout %.1fs/instance\n\n",
               Bench.Split.Train.numRows(), Bench.Split.Train.numFeatures(),

@@ -47,6 +47,10 @@ SweepConfig scaledConfig();
 /// one per hardware thread). Defaults to 1 (serial).
 unsigned benchJobsFromEnv();
 
+/// Reads ANTIDOTE_FRONTIER_JOBS: executors inside each instance's DTrace#
+/// frontier ("0" = one per hardware thread). Defaults to 1 (serial).
+unsigned benchFrontierJobsFromEnv();
+
 /// Runs the spec at the scale selected by the environment and prints the
 /// figure panels. Returns the sweep result for further custom reporting.
 SweepResult runFigureBench(const FigureBenchSpec &Spec);

@@ -45,6 +45,7 @@ struct CliOptions {
   size_t DisjunctCap = 64;
   double TimeoutSeconds = 60.0;
   unsigned Jobs = 1; ///< Worker threads for --all; 0 = hardware threads.
+  unsigned FrontierJobs = 1; ///< Executors within one DTrace# frontier.
   bool FlipModel = false;
 };
 
@@ -54,7 +55,8 @@ void printUsage() {
       "                    (--query \"v1,v2,...\" | --row K | --all)\n"
       "                    [--n N] [--depth D]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
-      "                    [--timeout SECONDS] [--jobs N] [--flip]\n\n"
+      "                    [--timeout SECONDS] [--jobs N]\n"
+      "                    [--frontier-jobs N] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -65,6 +67,9 @@ void printUsage() {
               "  --all      certify every row of the test split\n"
               "  --n        poisoning budget (default 1)\n"
               "  --jobs     worker threads for --all (0 = all cores)\n"
+              "  --frontier-jobs  executors inside one query's DTrace#\n"
+              "             frontier (0 = all cores); certificates are\n"
+              "             identical for every value\n"
               "  --flip     certify against label flips instead of row\n"
               "             insertions/removals\n");
 }
@@ -106,13 +111,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.DisjunctCap = static_cast<size_t>(std::atoi(Value));
     else if (Arg == "--timeout")
       Options.TimeoutSeconds = std::atof(Value);
-    else if (Arg == "--jobs") {
+    else if (Arg == "--jobs" || Arg == "--frontier-jobs") {
       int Jobs = std::atoi(Value);
       if (Jobs < 0) {
-        std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+        std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores)\n",
+                     Arg.c_str());
         return false;
       }
-      Options.Jobs = static_cast<unsigned>(Jobs);
+      (Arg == "--jobs" ? Options.Jobs : Options.FrontierJobs) =
+          static_cast<unsigned>(Jobs);
     }
     else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
@@ -232,14 +239,22 @@ int main(int Argc, char **Argv) {
   Config.Domain = Options.Domain;
   Config.DisjunctCap = Options.DisjunctCap;
   Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
+  Config.FrontierJobs = Options.FrontierJobs;
+  // One pool shared by every query of the process (it outlives the
+  // verify/verifyBatch calls below); null at --frontier-jobs 1.
+  std::unique_ptr<ThreadPool> FrontierPool =
+      makeVerificationPool(Options.FrontierJobs);
+  Config.FrontierPool = FrontierPool.get();
 
   if (Options.AllRows) {
     std::vector<const float *> Inputs;
     for (uint32_t Row = 0; Row < Test.numRows(); ++Row)
       Inputs.push_back(Test.row(Row));
     std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Options.Jobs);
-    std::printf("verifying %zu test rows on %u thread(s)\n", Inputs.size(),
-                Pool ? Pool->size() + 1 : 1);
+    std::printf("verifying %zu test rows on %u thread(s), %u frontier "
+                "executor(s) per query\n",
+                Inputs.size(), Pool ? Pool->size() + 1 : 1,
+                FrontierPool ? FrontierPool->size() + 1 : 1);
     std::vector<Certificate> Certs =
         V.verifyBatch(Inputs, Options.Budget, Config, Pool.get());
     unsigned Robust = 0;

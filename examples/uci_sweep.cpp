@@ -8,8 +8,8 @@
 // fraction-verified curve (one row of the paper's Figure 6).
 //
 // Usage:
-//   uci_sweep [--jobs N] [dataset-name]   # iris | mammography | wdbc | ...
-//   uci_sweep [--jobs N] --csv train.csv test.csv
+//   uci_sweep [--jobs N] [--frontier-jobs N] [dataset-name]
+//   uci_sweep [--jobs N] [--frontier-jobs N] --csv train.csv test.csv
 //
 //===----------------------------------------------------------------------===//
 
@@ -25,10 +25,15 @@
 using namespace antidote;
 
 static void printUsage(const char *Program) {
-  std::printf("usage: %s [--jobs N] [dataset-name]\n", Program);
-  std::printf("       %s [--jobs N] --csv <train.csv> <test.csv>\n",
+  std::printf("usage: %s [--jobs N] [--frontier-jobs N] [dataset-name]\n",
               Program);
-  std::printf("  --jobs N   verification worker threads (0 = all cores)\n");
+  std::printf("       %s [--jobs N] [--frontier-jobs N] "
+              "--csv <train.csv> <test.csv>\n",
+              Program);
+  std::printf("  --jobs N           per-instance worker threads "
+              "(0 = all cores)\n");
+  std::printf("  --frontier-jobs N  executors inside each instance's "
+              "DTrace# frontier\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -40,23 +45,28 @@ int main(int Argc, char **Argv) {
   std::vector<uint32_t> VerifyRows;
   std::string Name = "mammography";
   unsigned Jobs = 1;
+  unsigned FrontierJobs = 1;
   const char *Program = Argv[0];
 
-  // Extract --jobs N from any position; the remaining arguments keep
-  // their historical positional meaning.
+  // Extract --jobs/--frontier-jobs N from any position; the remaining
+  // arguments keep their historical positional meaning.
   std::vector<char *> Rest = {Argv[0]};
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--jobs") == 0) {
+    bool IsJobs = std::strcmp(Argv[I], "--jobs") == 0;
+    bool IsFrontier = std::strcmp(Argv[I], "--frontier-jobs") == 0;
+    if (IsJobs || IsFrontier) {
+      const char *Flag = Argv[I];
       if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --jobs needs a value\n");
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
         return 1;
       }
       int Parsed = std::atoi(Argv[++I]);
       if (Parsed < 0) {
-        std::fprintf(stderr, "error: --jobs must be >= 0 (0 = all cores)\n");
+        std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores)\n",
+                     Flag);
         return 1;
       }
-      Jobs = static_cast<unsigned>(Parsed);
+      (IsJobs ? Jobs : FrontierJobs) = static_cast<unsigned>(Parsed);
       continue;
     }
     Rest.push_back(Argv[I]);
@@ -100,15 +110,16 @@ int main(int Argc, char **Argv) {
 
   std::printf("=== Poisoning-robustness sweep: %s ===\n", Name.c_str());
   std::printf("train %u rows x %u features, verifying %zu test inputs, "
-              "%u job(s)\n\n",
+              "%u job(s), %u frontier job(s)\n\n",
               Train.numRows(), Train.numFeatures(), VerifyRows.size(),
-              Jobs);
+              Jobs, FrontierJobs);
 
   SweepConfig Config;
   Config.Depths = {1, 2};
   Config.InstanceLimits.TimeoutSeconds = 2.0;
   Config.MaxPoisoning = Train.numRows();
   Config.Jobs = Jobs;
+  Config.FrontierJobs = FrontierJobs;
   SweepResult Result = runPoisoningSweep(Train, Test, VerifyRows, Config);
 
   for (unsigned Depth : Config.Depths) {

@@ -29,6 +29,13 @@ const char *antidote::domainKindName(AbstractDomainKind Kind) {
 namespace {
 
 /// Mutable run state threaded through the driver helpers.
+///
+/// Concurrency contract: every run is two alternating phases per depth
+/// iteration. The *transfer* phase (`transferStep`) is const — it reads
+/// Ctx/X/Config and polls the meter, but touches no mutable member — so
+/// any number of pool workers may execute it on distinct disjuncts. The
+/// *merge* phase runs on the calling thread only and is the single writer
+/// of Tracker, Result, and the peak accounting.
 class LearnerRun {
 public:
   LearnerRun(const SplitContext &Ctx, const float *X,
@@ -39,8 +46,18 @@ public:
   AbstractLearnerResult run(const AbstractDataset &Initial);
 
 private:
+  /// Everything one disjunct's transfer step produces, in the order the
+  /// serial learner would have emitted it: the feasible `pure` terminals,
+  /// then (when ⋄ ∈ Ψ) the disjunct itself, then the child disjuncts.
+  struct DisjunctStep {
+    std::vector<AbstractDataset> Terminals;
+    std::vector<AbstractDataset> Children;
+    bool CalledBestSplit = false;
+  };
+
   /// Adds a terminal abstract state (a place where some concrete run of
-  /// DTrace returns) and folds it into the domination check.
+  /// DTrace returns) and folds it into the domination check. Merge phase
+  /// only.
   void addTerminal(AbstractDataset Terminal) {
     Tracker.addTerminal(Terminal);
     Result.Terminals.push_back(std::move(Terminal));
@@ -67,14 +84,16 @@ private:
     return Config.StopOnRefutation && Tracker.failed();
   }
 
-  /// Handles the `ent(T) = 0` conditional (§4.7) for one disjunct: feasible
-  /// pure restrictions become terminals; returns false iff the `ent ≠ 0`
+  /// The `ent(T) = 0` conditional (§4.7) for one disjunct: appends the
+  /// feasible pure terminals to \p Out; returns false iff the `ent ≠ 0`
   /// else-branch is infeasible (every concretization is already pure).
-  bool processEntropyConditional(const AbstractDataset &Cur);
+  bool collectPureTerminals(const AbstractDataset &Cur,
+                            std::vector<AbstractDataset> &Out) const;
 
-  /// Advances one disjunct through bestSplit# / the ⋄ conditional /
-  /// filter#, appending its successors to \p Next.
-  void step(const AbstractDataset &Cur, std::vector<AbstractDataset> &Next);
+  /// The pure per-disjunct transfer step: the entropy conditional, then
+  /// bestSplit# / the ⋄ conditional / filter#. Const — safe to run on any
+  /// worker concurrently with other disjuncts' steps.
+  DisjunctStep transferStep(const AbstractDataset &Cur) const;
 
   const SplitContext &Ctx;
   const float *X;
@@ -86,7 +105,9 @@ private:
 
 } // namespace
 
-bool LearnerRun::processEntropyConditional(const AbstractDataset &Cur) {
+bool LearnerRun::collectPureTerminals(const AbstractDataset &Cur,
+                                      std::vector<AbstractDataset> &Out)
+    const {
   // Then-branch: restrict to single-class concretizations. A pure
   // restriction with no rows corresponds only to the empty training set,
   // which no concrete DTrace state can be (the initial set is non-empty and
@@ -101,12 +122,12 @@ bool LearnerRun::processEntropyConditional(const AbstractDataset &Cur) {
                       : std::move(*Pure);
     }
     if (Joined)
-      addTerminal(std::move(*Joined));
+      Out.push_back(std::move(*Joined));
   } else {
     for (unsigned C = 0; C < Cur.base().numClasses(); ++C) {
       std::optional<AbstractDataset> Pure = Cur.restrictToPureClass(C);
       if (Pure && !Pure->isEmptySet())
-        addTerminal(std::move(*Pure));
+        Out.push_back(std::move(*Pure));
     }
   }
   // Else-branch feasibility: if the whole abstract set is single-class,
@@ -114,43 +135,60 @@ bool LearnerRun::processEntropyConditional(const AbstractDataset &Cur) {
   return !Cur.isSingleClass();
 }
 
-void LearnerRun::step(const AbstractDataset &Cur,
-                      std::vector<AbstractDataset> &Next) {
+LearnerRun::DisjunctStep
+LearnerRun::transferStep(const AbstractDataset &Cur) const {
+  DisjunctStep Out;
+  if (!collectPureTerminals(Cur, Out.Terminals))
+    return Out;
+
   // An interruption inside bestSplit# yields ⊥ (never a truncated Ψ, which
   // could fabricate terminals), and one in the fan-out below leaves a
-  // truncated frontier; both are sound because the persistent meter trips
-  // the very next shouldAbort() poll — before the budget outcome could be
-  // masked — so a truncated state never reaches a Completed verdict.
+  // truncated child list; both are sound because the persistent meter trips
+  // the merge phase's very next shouldAbort() poll — before the budget
+  // outcome could be masked — so a truncated state never reaches a
+  // Completed verdict.
   PredicateSet Psi =
       abstractBestSplit(Ctx, Cur, Config.Cprob, Config.Gini, &Meter);
-  ++Result.BestSplitCalls;
+  Out.CalledBestSplit = true;
 
   // The φ = ⋄ conditional (§4.7): if ⋄ ∈ Ψ, some concrete run returns here
   // with its training set unchanged.
   if (Psi.containsNull())
-    addTerminal(Cur);
+    Out.Terminals.push_back(Cur);
   if (Psi.predicates().empty())
-    return;
+    return Out;
 
   if (Config.Domain == AbstractDomainKind::Box) {
-    Next.push_back(abstractFilter(Cur, Psi, X));
-    return;
+    Out.Children.push_back(abstractFilter(Cur, Psi, X));
+    return Out;
   }
   // Disjunctive filter#: one disjunct per (predicate, feasible side of x).
   for (const SplitPredicate &Pred : Psi.predicates()) {
     if (Meter.interrupted())
-      return;
+      return Out;
     ThreeValued V = Pred.evaluate(X);
     if (V != ThreeValued::False)
-      Next.push_back(Cur.restrict(Pred, /*Positive=*/true));
+      Out.Children.push_back(Cur.restrict(Pred, /*Positive=*/true));
     if (V != ThreeValued::True)
-      Next.push_back(Cur.restrict(Pred, /*Positive=*/false));
+      Out.Children.push_back(Cur.restrict(Pred, /*Positive=*/false));
   }
+  return Out;
 }
 
 AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
   assert(!Initial.isEmptySet() && "DTrace# needs a non-empty abstract set");
   Timer Elapsed;
+
+  // The frontier fan-out pool: an externally owned one (shared across a
+  // sweep's instances) wins; otherwise spawn per FrontierJobs for this
+  // run. Null/empty means every transfer step runs inline on this thread.
+  ThreadPool *Pool = Config.FrontierPool;
+  std::unique_ptr<ThreadPool> OwnedPool;
+  if (!Pool && Config.FrontierJobs != 1) {
+    OwnedPool = makeVerificationPool(Config.FrontierJobs);
+    Pool = OwnedPool.get();
+  }
+
   std::vector<AbstractDataset> Frontier;
   Frontier.push_back(Initial);
   Result.PeakDisjuncts = 1;
@@ -160,15 +198,50 @@ AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
   for (unsigned Iter = 0; Iter < Config.Depth && !Frontier.empty(); ++Iter) {
     std::vector<AbstractDataset> Next;
     uint64_t FrontierBytes = 0;
-    for (const AbstractDataset &Cur : Frontier) {
-      if ((Aborted = shouldAbort(Frontier.size() + Next.size(),
-                                 FrontierBytes)))
-        break;
-      size_t SizeBefore = Next.size();
-      if (processEntropyConditional(Cur))
-        step(Cur, Next);
-      for (size_t I = SizeBefore, E = Next.size(); I < E; ++I)
-        FrontierBytes += Next[I].stateBytes();
+    {
+      // Transfer phase: the workers compute per-disjunct steps out of
+      // order while the merge below consumes them strictly in disjunct-
+      // index order — replaying exactly the serial emission order, so
+      // terminals, counters, and abort points are identical for every
+      // FrontierJobs value.
+      // The claim window bounds how far the workers may run ahead of the
+      // merge (a few chunks per executor): without it, a run that a
+      // budget cap would stop mid-merge could first materialize the
+      // whole next frontier in Steps — precisely the OOM the caps stand
+      // in for. Run-ahead memory is limited to the window's steps.
+      std::vector<DisjunctStep> Steps(Frontier.size());
+      size_t WindowChunks = 4 * (Pool ? Pool->size() + 1 : 1);
+      OrderedFanout Fanout(Pool, Frontier.size(), /*ChunkSize=*/0,
+                           [this, &Steps, &Frontier](size_t I) {
+                             Steps[I] = transferStep(Frontier[I]);
+                           },
+                           WindowChunks);
+
+      // Merge phase: single writer of the tracker and every counter.
+      for (size_t I = 0, E = Frontier.size(); I < E; ++I) {
+        if ((Aborted = shouldAbort(Frontier.size() + Next.size(),
+                                   FrontierBytes))) {
+          // Refuted or over budget: the disjuncts past I will never be
+          // merged, so tell the workers to stop paying for them.
+          Fanout.cancelRemaining();
+          break;
+        }
+        Fanout.awaitItem(I);
+        DisjunctStep &Step = Steps[I];
+        for (AbstractDataset &Terminal : Step.Terminals)
+          addTerminal(std::move(Terminal));
+        Result.BestSplitCalls += Step.CalledBestSplit;
+        for (AbstractDataset &Child : Step.Children) {
+          FrontierBytes += Child.stateBytes();
+          Next.push_back(std::move(Child));
+        }
+        // Release the merged step's buffers now rather than at the end
+        // of the iteration: with huge frontiers, Count moved-from shells
+        // would otherwise accumulate alongside the live Next.
+        Step = DisjunctStep();
+      }
+      // Fanout's destructor joins any worker still finishing a claimed
+      // chunk before Steps/Frontier leave scope.
     }
     if (Aborted)
       break;

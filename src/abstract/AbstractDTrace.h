@@ -26,6 +26,18 @@
 /// streamed into a `DominationTracker` so verification can stop the moment
 /// Corollary 4.12 becomes unsatisfiable.
 ///
+/// Each depth iteration is split into two phases so one verification can
+/// scale across cores (`FrontierJobs`): a pure per-disjunct *transfer*
+/// phase (the `ent = 0` conditional, `bestSplit#`, and `filter#` for one
+/// disjunct, producing that disjunct's terminals and children) that fans
+/// out over a `ThreadPool`, and a sequential *merge* phase — the single
+/// writer of the domination tracker, the dedup/overflow-join, and every
+/// resource counter — that folds the per-disjunct results in disjunct-
+/// index order. Because the merge replays exactly the serial order, the
+/// result (terminals, certificates, `PeakDisjuncts`, `PeakStateBytes`,
+/// `BestSplitCalls`) is bit-identical for every `FrontierJobs` value in
+/// all three domains; only wall-clock time changes.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANTIDOTE_ABSTRACT_ABSTRACTDTRACE_H
@@ -37,6 +49,7 @@
 #include "abstract/Domination.h"
 #include "concrete/BestSplit.h"
 #include "support/Budget.h"
+#include "support/ThreadPool.h"
 
 #include <optional>
 
@@ -76,6 +89,23 @@ struct AbstractLearnerConfig {
   /// Stop as soon as domination becomes impossible (sound for
   /// verification; disable to obtain the complete terminal set in tests).
   bool StopOnRefutation = true;
+
+  /// Executors for the per-frontier disjunct fan-out: 1 (default) keeps
+  /// the whole run on the calling thread, 0 means one executor per
+  /// hardware thread. Results are bit-identical for every value; this is
+  /// purely a wall-clock knob for the huge-frontier regimes of the
+  /// disjunctive domains (a Box run has a one-element frontier and never
+  /// fans out).
+  unsigned FrontierJobs = 1;
+
+  /// Optional externally owned pool for the frontier fan-out; when set it
+  /// is used as-is and `FrontierJobs` only documents the intent (a sweep
+  /// shares one pool across its instances instead of re-spawning threads
+  /// per query). Null means the run spawns its own pool per
+  /// `FrontierJobs`. The pool may be shared with other concurrent runs:
+  /// the merge thread computes unclaimed disjuncts itself, so a starved
+  /// fan-out degrades to serial instead of deadlocking.
+  ThreadPool *FrontierPool = nullptr;
 };
 
 /// Why the learner stopped.

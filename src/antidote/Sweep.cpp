@@ -24,7 +24,7 @@ public:
   ProtocolRun(const Verifier &V, const Dataset &Test,
               const std::vector<uint32_t> &VerifyRows,
               const SweepConfig &Config, const SweepDomainSpec &Spec,
-              unsigned Depth, ThreadPool *Pool)
+              unsigned Depth, ThreadPool *Pool, ThreadPool *FrontierPool)
       : V(V), Test(Test), VerifyRows(VerifyRows), Config(Config),
         Pool(Pool) {
     Series.Depth = Depth;
@@ -37,6 +37,8 @@ public:
     QueryConfig.DisjunctCap = Spec.DisjunctCap;
     QueryConfig.Limits = Config.InstanceLimits;
     QueryConfig.Cancel = Config.Cancel;
+    QueryConfig.FrontierJobs = Config.FrontierJobs;
+    QueryConfig.FrontierPool = FrontierPool;
   }
 
   SweepSeries run() {
@@ -191,15 +193,22 @@ SweepResult antidote::runPoisoningSweep(
   SweepResult Result;
   Result.VerifyRows = VerifyRows;
 
-  // One pool for the whole sweep; Jobs == 1 stays strictly serial (the
-  // caller's thread does all the work inside verifyBatch).
+  // One pool per axis for the whole sweep; Jobs == 1 / FrontierJobs == 1
+  // stay strictly serial (the caller's thread does all the work inside
+  // verifyBatch / the frontier merge). The frontier pool is shared by
+  // every instance — concurrent queries interleave their chunk tasks on
+  // it safely, and each query's merge thread picks up unclaimed disjuncts
+  // itself, so contention degrades toward serial rather than deadlocking.
   std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Config.Jobs);
+  std::unique_ptr<ThreadPool> FrontierPool =
+      makeVerificationPool(Config.FrontierJobs);
 
   for (unsigned Depth : Config.Depths)
     for (const SweepDomainSpec &Spec : Config.Domains) {
       if (Config.Cancel && Config.Cancel->cancelled())
         return Result;
-      ProtocolRun Run(V, Test, VerifyRows, Config, Spec, Depth, Pool.get());
+      ProtocolRun Run(V, Test, VerifyRows, Config, Spec, Depth, Pool.get(),
+                      FrontierPool.get());
       Result.Series.push_back(Run.run());
     }
   return Result;

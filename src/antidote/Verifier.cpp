@@ -63,6 +63,8 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   LearnerConfig.DisjunctCap = Config.DisjunctCap;
   LearnerConfig.Limits = Config.Limits;
   LearnerConfig.Cancel = Config.Cancel;
+  LearnerConfig.FrontierJobs = Config.FrontierJobs;
+  LearnerConfig.FrontierPool = Config.FrontierPool;
 
   AbstractDataset Initial = AbstractDataset::entire(*Train, PoisoningBudget);
   AbstractLearnerResult Run = runAbstractDTrace(Ctx, Initial, X,

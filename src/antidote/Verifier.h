@@ -48,6 +48,19 @@ struct VerifierConfig {
   /// cooperatively (they report VerdictKind::Cancelled, or the token's
   /// reason) — the lever `verifyBatch` callers use to abandon a batch.
   const CancellationToken *Cancel = nullptr;
+
+  /// Executors for the frontier fan-out *within* one query's DTrace# run
+  /// (1 = serial, 0 = one per hardware thread). Orthogonal to the batch-
+  /// level pool `verifyBatch` takes: that knob spreads independent
+  /// queries across cores, this one spreads a single hard query's
+  /// disjuncts. Certificates are bit-identical for every value.
+  unsigned FrontierJobs = 1;
+
+  /// Optional externally owned pool for the frontier fan-out (overrides
+  /// FrontierJobs-driven pool spawning; see AbstractLearnerConfig). A
+  /// sweep passes one long-lived pool here so thousands of queries do not
+  /// each re-spawn threads.
+  ThreadPool *FrontierPool = nullptr;
 };
 
 /// Verifies data-poisoning robustness of decision-tree learning on a fixed

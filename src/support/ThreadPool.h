@@ -9,10 +9,10 @@
 /// A fixed-size worker pool for the embarrassingly parallel parts of the
 /// §6 experiment protocol (per-instance verification fan-out).
 ///
-/// Two layers:
+/// Three layers:
 ///  - `ThreadPool` — N workers draining a shared FIFO of opaque tasks.
-///  - `parallelFor` — the scheduling idiom all callers actually use: items
-///    are claimed one at a time from a shared atomic cursor (self-
+///  - `parallelFor` — the scheduling idiom batch callers use: items are
+///    claimed one at a time from a shared atomic cursor (self-
 ///    scheduling, the work-stealing-friendly discipline: an idle worker
 ///    always takes the globally next unclaimed item, so imbalanced item
 ///    costs never strand work behind a slow thread), with the calling
@@ -20,6 +20,15 @@
 ///    once every item has finished, and item indices are handed out in
 ///    order, so callers can aggregate results deterministically by index
 ///    regardless of thread count.
+///  - `OrderedFanout` — the work-chunk discipline behind the frontier-
+///    parallel `DTrace#` (abstract/AbstractDTrace.cpp): workers claim
+///    contiguous *chunks* of item indices and compute them out of order
+///    while the calling thread consumes results strictly in index order,
+///    computing any item the workers have not claimed yet inline. The
+///    consumer can cancel the not-yet-claimed remainder cooperatively
+///    (workers poll a relaxed skip flag once per chunk), which is how a
+///    refuted/over-budget frontier merge stops paying for disjuncts it
+///    will never fold in.
 ///
 /// Tasks must not throw; the verifier reports failures through
 /// `Certificate`/`BudgetOutcome` values, never exceptions.
@@ -78,6 +87,65 @@ private:
 /// serial loop, so callers need no separate serial code path.
 void parallelFor(ThreadPool *Pool, size_t Count,
                  const std::function<void(size_t)> &Body);
+
+/// Computes `Body(0) ... Body(Count-1)` on \p Pool's workers while the
+/// constructing thread consumes the results in index order via
+/// `awaitItem(0..Count-1)`.
+///
+/// Workers claim contiguous chunks of up to \p ChunkSize indices from a
+/// shared cursor (one cursor bump per chunk keeps contention negligible
+/// even for very fine-grained items) and then claim each index in the
+/// chunk individually, so the consumer can *also* compute an item inline
+/// when it catches up with the workers — with a null/empty pool this
+/// degrades to a plain serial loop in which `awaitItem(I)` simply runs
+/// `Body(I)`, so callers need no separate serial code path.
+///
+/// `Body(I)` must publish item I's result into caller-owned storage (for
+/// example a pre-sized results vector slot — writes are unique per index,
+/// the claim handshake orders them before the consumer's read) and must
+/// not throw. The consumer may stop early: `cancelRemaining()` asks the
+/// workers to skip everything not yet claimed; it is checked once per
+/// chunk, so at most one in-flight chunk per worker still completes. The
+/// destructor cancels the remainder and blocks until every worker has
+/// left, so `Body` may safely capture the caller's stack.
+///
+/// While the consumer waits for a worker-claimed item it helps forward —
+/// claiming and computing later unclaimed items — so its core is never
+/// wasted on a pure spin while work remains.
+///
+/// \p WindowChunks (0 = unbounded) caps how many chunks past the chunk
+/// containing the last awaited item may be claimed, bounding how much
+/// not-yet-consumed output can pile up. The frontier learner uses this
+/// so a run that a budget cap would stop mid-merge cannot first
+/// materialize the whole next frontier in memory: run-ahead is limited
+/// to the window, and workers at the horizon sleep until the consumer
+/// catches up (or cancels).
+class OrderedFanout {
+public:
+  /// Starts the fan-out. A \p ChunkSize of 0 picks a default that spreads
+  /// \p Count over the executors a few chunks deep.
+  OrderedFanout(ThreadPool *Pool, size_t Count, size_t ChunkSize,
+                std::function<void(size_t)> Body, size_t WindowChunks = 0);
+
+  /// Cancels the unclaimed remainder, then waits for in-flight workers.
+  ~OrderedFanout();
+
+  OrderedFanout(const OrderedFanout &) = delete;
+  OrderedFanout &operator=(const OrderedFanout &) = delete;
+
+  /// Blocks until item \p I's Body has finished, running it inline when no
+  /// worker has claimed it yet. Items must be awaited in ascending order
+  /// (each at most once); callers stopping early just stop awaiting.
+  void awaitItem(size_t I);
+
+  /// Tells the workers to skip every item not yet claimed. Idempotent.
+  /// Already-awaited items are unaffected; do not await further items.
+  void cancelRemaining();
+
+private:
+  struct State;
+  std::shared_ptr<State> S;
+};
 
 /// The one policy for turning a user-facing Jobs knob into a pool:
 /// 0 means one executor per hardware thread, requests are clamped to 16x

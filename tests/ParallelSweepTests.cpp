@@ -227,8 +227,10 @@ TEST(ParallelSweepTest, MidRunCancellationStopsInFlightVerification) {
   Canceller.join();
   EXPECT_EQ(Result.Status, LearnerStatus::Cancelled);
   EXPECT_FALSE(Result.DominatingClass.has_value());
-  // Early stop, not a full traversal (the uncancelled run takes seconds).
-  EXPECT_LT(Result.Seconds, 1.0);
+  // Early stop, not a full traversal: generous headroom because the
+  // sanitizer CI jobs slow wind-down latency 5-15x, but still far below
+  // the uncancelled traversal (seconds natively, minutes under TSan).
+  EXPECT_LT(Result.Seconds, 5.0);
 }
 
 TEST(ParallelSweepTest, CancelledSweepReturnsPartialWellFormedResult) {
