@@ -110,11 +110,11 @@ int main() {
       size_t ExactPsi =
           abstractBestSplit(Ctx, Root, CprobTransformerKind::Optimal,
                             GiniLiftingKind::ExactTerm)
-              .size();
+              ->size();
       size_t NaturalPsi =
           abstractBestSplit(Ctx, Root, CprobTransformerKind::Optimal,
                             GiniLiftingKind::NaturalLifting)
-              .size();
+              ->size();
       Table.addRow({std::to_string(N), std::to_string(A.Verified),
                     std::to_string(B.Verified), std::to_string(ExactPsi),
                     std::to_string(NaturalPsi)});

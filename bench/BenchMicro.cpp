@@ -113,7 +113,7 @@ static void BM_AbstractBestSplit(benchmark::State &State) {
       mammo().Split.Train, static_cast<uint32_t>(State.range(0)));
   for (auto _ : State) {
     PredicateSet Psi =
-        abstractBestSplit(mammoCtx(), A, CprobTransformerKind::Optimal);
+        *abstractBestSplit(mammoCtx(), A, CprobTransformerKind::Optimal);
     benchmark::DoNotOptimize(Psi.size());
   }
 }
@@ -200,6 +200,30 @@ BENCHMARK(BM_VerifyFrontierJobs)
     ->Arg(2)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Per-feature sharding of one bestSplit# candidate-scoring pass, at
+// SplitJobs = 1/2/4 — the axis that helps when a single disjunct
+// dominates and the frontier fan-out has nothing to spread. The returned
+// PredicateSet is bit-identical across values
+// (tests/BestSplitShardTests.cpp enforces this); only real time should
+// move, with the same single-core caveat as the other scaling benches.
+static void BM_BestSplitJobs(benchmark::State &State) {
+  unsigned SplitJobs = static_cast<unsigned>(State.range(0));
+  std::unique_ptr<ThreadPool> Pool = makeVerificationPool(SplitJobs);
+  AbstractDataset A = AbstractDataset::entire(mammo().Split.Train, 16);
+  for (auto _ : State) {
+    std::optional<PredicateSet> Psi = abstractBestSplit(
+        mammoCtx(), A, CprobTransformerKind::Optimal,
+        GiniLiftingKind::ExactTerm, /*Meter=*/nullptr, Pool.get(),
+        SplitJobs);
+    benchmark::DoNotOptimize(Psi->size());
+  }
+}
+BENCHMARK(BM_BestSplitJobs)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
     ->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -9,11 +9,13 @@
 
 #include "antidote/Report.h"
 #include "support/MemoryUsage.h"
+#include "support/Parse.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 using namespace antidote;
 using namespace antidote::benchutil;
@@ -42,15 +44,18 @@ static unsigned jobsFromEnvVar(const char *Name) {
   const char *Env = std::getenv(Name);
   if (!Env || !*Env)
     return 1;
-  int Parsed = std::atoi(Env);
-  if (Parsed < 0) {
-    // Mirror the CLI parsers: a typo must not wrap to a huge unsigned
-    // and silently spawn a clamped-but-large worker pool.
-    std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores), got %s\n",
+  // Mirror the CLI parsers: a typo must not silently become 0 (bare
+  // atoi) or wrap to a huge unsigned and spawn a clamped-but-large pool.
+  std::optional<uint64_t> Parsed =
+      parseUnsignedArg(Env, std::numeric_limits<unsigned>::max());
+  if (!Parsed) {
+    std::fprintf(stderr,
+                 "error: %s needs an unsigned integer (0 = all cores), "
+                 "got '%s'\n",
                  Name, Env);
     std::exit(2);
   }
-  return static_cast<unsigned>(Parsed);
+  return static_cast<unsigned>(*Parsed);
 }
 
 unsigned antidote::benchutil::benchJobsFromEnv() {
@@ -61,21 +66,27 @@ unsigned antidote::benchutil::benchFrontierJobsFromEnv() {
   return jobsFromEnvVar("ANTIDOTE_FRONTIER_JOBS");
 }
 
+unsigned antidote::benchutil::benchSplitJobsFromEnv() {
+  return jobsFromEnvVar("ANTIDOTE_SPLIT_JOBS");
+}
+
 SweepResult
 antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   BenchScale Scale = benchScaleFromEnv();
   SweepConfig Config = Scale == BenchScale::Full ? Spec.Full : Spec.Scaled;
   Config.Jobs = benchJobsFromEnv();
   Config.FrontierJobs = benchFrontierJobsFromEnv();
+  Config.SplitJobs = benchSplitJobsFromEnv();
 
   BenchmarkDataset Bench = loadBenchmarkDataset(Spec.DatasetName, Scale);
   std::printf("=== %s reproduction: %s ===\n", Spec.PaperFigure.c_str(),
               Spec.DatasetName.c_str());
   std::printf("scale: %s (set ANTIDOTE_BENCH_SCALE=full for paper scale); "
               "jobs: %u (ANTIDOTE_JOBS; 0 = all cores); "
-              "frontier jobs: %u (ANTIDOTE_FRONTIER_JOBS)\n",
+              "frontier jobs: %u (ANTIDOTE_FRONTIER_JOBS); "
+              "split jobs: %u (ANTIDOTE_SPLIT_JOBS)\n",
               Scale == BenchScale::Full ? "full" : "scaled", Config.Jobs,
-              Config.FrontierJobs);
+              Config.FrontierJobs, Config.SplitJobs);
   std::printf("train %u rows x %u features; verifying %zu test inputs; "
               "timeout %.1fs/instance\n\n",
               Bench.Split.Train.numRows(), Bench.Split.Train.numFeatures(),

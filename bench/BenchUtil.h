@@ -51,6 +51,10 @@ unsigned benchJobsFromEnv();
 /// frontier ("0" = one per hardware thread). Defaults to 1 (serial).
 unsigned benchFrontierJobsFromEnv();
 
+/// Reads ANTIDOTE_SPLIT_JOBS: executors inside each bestSplit# candidate
+/// scoring pass ("0" = one per hardware thread). Defaults to 1 (serial).
+unsigned benchSplitJobsFromEnv();
+
 /// Runs the spec at the scale selected by the environment and prints the
 /// figure panels. Returns the sweep result for further custom reporting.
 SweepResult runFigureBench(const FigureBenchSpec &Spec);

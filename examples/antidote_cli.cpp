@@ -20,13 +20,17 @@
 #include "antidote/Verifier.h"
 #include "data/Csv.h"
 #include "data/Registry.h"
+#include "support/Parse.h"
 
 #include <algorithm>
+#include <climits>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <type_traits>
 
 using namespace antidote;
 
@@ -46,6 +50,7 @@ struct CliOptions {
   double TimeoutSeconds = 60.0;
   unsigned Jobs = 1; ///< Worker threads for --all; 0 = hardware threads.
   unsigned FrontierJobs = 1; ///< Executors within one DTrace# frontier.
+  unsigned SplitJobs = 1; ///< Executors within one bestSplit# scoring pass.
   bool FlipModel = false;
 };
 
@@ -56,7 +61,7 @@ void printUsage() {
       "                    [--n N] [--depth D]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
-      "                    [--frontier-jobs N] [--flip]\n\n"
+      "                    [--frontier-jobs N] [--split-jobs N] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -65,11 +70,16 @@ void printUsage() {
               "  --query    feature vector of the input to certify\n"
               "  --row      use row K of the benchmark's test split\n"
               "  --all      certify every row of the test split\n"
-              "  --n        poisoning budget (default 1)\n"
+              "  --n        poisoning budget (default 1; at most the\n"
+              "             training-set size)\n"
               "  --jobs     worker threads for --all (0 = all cores)\n"
               "  --frontier-jobs  executors inside one query's DTrace#\n"
               "             frontier (0 = all cores); certificates are\n"
               "             identical for every value\n"
+              "  --split-jobs  executors inside one bestSplit# candidate\n"
+              "             scoring pass (0 = all cores); shares the\n"
+              "             frontier pool, certificates identical for\n"
+              "             every value\n"
               "  --flip     certify against label flips instead of row\n"
               "             insertions/removals\n");
 }
@@ -95,33 +105,57 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
       return false;
     }
+    // Every numeric flag parses checked: garbage must error out loudly,
+    // not silently become 0 (bare atoi) or wrap through an unsigned cast.
+    auto CountFlag = [&](uint64_t Max, auto &Out) {
+      std::optional<uint64_t> Parsed = parseUnsignedArg(Value, Max);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: %s needs an unsigned integer <= %llu, got "
+                     "'%s'\n",
+                     Arg.c_str(), static_cast<unsigned long long>(Max),
+                     Value);
+        return false;
+      }
+      Out = static_cast<std::remove_reference_t<decltype(Out)>>(*Parsed);
+      return true;
+    };
     if (Arg == "--train")
       Options.TrainCsv = Value;
     else if (Arg == "--dataset")
       Options.DatasetName = Value;
     else if (Arg == "--query")
       Options.QueryValues = Value;
-    else if (Arg == "--row")
-      Options.TestRow = std::atoi(Value);
-    else if (Arg == "--n")
-      Options.Budget = static_cast<uint32_t>(std::atoi(Value));
-    else if (Arg == "--depth")
-      Options.Depth = static_cast<unsigned>(std::atoi(Value));
-    else if (Arg == "--cap")
-      Options.DisjunctCap = static_cast<size_t>(std::atoi(Value));
-    else if (Arg == "--timeout")
-      Options.TimeoutSeconds = std::atof(Value);
-    else if (Arg == "--jobs" || Arg == "--frontier-jobs") {
-      int Jobs = std::atoi(Value);
-      if (Jobs < 0) {
-        std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores)\n",
-                     Arg.c_str());
+    else if (Arg == "--row") {
+      if (!CountFlag(INT_MAX, Options.TestRow))
+        return false;
+    } else if (Arg == "--n") {
+      if (!CountFlag(UINT32_MAX, Options.Budget))
+        return false;
+    } else if (Arg == "--depth") {
+      if (!CountFlag(UINT_MAX, Options.Depth))
+        return false;
+    } else if (Arg == "--cap") {
+      if (!CountFlag(SIZE_MAX, Options.DisjunctCap))
+        return false;
+    } else if (Arg == "--timeout") {
+      std::optional<double> Parsed = parseDoubleArg(Value);
+      if (!Parsed || *Parsed < 0.0) {
+        std::fprintf(stderr,
+                     "error: --timeout needs a finite number of seconds "
+                     ">= 0, got '%s'\n",
+                     Value);
         return false;
       }
-      (Arg == "--jobs" ? Options.Jobs : Options.FrontierJobs) =
-          static_cast<unsigned>(Jobs);
-    }
-    else if (Arg == "--domain") {
+      Options.TimeoutSeconds = *Parsed;
+    } else if (Arg == "--jobs" || Arg == "--frontier-jobs" ||
+               Arg == "--split-jobs") {
+      unsigned *Out = Arg == "--jobs" ? &Options.Jobs
+                      : Arg == "--frontier-jobs" ? &Options.FrontierJobs
+                                                 : &Options.SplitJobs;
+      if (!CountFlag(UINT_MAX, *Out))
+        return false;
+    } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
       else if (std::strcmp(Value, "disjuncts") == 0)
@@ -193,6 +227,13 @@ int main(int Argc, char **Argv) {
     Train = std::move(Bench.Split.Train);
     Test = std::move(Bench.Split.Test);
   }
+  if (Options.Budget > Train.numRows()) {
+    std::fprintf(stderr,
+                 "error: --n %u exceeds the %u-row training set (the "
+                 "attacker cannot have contributed more rows than exist)\n",
+                 Options.Budget, Train.numRows());
+    return 2;
+  }
   std::vector<float> Query;
   if (Options.AllRows) {
     // Resolved below; --all verifies the whole test split in one batch.
@@ -240,10 +281,12 @@ int main(int Argc, char **Argv) {
   Config.DisjunctCap = Options.DisjunctCap;
   Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
   Config.FrontierJobs = Options.FrontierJobs;
-  // One pool shared by every query of the process (it outlives the
-  // verify/verifyBatch calls below); null at --frontier-jobs 1.
-  std::unique_ptr<ThreadPool> FrontierPool =
-      makeVerificationPool(Options.FrontierJobs);
+  Config.SplitJobs = Options.SplitJobs;
+  // One pool shared by every query of the process and by both in-query
+  // fan-out levels (it outlives the verify/verifyBatch calls below);
+  // null when --frontier-jobs and --split-jobs are both 1.
+  std::unique_ptr<ThreadPool> FrontierPool = makeVerificationPool(
+      sharedFanoutJobs(Options.FrontierJobs, Options.SplitJobs));
   Config.FrontierPool = FrontierPool.get();
 
   if (Options.AllRows) {
@@ -251,8 +294,8 @@ int main(int Argc, char **Argv) {
     for (uint32_t Row = 0; Row < Test.numRows(); ++Row)
       Inputs.push_back(Test.row(Row));
     std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Options.Jobs);
-    std::printf("verifying %zu test rows on %u thread(s), %u frontier "
-                "executor(s) per query\n",
+    std::printf("verifying %zu test rows on %u thread(s), %u shared "
+                "frontier/split executor(s) per query\n",
                 Inputs.size(), Pool ? Pool->size() + 1 : 1,
                 FrontierPool ? FrontierPool->size() + 1 : 1);
     std::vector<Certificate> Certs =

@@ -17,7 +17,9 @@
 #include "antidote/Sweep.h"
 #include "data/Csv.h"
 #include "data/Registry.h"
+#include "support/Parse.h"
 
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,15 +27,18 @@
 using namespace antidote;
 
 static void printUsage(const char *Program) {
-  std::printf("usage: %s [--jobs N] [--frontier-jobs N] [dataset-name]\n",
+  std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
+              "[dataset-name]\n",
               Program);
-  std::printf("       %s [--jobs N] [--frontier-jobs N] "
+  std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
               "--csv <train.csv> <test.csv>\n",
               Program);
   std::printf("  --jobs N           per-instance worker threads "
               "(0 = all cores)\n");
   std::printf("  --frontier-jobs N  executors inside each instance's "
               "DTrace# frontier\n");
+  std::printf("  --split-jobs N     executors inside each bestSplit# "
+              "candidate scoring pass\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -46,27 +51,33 @@ int main(int Argc, char **Argv) {
   std::string Name = "mammography";
   unsigned Jobs = 1;
   unsigned FrontierJobs = 1;
+  unsigned SplitJobs = 1;
   const char *Program = Argv[0];
 
-  // Extract --jobs/--frontier-jobs N from any position; the remaining
-  // arguments keep their historical positional meaning.
+  // Extract the jobs flags from any position; the remaining arguments
+  // keep their historical positional meaning. Values parse checked —
+  // garbage errors out instead of silently becoming 0 (bare atoi).
   std::vector<char *> Rest = {Argv[0]};
   for (int I = 1; I < Argc; ++I) {
     bool IsJobs = std::strcmp(Argv[I], "--jobs") == 0;
     bool IsFrontier = std::strcmp(Argv[I], "--frontier-jobs") == 0;
-    if (IsJobs || IsFrontier) {
+    bool IsSplit = std::strcmp(Argv[I], "--split-jobs") == 0;
+    if (IsJobs || IsFrontier || IsSplit) {
       const char *Flag = Argv[I];
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s needs a value\n", Flag);
         return 1;
       }
-      int Parsed = std::atoi(Argv[++I]);
-      if (Parsed < 0) {
-        std::fprintf(stderr, "error: %s must be >= 0 (0 = all cores)\n",
-                     Flag);
+      std::optional<uint64_t> Parsed = parseUnsignedArg(Argv[++I], UINT_MAX);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: %s needs an unsigned integer (0 = all "
+                     "cores), got '%s'\n",
+                     Flag, Argv[I]);
         return 1;
       }
-      (IsJobs ? Jobs : FrontierJobs) = static_cast<unsigned>(Parsed);
+      (IsJobs ? Jobs : IsFrontier ? FrontierJobs : SplitJobs) =
+          static_cast<unsigned>(*Parsed);
       continue;
     }
     Rest.push_back(Argv[I]);
@@ -110,9 +121,9 @@ int main(int Argc, char **Argv) {
 
   std::printf("=== Poisoning-robustness sweep: %s ===\n", Name.c_str());
   std::printf("train %u rows x %u features, verifying %zu test inputs, "
-              "%u job(s), %u frontier job(s)\n\n",
+              "%u job(s), %u frontier job(s), %u split job(s)\n\n",
               Train.numRows(), Train.numFeatures(), VerifyRows.size(),
-              Jobs, FrontierJobs);
+              Jobs, FrontierJobs, SplitJobs);
 
   SweepConfig Config;
   Config.Depths = {1, 2};
@@ -120,6 +131,7 @@ int main(int Argc, char **Argv) {
   Config.MaxPoisoning = Train.numRows();
   Config.Jobs = Jobs;
   Config.FrontierJobs = FrontierJobs;
+  Config.SplitJobs = SplitJobs;
   SweepResult Result = runPoisoningSweep(Train, Test, VerifyRows, Config);
 
   for (unsigned Depth : Config.Depths) {

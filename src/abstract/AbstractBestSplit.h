@@ -26,6 +26,14 @@
 ///      scores — i.e. everything whose score interval overlaps the minimal
 ///      interval.
 ///
+/// Candidate enumeration + interval scoring dominate a hard verification's
+/// cost, so the loop shards *per feature*: each shard scores one feature's
+/// candidates (Φ∃ membership, score intervals, its local lubΦ∀
+/// contribution) independently, and the shards fold in strict
+/// feature-index order — `min`/`∨` folds are exact, so the returned
+/// `PredicateSet` is bit-identical to the serial scan for every `SplitJobs`
+/// value.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANTIDOTE_ABSTRACT_ABSTRACTBESTSPLIT_H
@@ -36,19 +44,33 @@
 #include "abstract/PredicateSet.h"
 #include "concrete/BestSplit.h"
 #include "support/Budget.h"
+#include "support/ThreadPool.h"
+
+#include <optional>
 
 namespace antidote {
 
 /// `bestSplit#(⟨T,n⟩)`. Requires a non-empty abstract set.
 ///
-/// When \p Meter is given, the candidate loop polls it periodically and
-/// stops scoring once interrupted; the (then possibly truncated) result is
-/// only safe to use if the caller re-checks the meter before acting on it.
-PredicateSet
+/// When \p Meter is given, the candidate scoring polls it up front and
+/// periodically while scoring; an
+/// interrupted run returns `std::nullopt`, never a truncated set — a
+/// partial Ψ could fabricate terminals the untruncated run would never
+/// produce (spuriously refuting domination), so truncation is
+/// unrepresentable and every caller must handle the interrupt explicitly.
+/// Without a meter the result is always engaged.
+///
+/// With \p Pool and `SplitJobs != 1`, candidate scoring shards per feature
+/// onto the pool (`SplitJobs` caps the executors recruited for this call,
+/// 0 = one per hardware thread; the pool is typically shared with the
+/// frontier fan-out). The engaged result is bit-identical for every job
+/// count.
+std::optional<PredicateSet>
 abstractBestSplit(const SplitContext &Ctx, const AbstractDataset &Data,
                   CprobTransformerKind Kind,
                   GiniLiftingKind Lifting = GiniLiftingKind::ExactTerm,
-                  const ResourceMeter *Meter = nullptr);
+                  const ResourceMeter *Meter = nullptr,
+                  ThreadPool *Pool = nullptr, unsigned SplitJobs = 1);
 
 } // namespace antidote
 

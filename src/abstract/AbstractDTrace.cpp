@@ -101,6 +101,11 @@ private:
   DominationTracker Tracker;
   ResourceMeter Meter;
   AbstractLearnerResult Result;
+
+  /// The run's one pool, shared by the frontier fan-out and the per-
+  /// feature bestSplit# sharding inside each transfer step. Set once in
+  /// run() before any transfer step executes, then only read.
+  ThreadPool *Pool = nullptr;
 };
 
 } // namespace
@@ -141,29 +146,31 @@ LearnerRun::transferStep(const AbstractDataset &Cur) const {
   if (!collectPureTerminals(Cur, Out.Terminals))
     return Out;
 
-  // An interruption inside bestSplit# yields ⊥ (never a truncated Ψ, which
-  // could fabricate terminals), and one in the fan-out below leaves a
-  // truncated child list; both are sound because the persistent meter trips
-  // the merge phase's very next shouldAbort() poll — before the budget
-  // outcome could be masked — so a truncated state never reaches a
-  // Completed verdict.
-  PredicateSet Psi =
-      abstractBestSplit(Ctx, Cur, Config.Cprob, Config.Gini, &Meter);
+  // An interruption inside bestSplit# yields nullopt (a truncated Ψ is
+  // unrepresentable — it could fabricate terminals), and one in the
+  // fan-out below leaves a truncated child list; both are sound because
+  // the persistent meter trips the merge phase's very next shouldAbort()
+  // poll — before the budget outcome could be masked — so a truncated
+  // state never reaches a Completed verdict.
+  std::optional<PredicateSet> Psi = abstractBestSplit(
+      Ctx, Cur, Config.Cprob, Config.Gini, &Meter, Pool, Config.SplitJobs);
   Out.CalledBestSplit = true;
+  if (!Psi)
+    return Out;
 
   // The φ = ⋄ conditional (§4.7): if ⋄ ∈ Ψ, some concrete run returns here
   // with its training set unchanged.
-  if (Psi.containsNull())
+  if (Psi->containsNull())
     Out.Terminals.push_back(Cur);
-  if (Psi.predicates().empty())
+  if (Psi->predicates().empty())
     return Out;
 
   if (Config.Domain == AbstractDomainKind::Box) {
-    Out.Children.push_back(abstractFilter(Cur, Psi, X));
+    Out.Children.push_back(abstractFilter(Cur, *Psi, X));
     return Out;
   }
   // Disjunctive filter#: one disjunct per (predicate, feasible side of x).
-  for (const SplitPredicate &Pred : Psi.predicates()) {
+  for (const SplitPredicate &Pred : Psi->predicates()) {
     if (Meter.interrupted())
       return Out;
     ThreeValued V = Pred.evaluate(X);
@@ -179,13 +186,15 @@ AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
   assert(!Initial.isEmptySet() && "DTrace# needs a non-empty abstract set");
   Timer Elapsed;
 
-  // The frontier fan-out pool: an externally owned one (shared across a
-  // sweep's instances) wins; otherwise spawn per FrontierJobs for this
-  // run. Null/empty means every transfer step runs inline on this thread.
-  ThreadPool *Pool = Config.FrontierPool;
+  // The run's one fan-out pool (frontier disjuncts + bestSplit# feature
+  // shards): an externally owned one (shared across a sweep's instances)
+  // wins; otherwise spawn one sized for the wider of the two levels.
+  // Null/empty means everything runs inline on this thread.
   std::unique_ptr<ThreadPool> OwnedPool;
-  if (!Pool && Config.FrontierJobs != 1) {
-    OwnedPool = makeVerificationPool(Config.FrontierJobs);
+  Pool = Config.FrontierPool;
+  if (!Pool && (Config.FrontierJobs != 1 || Config.SplitJobs != 1)) {
+    OwnedPool = makeVerificationPool(
+        sharedFanoutJobs(Config.FrontierJobs, Config.SplitJobs));
     Pool = OwnedPool.get();
   }
 
@@ -210,12 +219,22 @@ AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
       // whole next frontier in Steps — precisely the OOM the caps stand
       // in for. Run-ahead memory is limited to the window's steps.
       std::vector<DisjunctStep> Steps(Frontier.size());
-      size_t WindowChunks = 4 * (Pool ? Pool->size() + 1 : 1);
+      // The pool may be sized for the split level (e.g. FrontierJobs = 1,
+      // SplitJobs = 8), so FrontierJobs caps how many of its workers this
+      // level recruits; the split shards inside each transfer step recruit
+      // the rest.
+      unsigned FrontierJobs = Config.FrontierJobs == 0
+                                  ? ThreadPool::hardwareConcurrency()
+                                  : Config.FrontierJobs;
+      size_t MaxHelpers = FrontierJobs - 1;
+      size_t Executors =
+          Pool ? std::min<size_t>(Pool->size(), MaxHelpers) + 1 : 1;
+      size_t WindowChunks = 4 * Executors;
       OrderedFanout Fanout(Pool, Frontier.size(), /*ChunkSize=*/0,
                            [this, &Steps, &Frontier](size_t I) {
                              Steps[I] = transferStep(Frontier[I]);
                            },
-                           WindowChunks);
+                           WindowChunks, MaxHelpers);
 
       // Merge phase: single writer of the tracker and every counter.
       for (size_t I = 0, E = Frontier.size(); I < E; ++I) {

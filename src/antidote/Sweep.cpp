@@ -38,6 +38,7 @@ public:
     QueryConfig.Limits = Config.InstanceLimits;
     QueryConfig.Cancel = Config.Cancel;
     QueryConfig.FrontierJobs = Config.FrontierJobs;
+    QueryConfig.SplitJobs = Config.SplitJobs;
     QueryConfig.FrontierPool = FrontierPool;
   }
 
@@ -193,15 +194,17 @@ SweepResult antidote::runPoisoningSweep(
   SweepResult Result;
   Result.VerifyRows = VerifyRows;
 
-  // One pool per axis for the whole sweep; Jobs == 1 / FrontierJobs == 1
-  // stay strictly serial (the caller's thread does all the work inside
-  // verifyBatch / the frontier merge). The frontier pool is shared by
-  // every instance — concurrent queries interleave their chunk tasks on
-  // it safely, and each query's merge thread picks up unclaimed disjuncts
-  // itself, so contention degrades toward serial rather than deadlocking.
+  // One pool per axis for the whole sweep; all-1 knobs stay strictly
+  // serial (the caller's thread does all the work inside verifyBatch /
+  // the frontier merge / the split scoring). The in-query pool serves
+  // both the frontier and split fan-out levels of every instance, sized
+  // for the wider level rather than their product — concurrent queries
+  // interleave their chunk tasks on it safely, and each fan-out's
+  // consumer picks up unclaimed work itself, so contention degrades
+  // toward serial rather than deadlocking.
   std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Config.Jobs);
-  std::unique_ptr<ThreadPool> FrontierPool =
-      makeVerificationPool(Config.FrontierJobs);
+  std::unique_ptr<ThreadPool> FrontierPool = makeVerificationPool(
+      sharedFanoutJobs(Config.FrontierJobs, Config.SplitJobs));
 
   for (unsigned Depth : Config.Depths)
     for (const SweepDomainSpec &Spec : Config.Domains) {

@@ -14,8 +14,22 @@
 /// the midpoint (a+b)/2 (`DTraceR`, §5.1); the abstract learner considers
 /// the symbolic interval [a, b) for the same pairs (Appendix B.2). Both the
 /// concrete and abstract `bestSplit` operators therefore share one
-/// enumerator, `forEachCandidateSplit`, which streams every candidate
-/// together with the class counts of its positive side.
+/// enumerator, split into two layers so candidate scoring can shard across
+/// threads *per feature*:
+///
+///  - `SplitEnumerationPrepass` — the read-only state every per-feature
+///    pass needs (the row-membership mask and, for boolean features, the
+///    class counts of each feature's `value == 0` side), built in one
+///    row-major pass and then shared by any number of concurrent
+///    per-feature passes.
+///  - `forEachFeatureCandidateSplit` — streams one feature's candidates in
+///    ascending threshold order. Distinct features touch disjoint state,
+///    so per-feature calls are safe to run on different threads, and
+///    concatenating their emissions in feature-index order replays exactly
+///    the serial enumeration order — the property the sharded `bestSplit` /
+///    `bestSplit#` implementations rely on for bit-identical results.
+///  - `forEachCandidateSplit` — the serial composition of the two, kept as
+///    the single-threaded entry point.
 ///
 /// `SplitContext` caches, per base dataset, the per-feature value-sorted row
 /// orders that make each enumeration a single filtered pass (O(|features| ×
@@ -29,6 +43,7 @@
 #include "concrete/Gini.h"
 #include "concrete/Predicate.h"
 #include "data/Dataset.h"
+#include "support/ThreadPool.h"
 
 #include <optional>
 
@@ -61,8 +76,99 @@ private:
   std::vector<RowIndexList> Orders; ///< Indexed by feature; empty if Boolean.
 };
 
+/// Read-only state shared by every per-feature enumeration pass over one
+/// row set: the base-row membership mask and (when the schema has boolean
+/// features) the per-feature class counts of the `value == 0` side.
+/// Building it is the one row-major pass of the enumeration; afterwards it
+/// is never mutated, so any number of threads may run
+/// `forEachFeatureCandidateSplit` against one prepass concurrently. The
+/// referenced context and row list must outlive the prepass.
+class SplitEnumerationPrepass {
+public:
+  SplitEnumerationPrepass(const SplitContext &Ctx, const RowIndexList &Rows);
+
+  const SplitContext &context() const { return *Ctx; }
+  const RowIndexList &rows() const { return *Rows; }
+  uint32_t total() const { return static_cast<uint32_t>(Rows->size()); }
+
+  bool contains(uint32_t Row) const { return InRows[Row]; }
+
+  /// Class counts of boolean feature \p Feature's `value == 0` side (null
+  /// when the schema has no boolean features).
+  const uint32_t *zeroCounts(unsigned Feature) const {
+    assert(!ZeroCounts.empty() && "no boolean feature in the schema");
+    return ZeroCounts.data() +
+           static_cast<size_t>(Feature) * Ctx->base().numClasses();
+  }
+
+private:
+  const SplitContext *Ctx;
+  const RowIndexList *Rows;
+  std::vector<uint8_t> InRows;      ///< Membership mask over the base rows.
+  std::vector<uint32_t> ZeroCounts; ///< feature-major; empty if no booleans.
+};
+
+/// Streams feature \p Feature's candidate splits of `Pre.rows()` in
+/// ascending threshold order, invoking
+///   `Cb(const SplitPredicate &P, const std::vector<uint32_t> &PosCounts,
+///       uint32_t PosTotal)`
+/// exactly as `forEachCandidateSplit` does for the full enumeration.
+/// \p PosCounts is caller-provided scratch of size `numClasses()` (each
+/// concurrent caller brings its own). Candidates whose positive side would
+/// be empty or the whole set are skipped (trivial for every consumer).
+template <typename Callback>
+void forEachFeatureCandidateSplit(const SplitEnumerationPrepass &Pre,
+                                  unsigned Feature, PredicateMode Mode,
+                                  std::vector<uint32_t> &PosCounts,
+                                  Callback &&Cb) {
+  const Dataset &Base = Pre.context().base();
+  unsigned NumClasses = Base.numClasses();
+  uint32_t Total = Pre.total();
+  assert(PosCounts.size() == NumClasses && "scratch sized to the classes");
+
+  if (Base.schema().FeatureKinds[Feature] == FeatureKind::Boolean) {
+    // Boolean feature: at most the single predicate `x_F ≤ 0.5`, present
+    // iff both values occur in the row set.
+    const uint32_t *Counts = Pre.zeroCounts(Feature);
+    uint32_t PosTotal = 0;
+    for (unsigned C = 0; C < NumClasses; ++C) {
+      PosCounts[C] = Counts[C];
+      PosTotal += Counts[C];
+    }
+    if (PosTotal == 0 || PosTotal == Total)
+      return;
+    Cb(SplitPredicate::threshold(Feature, 0.5), PosCounts, PosTotal);
+    return;
+  }
+
+  // Real feature: walk the global order restricted to the current rows,
+  // emitting a candidate at every boundary between distinct values.
+  std::fill(PosCounts.begin(), PosCounts.end(), 0);
+  uint32_t PosTotal = 0;
+  bool HavePrev = false;
+  double Prev = 0.0;
+  for (uint32_t Row : Pre.context().sortedOrder(Feature)) {
+    if (!Pre.contains(Row))
+      continue;
+    double V = Base.value(Row, Feature);
+    if (HavePrev && V != Prev) {
+      assert(PosTotal > 0 && PosTotal < Total && "boundary must split");
+      if (Mode == PredicateMode::ConcreteMidpoint)
+        Cb(SplitPredicate::threshold(Feature, (Prev + V) / 2.0), PosCounts,
+           PosTotal);
+      else
+        Cb(SplitPredicate::symbolic(Feature, Prev, V), PosCounts, PosTotal);
+    }
+    Prev = V;
+    HavePrev = true;
+    ++PosCounts[Base.label(Row)];
+    ++PosTotal;
+  }
+}
+
 /// Streams every candidate split of \p Rows (which must be a canonical row
-/// set over `Ctx.base()`).
+/// set over `Ctx.base()`): the serial composition of one prepass and the
+/// per-feature passes in ascending feature order.
 ///
 /// For each candidate, invokes
 ///   `Cb(const SplitPredicate &P, const std::vector<uint32_t> &PosCounts,
@@ -72,85 +178,13 @@ private:
 /// side would be empty or the whole set are skipped: they are trivial for
 /// the concrete learner (Φ' in §3.3) and excluded from both Φ∃ and Φ∀ in
 /// the abstract learner (§4.6), so no consumer wants them.
-///
-/// Boolean features contribute at most the single predicate `x_F ≤ 0.5`
-/// (present iff both values occur in \p Rows); real features contribute one
-/// candidate per adjacent pair of distinct values, in ascending feature /
-/// threshold order.
 template <typename Callback>
 void forEachCandidateSplit(const SplitContext &Ctx, const RowIndexList &Rows,
                            PredicateMode Mode, Callback &&Cb) {
-  const Dataset &Base = Ctx.base();
-  assert(isCanonicalRowSet(Rows) && "rows must be a canonical row set");
-  unsigned NumClasses = Base.numClasses();
-  unsigned NumFeatures = Base.numFeatures();
-  uint32_t Total = static_cast<uint32_t>(Rows.size());
-
-  // Membership mask over the base dataset, so the per-feature passes can
-  // walk the cached global sorted orders.
-  std::vector<uint8_t> InRows(Base.numRows(), 0);
-  for (uint32_t Row : Rows)
-    InRows[Row] = 1;
-
-  // Boolean features: one row-major pass accumulates, for every boolean
-  // feature at once, the class counts of the `value == 0` side.
-  bool HasBoolean = false;
-  for (unsigned F = 0; F < NumFeatures; ++F)
-    if (Base.schema().FeatureKinds[F] == FeatureKind::Boolean)
-      HasBoolean = true;
-  std::vector<uint32_t> ZeroCounts;
-  if (HasBoolean) {
-    ZeroCounts.assign(static_cast<size_t>(NumFeatures) * NumClasses, 0);
-    for (uint32_t Row : Rows) {
-      const float *Values = Base.row(Row);
-      unsigned Label = Base.label(Row);
-      for (unsigned F = 0; F < NumFeatures; ++F)
-        if (Values[F] == 0.0f)
-          ++ZeroCounts[static_cast<size_t>(F) * NumClasses + Label];
-    }
-  }
-
-  std::vector<uint32_t> PosCounts(NumClasses);
-  for (unsigned F = 0; F < NumFeatures; ++F) {
-    if (Base.schema().FeatureKinds[F] == FeatureKind::Boolean) {
-      const uint32_t *Counts =
-          ZeroCounts.data() + static_cast<size_t>(F) * NumClasses;
-      uint32_t PosTotal = 0;
-      for (unsigned C = 0; C < NumClasses; ++C) {
-        PosCounts[C] = Counts[C];
-        PosTotal += Counts[C];
-      }
-      if (PosTotal == 0 || PosTotal == Total)
-        continue;
-      Cb(SplitPredicate::threshold(F, 0.5), PosCounts, PosTotal);
-      continue;
-    }
-
-    // Real feature: walk the global order restricted to the current rows,
-    // emitting a candidate at every boundary between distinct values.
-    std::fill(PosCounts.begin(), PosCounts.end(), 0);
-    uint32_t PosTotal = 0;
-    bool HavePrev = false;
-    double Prev = 0.0;
-    for (uint32_t Row : Ctx.sortedOrder(F)) {
-      if (!InRows[Row])
-        continue;
-      double V = Base.value(Row, F);
-      if (HavePrev && V != Prev) {
-        assert(PosTotal > 0 && PosTotal < Total && "boundary must split");
-        if (Mode == PredicateMode::ConcreteMidpoint)
-          Cb(SplitPredicate::threshold(F, (Prev + V) / 2.0), PosCounts,
-             PosTotal);
-        else
-          Cb(SplitPredicate::symbolic(F, Prev, V), PosCounts, PosTotal);
-      }
-      Prev = V;
-      HavePrev = true;
-      ++PosCounts[Base.label(Row)];
-      ++PosTotal;
-    }
-    std::fill(PosCounts.begin(), PosCounts.end(), 0);
-  }
+  SplitEnumerationPrepass Pre(Ctx, Rows);
+  std::vector<uint32_t> PosCounts(Ctx.base().numClasses());
+  for (unsigned F = 0; F < Ctx.base().numFeatures(); ++F)
+    forEachFeatureCandidateSplit(Pre, F, Mode, PosCounts, Cb);
 }
 
 /// The concrete `bestSplit(T)` of §3.3 (with §5.1's dynamic thresholds for
@@ -158,8 +192,16 @@ void forEachCandidateSplit(const SplitContext &Ctx, const RowIndexList &Rows,
 /// `score`, or `std::nullopt` for ⋄ when no such predicate exists. Ties are
 /// broken toward the smallest (feature, threshold); the paper leaves them
 /// nondeterministic (see DESIGN.md §5).
+///
+/// With \p Pool and `SplitJobs != 1` the per-feature scoring passes shard
+/// onto the pool (`SplitJobs` caps the executors recruited, 0 = one per
+/// hardware thread); the per-shard argmins fold in feature-index order
+/// with a strict improvement test, so the winner is bit-identical to the
+/// serial scan for every job count.
 std::optional<SplitPredicate> bestSplit(const SplitContext &Ctx,
-                                        const RowIndexList &Rows);
+                                        const RowIndexList &Rows,
+                                        ThreadPool *Pool = nullptr,
+                                        unsigned SplitJobs = 1);
 
 /// Rows of \p Rows on the requested side of a concrete predicate. The
 /// predicate must not be symbolic.

@@ -29,6 +29,15 @@ struct RawRow {
 static bool parseLine(const std::string &Line, size_t LineNo, RawRow &Row,
                       std::string &Error) {
   Row.Features.clear();
+  // The caller strips the CRLF pair's '\r'; any carriage return still in
+  // the line is stray (mixed line endings or a mid-line control byte).
+  // Reject it up front: strtod treats '\r' as skippable whitespace, so it
+  // would otherwise silently merge or truncate cells.
+  if (Line.find('\r') != std::string::npos) {
+    Error = "line " + std::to_string(LineNo) +
+            ": stray carriage return (mixed CRLF line endings?)";
+    return false;
+  }
   const char *Cursor = Line.c_str();
   std::vector<double> Cells;
   while (*Cursor) {
@@ -45,9 +54,16 @@ static bool parseLine(const std::string &Line, size_t LineNo, RawRow &Row,
       ++Cursor;
     if (*Cursor == ',') {
       ++Cursor;
+      if (*Cursor == '\0') {
+        // A trailing comma means a missing final cell; rows must never
+        // silently shrink.
+        Error = "line " + std::to_string(LineNo) +
+                ": trailing comma (empty final cell)";
+        return false;
+      }
       continue;
     }
-    if (*Cursor == '\0' || *Cursor == '\r')
+    if (*Cursor == '\0')
       break;
     Error = "line " + std::to_string(LineNo) + ": unexpected character '" +
             std::string(1, *Cursor) + "'";
@@ -84,8 +100,13 @@ antidote::parseCsvDataset(const std::string &Text,
   size_t NumFeatures = Schema ? Schema->numFeatures() : 0;
   while (std::getline(Stream, Line)) {
     ++LineNo;
-    // Skip blanks and comments.
-    size_t First = Line.find_first_not_of(" \t\r");
+    // CRLF input: getline strips only the '\n', so drop the paired '\r'
+    // here — otherwise it rides along on the last cell of every row.
+    if (!Line.empty() && Line.back() == '\r')
+      Line.pop_back();
+    // Skip blanks and comments uniformly — including whitespace-only
+    // lines and trailing blank lines, which must never become rows.
+    size_t First = Line.find_first_not_of(" \t");
     if (First == std::string::npos || Line[First] == '#')
       continue;
     RawRow Row;

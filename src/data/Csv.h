@@ -11,8 +11,11 @@
 ///
 /// Format: one row per line, comma-separated numeric feature values followed
 /// by an integral class label in the last column. Lines beginning with '#'
-/// and blank lines are skipped. The loader infers Boolean columns (all
-/// values in {0, 1}) unless a schema is supplied.
+/// and blank lines (including trailing ones) are skipped; CRLF line endings
+/// are accepted and parse identically to LF. Malformed input — ragged rows,
+/// trailing commas, stray carriage returns, non-numeric cells — is an error,
+/// never a silent truncation. The loader infers Boolean columns (all values
+/// in {0, 1}) unless a schema is supplied.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,44 @@
+//===- support/Parse.cpp - Checked numeric argument parsing -------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+using namespace antidote;
+
+std::optional<uint64_t> antidote::parseUnsignedArg(const std::string &Text,
+                                                   uint64_t Max) {
+  // from_chars is locale-free and never skips leading whitespace or
+  // accepts a sign, so "whole string consumed" is the only extra check.
+  uint64_t Value = 0;
+  const char *Begin = Text.data();
+  const char *End = Begin + Text.size();
+  std::from_chars_result Result = std::from_chars(Begin, End, Value, 10);
+  if (Result.ec != std::errc() || Result.ptr != End || Value > Max)
+    return std::nullopt;
+  return Value;
+}
+
+std::optional<double> antidote::parseDoubleArg(const std::string &Text) {
+  // strtod instead of FP from_chars (not universally available at C++17):
+  // reject anything strtod is laxer about — leading whitespace, partial
+  // parses, overflow to infinity, and explicit nan/inf spellings.
+  if (Text.empty() || std::isspace(static_cast<unsigned char>(Text[0])))
+    return std::nullopt;
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Text.c_str(), &End);
+  if (End != Text.c_str() + Text.size() || End == Text.c_str() ||
+      errno == ERANGE || !std::isfinite(Value))
+    return std::nullopt;
+  return Value;
+}

@@ -1,0 +1,39 @@
+//===- support/Parse.h - Checked numeric argument parsing ------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checked end-to-end numeric parsing for CLI flags and environment
+/// variables — the shared replacement for bare `std::atoi`, which turns
+/// `--depth foo` into 0 and lets out-of-range values wrap through the
+/// unsigned casts at the call sites. A parse succeeds only if the *whole*
+/// string is one in-range number; anything else is `std::nullopt`, and
+/// the CLIs turn that into an error message naming the offending flag.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_PARSE_H
+#define ANTIDOTE_SUPPORT_PARSE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace antidote {
+
+/// Parses \p Text as a base-10 unsigned integer in [0, Max]. Rejects empty
+/// strings, signs, whitespace, trailing garbage, and overflow.
+std::optional<uint64_t>
+parseUnsignedArg(const std::string &Text,
+                 uint64_t Max = static_cast<uint64_t>(-1));
+
+/// Parses \p Text as a finite double. Rejects empty strings, trailing
+/// garbage, overflow, and nan/inf.
+std::optional<double> parseDoubleArg(const std::string &Text);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_PARSE_H

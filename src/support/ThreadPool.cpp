@@ -128,7 +128,15 @@ struct OrderedFanout::State {
 
   std::mutex Mutex;
   std::condition_variable HelpersDone;
-  size_t PendingHelpers = 0;
+
+  /// Helper tasks currently *executing* drainChunks. Tasks still queued on
+  /// the pool are not counted: once Stopping is set they exit on entry
+  /// without touching Body, so teardown never waits on the pool's queue —
+  /// the property that lets fan-outs nest on one pool (a worker tearing
+  /// down an inner fan-out must not wait for helper tasks queued behind
+  /// the outer tasks its sibling workers are executing).
+  size_t ActiveHelpers = 0;
+  bool Stopping = false; ///< Guarded by Mutex; set once at teardown.
 
   /// First item index the workers may NOT claim yet (size_t max when the
   /// window is unbounded). Guarded by Mutex; the consumer advances it as
@@ -193,9 +201,9 @@ struct OrderedFanout::State {
 
 OrderedFanout::OrderedFanout(ThreadPool *Pool, size_t Count, size_t ChunkSize,
                              std::function<void(size_t)> Body,
-                             size_t WindowChunks)
+                             size_t WindowChunks, size_t MaxHelpers)
     : S(std::make_shared<State>()) {
-  size_t Helpers = Pool ? Pool->size() : 0;
+  size_t Helpers = std::min<size_t>(Pool ? Pool->size() : 0, MaxHelpers);
   if (ChunkSize == 0) {
     // A few chunks per executor balances imbalanced item costs against
     // cursor traffic; 64 caps the tail a cancel can no longer skip.
@@ -217,12 +225,20 @@ OrderedFanout::OrderedFanout(ThreadPool *Pool, size_t Count, size_t ChunkSize,
   // One drain task per worker; the consumer thread is the extra executor,
   // so a single-chunk fan-out needs no helper at all.
   Helpers = std::min(Helpers, NumChunks > 0 ? NumChunks - 1 : 0);
-  S->PendingHelpers = Helpers;
   for (size_t I = 0; I < Helpers; ++I)
     Pool->submit([State = S] {
+      {
+        // Count this helper as active only if teardown has not begun; a
+        // task drained from the queue after that must never call Body
+        // (the caller's stack it captures may be gone).
+        std::lock_guard<std::mutex> Lock(State->Mutex);
+        if (State->Stopping)
+          return;
+        ++State->ActiveHelpers;
+      }
       State->drainChunks();
       std::lock_guard<std::mutex> Lock(State->Mutex);
-      if (--State->PendingHelpers == 0)
+      if (--State->ActiveHelpers == 0)
         State->HelpersDone.notify_all();
     });
 }
@@ -230,7 +246,8 @@ OrderedFanout::OrderedFanout(ThreadPool *Pool, size_t Count, size_t ChunkSize,
 OrderedFanout::~OrderedFanout() {
   cancelRemaining();
   std::unique_lock<std::mutex> Lock(S->Mutex);
-  S->HelpersDone.wait(Lock, [this] { return S->PendingHelpers == 0; });
+  S->Stopping = true;
+  S->HelpersDone.wait(Lock, [this] { return S->ActiveHelpers == 0; });
 }
 
 void OrderedFanout::awaitItem(size_t I) {
@@ -285,4 +302,12 @@ std::unique_ptr<ThreadPool> antidote::makeVerificationPool(unsigned Jobs) {
   if (Jobs <= 1)
     return nullptr;
   return std::make_unique<ThreadPool>(Jobs - 1);
+}
+
+unsigned antidote::sharedFanoutJobs(unsigned FrontierJobs,
+                                    unsigned SplitJobs) {
+  unsigned HW = ThreadPool::hardwareConcurrency();
+  unsigned Frontier = FrontierJobs == 0 ? HW : FrontierJobs;
+  unsigned Split = SplitJobs == 0 ? HW : SplitJobs;
+  return std::max(Frontier, Split);
 }

@@ -63,7 +63,8 @@ TEST(AbstractBestSplitTest, ZeroBudgetKeepsOnlyTrueBest) {
   Dataset Data = figure2Dataset();
   SplitContext Ctx(Data);
   AbstractDataset A = AbstractDataset::entire(Data, 0);
-  PredicateSet Psi = abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+  PredicateSet Psi =
+      *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
   EXPECT_FALSE(Psi.containsNull());
   ASSERT_EQ(Psi.size(), 1u);
   EXPECT_EQ(Psi.predicates()[0], SplitPredicate::symbolic(0, 10.0, 11.0));
@@ -75,7 +76,8 @@ TEST(AbstractBestSplitTest, Figure2BestSurvivesTwoPoisonings) {
   Dataset Data = figure2Dataset();
   SplitContext Ctx(Data);
   AbstractDataset A = AbstractDataset::entire(Data, 2);
-  PredicateSet Psi = abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+  PredicateSet Psi =
+      *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
   EXPECT_FALSE(Psi.containsNull());
   EXPECT_TRUE(Psi.concretizationContains(0, 10.5));
   // With poisoning, score intervals widen and more candidates overlap the
@@ -91,7 +93,8 @@ TEST(AbstractBestSplitTest, EmitsNullWhenNoUniversalSplit) {
   Data.addRow({1.0f}, 1);
   SplitContext Ctx(Data);
   AbstractDataset A = AbstractDataset::entire(Data, 1);
-  PredicateSet Psi = abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+  PredicateSet Psi =
+      *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
   EXPECT_TRUE(Psi.containsNull());
   EXPECT_EQ(Psi.size(), 1u);
 }
@@ -102,7 +105,8 @@ TEST(AbstractBestSplitTest, NoCandidatesYieldsNullOnly) {
   Data.addRow({3.0f}, 1);
   SplitContext Ctx(Data);
   AbstractDataset A = AbstractDataset::entire(Data, 1);
-  PredicateSet Psi = abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+  PredicateSet Psi =
+      *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
   EXPECT_TRUE(Psi.containsNull());
   EXPECT_EQ(Psi.size(), 0u);
 }
@@ -116,7 +120,7 @@ TEST(AbstractBestSplitTest, MorePoisoningNeverShrinksTheSet) {
   for (uint32_t N = 0; N <= 6; ++N) {
     AbstractDataset A = AbstractDataset::entire(Data, N);
     PredicateSet Psi =
-        abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+        *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
     for (const SplitPredicate &Pred : Prev.predicates())
       EXPECT_TRUE(std::find(Psi.predicates().begin(),
                             Psi.predicates().end(),
@@ -154,7 +158,7 @@ TEST_P(BestSplitSoundnessTest, ContainsEveryConcreteBestSplit) {
     AbstractDataset A(Data, Rows, Budget);
     for (CprobTransformerKind Kind : {CprobTransformerKind::Optimal,
                                       CprobTransformerKind::NaiveInterval}) {
-      PredicateSet Psi = abstractBestSplit(Ctx, A, Kind);
+      PredicateSet Psi = *abstractBestSplit(Ctx, A, Kind);
       forEachPerturbedSubset(Rows, Budget, [&](const RowIndexList &Subset) {
         std::optional<SplitPredicate> Best = bestSplit(Ctx, Subset);
         if (!Best) {
@@ -185,7 +189,7 @@ TEST_P(BestSplitSoundnessTest, CoversAllTiedConcreteWinners) {
     RowIndexList Rows = allRows(Data);
     AbstractDataset A(Data, Rows, 0);
     PredicateSet Psi =
-        abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
+        *abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal);
     // Find all concrete winners by enumeration.
     std::vector<uint32_t> Totals = classCounts(Data, Rows);
     double BestScore = 0.0;

@@ -1,0 +1,412 @@
+//===- tests/BestSplitShardTests.cpp - per-feature bestSplit# sharding --------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// Determinism, interruption, and composition of the per-feature candidate-
+// scoring fan-out (`SplitJobs`):
+//
+//  - `bestSplit#` (and the concrete `bestSplit`) must return bit-identical
+//    results for every SplitJobs value, standalone and through full DTrace#
+//    runs in all three abstract domains — including combined with
+//    FrontierJobs > 1 on one shared pool that is *smaller* than
+//    FrontierJobs x SplitJobs (the nested-fan-out regime that must degrade
+//    to inline work, never deadlock).
+//  - A meter-interrupted `bestSplit#` returns nullopt for every SplitJobs
+//    value: truncation is unrepresentable, so no call site can consume a
+//    partial predicate set by accident.
+//
+// Plus regression tests for the satellite bugfixes that ride along: the
+// checked CLI numeric parsing (support/Parse.h) and the CRLF / blank-line /
+// ragged-row CSV handling (data/Csv.cpp).
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/AbstractBestSplit.h"
+#include "antidote/Sweep.h"
+#include "data/Csv.h"
+#include "data/Registry.h"
+#include "support/Parse.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+AbstractDomainKind kAllDomains[] = {AbstractDomainKind::Box,
+                                    AbstractDomainKind::Disjuncts,
+                                    AbstractDomainKind::DisjunctsCapped};
+
+/// The knob values every determinism test sweeps against a separately
+/// computed SplitJobs = 1 baseline: an even fan-out, a prime that never
+/// divides the feature count evenly, and all cores (0).
+unsigned kSplitJobsValues[] = {2, 7, 0};
+
+/// Everything except Seconds must match exactly, terminal-by-terminal
+/// (the same contract FrontierParallelTests asserts for FrontierJobs).
+void expectIdenticalRuns(const AbstractLearnerResult &Serial,
+                         const AbstractLearnerResult &Parallel,
+                         const std::string &Label) {
+  EXPECT_EQ(Serial.Status, Parallel.Status) << Label;
+  EXPECT_EQ(Serial.DominatingClass, Parallel.DominatingClass) << Label;
+  EXPECT_EQ(Serial.Refuted, Parallel.Refuted) << Label;
+  EXPECT_EQ(Serial.PeakDisjuncts, Parallel.PeakDisjuncts) << Label;
+  EXPECT_EQ(Serial.PeakStateBytes, Parallel.PeakStateBytes) << Label;
+  EXPECT_EQ(Serial.BestSplitCalls, Parallel.BestSplitCalls) << Label;
+  ASSERT_EQ(Serial.Terminals.size(), Parallel.Terminals.size()) << Label;
+  for (size_t I = 0; I < Serial.Terminals.size(); ++I)
+    EXPECT_TRUE(Serial.Terminals[I] == Parallel.Terminals[I])
+        << Label << ", terminal " << I;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// bestSplit# / bestSplit standalone: bit-identical across SplitJobs
+//===----------------------------------------------------------------------===//
+
+TEST(BestSplitShardTest, AbstractResultsBitIdenticalAcrossSplitJobs) {
+  Rng R(7031ull);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 12;
+  Spec.NumFeatures = 5; // More features than some job counts, fewer than 7.
+  Spec.DistinctValues = 4;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Spec.BooleanFeatures = R.bernoulli(0.3);
+    Dataset Data = makeRandomDataset(R, Spec);
+    SplitContext Ctx(Data);
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(4));
+    AbstractDataset A = AbstractDataset::entire(Data, Budget);
+    for (CprobTransformerKind Kind : {CprobTransformerKind::Optimal,
+                                      CprobTransformerKind::NaiveInterval}) {
+      std::optional<PredicateSet> Serial = abstractBestSplit(Ctx, A, Kind);
+      ASSERT_TRUE(Serial.has_value());
+      for (unsigned Jobs : kSplitJobsValues) {
+        std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Jobs);
+        std::optional<PredicateSet> Sharded = abstractBestSplit(
+            Ctx, A, Kind, GiniLiftingKind::ExactTerm, /*Meter=*/nullptr,
+            Pool.get(), Jobs);
+        ASSERT_TRUE(Sharded.has_value());
+        EXPECT_TRUE(*Serial == *Sharded)
+            << "trial " << Trial << ", SplitJobs=" << Jobs;
+      }
+    }
+  }
+}
+
+TEST(BestSplitShardTest, ConcreteBestSplitBitIdenticalAcrossSplitJobs) {
+  // The concrete argmin has a first-wins tie-break; the per-feature fold
+  // must reproduce it exactly, so generate value ranges where cross-
+  // feature score ties are common.
+  Rng R(90210ull);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 10;
+  Spec.NumFeatures = 4;
+  Spec.DistinctValues = 3;
+  for (int Trial = 0; Trial < 30; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    SplitContext Ctx(Data);
+    RowIndexList Rows = allRows(Data);
+    std::optional<SplitPredicate> Serial = bestSplit(Ctx, Rows);
+    for (unsigned Jobs : kSplitJobsValues) {
+      std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Jobs);
+      std::optional<SplitPredicate> Sharded =
+          bestSplit(Ctx, Rows, Pool.get(), Jobs);
+      ASSERT_EQ(Serial.has_value(), Sharded.has_value())
+          << "trial " << Trial << ", SplitJobs=" << Jobs;
+      if (Serial)
+        EXPECT_TRUE(*Serial == *Sharded)
+            << "trial " << Trial << ", SplitJobs=" << Jobs << ": "
+            << Serial->str() << " vs " << Sharded->str();
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Full DTrace# runs: bit-identical across SplitJobs in all three domains
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+AbstractLearnerConfig learnerConfig(AbstractDomainKind Domain,
+                                    unsigned FrontierJobs,
+                                    unsigned SplitJobs) {
+  AbstractLearnerConfig Config;
+  Config.Depth = 3;
+  Config.Domain = Domain;
+  Config.DisjunctCap = 8; // Small enough that capped runs overflow-join.
+  Config.FrontierJobs = FrontierJobs;
+  Config.SplitJobs = SplitJobs;
+  Config.Limits.TimeoutSeconds = 0.0; // Timing must not affect results.
+  return Config;
+}
+
+} // namespace
+
+TEST(BestSplitShardTest, LearnerRunsIdenticalAcrossSplitJobsAllDomains) {
+  BenchmarkDataset Bench = loadBenchmarkDataset("iris", BenchScale::Scaled);
+  SplitContext Ctx(Bench.Split.Train);
+  const float *X = Bench.Split.Test.row(0);
+  for (AbstractDomainKind Domain : kAllDomains) {
+    for (uint32_t N : {2u, 6u}) {
+      AbstractDataset Initial =
+          AbstractDataset::entire(Bench.Split.Train, N);
+      AbstractLearnerResult Serial =
+          runAbstractDTrace(Ctx, Initial, X, learnerConfig(Domain, 1, 1));
+      for (unsigned Jobs : kSplitJobsValues) {
+        AbstractLearnerResult Sharded = runAbstractDTrace(
+            Ctx, Initial, X, learnerConfig(Domain, 1, Jobs));
+        expectIdenticalRuns(Serial, Sharded,
+                            std::string(domainKindName(Domain)) + ", n=" +
+                                std::to_string(N) + ", SplitJobs=" +
+                                std::to_string(Jobs));
+      }
+    }
+  }
+}
+
+TEST(BestSplitShardTest, FrontierAndSplitJobsComposeBitIdentically) {
+  // Both in-query fan-out levels on at once, vs serial, in the disjunctive
+  // domains where the frontier actually widens. Iris (4 real features)
+  // rather than Figure 2 (1 feature): the split fan-out only engages on
+  // multi-feature datasets.
+  BenchmarkDataset Bench = loadBenchmarkDataset("iris", BenchScale::Scaled);
+  SplitContext Ctx(Bench.Split.Train);
+  const float *X = Bench.Split.Test.row(0);
+  for (AbstractDomainKind Domain :
+       {AbstractDomainKind::Disjuncts, AbstractDomainKind::DisjunctsCapped}) {
+    AbstractDataset Initial = AbstractDataset::entire(Bench.Split.Train, 4);
+    AbstractLearnerResult Serial =
+        runAbstractDTrace(Ctx, Initial, X, learnerConfig(Domain, 1, 1));
+    for (auto [FrontierJobs, SplitJobs] :
+         {std::pair<unsigned, unsigned>{4, 2},
+          std::pair<unsigned, unsigned>{2, 7},
+          std::pair<unsigned, unsigned>{0, 0}}) {
+      AbstractLearnerResult Both = runAbstractDTrace(
+          Ctx, Initial, X, learnerConfig(Domain, FrontierJobs, SplitJobs));
+      expectIdenticalRuns(Serial, Both,
+                          std::string(domainKindName(Domain)) +
+                              ", FrontierJobs=" +
+                              std::to_string(FrontierJobs) + ", SplitJobs=" +
+                              std::to_string(SplitJobs));
+    }
+  }
+}
+
+TEST(BestSplitShardTest, NestedFanoutOnUndersizedSharedPoolNeverDeadlocks) {
+  // The regression this PR's ThreadPool change exists for: FrontierJobs x
+  // SplitJobs = 16 executors' worth of fan-out nested on a shared pool
+  // with ONE worker. Every transfer step running on that worker (or the
+  // merge thread) opens an inner split fan-out whose helper tasks queue
+  // behind the outer tasks; teardown must not wait for queued-but-
+  // unstarted helpers, or this test hangs.
+  BenchmarkDataset Bench = loadBenchmarkDataset("iris", BenchScale::Scaled);
+  SplitContext Ctx(Bench.Split.Train);
+  const float *X = Bench.Split.Test.row(0);
+  AbstractDataset Initial = AbstractDataset::entire(Bench.Split.Train, 4);
+  AbstractLearnerResult Serial = runAbstractDTrace(
+      Ctx, Initial, X, learnerConfig(AbstractDomainKind::Disjuncts, 1, 1));
+
+  for (unsigned PoolWorkers : {1u, 2u}) {
+    ThreadPool Shared(PoolWorkers);
+    AbstractLearnerConfig Config =
+        learnerConfig(AbstractDomainKind::Disjuncts, 4, 4);
+    Config.FrontierPool = &Shared;
+    expectIdenticalRuns(Serial,
+                        runAbstractDTrace(Ctx, Initial, X, Config),
+                        "shared pool of " + std::to_string(PoolWorkers));
+  }
+}
+
+TEST(BestSplitShardTest, SweepAggregatesIdenticalWithAllThreeAxes) {
+  // Instance, frontier, and split fan-out all on at once through the §6.1
+  // protocol must reproduce the serial sweep bit-for-bit.
+  BenchmarkDataset Bench = loadBenchmarkDataset("iris", BenchScale::Scaled);
+  SweepConfig Serial;
+  Serial.Depths = {1, 2};
+  Serial.MaxPoisoning = 64;
+  Serial.InstanceLimits.TimeoutSeconds = 0.0;
+  Serial.InstanceLimits.MaxDisjuncts = 1u << 14;
+  Serial.InstanceLimits.MaxStateBytes = 1ull << 28;
+  SweepResult Baseline = runPoisoningSweep(
+      Bench.Split.Train, Bench.Split.Test, Bench.VerifyRows, Serial);
+
+  SweepConfig Parallel = Serial;
+  Parallel.Jobs = 2;
+  Parallel.FrontierJobs = 2;
+  Parallel.SplitJobs = 2;
+  SweepResult Result = runPoisoningSweep(Bench.Split.Train, Bench.Split.Test,
+                                         Bench.VerifyRows, Parallel);
+  ASSERT_EQ(Result.Series.size(), Baseline.Series.size());
+  for (size_t S = 0; S < Result.Series.size(); ++S) {
+    const SweepSeries &A = Baseline.Series[S];
+    const SweepSeries &B = Result.Series[S];
+    EXPECT_EQ(A.MaxVerifiedN, B.MaxVerifiedN);
+    ASSERT_EQ(A.Cells.size(), B.Cells.size());
+    for (size_t C = 0; C < A.Cells.size(); ++C) {
+      EXPECT_EQ(A.Cells[C].Poisoning, B.Cells[C].Poisoning);
+      EXPECT_EQ(A.Cells[C].Attempted, B.Cells[C].Attempted);
+      EXPECT_EQ(A.Cells[C].Verified, B.Cells[C].Verified);
+      EXPECT_EQ(A.Cells[C].ResourceFailures, B.Cells[C].ResourceFailures);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Meter interruption: truncation is unrepresentable
+//===----------------------------------------------------------------------===//
+
+TEST(BestSplitShardTest, InterruptedBestSplitReturnsNulloptForEverySplitJobs) {
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  AbstractDataset A = AbstractDataset::entire(Data, 2);
+
+  CancellationToken Token;
+  Token.cancel();
+  ResourceLimits Limits;
+  Limits.TimeoutSeconds = 0.0;
+  ResourceMeter Meter(Limits, &Token);
+
+  EXPECT_EQ(abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal,
+                              GiniLiftingKind::ExactTerm, &Meter),
+            std::nullopt);
+  for (unsigned Jobs : kSplitJobsValues) {
+    std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Jobs);
+    EXPECT_EQ(abstractBestSplit(Ctx, A, CprobTransformerKind::Optimal,
+                                GiniLiftingKind::ExactTerm, &Meter,
+                                Pool.get(), Jobs),
+              std::nullopt)
+        << "SplitJobs=" << Jobs;
+  }
+}
+
+TEST(BestSplitShardTest, InterruptedBestSplitIsNeverConsumedByTheLearner) {
+  // A token cancelled before the run starts trips the first bestSplit#
+  // poll; the learner must surface Cancelled with no terminals — the
+  // nullopt result cannot silently become an (unsound) empty Ψ that
+  // completes a verdict.
+  Dataset Data = figure2Dataset();
+  SplitContext Ctx(Data);
+  float X = 5.0f;
+  CancellationToken Token;
+  Token.cancel();
+  for (AbstractDomainKind Domain : kAllDomains) {
+    for (unsigned Jobs : {1u, 2u, 7u}) {
+      AbstractLearnerConfig Config = learnerConfig(Domain, 1, Jobs);
+      Config.Cancel = &Token;
+      AbstractLearnerResult Result = runAbstractDTrace(
+          Ctx, AbstractDataset::entire(Data, 4), &X, Config);
+      std::string Label = std::string(domainKindName(Domain)) +
+                          ", SplitJobs=" + std::to_string(Jobs);
+      EXPECT_EQ(Result.Status, LearnerStatus::Cancelled) << Label;
+      EXPECT_TRUE(Result.Terminals.empty()) << Label;
+      EXPECT_FALSE(Result.DominatingClass.has_value()) << Label;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: checked CLI numeric parsing (support/Parse.h)
+//===----------------------------------------------------------------------===//
+
+TEST(CheckedParseTest, RejectsGarbageIntegers) {
+  EXPECT_EQ(parseUnsignedArg("foo"), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg(""), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg("12x"), std::nullopt);   // atoi: 12
+  EXPECT_EQ(parseUnsignedArg("-3"), std::nullopt);    // unsigned cast: wraps
+  EXPECT_EQ(parseUnsignedArg(" 5"), std::nullopt);    // atoi: 5
+  EXPECT_EQ(parseUnsignedArg("5 "), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg("+5"), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg("0x10"), std::nullopt);
+}
+
+TEST(CheckedParseTest, RejectsOutOfRangeIntegers) {
+  EXPECT_EQ(parseUnsignedArg("4294967296", UINT32_MAX), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg("99999999999999999999"), std::nullopt);
+  EXPECT_EQ(parseUnsignedArg("4294967295", UINT32_MAX), 4294967295ull);
+}
+
+TEST(CheckedParseTest, AcceptsPlainUnsignedIntegers) {
+  EXPECT_EQ(parseUnsignedArg("0"), 0ull);
+  EXPECT_EQ(parseUnsignedArg("16"), 16ull);
+  EXPECT_EQ(parseUnsignedArg("007"), 7ull);
+}
+
+TEST(CheckedParseTest, DoubleParsingIsCheckedEndToEnd) {
+  EXPECT_EQ(parseDoubleArg("abc"), std::nullopt);
+  EXPECT_EQ(parseDoubleArg(""), std::nullopt);
+  EXPECT_EQ(parseDoubleArg("1.5s"), std::nullopt); // atof: 1.5
+  EXPECT_EQ(parseDoubleArg(" 2.0"), std::nullopt);
+  EXPECT_EQ(parseDoubleArg("1e999"), std::nullopt); // overflows to inf
+  EXPECT_EQ(parseDoubleArg("nan"), std::nullopt);
+  EXPECT_EQ(parseDoubleArg("inf"), std::nullopt);
+  ASSERT_TRUE(parseDoubleArg("2.5").has_value());
+  EXPECT_DOUBLE_EQ(*parseDoubleArg("2.5"), 2.5);
+  ASSERT_TRUE(parseDoubleArg("-1.25").has_value());
+  EXPECT_DOUBLE_EQ(*parseDoubleArg("-1.25"), -1.25);
+  EXPECT_DOUBLE_EQ(*parseDoubleArg("0"), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Regression: CRLF / blank-line / ragged-row CSV handling (data/Csv.cpp)
+//===----------------------------------------------------------------------===//
+
+TEST(CsvLineEndingTest, CrlfParsesIdenticalToLf) {
+  const std::string Lf = "1.5,2.5,0\n3.5,4.5,1\n";
+  const std::string Crlf = "1.5,2.5,0\r\n3.5,4.5,1\r\n";
+  CsvLoadResult A = parseCsvDataset(Lf);
+  CsvLoadResult B = parseCsvDataset(Crlf);
+  ASSERT_TRUE(A.succeeded()) << A.Error;
+  ASSERT_TRUE(B.succeeded()) << B.Error;
+  ASSERT_EQ(A.Data->numRows(), B.Data->numRows());
+  ASSERT_EQ(A.Data->numFeatures(), B.Data->numFeatures());
+  for (unsigned Row = 0; Row < A.Data->numRows(); ++Row) {
+    EXPECT_EQ(A.Data->label(Row), B.Data->label(Row)) << "row " << Row;
+    for (unsigned F = 0; F < A.Data->numFeatures(); ++F)
+      EXPECT_EQ(A.Data->value(Row, F), B.Data->value(Row, F))
+          << "row " << Row << ", feature " << F;
+  }
+}
+
+TEST(CsvLineEndingTest, CrlfDoesNotChangeBooleanInference) {
+  // A '\r' riding along on the last cell must not turn a {0,1} column
+  // real (the last column is the label; the second feature is all-{0,1}).
+  CsvLoadResult R = parseCsvDataset("0.5,1,0\r\n2.5,0,1\r\n");
+  ASSERT_TRUE(R.succeeded()) << R.Error;
+  EXPECT_EQ(R.Data->schema().FeatureKinds[0], FeatureKind::Real);
+  EXPECT_EQ(R.Data->schema().FeatureKinds[1], FeatureKind::Boolean);
+}
+
+TEST(CsvLineEndingTest, TrailingBlankLinesCreateNoPhantomRows) {
+  for (const std::string &Text :
+       {std::string("1,2,0\n3,4,1\n\n"), std::string("1,2,0\n3,4,1\n\n\n"),
+        std::string("1,2,0\r\n3,4,1\r\n\r\n"),
+        std::string("1,2,0\n3,4,1\n   \n\t\n")}) {
+    CsvLoadResult R = parseCsvDataset(Text);
+    ASSERT_TRUE(R.succeeded()) << R.Error;
+    EXPECT_EQ(R.Data->numRows(), 2u) << "text: " << Text;
+  }
+}
+
+TEST(CsvLineEndingTest, StrayInteriorCarriageReturnIsAnError) {
+  // Previously a mid-line '\r' silently truncated the row at that point.
+  CsvLoadResult R = parseCsvDataset("1.0\r2.0,3.0,0\n");
+  EXPECT_FALSE(R.succeeded());
+  EXPECT_NE(R.Error.find("carriage return"), std::string::npos) << R.Error;
+}
+
+TEST(CsvLineEndingTest, RaggedRowsAreAnErrorNotATruncation) {
+  CsvLoadResult Short = parseCsvDataset("1,2,3,0\n1,2,0\n");
+  EXPECT_FALSE(Short.succeeded());
+  EXPECT_NE(Short.Error.find("expected 3 features"), std::string::npos)
+      << Short.Error;
+
+  CsvLoadResult Trailing = parseCsvDataset("1,2,0\n3,4,\n");
+  EXPECT_FALSE(Trailing.succeeded());
+  EXPECT_NE(Trailing.Error.find("trailing comma"), std::string::npos)
+      << Trailing.Error;
+}
