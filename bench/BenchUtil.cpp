@@ -8,6 +8,7 @@
 #include "BenchUtil.h"
 
 #include "antidote/Report.h"
+#include "serving/CertCache.h"
 #include "support/MemoryUsage.h"
 #include "support/Parse.h"
 #include "support/Timer.h"
@@ -41,21 +42,16 @@ SweepConfig antidote::benchutil::scaledConfig() {
 }
 
 static unsigned jobsFromEnvVar(const char *Name) {
-  const char *Env = std::getenv(Name);
-  if (!Env || !*Env)
-    return 1;
-  // Mirror the CLI parsers: a typo must not silently become 0 (bare
-  // atoi) or wrap to a huge unsigned and spawn a clamped-but-large pool.
-  std::optional<uint64_t> Parsed =
-      parseUnsignedArg(Env, std::numeric_limits<unsigned>::max());
-  if (!Parsed) {
-    std::fprintf(stderr,
-                 "error: %s needs an unsigned integer (0 = all cores), "
-                 "got '%s'\n",
-                 Name, Env);
+  // Mirror the CLI parsers (shared report in support/Parse): a typo must
+  // not silently become 0 (bare atoi) or wrap to a huge unsigned and
+  // spawn a clamped-but-large pool.
+  EnvNumber Env = readUnsignedEnvReporting(
+      Name, "all cores", std::numeric_limits<unsigned>::max());
+  if (Env.Status == EnvNumberStatus::Malformed)
     std::exit(2);
-  }
-  return static_cast<unsigned>(*Parsed);
+  return Env.Status == EnvNumberStatus::Ok
+             ? static_cast<unsigned>(Env.Value)
+             : 1;
 }
 
 unsigned antidote::benchutil::benchJobsFromEnv() {
@@ -70,6 +66,16 @@ unsigned antidote::benchutil::benchSplitJobsFromEnv() {
   return jobsFromEnvVar("ANTIDOTE_SPLIT_JOBS");
 }
 
+std::optional<uint64_t> antidote::benchutil::benchCacheBytesFromEnv() {
+  EnvNumber Env =
+      readUnsignedEnvReporting("ANTIDOTE_CACHE_BYTES", "unbounded");
+  if (Env.Status == EnvNumberStatus::Malformed)
+    std::exit(2);
+  if (Env.Status == EnvNumberStatus::Unset)
+    return std::nullopt;
+  return Env.Value;
+}
+
 SweepResult
 antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   BenchScale Scale = benchScaleFromEnv();
@@ -77,6 +83,13 @@ antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   Config.Jobs = benchJobsFromEnv();
   Config.FrontierJobs = benchFrontierJobsFromEnv();
   Config.SplitJobs = benchSplitJobsFromEnv();
+  std::optional<uint64_t> CacheBytes = benchCacheBytesFromEnv();
+  std::unique_ptr<CertCache> Cache;
+  if (CacheBytes) {
+    Config.InstanceLimits.MaxCacheBytes = *CacheBytes;
+    Cache = std::make_unique<CertCache>(Config.InstanceLimits);
+    Config.Cache = Cache.get();
+  }
 
   BenchmarkDataset Bench = loadBenchmarkDataset(Spec.DatasetName, Scale);
   std::printf("=== %s reproduction: %s ===\n", Spec.PaperFigure.c_str(),
@@ -84,9 +97,11 @@ antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   std::printf("scale: %s (set ANTIDOTE_BENCH_SCALE=full for paper scale); "
               "jobs: %u (ANTIDOTE_JOBS; 0 = all cores); "
               "frontier jobs: %u (ANTIDOTE_FRONTIER_JOBS); "
-              "split jobs: %u (ANTIDOTE_SPLIT_JOBS)\n",
+              "split jobs: %u (ANTIDOTE_SPLIT_JOBS); "
+              "cert cache: %s (ANTIDOTE_CACHE_BYTES)\n",
               Scale == BenchScale::Full ? "full" : "scaled", Config.Jobs,
-              Config.FrontierJobs, Config.SplitJobs);
+              Config.FrontierJobs, Config.SplitJobs,
+              Cache ? "on" : "off");
   std::printf("train %u rows x %u features; verifying %zu test inputs; "
               "timeout %.1fs/instance\n\n",
               Bench.Split.Train.numRows(), Bench.Split.Train.numFeatures(),
@@ -123,6 +138,9 @@ antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
     for (const std::string &Note : Spec.PaperShapeNotes)
       std::printf("  - %s\n", Note.c_str());
   }
+  if (Cache)
+    std::printf("certificate cache: %s\n",
+                formatCacheStats(Cache->stats(), *CacheBytes).c_str());
   std::printf("\ntotal bench time: %s; process peak RSS: %s\n\n",
               formatSeconds(Total.seconds()).c_str(),
               formatBytes(static_cast<double>(processPeakRssBytes()))

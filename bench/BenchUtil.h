@@ -19,6 +19,7 @@
 #include "antidote/Sweep.h"
 #include "data/Registry.h"
 
+#include <optional>
 #include <string>
 
 namespace antidote {
@@ -54,6 +55,13 @@ unsigned benchFrontierJobsFromEnv();
 /// Reads ANTIDOTE_SPLIT_JOBS: executors inside each bestSplit# candidate
 /// scoring pass ("0" = one per hardware thread). Defaults to 1 (serial).
 unsigned benchSplitJobsFromEnv();
+
+/// Reads ANTIDOTE_CACHE_BYTES: when set, the figure bench attaches a
+/// certificate cache with this byte budget ("0" = unbounded) to its
+/// sweep and reports the hit/miss stats. Unset (the default) runs
+/// cache-less — a single sweep's probes rarely repeat a query, so the
+/// cache is plumbing to exercise, not a figure-bench speedup.
+std::optional<uint64_t> benchCacheBytesFromEnv();
 
 /// Runs the spec at the scale selected by the environment and prints the
 /// figure panels. Returns the sweep result for further custom reporting.

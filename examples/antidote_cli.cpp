@@ -10,24 +10,33 @@
 //                --depth 2 --domain disjuncts
 //   antidote_cli --dataset mammography --row 3 --n 16 --flip
 //   antidote_cli --dataset iris --all --n 4 --jobs 8
+//   antidote_cli --dataset iris --serve --n 4 --cache-bytes 1048576
 //
-// Exit code 0 = robust proven (with --all: every row proven), 1 = not
-// proven, 2 = usage/load error.
+// --serve turns the process into a warm certificate server: queries
+// stream in on stdin (one "v1,v2,..." feature vector per line), are
+// batched through one long-lived Verifier + thread pool, and repeated
+// queries short-circuit to the fingerprint-keyed certificate cache.
+//
+// Exit code 0 = robust proven (with --all/--serve: every query proven),
+// 1 = not proven, 2 = usage/load error.
 //
 //===----------------------------------------------------------------------===//
 
 #include "abstract/LabelFlip.h"
-#include "antidote/Verifier.h"
 #include "data/Csv.h"
 #include "data/Registry.h"
+#include "serving/CertServer.h"
 #include "support/Parse.h"
 
 #include <algorithm>
+#include <chrono>
 #include <climits>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
+#include <iostream>
 #include <memory>
 #include <string>
 #include <type_traits>
@@ -43,48 +52,105 @@ struct CliOptions {
   std::string QueryValues; ///< Comma-separated feature vector.
   int TestRow = -1;        ///< Row of the registry test split to query.
   bool AllRows = false;    ///< Verify every row of the test split.
+  bool Serve = false;      ///< Serve stdin queries through a CertServer.
   uint32_t Budget = 1;
   unsigned Depth = 2;
   AbstractDomainKind Domain = AbstractDomainKind::Disjuncts;
   size_t DisjunctCap = 64;
   double TimeoutSeconds = 60.0;
-  unsigned Jobs = 1; ///< Worker threads for --all; 0 = hardware threads.
+  unsigned Jobs = 1; ///< Worker threads for --all/--serve; 0 = all cores.
   unsigned FrontierJobs = 1; ///< Executors within one DTrace# frontier.
   unsigned SplitJobs = 1; ///< Executors within one bestSplit# scoring pass.
+  uint64_t CacheBytes = 0;   ///< Certificate-cache budget; 0 = unbounded.
+  bool CacheEnabled = false; ///< --cache-bytes/env seen (or --serve).
   bool FlipModel = false;
 };
 
 void printUsage() {
   std::printf(
       "usage: antidote_cli (--train FILE.csv | --dataset NAME)\n"
-      "                    (--query \"v1,v2,...\" | --row K | --all)\n"
+      "                    (--query \"v1,v2,...\" | --row K | --all |"
+      " --serve)\n"
       "                    [--n N] [--depth D]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
-      "                    [--frontier-jobs N] [--split-jobs N] [--flip]\n\n"
+      "                    [--frontier-jobs N] [--split-jobs N]\n"
+      "                    [--cache-bytes B] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
-  std::printf("\n"
-              "  --query    feature vector of the input to certify\n"
-              "  --row      use row K of the benchmark's test split\n"
-              "  --all      certify every row of the test split\n"
-              "  --n        poisoning budget (default 1; at most the\n"
-              "             training-set size)\n"
-              "  --jobs     worker threads for --all (0 = all cores)\n"
-              "  --frontier-jobs  executors inside one query's DTrace#\n"
-              "             frontier (0 = all cores); certificates are\n"
-              "             identical for every value\n"
-              "  --split-jobs  executors inside one bestSplit# candidate\n"
-              "             scoring pass (0 = all cores); shares the\n"
-              "             frontier pool, certificates identical for\n"
-              "             every value\n"
-              "  --flip     certify against label flips instead of row\n"
-              "             insertions/removals\n");
+  std::printf(
+      "\n"
+      "  --query    feature vector of the input to certify\n"
+      "  --row      use row K of the benchmark's test split\n"
+      "  --all      certify every row of the test split\n"
+      "  --serve    warm certificate server: read one query per line\n"
+      "             (\"v1,v2,...\") from stdin, batch them through one\n"
+      "             long-lived Verifier, cache repeated queries\n"
+      "  --flip     certify against label flips instead of row\n"
+      "             insertions/removals\n"
+      "\n"
+      "knobs (flag beats env-var twin beats default; malformed values\n"
+      "in either error out):\n"
+      "  flag             env twin                default\n"
+      "  --n              -                       1    poisoning budget\n"
+      "             (at most the training-set size)\n"
+      "  --depth          -                       2    decision-tree "
+      "depth\n"
+      "  --domain         -               disjuncts    abstract domain\n"
+      "  --cap            -                      64    disjunct cap "
+      "(capped domain only)\n"
+      "  --timeout        -                      60    per-query "
+      "wall-clock budget, seconds (0 = none)\n"
+      "  --jobs           ANTIDOTE_JOBS           1    worker threads "
+      "for --all/--serve\n"
+      "             (0 = all cores)\n"
+      "  --frontier-jobs  ANTIDOTE_FRONTIER_JOBS  1    executors inside "
+      "one query's DTrace#\n"
+      "             frontier (0 = all cores); certificates identical "
+      "for every value\n"
+      "  --split-jobs     ANTIDOTE_SPLIT_JOBS     1    executors inside "
+      "one bestSplit# candidate\n"
+      "             scoring pass (0 = all cores); shares the frontier "
+      "pool,\n"
+      "             certificates identical for every value\n"
+      "  --cache-bytes    ANTIDOTE_CACHE_BYTES  off    certificate-cache "
+      "byte budget\n"
+      "             (0 = unbounded; always on under --serve, off "
+      "otherwise\n"
+      "             unless given; cached certificates are identical to "
+      "fresh ones)\n");
+}
+
+/// Applies \p Name as the default for \p Out when the flag was absent.
+/// Malformed env values are as fatal as malformed flags (the shared
+/// report in support/Parse prints the error).
+template <typename T>
+bool applyUnsignedEnv(const char *Name, const char *ZeroMeaning,
+                      uint64_t Max, T &Out, bool *WasSet = nullptr) {
+  EnvNumber Env = readUnsignedEnvReporting(Name, ZeroMeaning, Max);
+  if (Env.Status == EnvNumberStatus::Malformed)
+    return false;
+  if (Env.Status == EnvNumberStatus::Ok) {
+    Out = static_cast<T>(Env.Value);
+    if (WasSet)
+      *WasSet = true;
+  }
+  return true;
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
+  // Environment twins first, so explicit flags override them below.
+  if (!applyUnsignedEnv("ANTIDOTE_JOBS", "all cores", UINT_MAX,
+                        Options.Jobs) ||
+      !applyUnsignedEnv("ANTIDOTE_FRONTIER_JOBS", "all cores", UINT_MAX,
+                        Options.FrontierJobs) ||
+      !applyUnsignedEnv("ANTIDOTE_SPLIT_JOBS", "all cores", UINT_MAX,
+                        Options.SplitJobs) ||
+      !applyUnsignedEnv("ANTIDOTE_CACHE_BYTES", "unbounded", UINT64_MAX,
+                        Options.CacheBytes, &Options.CacheEnabled))
+    return false;
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
@@ -99,6 +165,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     }
     if (Arg == "--all") {
       Options.AllRows = true;
+      continue;
+    }
+    if (Arg == "--serve") {
+      Options.Serve = true;
       continue;
     }
     if (!(Value = Next())) {
@@ -155,6 +225,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
                                                  : &Options.SplitJobs;
       if (!CountFlag(UINT_MAX, *Out))
         return false;
+    } else if (Arg == "--cache-bytes") {
+      if (!CountFlag(UINT64_MAX, Options.CacheBytes))
+        return false;
+      Options.CacheEnabled = true;
     } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -173,16 +247,29 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
   }
   bool HaveData = !Options.TrainCsv.empty() ^ !Options.DatasetName.empty();
   bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0 ||
-                   Options.AllRows;
+                   Options.AllRows || Options.Serve;
   if (!HaveData || !HaveQuery) {
-    std::fprintf(stderr, "error: need one data source and one query\n");
+    std::fprintf(stderr, "error: need one data source and one query "
+                         "source\n");
     return false;
   }
   if (Options.AllRows && (Options.FlipModel || Options.DatasetName.empty())) {
     std::fprintf(stderr, "error: --all needs --dataset and no --flip\n");
     return false;
   }
+  if (Options.Serve &&
+      (Options.FlipModel || Options.AllRows ||
+       !Options.QueryValues.empty() || Options.TestRow >= 0)) {
+    std::fprintf(stderr, "error: --serve takes queries from stdin and "
+                         "supports no --flip\n");
+    return false;
+  }
   return true;
+}
+
+/// One line for the serve-mode transcript and the --all cache summary.
+void printCacheStats(const CertCacheStats &Stats, uint64_t Budget) {
+  std::printf("cache: %s\n", formatCacheStats(Stats, Budget).c_str());
 }
 
 /// Parses "v1,v2,..." into floats; returns false on malformed input.
@@ -235,8 +322,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::vector<float> Query;
-  if (Options.AllRows) {
-    // Resolved below; --all verifies the whole test split in one batch.
+  if (Options.AllRows || Options.Serve) {
+    // --all resolves its inputs below; --serve reads them from stdin.
   } else if (!Options.QueryValues.empty()) {
     if (!parseQuery(Options.QueryValues, Train.numFeatures(), Query)) {
       std::fprintf(stderr, "error: query must have %u numeric values\n",
@@ -260,6 +347,78 @@ int main(int Argc, char **Argv) {
               Options.FlipModel ? "label flips"
                                 : "attacker-contributed rows (removals)");
 
+  if (Options.Serve) {
+    CertServerConfig ServerConfig;
+    ServerConfig.Query.Depth = Options.Depth;
+    ServerConfig.Query.Domain = Options.Domain;
+    ServerConfig.Query.DisjunctCap = Options.DisjunctCap;
+    ServerConfig.Query.Limits.TimeoutSeconds = Options.TimeoutSeconds;
+    ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
+    ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
+    ServerConfig.Query.SplitJobs = Options.SplitJobs;
+    ServerConfig.Jobs = Options.Jobs;
+    CertServer Server(Train, ServerConfig);
+    std::printf("serving (dataset %s): one query per line on stdin "
+                "(%u comma-separated features), n=%u\n",
+                Server.verifier().fingerprint().hex().c_str(),
+                Train.numFeatures(), Options.Budget);
+
+    // Responses stream back in submission order as they complete — an
+    // interactive client sees answers while it is still typing queries,
+    // and a long-running feed cannot pile up unbounded futures (past the
+    // window, reading blocks on the oldest in-flight answer — natural
+    // backpressure against a producer outpacing verification).
+    std::deque<std::future<Certificate>> Pending;
+    size_t Submitted = 0, Printed = 0;
+    unsigned Robust = 0;
+    auto PrintFront = [&] {
+      Certificate Cert = Pending.front().get();
+      Pending.pop_front();
+      Robust += Cert.isRobust();
+      std::printf("query %4zu: %s\n", Printed++, Cert.summary().c_str());
+      std::fflush(stdout);
+    };
+    auto FlushReady = [&] {
+      while (!Pending.empty() &&
+             Pending.front().wait_for(std::chrono::seconds(0)) ==
+                 std::future_status::ready)
+        PrintFront();
+    };
+    const size_t MaxPending = 1024;
+
+    std::string Line;
+    size_t LineNo = 0;
+    while (std::getline(std::cin, Line)) {
+      ++LineNo;
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty() || Line[0] == '#')
+        continue;
+      std::vector<float> X;
+      if (!parseQuery(Line, Train.numFeatures(), X)) {
+        std::fprintf(stderr,
+                     "error: line %zu: query must have %u numeric "
+                     "values\n",
+                     LineNo, Train.numFeatures());
+        // Don't let the destructor's clean drain fully verify a deep
+        // backlog after the user already saw the error — cancel it.
+        Server.abort();
+        return 2;
+      }
+      Pending.push_back(Server.submit(std::move(X), Options.Budget));
+      ++Submitted;
+      FlushReady();
+      while (Pending.size() >= MaxPending)
+        PrintFront();
+    }
+    while (!Pending.empty())
+      PrintFront();
+
+    std::printf("served %zu queries: %u robust\n", Submitted, Robust);
+    printCacheStats(Server.cacheStats(), Options.CacheBytes);
+    return Robust == Submitted ? 0 : 1;
+  }
+
   if (Options.FlipModel) {
     SplitContext Ctx(Train);
     LabelFlipConfig Config;
@@ -280,8 +439,18 @@ int main(int Argc, char **Argv) {
   Config.Domain = Options.Domain;
   Config.DisjunctCap = Options.DisjunctCap;
   Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
+  Config.Limits.MaxCacheBytes = Options.CacheBytes;
   Config.FrontierJobs = Options.FrontierJobs;
   Config.SplitJobs = Options.SplitJobs;
+  // Optional certificate cache (--cache-bytes / ANTIDOTE_CACHE_BYTES):
+  // pointless for a one-shot batch with distinct rows, but lets scripted
+  // callers re-run the same process-level workload and demo the serving
+  // layer's hit path without --serve.
+  std::unique_ptr<CertCache> Cache;
+  if (Options.CacheEnabled) {
+    Cache = std::make_unique<CertCache>(Config.Limits);
+    Config.Cache = Cache.get();
+  }
   // One pool shared by every query of the process and by both in-query
   // fan-out levels (it outlives the verify/verifyBatch calls below);
   // null when --frontier-jobs and --split-jobs are both 1.
@@ -306,6 +475,8 @@ int main(int Argc, char **Argv) {
       std::printf("row %4u: %s\n", Row, Certs[Row].summary().c_str());
     }
     std::printf("robust: %u / %zu\n", Robust, Certs.size());
+    if (Cache)
+      printCacheStats(Cache->stats(), Options.CacheBytes);
     return Robust == Certs.size() ? 0 : 1;
   }
 

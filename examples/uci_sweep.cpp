@@ -17,28 +17,45 @@
 #include "antidote/Sweep.h"
 #include "data/Csv.h"
 #include "data/Registry.h"
+#include "serving/CertCache.h"
 #include "support/Parse.h"
 
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 
 using namespace antidote;
 
 static void printUsage(const char *Program) {
   std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[dataset-name]\n",
+              "[--cache-bytes B] [dataset-name]\n",
               Program);
   std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "--csv <train.csv> <test.csv>\n",
+              "[--cache-bytes B] --csv <train.csv> <test.csv>\n",
               Program);
+  std::printf("knobs (flag beats env-var twin beats default; malformed "
+              "values in either error out):\n");
   std::printf("  --jobs N           per-instance worker threads "
-              "(0 = all cores)\n");
+              "(0 = all cores;\n"
+              "                     env ANTIDOTE_JOBS; default 1)\n");
   std::printf("  --frontier-jobs N  executors inside each instance's "
-              "DTrace# frontier\n");
+              "DTrace# frontier\n"
+              "                     (0 = all cores; env "
+              "ANTIDOTE_FRONTIER_JOBS; default 1)\n");
   std::printf("  --split-jobs N     executors inside each bestSplit# "
-              "candidate scoring pass\n");
+              "candidate scoring\n"
+              "                     pass (0 = all cores; env "
+              "ANTIDOTE_SPLIT_JOBS; default 1)\n");
+  std::printf("  --cache-bytes B    attach a certificate cache with "
+              "byte budget B\n"
+              "                     (0 = unbounded; env "
+              "ANTIDOTE_CACHE_BYTES; default off —\n"
+              "                     a sweep's probes rarely repeat, so "
+              "this mainly\n"
+              "                     demonstrates the serving layer's "
+              "plumbing)\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -52,29 +69,64 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
   unsigned FrontierJobs = 1;
   unsigned SplitJobs = 1;
+  uint64_t CacheBytes = 0;
+  bool CacheEnabled = false;
   const char *Program = Argv[0];
 
-  // Extract the jobs flags from any position; the remaining arguments
-  // keep their historical positional meaning. Values parse checked —
-  // garbage errors out instead of silently becoming 0 (bare atoi).
+  // Environment twins first (flags override them below); malformed env
+  // values are as fatal as malformed flags (shared report in
+  // support/Parse).
+  const std::pair<const char *, unsigned *> EnvJobs[] = {
+      {"ANTIDOTE_JOBS", &Jobs},
+      {"ANTIDOTE_FRONTIER_JOBS", &FrontierJobs},
+      {"ANTIDOTE_SPLIT_JOBS", &SplitJobs}};
+  for (const auto &[EnvName, Out] : EnvJobs) {
+    EnvNumber Env = readUnsignedEnvReporting(EnvName, "all cores", UINT_MAX);
+    if (Env.Status == EnvNumberStatus::Malformed)
+      return 1;
+    if (Env.Status == EnvNumberStatus::Ok)
+      *Out = static_cast<unsigned>(Env.Value);
+  }
+  {
+    EnvNumber Env =
+        readUnsignedEnvReporting("ANTIDOTE_CACHE_BYTES", "unbounded");
+    if (Env.Status == EnvNumberStatus::Malformed)
+      return 1;
+    if (Env.Status == EnvNumberStatus::Ok) {
+      CacheBytes = Env.Value;
+      CacheEnabled = true;
+    }
+  }
+
+  // Extract the jobs/cache flags from any position; the remaining
+  // arguments keep their historical positional meaning. Values parse
+  // checked — garbage errors out instead of silently becoming 0 (bare
+  // atoi).
   std::vector<char *> Rest = {Argv[0]};
   for (int I = 1; I < Argc; ++I) {
     bool IsJobs = std::strcmp(Argv[I], "--jobs") == 0;
     bool IsFrontier = std::strcmp(Argv[I], "--frontier-jobs") == 0;
     bool IsSplit = std::strcmp(Argv[I], "--split-jobs") == 0;
-    if (IsJobs || IsFrontier || IsSplit) {
+    bool IsCache = std::strcmp(Argv[I], "--cache-bytes") == 0;
+    if (IsJobs || IsFrontier || IsSplit || IsCache) {
       const char *Flag = Argv[I];
       if (I + 1 >= Argc) {
         std::fprintf(stderr, "error: %s needs a value\n", Flag);
         return 1;
       }
-      std::optional<uint64_t> Parsed = parseUnsignedArg(Argv[++I], UINT_MAX);
+      std::optional<uint64_t> Parsed = parseUnsignedArg(
+          Argv[++I], IsCache ? static_cast<uint64_t>(-1) : UINT_MAX);
       if (!Parsed) {
         std::fprintf(stderr,
-                     "error: %s needs an unsigned integer (0 = all "
-                     "cores), got '%s'\n",
-                     Flag, Argv[I]);
+                     "error: %s needs an unsigned integer (0 = %s), "
+                     "got '%s'\n",
+                     Flag, IsCache ? "unbounded" : "all cores", Argv[I]);
         return 1;
+      }
+      if (IsCache) {
+        CacheBytes = *Parsed;
+        CacheEnabled = true;
+        continue;
       }
       (IsJobs ? Jobs : IsFrontier ? FrontierJobs : SplitJobs) =
           static_cast<unsigned>(*Parsed);
@@ -128,10 +180,16 @@ int main(int Argc, char **Argv) {
   SweepConfig Config;
   Config.Depths = {1, 2};
   Config.InstanceLimits.TimeoutSeconds = 2.0;
+  Config.InstanceLimits.MaxCacheBytes = CacheBytes;
   Config.MaxPoisoning = Train.numRows();
   Config.Jobs = Jobs;
   Config.FrontierJobs = FrontierJobs;
   Config.SplitJobs = SplitJobs;
+  std::unique_ptr<CertCache> Cache;
+  if (CacheEnabled) {
+    Cache = std::make_unique<CertCache>(Config.InstanceLimits);
+    Config.Cache = Cache.get();
+  }
   SweepResult Result = runPoisoningSweep(Train, Test, VerifyRows, Config);
 
   for (unsigned Depth : Config.Depths) {
@@ -167,5 +225,8 @@ int main(int Argc, char **Argv) {
     Table.print();
     std::printf("\n");
   }
+  if (Cache)
+    std::printf("certificate cache: %s\n",
+                formatCacheStats(Cache->stats(), CacheBytes).c_str());
   return 0;
 }

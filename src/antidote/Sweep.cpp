@@ -40,6 +40,7 @@ public:
     QueryConfig.FrontierJobs = Config.FrontierJobs;
     QueryConfig.SplitJobs = Config.SplitJobs;
     QueryConfig.FrontierPool = FrontierPool;
+    QueryConfig.Cache = Config.Cache;
   }
 
   SweepSeries run() {

@@ -101,6 +101,15 @@ struct SweepConfig {
   /// partial result is still well-formed).
   const CancellationToken *Cancel = nullptr;
 
+  /// Optional certificate store every instance's query consults
+  /// (serving/CertCache.h is the production implementation). A sweep's
+  /// own probes rarely repeat a (x, n, config) triple — each doubling
+  /// step uses a fresh n — so this mainly pays off when a long-lived
+  /// cache is shared *across* sweeps or with a `CertServer` answering
+  /// the same dataset's traffic. Must tolerate concurrent access from
+  /// the `Jobs` batch workers.
+  CertificateStore *Cache = nullptr;
+
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
 

@@ -47,8 +47,30 @@ TraceResult Verifier::trace(const float *X, unsigned Depth) const {
   return runDTrace(Ctx, AllTrainRows, X, Depth);
 }
 
+namespace {
+
+/// Only verdicts a fresh run is guaranteed to reproduce may be cached.
+/// Robust/Unknown are pure functions of (training set, x, n, config);
+/// ResourceLimit is too (disjunct and state-byte accounting is
+/// bit-identical across thread counts). Timeout depends on wall clock
+/// and Cancelled on an external controller, so caching either could
+/// serve a verdict a re-run would contradict.
+bool isCacheableVerdict(VerdictKind Kind) {
+  return Kind == VerdictKind::Robust || Kind == VerdictKind::Unknown ||
+         Kind == VerdictKind::ResourceLimit;
+}
+
+} // namespace
+
 Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
                              const VerifierConfig &Config) const {
+  if (Config.Cache) {
+    Certificate Cached;
+    if (Config.Cache->lookup(Fingerprint, X, Train->numFeatures(),
+                             PoisoningBudget, Config, Cached))
+      return Cached;
+  }
+
   Certificate Cert;
   Cert.PoisoningBudget = PoisoningBudget;
   Cert.Depth = Config.Depth;
@@ -81,25 +103,29 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   switch (Run.Status) {
   case LearnerStatus::Timeout:
     Cert.Kind = VerdictKind::Timeout;
-    return Cert;
+    break;
   case LearnerStatus::ResourceLimit:
     Cert.Kind = VerdictKind::ResourceLimit;
-    return Cert;
+    break;
   case LearnerStatus::Cancelled:
     Cert.Kind = VerdictKind::Cancelled;
-    return Cert;
+    break;
   case LearnerStatus::Completed:
+    if (!Run.DominatingClass) {
+      Cert.Kind = VerdictKind::Unknown;
+      break;
+    }
+    // The unpoisoned set T is itself in ∆n(T), so a dominating class must
+    // be the concrete prediction.
+    assert(*Run.DominatingClass == Cert.ConcretePrediction &&
+           "dominating class contradicts the concrete learner");
+    Cert.Kind = VerdictKind::Robust;
     break;
   }
-  if (!Run.DominatingClass) {
-    Cert.Kind = VerdictKind::Unknown;
-    return Cert;
-  }
-  // The unpoisoned set T is itself in ∆n(T), so a dominating class must be
-  // the concrete prediction.
-  assert(*Run.DominatingClass == Cert.ConcretePrediction &&
-         "dominating class contradicts the concrete learner");
-  Cert.Kind = VerdictKind::Robust;
+
+  if (Config.Cache && isCacheableVerdict(Cert.Kind))
+    Config.Cache->store(Fingerprint, X, Train->numFeatures(),
+                        PoisoningBudget, Config, Cert);
   return Cert;
 }
 

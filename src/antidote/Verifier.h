@@ -27,10 +27,13 @@
 
 #include "antidote/Certificate.h"
 #include "concrete/DTrace.h"
+#include "data/Fingerprint.h"
 #include "support/Budget.h"
 #include "support/ThreadPool.h"
 
 namespace antidote {
+
+class CertificateStore;
 
 /// Per-query verification parameters.
 struct VerifierConfig {
@@ -69,6 +72,52 @@ struct VerifierConfig {
   /// AbstractLearnerConfig). A sweep passes one long-lived pool here so
   /// thousands of queries do not each re-spawn threads.
   ThreadPool *FrontierPool = nullptr;
+
+  /// Optional certificate store consulted before verifying and updated
+  /// after (serving traffic mostly repeats queries, so a warm cache
+  /// short-circuits them to the stored certificate). Implementations
+  /// must be safe to call from concurrent `verifyBatch` workers; the
+  /// serving layer's fingerprint-keyed `CertCache` is the production
+  /// one. Null (default) disables caching entirely.
+  CertificateStore *Cache = nullptr;
+};
+
+/// The caching hook `Verifier::verify` talks to. The antidote layer only
+/// defines the contract; the LRU/byte-budget implementation lives above
+/// it in serving/CertCache.h (tests may substitute their own).
+///
+/// Contract:
+///  - A `lookup` hit must return a certificate previously passed to
+///    `store` under an *equal* key: same training-set fingerprint, same
+///    query bit pattern, same poisoning budget, and a `VerifierConfig`
+///    equal in every result-relevant field (Depth, Domain, Cprob, Gini,
+///    DisjunctCap where the domain reads it, and the three run-stopping
+///    `Limits` knobs). Scheduling knobs (FrontierJobs/SplitJobs/pools),
+///    the cancellation token, `Limits.MaxCacheBytes`, and the `Cache`
+///    pointer itself are certificate-irrelevant — certificates are
+///    bit-identical across them — and must not distinguish keys.
+///  - The verifier only offers deterministic verdicts for storage
+///    (Robust / Unknown / ResourceLimit); wall-clock- or
+///    controller-dependent ones (Timeout / Cancelled) are never cached,
+///    so a hit can never replay a verdict a fresh run might not
+///    reproduce.
+///  - Both calls may run concurrently from batch-pool workers.
+class CertificateStore {
+public:
+  virtual ~CertificateStore() = default;
+
+  /// Fills \p Out and returns true when a certificate for exactly this
+  /// (training set, query, budget, config) is stored.
+  virtual bool lookup(const DatasetFingerprint &Data, const float *X,
+                      unsigned NumFeatures, uint32_t PoisoningBudget,
+                      const VerifierConfig &Config, Certificate &Out) = 0;
+
+  /// Offers a freshly computed certificate for retention. The store may
+  /// decline (byte budget); it must never mutate \p Cert.
+  virtual void store(const DatasetFingerprint &Data, const float *X,
+                     unsigned NumFeatures, uint32_t PoisoningBudget,
+                     const VerifierConfig &Config,
+                     const Certificate &Cert) = 0;
 };
 
 /// Verifies data-poisoning robustness of decision-tree learning on a fixed
@@ -83,10 +132,16 @@ struct VerifierConfig {
 class Verifier {
 public:
   explicit Verifier(const Dataset &Train)
-      : Train(&Train), Ctx(Train), AllTrainRows(allRows(Train)) {}
+      : Train(&Train), Ctx(Train), AllTrainRows(allRows(Train)),
+        Fingerprint(fingerprintDataset(Train)) {}
 
   const Dataset &trainingSet() const { return *Train; }
   const SplitContext &context() const { return Ctx; }
+
+  /// Content fingerprint of the training set, computed once at
+  /// construction — the dataset component of every cache key this
+  /// verifier's queries use (see data/Fingerprint.h).
+  const DatasetFingerprint &fingerprint() const { return Fingerprint; }
 
   /// L(T)(x): the unpoisoned learner's prediction at depth \p Depth.
   unsigned predict(const float *X, unsigned Depth) const;
@@ -114,6 +169,7 @@ private:
   const Dataset *Train;
   SplitContext Ctx;
   RowIndexList AllTrainRows;
+  DatasetFingerprint Fingerprint;
 };
 
 } // namespace antidote

@@ -1,0 +1,181 @@
+//===- serving/CertCache.cpp - Fingerprint-keyed certificate cache ------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/CertCache.h"
+
+#include "support/BitHash.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace antidote;
+
+namespace {
+
+// Queries and timeouts are compared and hashed by storage bits (the
+// shared support/BitHash.h policy): the cache promises *identity*, and
+// value-level float equality would conflate 0.0/-0.0 while choking on
+// NaN payloads.
+
+/// Folds one word into the key hash.
+void mix(size_t &H, uint64_t W) {
+  H = static_cast<size_t>(mixBits(H, W));
+}
+
+} // namespace
+
+std::string antidote::formatCacheStats(const CertCacheStats &Stats,
+                                       uint64_t MaxBytes) {
+  char Budget[32] = "unbounded";
+  if (MaxBytes)
+    std::snprintf(Budget, sizeof(Budget), "%llu",
+                  static_cast<unsigned long long>(MaxBytes));
+  char Buf[224];
+  std::snprintf(Buf, sizeof(Buf),
+                "%llu hit%s, %llu misses, %llu evictions, %llu declined; "
+                "%llu entries, %llu bytes live (budget %s)",
+                static_cast<unsigned long long>(Stats.Hits),
+                Stats.Hits == 1 ? "" : "s",
+                static_cast<unsigned long long>(Stats.Misses),
+                static_cast<unsigned long long>(Stats.Evictions),
+                static_cast<unsigned long long>(Stats.Declined),
+                static_cast<unsigned long long>(Stats.LiveEntries),
+                static_cast<unsigned long long>(Stats.LiveBytes), Budget);
+  return Buf;
+}
+
+bool CertCache::Key::operator==(const Key &O) const {
+  if (!(Data == O.Data) || PoisoningBudget != O.PoisoningBudget ||
+      Depth != O.Depth || Domain != O.Domain || Cprob != O.Cprob ||
+      Gini != O.Gini || DisjunctCap != O.DisjunctCap ||
+      doubleBits(TimeoutSeconds) != doubleBits(O.TimeoutSeconds) ||
+      MaxDisjuncts != O.MaxDisjuncts || MaxStateBytes != O.MaxStateBytes ||
+      Query.size() != O.Query.size())
+    return false;
+  return std::memcmp(Query.data(), O.Query.data(),
+                     Query.size() * sizeof(float)) == 0;
+}
+
+size_t CertCache::KeyHash::operator()(const Key &K) const {
+  size_t H = 0;
+  mix(H, K.Data.Hi);
+  mix(H, K.Data.Lo);
+  mix(H, K.PoisoningBudget);
+  mix(H, K.Depth);
+  mix(H, static_cast<uint64_t>(K.Domain) | static_cast<uint64_t>(K.Cprob) << 8 |
+             static_cast<uint64_t>(K.Gini) << 16);
+  mix(H, K.DisjunctCap);
+  mix(H, doubleBits(K.TimeoutSeconds));
+  mix(H, K.MaxDisjuncts);
+  mix(H, K.MaxStateBytes);
+  mix(H, K.Query.size());
+  for (float V : K.Query)
+    mix(H, floatBits(V));
+  return H;
+}
+
+CertCache::Key CertCache::makeKey(const DatasetFingerprint &Data,
+                                  const float *X, unsigned NumFeatures,
+                                  uint32_t PoisoningBudget,
+                                  const VerifierConfig &Config) {
+  Key K;
+  K.Data = Data;
+  K.Query.assign(X, X + NumFeatures);
+  K.PoisoningBudget = PoisoningBudget;
+  K.Depth = Config.Depth;
+  K.Domain = Config.Domain;
+  K.Cprob = Config.Cprob;
+  K.Gini = Config.Gini;
+  // Normalization: only the capped domain reads DisjunctCap, so zeroing
+  // it elsewhere lets Box/Disjuncts queries hit across clients that set
+  // different (ignored) caps.
+  K.DisjunctCap = Config.Domain == AbstractDomainKind::DisjunctsCapped
+                      ? Config.DisjunctCap
+                      : 0;
+  K.TimeoutSeconds = Config.Limits.TimeoutSeconds;
+  K.MaxDisjuncts = Config.Limits.MaxDisjuncts;
+  K.MaxStateBytes = Config.Limits.MaxStateBytes;
+  return K;
+}
+
+uint64_t CertCache::entryBytes(const Key &K) {
+  // Key + certificate + map node (bucket pointer, hash, key/slot pair)
+  // + LRU list node (two links + pointer). Approximate by design; the
+  // dominant variable term is the query vector.
+  return sizeof(Key) + K.Query.capacity() * sizeof(float) + sizeof(Slot) +
+         8 * sizeof(void *);
+}
+
+bool CertCache::lookup(const DatasetFingerprint &Data, const float *X,
+                       unsigned NumFeatures, uint32_t PoisoningBudget,
+                       const VerifierConfig &Config, Certificate &Out) {
+  Key K = makeKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Entries.find(K);
+  if (It == Entries.end()) {
+    ++Stats.Misses;
+    return false;
+  }
+  // Touch: move to the MRU end.
+  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+  ++Stats.Hits;
+  Out = It->second.Cert;
+  return true;
+}
+
+void CertCache::store(const DatasetFingerprint &Data, const float *X,
+                      unsigned NumFeatures, uint32_t PoisoningBudget,
+                      const VerifierConfig &Config, const Certificate &Cert) {
+  Key K = makeKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  uint64_t Bytes = entryBytes(K);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (MaxBytes && Bytes > MaxBytes) {
+    ++Stats.Declined;
+    return;
+  }
+  auto [It, Inserted] = Entries.try_emplace(std::move(K));
+  if (!Inserted) {
+    // A concurrent worker verified the same query first; certificates
+    // for equal keys are interchangeable, so keep the incumbent and
+    // just refresh its recency.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    return;
+  }
+  Lru.push_front(&It->first);
+  It->second.Cert = Cert;
+  It->second.Bytes = Bytes;
+  It->second.LruIt = Lru.begin();
+  Stats.LiveBytes += Bytes;
+  ++Stats.LiveEntries;
+  ++Stats.Insertions;
+  if (MaxBytes)
+    while (Stats.LiveBytes > MaxBytes)
+      evictOneLocked();
+}
+
+void CertCache::evictOneLocked() {
+  const Key *Victim = Lru.back();
+  Lru.pop_back();
+  auto It = Entries.find(*Victim);
+  Stats.LiveBytes -= It->second.Bytes;
+  --Stats.LiveEntries;
+  ++Stats.Evictions;
+  Entries.erase(It);
+}
+
+CertCacheStats CertCache::stats() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Stats;
+}
+
+void CertCache::clear() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  Lru.clear();
+  Entries.clear();
+  Stats.LiveBytes = 0;
+  Stats.LiveEntries = 0;
+}

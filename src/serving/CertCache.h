@@ -1,0 +1,159 @@
+//===- serving/CertCache.h - Fingerprint-keyed certificate cache *- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving layer's incremental re-verification cache: a thread-safe
+/// LRU map from (dataset fingerprint, query bit pattern, poisoning budget,
+/// result-relevant `VerifierConfig` fields) to the `Certificate` a fresh
+/// verification produced, evicting least-recently-used entries once a byte
+/// budget (`ResourceLimits::MaxCacheBytes`) is exceeded.
+///
+/// Invariants (tests/CertCacheTests.cpp enforces each):
+///
+///  - **Cached ≡ fresh.** A hit returns the stored certificate verbatim —
+///    every field, including the diagnostics and the `Seconds` the
+///    original run took — so a cached answer is byte-identical to the
+///    fresh verification that seeded it, and field-identical (modulo
+///    wall-clock `Seconds`) to any re-verification, because only
+///    deterministic verdicts are ever offered for storage (see
+///    `CertificateStore` in antidote/Verifier.h).
+///  - **Keys capture exactly the result-relevant state.** The dataset
+///    enters as its content fingerprint, the query as its float bit
+///    patterns, and the config as the normalized tuple (Depth, Domain,
+///    Cprob, Gini, DisjunctCap-if-capped, TimeoutSeconds, MaxDisjuncts,
+///    MaxStateBytes). Scheduling knobs never split the key — the engine
+///    guarantees bit-identical certificates across them — so a serial
+///    client hits entries a 64-thread sweep populated, and vice versa.
+///  - **Byte-budgeted.** Every entry is charged its approximate resident
+///    footprint; inserting past `MaxCacheBytes` evicts from the LRU tail
+///    until the new entry fits (an entry alone exceeding the whole budget
+///    is declined outright). 0 = unbounded, matching the "0 disables the
+///    cap" convention of the other `ResourceLimits` knobs.
+///  - **Concurrent.** `lookup`/`store` run from batch-pool workers inside
+///    `Verifier::verifyBatch`; one internal mutex serializes them (the
+///    guarded work is a hash probe plus a splice — microseconds against
+///    verification's milliseconds-to-hours).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SERVING_CERTCACHE_H
+#define ANTIDOTE_SERVING_CERTCACHE_H
+
+#include "antidote/Verifier.h"
+
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace antidote {
+
+/// Monotonic counters plus the live footprint, for ops introspection and
+/// the serving smoke tests. A consistent snapshot is taken under the
+/// cache's mutex.
+struct CertCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Insertions = 0;
+  uint64_t Evictions = 0;
+  uint64_t Declined = 0; ///< Stores rejected (entry alone over budget).
+  uint64_t LiveBytes = 0;
+  uint64_t LiveEntries = 0;
+};
+
+/// One-line operator-readable rendering of \p Stats, e.g.
+/// "1 hit, 2 misses, 0 evictions, 0 declined; 2 entries, 512 bytes live
+/// (budget 1048576)". The shared text every front end (antidote_cli,
+/// uci_sweep, the figure benches) prints behind its own prefix, so a new
+/// counter surfaces everywhere at once. \p MaxBytes 0 renders as
+/// "unbounded".
+std::string formatCacheStats(const CertCacheStats &Stats, uint64_t MaxBytes);
+
+/// The production `CertificateStore`: fingerprint-keyed, LRU-evicted
+/// under a byte budget, safe for concurrent pool workers.
+class CertCache final : public CertificateStore {
+public:
+  /// \p MaxBytes caps the approximate resident footprint; 0 = unbounded.
+  explicit CertCache(uint64_t MaxBytes) : MaxBytes(MaxBytes) {}
+
+  /// Draws the budget from the single home of resource knobs
+  /// (`Limits.MaxCacheBytes`; see support/Budget.h).
+  explicit CertCache(const ResourceLimits &Limits)
+      : CertCache(Limits.MaxCacheBytes) {}
+
+  uint64_t maxBytes() const { return MaxBytes; }
+
+  bool lookup(const DatasetFingerprint &Data, const float *X,
+              unsigned NumFeatures, uint32_t PoisoningBudget,
+              const VerifierConfig &Config, Certificate &Out) override;
+
+  void store(const DatasetFingerprint &Data, const float *X,
+             unsigned NumFeatures, uint32_t PoisoningBudget,
+             const VerifierConfig &Config, const Certificate &Cert) override;
+
+  CertCacheStats stats() const;
+
+  /// Drops every entry (counters are kept; `LiveBytes`/`LiveEntries`
+  /// reset). For dataset-reload handovers and tests.
+  void clear();
+
+private:
+  /// The normalized lookup key; see the file comment for what is — and
+  /// deliberately is not — part of it.
+  struct Key {
+    DatasetFingerprint Data;
+    std::vector<float> Query; ///< Bit-compared via its float values.
+    uint32_t PoisoningBudget = 0;
+    unsigned Depth = 0;
+    AbstractDomainKind Domain = AbstractDomainKind::Box;
+    CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
+    GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
+    size_t DisjunctCap = 0; ///< 0 unless Domain reads the cap.
+    double TimeoutSeconds = 0.0;
+    size_t MaxDisjuncts = 0;
+    uint64_t MaxStateBytes = 0;
+
+    bool operator==(const Key &O) const;
+  };
+
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+
+  static Key makeKey(const DatasetFingerprint &Data, const float *X,
+                     unsigned NumFeatures, uint32_t PoisoningBudget,
+                     const VerifierConfig &Config);
+
+  /// Approximate resident bytes of one entry: the key (query vector
+  /// included), the certificate, and the map/list node overhead. Used
+  /// for budget accounting only — it need not be exact, just monotone in
+  /// the real footprint and stable for a given key shape.
+  static uint64_t entryBytes(const Key &K);
+
+  struct Slot {
+    Certificate Cert;
+    uint64_t Bytes = 0;
+    std::list<const Key *>::iterator LruIt;
+  };
+
+  /// Pops the LRU tail. Caller holds the mutex.
+  void evictOneLocked();
+
+  const uint64_t MaxBytes;
+
+  mutable std::mutex Mutex;
+  /// Front = most recently used. Points at the map's stored keys
+  /// (unordered_map never moves its elements, only its buckets).
+  std::list<const Key *> Lru;
+  std::unordered_map<Key, Slot, KeyHash> Entries;
+  CertCacheStats Stats;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SERVING_CERTCACHE_H

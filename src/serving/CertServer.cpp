@@ -1,0 +1,156 @@
+//===- serving/CertServer.cpp - Warm certificate-serving loop -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/CertServer.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace antidote;
+
+CertServer::CertServer(const Dataset &Train, const CertServerConfig &Config)
+    : Config(Config), V(Train),
+      BatchPool(makeVerificationPool(Config.Jobs)),
+      FrontierPool(makeVerificationPool(sharedFanoutJobs(
+          Config.Query.FrontierJobs, Config.Query.SplitJobs))) {
+  if (Config.EnableCache)
+    Cache = std::make_unique<CertCache>(Config.Query.Limits);
+  // The server owns the long-lived halves of the query config; whatever
+  // the caller put there is replaced.
+  this->Config.Query.FrontierPool = FrontierPool.get();
+  this->Config.Query.Cache = Cache.get();
+  this->Config.Query.Cancel = &AbortToken;
+  Dispatcher = std::thread([this] { dispatchLoop(); });
+}
+
+CertServer::~CertServer() { stop(); }
+
+std::future<Certificate> CertServer::submit(std::vector<float> X,
+                                            uint32_t PoisoningBudget) {
+  assert(X.size() == V.trainingSet().numFeatures() &&
+         "query arity must match the training set");
+  Request R;
+  R.X = std::move(X);
+  R.PoisoningBudget = PoisoningBudget;
+  std::future<Certificate> Result = R.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    if (Stopping) {
+      Certificate Refused;
+      Refused.Kind = VerdictKind::Cancelled;
+      Refused.PoisoningBudget = PoisoningBudget;
+      Refused.Depth = Config.Query.Depth;
+      Refused.Domain = Config.Query.Domain;
+      R.Promise.set_value(Refused);
+      return Result;
+    }
+    Queue.push_back(std::move(R));
+  }
+  QueueChanged.notify_one();
+  return Result;
+}
+
+void CertServer::dispatchLoop() {
+  for (;;) {
+    std::vector<Request> Batch;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      QueueChanged.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) // Stopping, and nothing left to serve.
+        return;
+      // MaxBatch 0 = unbounded; anything else still takes at least one
+      // request, so the loop always makes progress.
+      size_t Take = Config.MaxBatch
+                        ? std::min(Config.MaxBatch, Queue.size())
+                        : Queue.size();
+      Batch.reserve(Take);
+      for (size_t I = 0; I < Take; ++I) {
+        Batch.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
+      InFlight += Batch.size();
+    }
+    size_t Served = Batch.size();
+    serveBatch(std::move(Batch));
+    {
+      std::lock_guard<std::mutex> Guard(Mutex);
+      InFlight -= Served;
+    }
+    Idle.notify_all();
+  }
+}
+
+void CertServer::serveBatch(std::vector<Request> Batch) {
+  // Group by poisoning budget (verifyBatch verifies one n per call)
+  // while preserving submission order within each group. Serving traffic
+  // overwhelmingly shares one n, so this is almost always a single
+  // verifyBatch spanning the whole batch.
+  std::vector<size_t> Order(Batch.size());
+  for (size_t I = 0; I < Batch.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+    return Batch[A].PoisoningBudget < Batch[B].PoisoningBudget;
+  });
+
+  size_t GroupStart = 0;
+  while (GroupStart < Order.size()) {
+    size_t GroupEnd = GroupStart;
+    uint32_t N = Batch[Order[GroupStart]].PoisoningBudget;
+    while (GroupEnd < Order.size() &&
+           Batch[Order[GroupEnd]].PoisoningBudget == N)
+      ++GroupEnd;
+
+    std::vector<const float *> Inputs;
+    Inputs.reserve(GroupEnd - GroupStart);
+    for (size_t I = GroupStart; I < GroupEnd; ++I)
+      Inputs.push_back(Batch[Order[I]].X.data());
+
+    // Cache lookups/stores happen per query on the batch-pool workers,
+    // inside Verifier::verify — hits cost a hash probe, misses verify
+    // and seed the cache for the next repeat.
+    std::vector<Certificate> Certs =
+        V.verifyBatch(Inputs, N, Config.Query, BatchPool.get());
+    for (size_t I = GroupStart; I < GroupEnd; ++I)
+      Batch[Order[I]].Promise.set_value(Certs[I - GroupStart]);
+
+    GroupStart = GroupEnd;
+  }
+}
+
+CertCacheStats CertServer::cacheStats() const {
+  return Cache ? Cache->stats() : CertCacheStats();
+}
+
+size_t CertServer::pendingRequests() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Queue.size() + InFlight;
+}
+
+void CertServer::drain() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Queue.empty() && InFlight == 0; });
+}
+
+void CertServer::stop() {
+  std::thread ToJoin;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    Stopping = true;
+    ToJoin = std::move(Dispatcher); // Empty on every stop after the first.
+  }
+  QueueChanged.notify_all();
+  if (ToJoin.joinable())
+    ToJoin.join(); // The loop exits only once the queue is empty.
+}
+
+void CertServer::abort() {
+  // Cancel first so the drain inside stop() is cheap: every queued or
+  // in-flight verification observes the token and reports Cancelled
+  // instead of running to completion.
+  AbortToken.cancel();
+  stop();
+}

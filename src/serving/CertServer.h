@@ -1,0 +1,158 @@
+//===- serving/CertServer.h - Warm certificate-serving loop ----*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The long-lived serving subsystem the ROADMAP's north star asks for:
+/// one warm `Verifier` (per-dataset acceleration structures built once),
+/// one shared batch `ThreadPool`, one shared in-query frontier/split pool,
+/// and one fingerprint-keyed `CertCache`, behind a request queue so many
+/// clients can stream queries at a single process.
+///
+/// Request path:
+///
+///   submit(x, n) ──▶ queue ──▶ dispatcher thread ──▶ batcher
+///        │                        (groups up to MaxBatch pending
+///        │                         requests by poisoning budget n)
+///        │                                 │
+///        ▼                                 ▼
+///   std::future ◀── promise ◀── Verifier::verifyBatch on the batch
+///                               pool; each query consults/feeds the
+///                               CertCache from its worker thread
+///
+/// The batcher exists for the same reason `verifyBatch` does: queries
+/// are independent, so folding whatever has queued up while the previous
+/// batch ran into one fan-out keeps every pool worker busy without any
+/// per-query thread churn. Caching happens *inside* `Verifier::verify`
+/// (the cache is wired into the server's `VerifierConfig`), so a repeated
+/// query costs one hash probe on a worker instead of a verification, and
+/// the served certificate is byte-identical to the fresh one that seeded
+/// the entry (see serving/CertCache.h for the invariants).
+///
+/// Shutdown: `stop()` (and the destructor) waits for the queue to drain —
+/// every accepted future is always fulfilled. Submissions after `stop`
+/// complete immediately with `VerdictKind::Cancelled`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SERVING_CERTSERVER_H
+#define ANTIDOTE_SERVING_CERTSERVER_H
+
+#include "serving/CertCache.h"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <thread>
+#include <vector>
+
+namespace antidote {
+
+/// Server-wide parameters.
+struct CertServerConfig {
+  /// Per-query verification parameters, shared by every request: depth,
+  /// domain, per-query `Limits` (whose `MaxCacheBytes` also sizes the
+  /// server's cache), and the in-query FrontierJobs/SplitJobs knobs.
+  /// `FrontierPool`, `Cache`, and `Cancel` are overwritten by the server
+  /// with its own long-lived instances (`Cancel` is the `abort()` lever).
+  VerifierConfig Query;
+
+  /// Worker threads for the batch fan-out across queued requests
+  /// (0 = one per hardware thread, 1 = the dispatcher thread alone).
+  unsigned Jobs = 0;
+
+  /// Most requests one dispatch folds into a single `verifyBatch`. Keeps
+  /// tail latency bounded under a flood: a huge backlog is served as
+  /// several batches, each completing (and fulfilling its futures) on
+  /// its own. 0 = unbounded (one batch per backlog), matching the
+  /// codebase's "0 disables the cap" convention.
+  size_t MaxBatch = 64;
+
+  /// Disables the cache entirely (for A/B runs; normally leave on — an
+  /// unbounded cache is `Query.Limits.MaxCacheBytes = 0`).
+  bool EnableCache = true;
+};
+
+/// A long-lived certificate server for one training set.
+///
+/// Thread-safety: `submit`, `cacheStats`, and `pendingRequests` may be
+/// called from any number of client threads. The returned future is
+/// fulfilled by the dispatcher (or a batch-pool worker's result folded by
+/// it); `get()` blocks until then.
+class CertServer {
+public:
+  CertServer(const Dataset &Train, const CertServerConfig &Config);
+
+  /// Stops accepting, drains the queue, joins the dispatcher.
+  ~CertServer();
+
+  CertServer(const CertServer &) = delete;
+  CertServer &operator=(const CertServer &) = delete;
+
+  /// Enqueues one query. \p X must hold exactly
+  /// `verifier().trainingSet().numFeatures()` values (the CLI front end
+  /// validates before submitting; this is the programmatic API's
+  /// contract). The future is always eventually fulfilled.
+  std::future<Certificate> submit(std::vector<float> X,
+                                  uint32_t PoisoningBudget);
+
+  /// The warm verifier (for its fingerprint, dataset, and direct
+  /// cache-bypassing queries in tests).
+  const Verifier &verifier() const { return V; }
+
+  /// Null when the server was configured cache-less.
+  const CertCache *cache() const { return Cache.get(); }
+
+  /// Zeroed stats when the server was configured cache-less.
+  CertCacheStats cacheStats() const;
+
+  /// Requests not yet handed to a batch (for monitoring/backpressure).
+  size_t pendingRequests() const;
+
+  /// Blocks until every already-submitted request has been served.
+  void drain();
+
+  /// Stops accepting new work, serves everything already queued, joins
+  /// the dispatcher. Idempotent; the destructor calls it.
+  void stop();
+
+  /// `stop()` for error paths that must exit promptly: additionally
+  /// cancels queued and in-flight verification cooperatively, so
+  /// already-running queries wind down at their next budget poll and
+  /// every unserved future resolves quickly with
+  /// `VerdictKind::Cancelled` (cache hits still resolve to their stored
+  /// certificate). Every accepted future is still fulfilled. Idempotent.
+  void abort();
+
+private:
+  struct Request {
+    std::vector<float> X;
+    uint32_t PoisoningBudget = 0;
+    std::promise<Certificate> Promise;
+  };
+
+  void dispatchLoop();
+  void serveBatch(std::vector<Request> Batch);
+
+  CertServerConfig Config;
+  Verifier V;
+  std::unique_ptr<ThreadPool> BatchPool;
+  std::unique_ptr<ThreadPool> FrontierPool;
+  std::unique_ptr<CertCache> Cache;
+  CancellationToken AbortToken; ///< Cancelled by `abort()` only.
+
+  mutable std::mutex Mutex;
+  std::condition_variable QueueChanged; ///< Signalled on submit/stop.
+  std::condition_variable Idle;         ///< Signalled when work completes.
+  std::deque<Request> Queue;
+  size_t InFlight = 0; ///< Requests taken off the queue, not yet served.
+  bool Stopping = false;
+  std::thread Dispatcher;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SERVING_CERTSERVER_H

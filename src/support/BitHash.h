@@ -1,0 +1,61 @@
+//===- support/BitHash.h - Bit-pattern hashing primitives ------*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one home of the bit-pattern-identity policy shared by the dataset
+/// fingerprint (data/Fingerprint.cpp) and the certificate cache's lookup
+/// keys (serving/CertCache.cpp): floats and doubles are hashed and
+/// compared by their *storage bits*, never their values, so 0.0 and -0.0
+/// are distinct and NaN payloads neither collide nor choke a comparison.
+/// Both consumers promise byte-identity of cached artifacts, which makes
+/// this policy load-bearing — keep it here, in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SUPPORT_BITHASH_H
+#define ANTIDOTE_SUPPORT_BITHASH_H
+
+#include <cstdint>
+#include <cstring>
+
+namespace antidote {
+
+/// The float's storage bits (memcpy, not a value conversion).
+inline uint32_t floatBits(float V) {
+  uint32_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "float is not 32-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+/// The double's storage bits.
+inline uint64_t doubleBits(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double is not 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  return Bits;
+}
+
+/// splitmix64's finalizer: a full-avalanche 64-bit mix.
+inline uint64_t splitmix64(uint64_t H) {
+  H ^= H >> 30;
+  H *= 0xbf58476d1ce4e5b9ULL;
+  H ^= H >> 27;
+  H *= 0x94d049bb133111ebULL;
+  H ^= H >> 31;
+  return H;
+}
+
+/// Folds one word into a running splitmix64-style accumulator (the
+/// sequential-hash idiom both the cache key hash and test helpers use).
+inline uint64_t mixBits(uint64_t H, uint64_t W) {
+  return splitmix64(H + 0x9e3779b97f4a7c15ULL + W);
+}
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SUPPORT_BITHASH_H

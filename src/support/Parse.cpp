@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 using namespace antidote;
@@ -26,6 +27,33 @@ std::optional<uint64_t> antidote::parseUnsignedArg(const std::string &Text,
   if (Result.ec != std::errc() || Result.ptr != End || Value > Max)
     return std::nullopt;
   return Value;
+}
+
+EnvNumber antidote::readUnsignedEnv(const char *Name, uint64_t Max) {
+  EnvNumber Result;
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return Result;
+  std::optional<uint64_t> Parsed = parseUnsignedArg(Env, Max);
+  if (!Parsed) {
+    Result.Status = EnvNumberStatus::Malformed;
+    return Result;
+  }
+  Result.Status = EnvNumberStatus::Ok;
+  Result.Value = *Parsed;
+  return Result;
+}
+
+EnvNumber antidote::readUnsignedEnvReporting(const char *Name,
+                                             const char *ZeroMeaning,
+                                             uint64_t Max) {
+  EnvNumber Result = readUnsignedEnv(Name, Max);
+  if (Result.Status == EnvNumberStatus::Malformed)
+    std::fprintf(stderr,
+                 "error: %s needs an unsigned integer (0 = %s), got "
+                 "'%s'\n",
+                 Name, ZeroMeaning, std::getenv(Name));
+  return Result;
 }
 
 std::optional<double> antidote::parseDoubleArg(const std::string &Text) {

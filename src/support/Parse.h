@@ -34,6 +34,33 @@ parseUnsignedArg(const std::string &Text,
 /// garbage, overflow, and nan/inf.
 std::optional<double> parseDoubleArg(const std::string &Text);
 
+/// What reading a numeric environment variable found. CLI flags and their
+/// env-var twins share one failure policy: garbage must error out loudly,
+/// never silently become a default.
+enum class EnvNumberStatus : uint8_t {
+  Unset,     ///< Variable absent or empty; use the caller's default.
+  Ok,        ///< Parsed; `Value` holds the result.
+  Malformed, ///< Set but not one in-range unsigned integer.
+};
+
+struct EnvNumber {
+  EnvNumberStatus Status = EnvNumberStatus::Unset;
+  uint64_t Value = 0;
+};
+
+/// Reads environment variable \p Name through `parseUnsignedArg` with the
+/// same strictness as the CLI flag parsers (whole string, base 10,
+/// <= \p Max).
+EnvNumber readUnsignedEnv(const char *Name,
+                          uint64_t Max = static_cast<uint64_t>(-1));
+
+/// `readUnsignedEnv` plus the one shared failure report: a malformed
+/// value prints `error: NAME needs an unsigned integer (0 = <ZeroMeaning>),
+/// got '...'` to stderr, so every front end rejects a typo'd env twin
+/// with identical wording and keeps only its exit policy.
+EnvNumber readUnsignedEnvReporting(const char *Name, const char *ZeroMeaning,
+                                   uint64_t Max = static_cast<uint64_t>(-1));
+
 } // namespace antidote
 
 #endif // ANTIDOTE_SUPPORT_PARSE_H

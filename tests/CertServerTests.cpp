@@ -1,0 +1,228 @@
+//===- tests/CertServerTests.cpp - Warm certificate server tests --------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// The serving loop end to end: queued requests come back correct and in
+// submission correspondence, repeated traffic hits the cache, mixed
+// poisoning budgets batch correctly, shutdown drains, and many client
+// threads can hammer one server (the TSan CI job runs this suite).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/CertServer.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+CertServerConfig smallConfig() {
+  CertServerConfig Config;
+  Config.Query.Depth = 2;
+  Config.Query.Domain = AbstractDomainKind::Disjuncts;
+  Config.Query.Limits.TimeoutSeconds = 30.0;
+  Config.Jobs = 2;
+  return Config;
+}
+
+std::vector<float> point(float X) { return std::vector<float>{X}; }
+
+} // namespace
+
+TEST(CertServerTest, ServedCertificatesMatchDirectVerification) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+
+  std::vector<float> Queries = {0.5f, 2.5f, 9.5f, 12.5f, 13.5f};
+  std::vector<std::future<Certificate>> Futures;
+  for (float Q : Queries)
+    Futures.push_back(Server.submit(point(Q), /*PoisoningBudget=*/2));
+
+  VerifierConfig Direct = smallConfig().Query;
+  for (size_t I = 0; I < Queries.size(); ++I) {
+    Certificate Served = Futures[I].get();
+    const float X[] = {Queries[I]};
+    Certificate Expected = Server.verifier().verify(X, 2, Direct);
+    EXPECT_EQ(Served.Kind, Expected.Kind) << "query " << I;
+    EXPECT_EQ(Served.ConcretePrediction, Expected.ConcretePrediction);
+    EXPECT_EQ(Served.DominatingClass, Expected.DominatingClass);
+    EXPECT_EQ(Served.NumTerminals, Expected.NumTerminals);
+    EXPECT_EQ(Served.PeakDisjuncts, Expected.PeakDisjuncts);
+    EXPECT_EQ(Served.PoisoningBudget, 2u);
+  }
+}
+
+TEST(CertServerTest, RepeatedQueriesHitTheCache) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+
+  // Seed, then drain so the repeats arrive after the entry is stored.
+  Certificate Cold = Server.submit(point(9.5f), 2).get();
+  ASSERT_EQ(Server.cacheStats().Misses, 1u);
+
+  std::vector<std::future<Certificate>> Repeats;
+  for (int I = 0; I < 8; ++I)
+    Repeats.push_back(Server.submit(point(9.5f), 2));
+  for (auto &F : Repeats) {
+    Certificate Warm = F.get();
+    // Verbatim replay of the seeding certificate, Seconds included.
+    EXPECT_EQ(Warm.Kind, Cold.Kind);
+    EXPECT_EQ(Warm.NumTerminals, Cold.NumTerminals);
+    EXPECT_EQ(Warm.PeakDisjuncts, Cold.PeakDisjuncts);
+    EXPECT_EQ(Warm.Seconds, Cold.Seconds);
+  }
+  CertCacheStats Stats = Server.cacheStats();
+  EXPECT_EQ(Stats.Hits, 8u);
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.LiveEntries, 1u);
+}
+
+TEST(CertServerTest, MixedPoisoningBudgetsAreGroupedCorrectly) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+
+  // Interleaved budgets in one flood; each answer must carry its own n.
+  std::vector<std::future<Certificate>> Futures;
+  std::vector<uint32_t> Budgets;
+  for (int I = 0; I < 12; ++I) {
+    uint32_t N = 1 + (I % 3);
+    Budgets.push_back(N);
+    Futures.push_back(Server.submit(point(9.5f), N));
+  }
+  for (size_t I = 0; I < Futures.size(); ++I) {
+    Certificate Cert = Futures[I].get();
+    EXPECT_EQ(Cert.PoisoningBudget, Budgets[I]);
+    const float X[] = {9.5f};
+    Certificate Expected =
+        Server.verifier().verify(X, Budgets[I], smallConfig().Query);
+    EXPECT_EQ(Cert.Kind, Expected.Kind);
+    EXPECT_EQ(Cert.NumTerminals, Expected.NumTerminals);
+  }
+}
+
+TEST(CertServerTest, CachelessServerStillServes) {
+  Dataset Train = figure2Dataset();
+  CertServerConfig Config = smallConfig();
+  Config.EnableCache = false;
+  CertServer Server(Train, Config);
+  EXPECT_EQ(Server.cache(), nullptr);
+  Certificate A = Server.submit(point(9.5f), 2).get();
+  Certificate B = Server.submit(point(9.5f), 2).get();
+  EXPECT_EQ(A.Kind, B.Kind);
+  EXPECT_EQ(Server.cacheStats().Hits, 0u);
+  EXPECT_EQ(Server.cacheStats().Misses, 0u);
+}
+
+TEST(CertServerTest, DrainWaitsForAllSubmitted) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+  std::vector<std::future<Certificate>> Futures;
+  for (int I = 0; I < 16; ++I)
+    Futures.push_back(Server.submit(point(0.5f + I), 1));
+  Server.drain();
+  EXPECT_EQ(Server.pendingRequests(), 0u);
+  for (auto &F : Futures) {
+    ASSERT_EQ(F.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    F.get();
+  }
+}
+
+TEST(CertServerTest, SubmitAfterStopIsRefusedAsCancelled) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+  Server.submit(point(9.5f), 2).get();
+  Server.stop();
+  Certificate Refused = Server.submit(point(9.5f), 2).get();
+  EXPECT_EQ(Refused.Kind, VerdictKind::Cancelled);
+  // stop() is idempotent (the destructor will call it again).
+  Server.stop();
+}
+
+TEST(CertServerTest, UnboundedMaxBatchStillMakesProgress) {
+  // MaxBatch 0 = unbounded (the codebase's "0 disables the cap"
+  // convention) — one dispatch takes the whole backlog; it must never
+  // degenerate into an empty-batch spin that starves the futures.
+  Dataset Train = figure2Dataset();
+  CertServerConfig Config = smallConfig();
+  Config.MaxBatch = 0;
+  CertServer Server(Train, Config);
+  std::vector<std::future<Certificate>> Futures;
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(Server.submit(point(0.5f + I), 1));
+  for (auto &F : Futures)
+    F.get();
+  // Promises resolve inside the dispatch, before the dispatcher books
+  // the batch as finished — drain for the bookkeeping to settle.
+  Server.drain();
+  EXPECT_EQ(Server.pendingRequests(), 0u);
+}
+
+TEST(CertServerTest, AbortResolvesEveryFutureWithoutFullVerification) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+  // Flood, then abort immediately: every future must still resolve —
+  // queries the abort caught in time as Cancelled, earlier ones with
+  // their real verdict — and none may be dropped.
+  std::vector<std::future<Certificate>> Futures;
+  for (int I = 0; I < 64; ++I)
+    Futures.push_back(Server.submit(point(9.5f + (I % 7)), 4));
+  Server.abort();
+  size_t Cancelled = 0;
+  for (auto &F : Futures) {
+    Certificate Cert = F.get();
+    Cancelled += Cert.Kind == VerdictKind::Cancelled;
+  }
+  EXPECT_LE(Cancelled, Futures.size());
+  // Aborted is stopped: later submissions are refused as Cancelled.
+  EXPECT_EQ(Server.submit(point(9.5f), 4).get().Kind,
+            VerdictKind::Cancelled);
+}
+
+TEST(CertServerTest, ManyClientThreadsOneServer) {
+  Dataset Train = figure2Dataset();
+  CertServerConfig Config = smallConfig();
+  Config.MaxBatch = 4; // Several dispatch rounds, not one mega-batch.
+  CertServer Server(Train, Config);
+
+  // 4 client threads x 12 queries over 6 distinct points: submissions,
+  // batch workers, and cache accesses all interleave. Every future must
+  // resolve to the right verdict for its point.
+  constexpr int NumClients = 4, PerClient = 12;
+  std::vector<std::thread> Clients;
+  std::vector<std::vector<Certificate>> Results(NumClients);
+  for (int C = 0; C < NumClients; ++C)
+    Clients.emplace_back([&, C] {
+      std::vector<std::future<Certificate>> Futures;
+      for (int I = 0; I < PerClient; ++I) {
+        float X = 0.5f + 2 * ((C + I) % 6);
+        Futures.push_back(Server.submit(point(X), 2));
+      }
+      for (auto &F : Futures)
+        Results[C].push_back(F.get());
+    });
+  for (std::thread &T : Clients)
+    T.join();
+
+  VerifierConfig Direct = smallConfig().Query;
+  for (int C = 0; C < NumClients; ++C)
+    for (int I = 0; I < PerClient; ++I) {
+      const float X[] = {0.5f + 2 * ((C + I) % 6)};
+      Certificate Expected = Server.verifier().verify(X, 2, Direct);
+      EXPECT_EQ(Results[C][I].Kind, Expected.Kind);
+      EXPECT_EQ(Results[C][I].ConcretePrediction,
+                Expected.ConcretePrediction);
+      EXPECT_EQ(Results[C][I].NumTerminals, Expected.NumTerminals);
+    }
+  CertCacheStats Stats = Server.cacheStats();
+  EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
+  EXPECT_GE(Stats.Misses, 6u);
+  EXPECT_GE(Stats.Hits, 1u); // 48 requests over 6 points must repeat.
+}

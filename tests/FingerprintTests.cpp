@@ -1,0 +1,146 @@
+//===- tests/FingerprintTests.cpp - Dataset fingerprint tests -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// The cache-soundness half of the serving layer: a certificate keyed on a
+// fingerprint may only ever be replayed against the *identical* training
+// set, so the fingerprint must be stable across rebuilds of equal content
+// and must change under every certificate-relevant mutation — rows,
+// labels, row order, and all schema metadata.
+//
+//===----------------------------------------------------------------------===//
+
+#include "data/Fingerprint.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+/// A small two-feature dataset rebuilt identically by every call.
+Dataset baseDataset() {
+  DatasetSchema Schema = DatasetSchema::uniform(2, FeatureKind::Real, 2);
+  Dataset Data(Schema);
+  Data.addRow({1.0f, 2.0f}, 0);
+  Data.addRow({3.0f, 4.0f}, 1);
+  Data.addRow({5.0f, 6.0f}, 0);
+  return Data;
+}
+
+} // namespace
+
+TEST(FingerprintTest, StableAcrossRebuilds) {
+  EXPECT_EQ(fingerprintDataset(baseDataset()),
+            fingerprintDataset(baseDataset()));
+  EXPECT_EQ(fingerprintDataset(figure2Dataset()),
+            fingerprintDataset(figure2Dataset()));
+}
+
+TEST(FingerprintTest, HexIsThirtyTwoDigits) {
+  std::string Hex = fingerprintDataset(baseDataset()).hex();
+  EXPECT_EQ(Hex.size(), 32u);
+  EXPECT_EQ(Hex.find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(FingerprintTest, FeatureValueMutationChangesFingerprint) {
+  DatasetSchema Schema = DatasetSchema::uniform(2, FeatureKind::Real, 2);
+  Dataset Mutated(Schema);
+  Mutated.addRow({1.0f, 2.0f}, 0);
+  Mutated.addRow({3.0f, 4.5f}, 1); // One value nudged.
+  Mutated.addRow({5.0f, 6.0f}, 0);
+  EXPECT_NE(fingerprintDataset(baseDataset()),
+            fingerprintDataset(Mutated));
+}
+
+TEST(FingerprintTest, LabelMutationChangesFingerprint) {
+  DatasetSchema Schema = DatasetSchema::uniform(2, FeatureKind::Real, 2);
+  Dataset Mutated(Schema);
+  Mutated.addRow({1.0f, 2.0f}, 0);
+  Mutated.addRow({3.0f, 4.0f}, 0); // Label 1 -> 0.
+  Mutated.addRow({5.0f, 6.0f}, 0);
+  EXPECT_NE(fingerprintDataset(baseDataset()),
+            fingerprintDataset(Mutated));
+}
+
+TEST(FingerprintTest, RowOrderChangesFingerprint) {
+  // DTrace tie-breaking is row-order sensitive, so a permutation is a
+  // different training set as far as certificates are concerned.
+  DatasetSchema Schema = DatasetSchema::uniform(2, FeatureKind::Real, 2);
+  Dataset Mutated(Schema);
+  Mutated.addRow({3.0f, 4.0f}, 1);
+  Mutated.addRow({1.0f, 2.0f}, 0);
+  Mutated.addRow({5.0f, 6.0f}, 0);
+  EXPECT_NE(fingerprintDataset(baseDataset()),
+            fingerprintDataset(Mutated));
+}
+
+TEST(FingerprintTest, AddedRowChangesFingerprint) {
+  Dataset Mutated = baseDataset();
+  Mutated.addRow({7.0f, 8.0f}, 1);
+  EXPECT_NE(fingerprintDataset(baseDataset()),
+            fingerprintDataset(Mutated));
+}
+
+TEST(FingerprintTest, FeatureKindMetadataChangesFingerprint) {
+  DatasetSchema RealSchema = DatasetSchema::uniform(1, FeatureKind::Real, 2);
+  DatasetSchema BoolSchema =
+      DatasetSchema::uniform(1, FeatureKind::Boolean, 2);
+  Dataset RealData(RealSchema), BoolData(BoolSchema);
+  RealData.addRow({1.0f}, 0);
+  BoolData.addRow({1.0f}, 0);
+  // Same bits, different predicate semantics (threshold enumeration vs a
+  // single Boolean predicate) — must not share certificates.
+  EXPECT_NE(fingerprintDataset(RealData), fingerprintDataset(BoolData));
+}
+
+TEST(FingerprintTest, ClassCountMetadataChangesFingerprint) {
+  Dataset TwoClass(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Dataset ThreeClass(DatasetSchema::uniform(1, FeatureKind::Real, 3));
+  TwoClass.addRow({1.0f}, 0);
+  ThreeClass.addRow({1.0f}, 0);
+  // The class count shapes cprob vectors even when no row uses the extra
+  // class.
+  EXPECT_NE(fingerprintDataset(TwoClass), fingerprintDataset(ThreeClass));
+}
+
+TEST(FingerprintTest, ClassNameMetadataChangesFingerprint) {
+  DatasetSchema Named = DatasetSchema::uniform(1, FeatureKind::Real, 2);
+  Named.ClassNames = {"white", "black"};
+  DatasetSchema Renamed = Named;
+  Renamed.ClassNames = {"white", "gray"};
+  Dataset A{Named}, B{Renamed};
+  A.addRow({1.0f}, 0);
+  B.addRow({1.0f}, 0);
+  EXPECT_NE(fingerprintDataset(A), fingerprintDataset(B));
+}
+
+TEST(FingerprintTest, SignedZeroIsDistinguished) {
+  // Bit-pattern hashing: 0.0f and -0.0f compare equal as floats but are
+  // different storage, and the identity guarantee is about storage.
+  Dataset Pos(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Dataset Neg(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Pos.addRow({0.0f}, 0);
+  Neg.addRow({-0.0f}, 0);
+  EXPECT_NE(fingerprintDataset(Pos), fingerprintDataset(Neg));
+}
+
+TEST(FingerprintTest, RandomDatasetsRarelyCollide) {
+  // Sanity over many small random datasets: no pairwise collisions. Not
+  // a statistical claim — a regression canary for accidental constant
+  // fingerprints or ignored fields.
+  Rng R(1234);
+  RandomDatasetSpec Spec;
+  std::vector<DatasetFingerprint> Seen;
+  for (int I = 0; I < 64; ++I) {
+    DatasetFingerprint FP =
+        fingerprintDataset(makeRandomDataset(R, Spec));
+    for (const DatasetFingerprint &Prior : Seen)
+      EXPECT_NE(FP, Prior);
+    Seen.push_back(FP);
+  }
+}
