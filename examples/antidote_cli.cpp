@@ -26,6 +26,8 @@
 #include "data/Csv.h"
 #include "data/Registry.h"
 #include "serving/CertServer.h"
+#include "serving/DiskCertStore.h"
+#include "serving/TieredStore.h"
 #include "support/Parse.h"
 
 #include <algorithm>
@@ -63,6 +65,8 @@ struct CliOptions {
   unsigned SplitJobs = 1; ///< Executors within one bestSplit# scoring pass.
   uint64_t CacheBytes = 0;   ///< Certificate-cache budget; 0 = unbounded.
   bool CacheEnabled = false; ///< --cache-bytes/env seen (or --serve).
+  std::string CacheDir;        ///< Persistent certificate store directory.
+  bool CacheDirExplicit = false; ///< --cache-dir flag (not just the env twin).
   bool FlipModel = false;
 };
 
@@ -75,7 +79,7 @@ void printUsage() {
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
       "                    [--frontier-jobs N] [--split-jobs N]\n"
-      "                    [--cache-bytes B] [--flip]\n\n"
+      "                    [--cache-bytes B] [--cache-dir DIR] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -120,7 +124,14 @@ void printUsage() {
       "             (0 = unbounded; always on under --serve, off "
       "otherwise\n"
       "             unless given; cached certificates are identical to "
-      "fresh ones)\n");
+      "fresh ones)\n"
+      "  --cache-dir      ANTIDOTE_CACHE_DIR    off    persistent "
+      "certificate store\n"
+      "             directory (created if missing; two-tier: RAM LRU in "
+      "front,\n"
+      "             disk behind; certificates survive restarts and may "
+      "be shared\n"
+      "             by several processes; unusable paths error out)\n");
 }
 
 /// Applies \p Name as the default for \p Out when the flag was absent.
@@ -151,6 +162,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       !applyUnsignedEnv("ANTIDOTE_CACHE_BYTES", "unbounded", UINT64_MAX,
                         Options.CacheBytes, &Options.CacheEnabled))
     return false;
+  if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
+    Options.CacheDir = *Dir;
+    Options.CacheEnabled = true;
+  }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
@@ -229,6 +244,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       if (!CountFlag(UINT64_MAX, Options.CacheBytes))
         return false;
       Options.CacheEnabled = true;
+    } else if (Arg == "--cache-dir") {
+      Options.CacheDir = Value;
+      Options.CacheDirExplicit = true;
+      Options.CacheEnabled = true;
     } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -270,6 +289,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
 /// One line for the serve-mode transcript and the --all cache summary.
 void printCacheStats(const CertCacheStats &Stats, uint64_t Budget) {
   std::printf("cache: %s\n", formatCacheStats(Stats, Budget).c_str());
+}
+
+/// The disk tier's line, printed whenever --cache-dir is active. The CI
+/// persistence smoke greps this for a deterministic warm-restart hit.
+void printDiskStats(const DiskCertStore &Store) {
+  std::printf("disk: %s\n", formatDiskStoreStats(Store.stats()).c_str());
 }
 
 /// Parses "v1,v2,..." into floats; returns false on malformed input.
@@ -347,6 +372,31 @@ int main(int Argc, char **Argv) {
               Options.FlipModel ? "label flips"
                                 : "attacker-contributed rows (removals)");
 
+  // The persistent tier (--cache-dir / ANTIDOTE_CACHE_DIR): opened once,
+  // shared by whichever mode runs below. An unusable directory is a
+  // usage error — fail loudly now, not after hours of verification.
+  std::unique_ptr<DiskCertStore> DiskStore;
+  if (!Options.CacheDir.empty() && Options.FlipModel) {
+    // The flip path produces LabelFlipResults, not certificates. The
+    // explicit flag is a usage error; the ambient env twin is ignored
+    // the same way flip mode already ignores ANTIDOTE_CACHE_BYTES.
+    if (Options.CacheDirExplicit) {
+      std::fprintf(stderr,
+                   "error: --cache-dir does not support --flip (label-flip "
+                   "results are not certificates)\n");
+      return 2;
+    }
+    Options.CacheDir.clear();
+  }
+  if (!Options.CacheDir.empty()) {
+    DiskCertStore::OpenResult Opened = DiskCertStore::open(Options.CacheDir);
+    if (!Opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", Opened.Error.c_str());
+      return 2;
+    }
+    DiskStore = std::move(Opened.Store);
+  }
+
   if (Options.Serve) {
     CertServerConfig ServerConfig;
     ServerConfig.Query.Depth = Options.Depth;
@@ -357,6 +407,7 @@ int main(int Argc, char **Argv) {
     ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
     ServerConfig.Query.SplitJobs = Options.SplitJobs;
     ServerConfig.Jobs = Options.Jobs;
+    ServerConfig.Backing = DiskStore.get();
     CertServer Server(Train, ServerConfig);
     std::printf("serving (dataset %s): one query per line on stdin "
                 "(%u comma-separated features), n=%u\n",
@@ -416,6 +467,8 @@ int main(int Argc, char **Argv) {
 
     std::printf("served %zu queries: %u robust\n", Submitted, Robust);
     printCacheStats(Server.cacheStats(), Options.CacheBytes);
+    if (DiskStore)
+      printDiskStats(*DiskStore);
     return Robust == Submitted ? 0 : 1;
   }
 
@@ -442,15 +495,17 @@ int main(int Argc, char **Argv) {
   Config.Limits.MaxCacheBytes = Options.CacheBytes;
   Config.FrontierJobs = Options.FrontierJobs;
   Config.SplitJobs = Options.SplitJobs;
-  // Optional certificate cache (--cache-bytes / ANTIDOTE_CACHE_BYTES):
-  // pointless for a one-shot batch with distinct rows, but lets scripted
-  // callers re-run the same process-level workload and demo the serving
-  // layer's hit path without --serve.
+  // Optional certificate store (--cache-bytes / --cache-dir and their
+  // env twins): a RAM-only cache is pointless for a one-shot batch with
+  // distinct rows but demos the hit path; the two-tier composition with
+  // a --cache-dir makes even one-shot runs remember across processes —
+  // re-running the same query answers from disk.
   std::unique_ptr<CertCache> Cache;
-  if (Options.CacheEnabled) {
+  if (Options.CacheEnabled)
     Cache = std::make_unique<CertCache>(Config.Limits);
-    Config.Cache = Cache.get();
-  }
+  TieredStore Tiered(Cache.get(), DiskStore.get());
+  if (Cache || DiskStore)
+    Config.Cache = &Tiered;
   // One pool shared by every query of the process and by both in-query
   // fan-out levels (it outlives the verify/verifyBatch calls below);
   // null when --frontier-jobs and --split-jobs are both 1.
@@ -477,11 +532,15 @@ int main(int Argc, char **Argv) {
     std::printf("robust: %u / %zu\n", Robust, Certs.size());
     if (Cache)
       printCacheStats(Cache->stats(), Options.CacheBytes);
+    if (DiskStore)
+      printDiskStats(*DiskStore);
     return Robust == Certs.size() ? 0 : 1;
   }
 
   Certificate Cert = V.verify(Query.data(), Options.Budget, Config);
   std::printf("prediction: class %u\n", Cert.ConcretePrediction);
   std::printf("verdict: %s\n", Cert.summary().c_str());
+  if (DiskStore)
+    printDiskStats(*DiskStore);
   return Cert.isRobust() ? 0 : 1;
 }

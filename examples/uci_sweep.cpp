@@ -18,6 +18,8 @@
 #include "data/Csv.h"
 #include "data/Registry.h"
 #include "serving/CertCache.h"
+#include "serving/DiskCertStore.h"
+#include "serving/TieredStore.h"
 #include "support/Parse.h"
 
 #include <climits>
@@ -30,10 +32,11 @@ using namespace antidote;
 
 static void printUsage(const char *Program) {
   std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] [dataset-name]\n",
+              "[--cache-bytes B] [--cache-dir DIR] [dataset-name]\n",
               Program);
   std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] --csv <train.csv> <test.csv>\n",
+              "[--cache-bytes B] [--cache-dir DIR] --csv <train.csv> "
+              "<test.csv>\n",
               Program);
   std::printf("knobs (flag beats env-var twin beats default; malformed "
               "values in either error out):\n");
@@ -56,6 +59,16 @@ static void printUsage(const char *Program) {
               "this mainly\n"
               "                     demonstrates the serving layer's "
               "plumbing)\n");
+  std::printf("  --cache-dir DIR    persistent certificate store "
+              "directory (created\n"
+              "                     if missing; env ANTIDOTE_CACHE_DIR; "
+              "default off).\n"
+              "                     Two-tier: RAM LRU in front, disk "
+              "behind — a re-run\n"
+              "                     of the same sweep answers its "
+              "deterministic cells\n"
+              "                     from disk; unusable paths error "
+              "out\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -71,6 +84,7 @@ int main(int Argc, char **Argv) {
   unsigned SplitJobs = 1;
   uint64_t CacheBytes = 0;
   bool CacheEnabled = false;
+  std::string CacheDir;
   const char *Program = Argv[0];
 
   // Environment twins first (flags override them below); malformed env
@@ -97,6 +111,10 @@ int main(int Argc, char **Argv) {
       CacheEnabled = true;
     }
   }
+  if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
+    CacheDir = *Dir;
+    CacheEnabled = true;
+  }
 
   // Extract the jobs/cache flags from any position; the remaining
   // arguments keep their historical positional meaning. Values parse
@@ -108,6 +126,15 @@ int main(int Argc, char **Argv) {
     bool IsFrontier = std::strcmp(Argv[I], "--frontier-jobs") == 0;
     bool IsSplit = std::strcmp(Argv[I], "--split-jobs") == 0;
     bool IsCache = std::strcmp(Argv[I], "--cache-bytes") == 0;
+    if (std::strcmp(Argv[I], "--cache-dir") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --cache-dir needs a value\n");
+        return 1;
+      }
+      CacheDir = Argv[++I];
+      CacheEnabled = true;
+      continue;
+    }
     if (IsJobs || IsFrontier || IsSplit || IsCache) {
       const char *Flag = Argv[I];
       if (I + 1 >= Argc) {
@@ -186,10 +213,23 @@ int main(int Argc, char **Argv) {
   Config.FrontierJobs = FrontierJobs;
   Config.SplitJobs = SplitJobs;
   std::unique_ptr<CertCache> Cache;
-  if (CacheEnabled) {
+  if (CacheEnabled)
     Cache = std::make_unique<CertCache>(Config.InstanceLimits);
-    Config.Cache = Cache.get();
+  // The persistent tier (--cache-dir / ANTIDOTE_CACHE_DIR): a re-run of
+  // the same sweep answers its deterministic cells from disk. Unusable
+  // paths fail before hours of verification, not after.
+  std::unique_ptr<DiskCertStore> DiskStore;
+  if (!CacheDir.empty()) {
+    DiskCertStore::OpenResult Opened = DiskCertStore::open(CacheDir);
+    if (!Opened.ok()) {
+      std::fprintf(stderr, "error: %s\n", Opened.Error.c_str());
+      return 1;
+    }
+    DiskStore = std::move(Opened.Store);
   }
+  TieredStore Tiered(Cache.get(), DiskStore.get());
+  if (Cache || DiskStore)
+    Config.Cache = &Tiered;
   SweepResult Result = runPoisoningSweep(Train, Test, VerifyRows, Config);
 
   for (unsigned Depth : Config.Depths) {
@@ -228,5 +268,8 @@ int main(int Argc, char **Argv) {
   if (Cache)
     std::printf("certificate cache: %s\n",
                 formatCacheStats(Cache->stats(), CacheBytes).c_str());
+  if (DiskStore)
+    std::printf("certificate disk store: %s\n",
+                formatDiskStoreStats(DiskStore->stats()).c_str());
   return 0;
 }

@@ -7,26 +7,9 @@
 
 #include "serving/CertCache.h"
 
-#include "support/BitHash.h"
-
 #include <cstdio>
-#include <cstring>
 
 using namespace antidote;
-
-namespace {
-
-// Queries and timeouts are compared and hashed by storage bits (the
-// shared support/BitHash.h policy): the cache promises *identity*, and
-// value-level float equality would conflate 0.0/-0.0 while choking on
-// NaN payloads.
-
-/// Folds one word into the key hash.
-void mix(size_t &H, uint64_t W) {
-  H = static_cast<size_t>(mixBits(H, W));
-}
-
-} // namespace
 
 std::string antidote::formatCacheStats(const CertCacheStats &Stats,
                                        uint64_t MaxBytes) {
@@ -48,72 +31,26 @@ std::string antidote::formatCacheStats(const CertCacheStats &Stats,
   return Buf;
 }
 
-bool CertCache::Key::operator==(const Key &O) const {
-  if (!(Data == O.Data) || PoisoningBudget != O.PoisoningBudget ||
-      Depth != O.Depth || Domain != O.Domain || Cprob != O.Cprob ||
-      Gini != O.Gini || DisjunctCap != O.DisjunctCap ||
-      doubleBits(TimeoutSeconds) != doubleBits(O.TimeoutSeconds) ||
-      MaxDisjuncts != O.MaxDisjuncts || MaxStateBytes != O.MaxStateBytes ||
-      Query.size() != O.Query.size())
-    return false;
-  return std::memcmp(Query.data(), O.Query.data(),
-                     Query.size() * sizeof(float)) == 0;
-}
-
-size_t CertCache::KeyHash::operator()(const Key &K) const {
-  size_t H = 0;
-  mix(H, K.Data.Hi);
-  mix(H, K.Data.Lo);
-  mix(H, K.PoisoningBudget);
-  mix(H, K.Depth);
-  mix(H, static_cast<uint64_t>(K.Domain) | static_cast<uint64_t>(K.Cprob) << 8 |
-             static_cast<uint64_t>(K.Gini) << 16);
-  mix(H, K.DisjunctCap);
-  mix(H, doubleBits(K.TimeoutSeconds));
-  mix(H, K.MaxDisjuncts);
-  mix(H, K.MaxStateBytes);
-  mix(H, K.Query.size());
-  for (float V : K.Query)
-    mix(H, floatBits(V));
-  return H;
-}
-
-CertCache::Key CertCache::makeKey(const DatasetFingerprint &Data,
-                                  const float *X, unsigned NumFeatures,
-                                  uint32_t PoisoningBudget,
-                                  const VerifierConfig &Config) {
-  Key K;
-  K.Data = Data;
-  K.Query.assign(X, X + NumFeatures);
-  K.PoisoningBudget = PoisoningBudget;
-  K.Depth = Config.Depth;
-  K.Domain = Config.Domain;
-  K.Cprob = Config.Cprob;
-  K.Gini = Config.Gini;
-  // Normalization: only the capped domain reads DisjunctCap, so zeroing
-  // it elsewhere lets Box/Disjuncts queries hit across clients that set
-  // different (ignored) caps.
-  K.DisjunctCap = Config.Domain == AbstractDomainKind::DisjunctsCapped
-                      ? Config.DisjunctCap
-                      : 0;
-  K.TimeoutSeconds = Config.Limits.TimeoutSeconds;
-  K.MaxDisjuncts = Config.Limits.MaxDisjuncts;
-  K.MaxStateBytes = Config.Limits.MaxStateBytes;
-  return K;
-}
-
-uint64_t CertCache::entryBytes(const Key &K) {
-  // Key + certificate + map node (bucket pointer, hash, key/slot pair)
-  // + LRU list node (two links + pointer). Approximate by design; the
-  // dominant variable term is the query vector.
-  return sizeof(Key) + K.Query.capacity() * sizeof(float) + sizeof(Slot) +
-         8 * sizeof(void *);
+uint64_t CertCache::entryBytes(const StoreKey &K) {
+  // One entry owns: the map's key/slot pair (sizing the pair, not
+  // Key + Slot separately, keeps alignment padding in the charge), the
+  // query vector's heap allocation, the map node's bookkeeping (a next
+  // link and the cached hash) plus its share of the bucket array, and
+  // the LRU list node (two links + the key pointer payload). Approximate
+  // by design — the point is a charge that can only overcount, never
+  // undercount to just the certificate bytes, so a tiny `MaxCacheBytes`
+  // budget bounds the *real* footprint too.
+  using Pair = std::pair<const StoreKey, Slot>;
+  const uint64_t MapNode = 2 * sizeof(void *) + sizeof(size_t);
+  const uint64_t ListNode = 3 * sizeof(void *);
+  return sizeof(Pair) + K.Query.capacity() * sizeof(float) + MapNode +
+         ListNode;
 }
 
 bool CertCache::lookup(const DatasetFingerprint &Data, const float *X,
                        unsigned NumFeatures, uint32_t PoisoningBudget,
                        const VerifierConfig &Config, Certificate &Out) {
-  Key K = makeKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
   std::lock_guard<std::mutex> Guard(Mutex);
   auto It = Entries.find(K);
   if (It == Entries.end()) {
@@ -130,7 +67,7 @@ bool CertCache::lookup(const DatasetFingerprint &Data, const float *X,
 void CertCache::store(const DatasetFingerprint &Data, const float *X,
                       unsigned NumFeatures, uint32_t PoisoningBudget,
                       const VerifierConfig &Config, const Certificate &Cert) {
-  Key K = makeKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
   uint64_t Bytes = entryBytes(K);
   std::lock_guard<std::mutex> Guard(Mutex);
   if (MaxBytes && Bytes > MaxBytes) {
@@ -158,7 +95,7 @@ void CertCache::store(const DatasetFingerprint &Data, const float *X,
 }
 
 void CertCache::evictOneLocked() {
-  const Key *Victim = Lru.back();
+  const StoreKey *Victim = Lru.back();
   Lru.pop_back();
   auto It = Entries.find(*Victim);
   Stats.LiveBytes -= It->second.Bytes;

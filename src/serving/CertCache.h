@@ -7,10 +7,11 @@
 ///
 /// \file
 /// The serving layer's incremental re-verification cache: a thread-safe
-/// LRU map from (dataset fingerprint, query bit pattern, poisoning budget,
-/// result-relevant `VerifierConfig` fields) to the `Certificate` a fresh
-/// verification produced, evicting least-recently-used entries once a byte
-/// budget (`ResourceLimits::MaxCacheBytes`) is exceeded.
+/// LRU map from the normalized `StoreKey` (dataset fingerprint, query bit
+/// pattern, poisoning budget, result-relevant `VerifierConfig` fields) to
+/// the `Certificate` a fresh verification produced, evicting
+/// least-recently-used entries once a byte budget
+/// (`ResourceLimits::MaxCacheBytes`) is exceeded.
 ///
 /// Invariants (tests/CertCacheTests.cpp enforces each):
 ///
@@ -21,18 +22,18 @@
 ///    wall-clock `Seconds`) to any re-verification, because only
 ///    deterministic verdicts are ever offered for storage (see
 ///    `CertificateStore` in antidote/Verifier.h).
-///  - **Keys capture exactly the result-relevant state.** The dataset
-///    enters as its content fingerprint, the query as its float bit
-///    patterns, and the config as the normalized tuple (Depth, Domain,
-///    Cprob, Gini, DisjunctCap-if-capped, TimeoutSeconds, MaxDisjuncts,
-///    MaxStateBytes). Scheduling knobs never split the key — the engine
-///    guarantees bit-identical certificates across them — so a serial
-///    client hits entries a 64-thread sweep populated, and vice versa.
+///  - **Keys capture exactly the result-relevant state.** The key
+///    discipline lives in serving/StoreKey.h, shared with the on-disk
+///    tier: scheduling knobs never split the key, so a serial client
+///    hits entries a 64-thread sweep populated, and vice versa.
 ///  - **Byte-budgeted.** Every entry is charged its approximate resident
-///    footprint; inserting past `MaxCacheBytes` evicts from the LRU tail
-///    until the new entry fits (an entry alone exceeding the whole budget
-///    is declined outright). 0 = unbounded, matching the "0 disables the
-///    cap" convention of the other `ResourceLimits` knobs.
+///    footprint — the key (query vector included), the certificate, and
+///    the map/list node overhead, so the charge can never undercount to
+///    just the value bytes; inserting past `MaxCacheBytes` evicts from
+///    the LRU tail until the new entry fits (an entry alone exceeding
+///    the whole budget is declined outright). 0 = unbounded, matching
+///    the "0 disables the cap" convention of the other `ResourceLimits`
+///    knobs.
 ///  - **Concurrent.** `lookup`/`store` run from batch-pool workers inside
 ///    `Verifier::verifyBatch`; one internal mutex serializes them (the
 ///    guarded work is a hash probe plus a splice — microseconds against
@@ -43,7 +44,7 @@
 #ifndef ANTIDOTE_SERVING_CERTCACHE_H
 #define ANTIDOTE_SERVING_CERTCACHE_H
 
-#include "antidote/Verifier.h"
+#include "serving/StoreKey.h"
 
 #include <list>
 #include <mutex>
@@ -74,8 +75,10 @@ struct CertCacheStats {
 /// "unbounded".
 std::string formatCacheStats(const CertCacheStats &Stats, uint64_t MaxBytes);
 
-/// The production `CertificateStore`: fingerprint-keyed, LRU-evicted
-/// under a byte budget, safe for concurrent pool workers.
+/// The RAM tier of the production certificate store: fingerprint-keyed,
+/// LRU-evicted under a byte budget, safe for concurrent pool workers.
+/// Composes with the disk tier (serving/DiskCertStore.h) behind
+/// serving/TieredStore.h.
 class CertCache final : public CertificateStore {
 public:
   /// \p MaxBytes caps the approximate resident footprint; 0 = unbounded.
@@ -102,43 +105,21 @@ public:
   /// reset). For dataset-reload handovers and tests.
   void clear();
 
+  /// Approximate resident bytes one entry with \p K's query shape is
+  /// charged against the budget: key + certificate (via the map's
+  /// key/slot pair, padding included), the query vector's heap block,
+  /// and both containers' per-node overhead (hash bucket slot, map node
+  /// links, LRU list node). Exposed so the eviction tests can pin the
+  /// floor of the charge — it need not be exact, just monotone in the
+  /// real footprint, stable for a given key shape, and never an
+  /// undercount of the bytes the entry demonstrably owns.
+  static uint64_t entryBytes(const StoreKey &K);
+
 private:
-  /// The normalized lookup key; see the file comment for what is — and
-  /// deliberately is not — part of it.
-  struct Key {
-    DatasetFingerprint Data;
-    std::vector<float> Query; ///< Bit-compared via its float values.
-    uint32_t PoisoningBudget = 0;
-    unsigned Depth = 0;
-    AbstractDomainKind Domain = AbstractDomainKind::Box;
-    CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
-    GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
-    size_t DisjunctCap = 0; ///< 0 unless Domain reads the cap.
-    double TimeoutSeconds = 0.0;
-    size_t MaxDisjuncts = 0;
-    uint64_t MaxStateBytes = 0;
-
-    bool operator==(const Key &O) const;
-  };
-
-  struct KeyHash {
-    size_t operator()(const Key &K) const;
-  };
-
-  static Key makeKey(const DatasetFingerprint &Data, const float *X,
-                     unsigned NumFeatures, uint32_t PoisoningBudget,
-                     const VerifierConfig &Config);
-
-  /// Approximate resident bytes of one entry: the key (query vector
-  /// included), the certificate, and the map/list node overhead. Used
-  /// for budget accounting only — it need not be exact, just monotone in
-  /// the real footprint and stable for a given key shape.
-  static uint64_t entryBytes(const Key &K);
-
   struct Slot {
     Certificate Cert;
     uint64_t Bytes = 0;
-    std::list<const Key *>::iterator LruIt;
+    std::list<const StoreKey *>::iterator LruIt;
   };
 
   /// Pops the LRU tail. Caller holds the mutex.
@@ -149,8 +130,8 @@ private:
   mutable std::mutex Mutex;
   /// Front = most recently used. Points at the map's stored keys
   /// (unordered_map never moves its elements, only its buckets).
-  std::list<const Key *> Lru;
-  std::unordered_map<Key, Slot, KeyHash> Entries;
+  std::list<const StoreKey *> Lru;
+  std::unordered_map<StoreKey, Slot, StoreKeyHash> Entries;
   CertCacheStats Stats;
 };
 

@@ -19,10 +19,16 @@ CertServer::CertServer(const Dataset &Train, const CertServerConfig &Config)
           Config.Query.FrontierJobs, Config.Query.SplitJobs))) {
   if (Config.EnableCache)
     Cache = std::make_unique<CertCache>(Config.Query.Limits);
+  if (Cache && Config.Backing)
+    Tiered = std::make_unique<TieredStore>(Cache.get(), Config.Backing);
   // The server owns the long-lived halves of the query config; whatever
-  // the caller put there is replaced.
+  // the caller put there is replaced. Store preference: the two-tier
+  // composition when both tiers exist, else whichever one does.
   this->Config.Query.FrontierPool = FrontierPool.get();
-  this->Config.Query.Cache = Cache.get();
+  this->Config.Query.Cache =
+      Tiered ? static_cast<CertificateStore *>(Tiered.get())
+      : Cache ? static_cast<CertificateStore *>(Cache.get())
+              : Config.Backing;
   this->Config.Query.Cancel = &AbortToken;
   Dispatcher = std::thread([this] { dispatchLoop(); });
 }

@@ -42,6 +42,7 @@
 #define ANTIDOTE_SERVING_CERTSERVER_H
 
 #include "serving/CertCache.h"
+#include "serving/TieredStore.h"
 
 #include <condition_variable>
 #include <deque>
@@ -74,6 +75,14 @@ struct CertServerConfig {
   /// Disables the cache entirely (for A/B runs; normally leave on — an
   /// unbounded cache is `Query.Limits.MaxCacheBytes = 0`).
   bool EnableCache = true;
+
+  /// Optional persistent backing store (serving/DiskCertStore.h is the
+  /// production one), externally owned — it may outlive the server or
+  /// be shared by several. With the cache enabled the server composes
+  /// the two as a `TieredStore` (RAM LRU in front, this store behind,
+  /// write-through, disk hits promoted to RAM); cache-less it is
+  /// consulted directly.
+  CertificateStore *Backing = nullptr;
 };
 
 /// A long-lived certificate server for one training set.
@@ -109,6 +118,9 @@ public:
   /// Zeroed stats when the server was configured cache-less.
   CertCacheStats cacheStats() const;
 
+  /// Null unless both the RAM cache and a backing store are configured.
+  const TieredStore *tieredStore() const { return Tiered.get(); }
+
   /// Requests not yet handed to a batch (for monitoring/backpressure).
   size_t pendingRequests() const;
 
@@ -142,6 +154,7 @@ private:
   std::unique_ptr<ThreadPool> BatchPool;
   std::unique_ptr<ThreadPool> FrontierPool;
   std::unique_ptr<CertCache> Cache;
+  std::unique_ptr<TieredStore> Tiered;
   CancellationToken AbortToken; ///< Cancelled by `abort()` only.
 
   mutable std::mutex Mutex;

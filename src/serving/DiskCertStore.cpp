@@ -1,0 +1,903 @@
+//===- serving/DiskCertStore.cpp - Disk-backed certificate store --------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/DiskCertStore.h"
+
+#include "support/BitHash.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace antidote;
+
+namespace {
+
+// Segment header: "ACST" magic + format version, 8 bytes.
+constexpr uint32_t SegmentMagic = 0x54534341u; // "ACST" little-endian.
+constexpr uint32_t RecordMagic = 0x54524543u;  // "CERT" little-endian.
+constexpr size_t SegmentHeaderBytes = 8;
+constexpr size_t RecordHeaderBytes = 16; // magic + payload size + checksum.
+/// Sanity bound on one record's payload: a query would need ~60M
+/// features to exceed it, so anything larger is corruption, not data.
+constexpr uint32_t MaxPayloadBytes = 1u << 28;
+
+/// FNV-1a 64 over the payload — torn-write detection, not a MAC (the
+/// threat model poisons training rows, not the store directory).
+uint64_t fnv1a64(const uint8_t *Data, size_t Size) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = 0; I < Size; ++I) {
+    H ^= Data[I];
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+/// Fixed-width little-endian serialization. Floats and doubles go
+/// through their storage bits (support/BitHash.h policy), `size_t`
+/// widens to u64, so records are identical across platforms.
+struct ByteWriter {
+  std::vector<uint8_t> Bytes;
+
+  void u8(uint8_t V) { Bytes.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Bytes.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+};
+
+struct ByteReader {
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  bool take(size_t N) {
+    if (Failed || Size - Pos < N) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+  uint8_t u8() {
+    if (!take(1))
+      return 0;
+    return Data[Pos++];
+  }
+  uint32_t u32() {
+    if (!take(4))
+      return 0;
+    uint32_t V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+  uint64_t u64() {
+    if (!take(8))
+      return 0;
+    uint64_t V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return V;
+  }
+};
+
+/// Only deterministic verdicts may be persisted (same discipline as the
+/// RAM tier); `Verifier` already filters on the write path, and
+/// `readPayload` applies the same whitelist on the read path, so the
+/// two sides can never disagree about what belongs in a store.
+bool isPersistableVerdict(VerdictKind Kind) {
+  return Kind == VerdictKind::Robust || Kind == VerdictKind::Unknown ||
+         Kind == VerdictKind::ResourceLimit;
+}
+
+float floatFromBits(uint32_t Bits) {
+  float V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+double doubleFromBits(uint64_t Bits) {
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+void writePayload(ByteWriter &W, const StoreKey &K, const Certificate &Cert) {
+  // Key first (so the index rebuild never touches certificate fields),
+  // certificate after; see the header comment for the field meanings.
+  W.u64(K.Data.Hi);
+  W.u64(K.Data.Lo);
+  W.u32(K.PoisoningBudget);
+  W.u32(K.Depth);
+  W.u8(static_cast<uint8_t>(K.Domain));
+  W.u8(static_cast<uint8_t>(K.Cprob));
+  W.u8(static_cast<uint8_t>(K.Gini));
+  W.u64(K.DisjunctCap);
+  W.u64(doubleBits(K.TimeoutSeconds));
+  W.u64(K.MaxDisjuncts);
+  W.u64(K.MaxStateBytes);
+  W.u32(static_cast<uint32_t>(K.Query.size()));
+  for (float V : K.Query)
+    W.u32(floatBits(V));
+
+  W.u8(static_cast<uint8_t>(Cert.Kind));
+  W.u32(Cert.PoisoningBudget);
+  W.u32(Cert.Depth);
+  W.u8(static_cast<uint8_t>(Cert.Domain));
+  W.u32(Cert.ConcretePrediction);
+  W.u8(Cert.DominatingClass ? 1 : 0);
+  W.u32(Cert.DominatingClass ? *Cert.DominatingClass : 0);
+  W.u64(Cert.NumTerminals);
+  W.u64(Cert.PeakDisjuncts);
+  W.u64(Cert.PeakStateBytes);
+  W.u32(Cert.BestSplitCalls);
+  W.u64(doubleBits(Cert.Seconds));
+}
+
+bool readPayload(const uint8_t *Payload, size_t PayloadBytes, StoreKey &K,
+                 Certificate &Cert) {
+  ByteReader R{Payload, PayloadBytes};
+  K.Data.Hi = R.u64();
+  K.Data.Lo = R.u64();
+  K.PoisoningBudget = R.u32();
+  K.Depth = R.u32();
+  K.Domain = static_cast<AbstractDomainKind>(R.u8());
+  K.Cprob = static_cast<CprobTransformerKind>(R.u8());
+  K.Gini = static_cast<GiniLiftingKind>(R.u8());
+  K.DisjunctCap = static_cast<size_t>(R.u64());
+  K.TimeoutSeconds = doubleFromBits(R.u64());
+  K.MaxDisjuncts = static_cast<size_t>(R.u64());
+  K.MaxStateBytes = R.u64();
+  uint32_t NumFeatures = R.u32();
+  if (R.Failed || NumFeatures > PayloadBytes / sizeof(float))
+    return false;
+  K.Query.resize(NumFeatures);
+  for (uint32_t I = 0; I < NumFeatures; ++I)
+    K.Query[I] = floatFromBits(R.u32());
+
+  Cert.Kind = static_cast<VerdictKind>(R.u8());
+  Cert.PoisoningBudget = R.u32();
+  Cert.Depth = R.u32();
+  Cert.Domain = static_cast<AbstractDomainKind>(R.u8());
+  Cert.ConcretePrediction = R.u32();
+  bool HasDominating = R.u8() != 0;
+  uint32_t Dominating = R.u32();
+  Cert.DominatingClass =
+      HasDominating ? std::optional<unsigned>(Dominating) : std::nullopt;
+  Cert.NumTerminals = static_cast<size_t>(R.u64());
+  Cert.PeakDisjuncts = static_cast<size_t>(R.u64());
+  Cert.PeakStateBytes = R.u64();
+  Cert.BestSplitCalls = R.u32();
+  Cert.Seconds = doubleFromBits(R.u64());
+  // The whole payload must be consumed (trailing bytes mean a format
+  // skew the version header should have caught), and only verdicts the
+  // write side may persist are accepted back — the read-side twin of
+  // `isPersistableVerdict`, so even a record appended by buggy or
+  // foreign tooling can never replay a Timeout/Cancelled a fresh run
+  // might contradict (and compaction drops it rather than copying it
+  // forward).
+  return !R.Failed && R.Pos == PayloadBytes &&
+         isPersistableVerdict(Cert.Kind);
+}
+
+std::vector<uint8_t> serializeRecord(const StoreKey &K,
+                                     const Certificate &Cert) {
+  ByteWriter Payload;
+  writePayload(Payload, K, Cert);
+  ByteWriter Record;
+  Record.Bytes.reserve(RecordHeaderBytes + Payload.Bytes.size());
+  Record.u32(RecordMagic);
+  Record.u32(static_cast<uint32_t>(Payload.Bytes.size()));
+  Record.u64(fnv1a64(Payload.Bytes.data(), Payload.Bytes.size()));
+  Record.Bytes.insert(Record.Bytes.end(), Payload.Bytes.begin(),
+                      Payload.Bytes.end());
+  return Record.Bytes;
+}
+
+/// Outcome of walking one header-validated segment's records.
+struct SegmentWalk {
+  size_t ValidEnd = SegmentHeaderBytes; ///< End of the last whole record.
+  uint64_t Corrupt = 0;                 ///< Torn/corrupt records seen.
+};
+
+/// The one record scan both the open-time index rebuild and compaction
+/// share: invokes `Cb(Key, Cert, RecordOffset, PayloadBytes, Checksum)`
+/// for every intact record of \p Bytes (whose segment header the caller
+/// already validated). A bad or torn record header loses the boundary
+/// and stops the walk; a checksum or payload failure skips just that
+/// record.
+template <typename OnRecord>
+SegmentWalk walkSegmentRecords(const std::vector<uint8_t> &Bytes,
+                               OnRecord &&Cb) {
+  SegmentWalk Walk;
+  size_t Offset = SegmentHeaderBytes;
+  while (Offset + RecordHeaderBytes <= Bytes.size()) {
+    ByteReader R{Bytes.data() + Offset, RecordHeaderBytes};
+    uint32_t Magic = R.u32();
+    uint32_t PayloadBytes = R.u32();
+    uint64_t Checksum = R.u64();
+    if (Magic != RecordMagic || PayloadBytes > MaxPayloadBytes ||
+        PayloadBytes > Bytes.size() - Offset - RecordHeaderBytes) {
+      // Bad or torn header: the record boundary is lost, stop here.
+      ++Walk.Corrupt;
+      return Walk;
+    }
+    const uint8_t *Payload = Bytes.data() + Offset + RecordHeaderBytes;
+    size_t RecordBytes = RecordHeaderBytes + PayloadBytes;
+    StoreKey Key;
+    Certificate Cert;
+    if (fnv1a64(Payload, PayloadBytes) != Checksum ||
+        !readPayload(Payload, PayloadBytes, Key, Cert)) {
+      // Checksum/payload mismatch behind a plausible header: skip just
+      // this record — the next boundary is still known.
+      ++Walk.Corrupt;
+    } else {
+      Cb(std::move(Key), Cert, Offset, PayloadBytes, Checksum);
+    }
+    Offset += RecordBytes;
+    Walk.ValidEnd = Offset;
+  }
+  if (Offset != Bytes.size()) {
+    // Trailing bytes too short for a record header: a torn tail.
+    ++Walk.Corrupt;
+  }
+  return Walk;
+}
+
+std::string errnoString() { return std::strerror(errno); }
+
+/// Strictly parses "seg-NNNNNN.antcert": only names that round-trip
+/// through the `segmentPath` shape (zero-padded to >= 6 digits) are
+/// accepted, so a foreign "seg-1.antcert" can never alias the store's
+/// own "seg-000001.antcert" — every accepted Id reads and unlinks
+/// exactly the directory entry it was parsed from. (sscanf would
+/// silently truncate wide ids and accept mismatched suffixes.)
+bool parseSegmentName(const char *Name, uint32_t &Id) {
+  static const char Prefix[] = "seg-";
+  static const char Suffix[] = ".antcert";
+  if (std::strncmp(Name, Prefix, sizeof(Prefix) - 1) != 0)
+    return false;
+  const char *P = Name + sizeof(Prefix) - 1;
+  uint64_t Value = 0;
+  unsigned Digits = 0;
+  while (*P >= '0' && *P <= '9') {
+    Value = Value * 10 + static_cast<uint64_t>(*P - '0');
+    if (Value > UINT32_MAX)
+      return false;
+    ++P;
+    ++Digits;
+  }
+  if (std::strcmp(P, Suffix) != 0)
+    return false;
+  // Round-trip check: %06u pads to 6 digits and never truncates wider
+  // ids, so the canonical spelling has exactly max(6, natural) digits.
+  char Canonical[16];
+  std::snprintf(Canonical, sizeof(Canonical), "%06u",
+                static_cast<uint32_t>(Value));
+  if (Digits != std::strlen(Canonical))
+    return false;
+  Id = static_cast<uint32_t>(Value);
+  return true;
+}
+
+/// mkdir -p: creates every missing component of \p Dir.
+bool makeDirs(const std::string &Dir, std::string &Error) {
+  std::string Path;
+  size_t Pos = 0;
+  while (Pos <= Dir.size()) {
+    size_t Slash = Dir.find('/', Pos);
+    if (Slash == std::string::npos)
+      Slash = Dir.size();
+    Path = Dir.substr(0, Slash);
+    Pos = Slash + 1;
+    if (Path.empty())
+      continue; // Leading '/'.
+    if (::mkdir(Path.c_str(), 0755) != 0 && errno != EEXIST) {
+      Error = "cannot create directory '" + Path + "': " + errnoString();
+      return false;
+    }
+  }
+  // A trailing component that exists must be a directory.
+  struct stat St;
+  if (::stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+    Error = "'" + Dir + "' is not a directory";
+    return false;
+  }
+  return true;
+}
+
+bool readWholeFile(const std::string &Path, std::vector<uint8_t> &Out,
+                   std::string &Error) {
+  int Fd = ::open(Path.c_str(), O_RDONLY);
+  if (Fd < 0) {
+    Error = "cannot read '" + Path + "': " + errnoString();
+    return false;
+  }
+  struct stat St;
+  if (::fstat(Fd, &St) != 0) {
+    Error = "cannot stat '" + Path + "': " + errnoString();
+    ::close(Fd);
+    return false;
+  }
+  Out.resize(static_cast<size_t>(St.st_size));
+  size_t Done = 0;
+  while (Done < Out.size()) {
+    ssize_t N = ::read(Fd, Out.data() + Done, Out.size() - Done);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0) {
+      Error = "short read on '" + Path + "': " + errnoString();
+      ::close(Fd);
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  ::close(Fd);
+  return true;
+}
+
+bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(Fd, Data + Done, Size - Done);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// RAII `flock` holder; retried on EINTR. Callers must check
+/// `locked()` — proceeding without the lock would silently void the
+/// cross-process single-writer guarantee (e.g. ENOLCK on NFS).
+/// `Blocking = false` tries `LOCK_NB` with a few short-sleep retries
+/// instead of waiting indefinitely — the append path uses it so a
+/// sibling's long compaction (seconds, lock held throughout) cannot
+/// stall this process's lookups behind the store mutex; contended
+/// appends decline, which `CertificateStore` explicitly permits.
+class FileLock {
+public:
+  explicit FileLock(int Fd, bool Blocking = true) : Fd(Fd) {
+    int Rc;
+    if (Blocking) {
+      while ((Rc = ::flock(Fd, LOCK_EX)) != 0 && errno == EINTR) {
+      }
+      Locked = Rc == 0;
+      return;
+    }
+    // Normal appends hold the lock for microseconds, so a handful of
+    // millisecond retries rides out writer-writer contention while
+    // bailing quickly on a compaction.
+    for (int Attempt = 0; Attempt < 5; ++Attempt) {
+      while ((Rc = ::flock(Fd, LOCK_EX | LOCK_NB)) != 0 &&
+             errno == EINTR) {
+      }
+      if (Rc == 0) {
+        Locked = true;
+        return;
+      }
+      if (errno != EWOULDBLOCK)
+        return;
+      ::usleep(2000);
+    }
+  }
+  ~FileLock() {
+    if (Locked)
+      ::flock(Fd, LOCK_UN);
+  }
+
+  bool locked() const { return Locked; }
+
+private:
+  int Fd;
+  bool Locked = false;
+};
+
+} // namespace
+
+std::string antidote::formatDiskStoreStats(const DiskCertStoreStats &Stats) {
+  char Buf[256];
+  std::snprintf(
+      Buf, sizeof(Buf),
+      "%llu hit%s, %llu misses; %llu records in %llu segment%s "
+      "(%llu bytes); %llu appended, %llu duplicates, %llu corrupt skipped",
+      static_cast<unsigned long long>(Stats.Hits), Stats.Hits == 1 ? "" : "s",
+      static_cast<unsigned long long>(Stats.Misses),
+      static_cast<unsigned long long>(Stats.LiveRecords),
+      static_cast<unsigned long long>(Stats.Segments),
+      Stats.Segments == 1 ? "" : "s",
+      static_cast<unsigned long long>(Stats.LiveBytes),
+      static_cast<unsigned long long>(Stats.Appends),
+      static_cast<unsigned long long>(Stats.DuplicateRecords +
+                                      Stats.DuplicatesDeclined),
+      static_cast<unsigned long long>(Stats.CorruptSkipped));
+  return Buf;
+}
+
+DiskCertStore::OpenResult DiskCertStore::open(const std::string &Dir,
+                                              const DiskCertStoreOptions &Options) {
+  OpenResult Result;
+  if (Dir.empty()) {
+    Result.Error = "certificate store directory must not be empty";
+    return Result;
+  }
+  if (!makeDirs(Dir, Result.Error))
+    return Result;
+
+  std::unique_ptr<DiskCertStore> Store(new DiskCertStore(Dir, Options));
+  std::string LockPath = Dir + "/LOCK";
+  Store->LockFd = ::open(LockPath.c_str(), O_CREAT | O_RDWR, 0644);
+  if (Store->LockFd < 0) {
+    Result.Error =
+        "cannot open certificate store '" + Dir + "': " + errnoString();
+    return Result;
+  }
+  if (!Store->loadLocked(Result.Error))
+    return Result;
+  Result.Store = std::move(Store);
+  return Result;
+}
+
+DiskCertStore::~DiskCertStore() {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  closeFdsLocked();
+  if (LockFd >= 0)
+    ::close(LockFd);
+}
+
+void DiskCertStore::closeFdsLocked() {
+  for (auto &[Segment, Fd] : ReadFds)
+    if (Fd >= 0)
+      ::close(Fd);
+  ReadFds.clear();
+  if (AppendFd >= 0) {
+    ::close(AppendFd);
+    AppendFd = -1;
+  }
+}
+
+std::string DiskCertStore::segmentPath(uint32_t Segment) const {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "seg-%06u.antcert", Segment);
+  return Dir + "/" + Name;
+}
+
+bool DiskCertStore::loadLocked(std::string &Error) {
+  // The exclusive lock serializes index rebuilds against appends from
+  // other processes (and lets the tail repair below truncate safely).
+  // An unlockable LOCK file (e.g. ENOLCK on NFS) degrades to a
+  // read-only scan: no repair, and appends — which demand the lock —
+  // will decline.
+  FileLock Lock(LockFd);
+
+  // Collect segment ids. Foreign files are left alone.
+  std::vector<uint32_t> SegmentIds;
+  DIR *D = ::opendir(Dir.c_str());
+  if (!D) {
+    Error = "cannot list '" + Dir + "': " + errnoString();
+    return false;
+  }
+  while (struct dirent *Entry = ::readdir(D)) {
+    uint32_t Id = 0;
+    if (parseSegmentName(Entry->d_name, Id))
+      SegmentIds.push_back(Id);
+  }
+  ::closedir(D);
+  std::sort(SegmentIds.begin(), SegmentIds.end());
+
+  // Whether the highest-numbered segment ends in a clean record
+  // boundary we may append after.
+  bool LastAppendable = false;
+  for (uint32_t Id : SegmentIds) {
+    std::vector<uint8_t> Bytes;
+    std::string ReadError;
+    if (!readWholeFile(segmentPath(Id), Bytes, ReadError)) {
+      // Unreadable segment: skip it — the store serves what it can.
+      ++Stats.StaleSegments;
+      continue;
+    }
+    if (Bytes.size() < SegmentHeaderBytes) {
+      // Torn before the header finished: unusable, reclaimed by compact.
+      ++Stats.StaleSegments;
+      continue;
+    }
+    ByteReader Header{Bytes.data(), Bytes.size()};
+    if (Header.u32() != SegmentMagic || Header.u32() != FormatVersion) {
+      // Foreign or older-format segment: skipped wholesale — a format
+      // bump invalidates cleanly instead of half-parsing.
+      ++Stats.StaleSegments;
+      continue;
+    }
+
+    ++Stats.Segments;
+    KnownSegments.push_back(Id);
+    SegmentWalk Walk = walkSegmentRecords(
+        Bytes, [&](StoreKey &&Key, const Certificate &, size_t Offset,
+                   uint32_t PayloadBytes, uint64_t Checksum) {
+          RecordRef Ref;
+          Ref.Segment = Id;
+          Ref.PayloadOffset = Offset + RecordHeaderBytes;
+          Ref.PayloadBytes = PayloadBytes;
+          Ref.Checksum = Checksum;
+          auto [It, Inserted] = Index.try_emplace(std::move(Key), Ref);
+          (void)It;
+          if (Inserted) {
+            ++Stats.LiveRecords;
+            Stats.LiveBytes += RecordHeaderBytes + PayloadBytes;
+          } else {
+            // Equal keys hold interchangeable certificates; keep the
+            // first, let compaction reclaim the rest.
+            ++Stats.DuplicateRecords;
+          }
+        });
+    Stats.CorruptSkipped += Walk.Corrupt;
+
+    // Tail repair on the segment appends will continue into: truncating
+    // the torn suffix keeps new records reachable (a scan stops at the
+    // first bad boundary, so appending after garbage would strand them).
+    if (Id == SegmentIds.back()) {
+      LastAppendable = Lock.locked();
+      if (Walk.ValidEnd < Bytes.size() &&
+          (!Lock.locked() ||
+           ::truncate(segmentPath(Id).c_str(),
+                      static_cast<off_t>(Walk.ValidEnd)) != 0))
+        LastAppendable = false; // Unrepairable tail: never append past it.
+    }
+  }
+
+  if (SegmentIds.empty())
+    AppendSegment = 1;
+  else
+    // Appending behind a stale/foreign/torn last segment would strand
+    // the new records, so route them to a fresh one instead.
+    AppendSegment = LastAppendable ? SegmentIds.back()
+                                   : SegmentIds.back() + 1;
+  return true;
+}
+
+int DiskCertStore::readFdLocked(uint32_t Segment) {
+  auto It = ReadFds.find(Segment);
+  if (It != ReadFds.end())
+    return It->second;
+  int Fd = ::open(segmentPath(Segment).c_str(), O_RDONLY);
+  // Cache successes only: a transient failure (EMFILE under load) must
+  // not turn the whole segment into permanent misses — the next lookup
+  // retries.
+  if (Fd >= 0)
+    ReadFds.emplace(Segment, Fd);
+  return Fd;
+}
+
+DiskCertStore::ReadStatus
+DiskCertStore::readPayloadLocked(const RecordRef &Ref,
+                                 std::vector<uint8_t> &Out) {
+  int Fd = readFdLocked(Ref.Segment);
+  if (Fd < 0)
+    // ENOENT = the segment file is gone (a sibling compacted it);
+    // anything else (EMFILE under load, ...) may clear up — retry
+    // later.
+    return errno == ENOENT ? ReadStatus::Gone : ReadStatus::Transient;
+  Out.resize(Ref.PayloadBytes);
+  size_t Done = 0;
+  while (Done < Out.size()) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, Out.size() - Done,
+                        static_cast<off_t>(Ref.PayloadOffset + Done));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N == 0)
+      return ReadStatus::Gone; // The file shrank: record gone for good.
+    if (N < 0)
+      return ReadStatus::Transient;
+    Done += static_cast<size_t>(N);
+  }
+  return ReadStatus::Ok;
+}
+
+bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
+                           unsigned NumFeatures, uint32_t PoisoningBudget,
+                           const VerifierConfig &Config, Certificate &Out) {
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  auto It = Index.find(K);
+  if (It == Index.end()) {
+    ++Stats.Misses;
+    return false;
+  }
+  std::vector<uint8_t> Payload;
+  StoreKey StoredKey;
+  Certificate Cert;
+  // Records are immutable once written, but re-verify end to end anyway:
+  // a deleted segment (another process compacted), bit rot, or an index
+  // bug must degrade to a miss (re-verification), never to a wrong
+  // certificate.
+  ReadStatus Status = readPayloadLocked(It->second, Payload);
+  if (Status == ReadStatus::Transient) {
+    // The record is probably fine (fd exhaustion etc.); keep the entry
+    // so the next lookup retries, just miss this once.
+    ++Stats.Misses;
+    return false;
+  }
+  if (Status == ReadStatus::Gone ||
+      fnv1a64(Payload.data(), Payload.size()) != It->second.Checksum ||
+      !readPayload(Payload.data(), Payload.size(), StoredKey, Cert) ||
+      StoredKey != K) {
+    // Permanently unreadable or not the record we indexed: drop the
+    // dead entry — leaving it would also make `store` decline the
+    // re-verified certificate as a "duplicate", pinning the key in a
+    // never-served state for the rest of the process.
+    Stats.LiveBytes -=
+        std::min<uint64_t>(Stats.LiveBytes,
+                           RecordHeaderBytes + It->second.PayloadBytes);
+    --Stats.LiveRecords;
+    Index.erase(It);
+    ++Stats.CorruptSkipped;
+    ++Stats.Misses;
+    return false;
+  }
+  ++Stats.Hits;
+  Out = Cert;
+  return true;
+}
+
+bool DiskCertStore::appendLocked(const std::vector<uint8_t> &Record,
+                                 RecordRef &Ref) {
+  // Cross-process single-writer section. No lock, no write: appending
+  // unserialized would let two processes interleave records. Non-
+  // blocking: the caller holds the store mutex, and waiting out a
+  // sibling's compaction here would freeze this process's lookups too.
+  FileLock Lock(LockFd, /*Blocking=*/false);
+  if (!Lock.locked())
+    return false;
+  // Up to four tries: open + nlink-rotation + size-rotation + write.
+  for (int Attempt = 0; Attempt < 4; ++Attempt) {
+    if (AppendFd < 0) {
+      AppendFd = ::open(segmentPath(AppendSegment).c_str(),
+                        O_CREAT | O_RDWR | O_APPEND, 0644);
+      if (AppendFd < 0)
+        return false;
+    }
+    // A sibling's compaction may have unlinked the segment this fd
+    // still points at — writing there would "succeed" into an inode
+    // that vanishes with the last close. Detect it and rotate to the
+    // next id (appending to an existing, sibling-written segment is
+    // fine: its end is a record boundary).
+    struct stat St;
+    if (::fstat(AppendFd, &St) != 0 || St.st_nlink == 0) {
+      ::close(AppendFd);
+      AppendFd = -1;
+      ++AppendSegment;
+      continue;
+    }
+    // Another process may have appended since we last looked; the
+    // authoritative size is the file's, read under the lock.
+    off_t End = ::lseek(AppendFd, 0, SEEK_END);
+    if (End < 0)
+      return false;
+    // A failed or partial write (disk full) must roll the file back to
+    // the last good boundary: leaving torn bytes would strand every
+    // later append behind them — the next open's scan stops at the
+    // first bad record, silently losing the rest of the segment.
+    auto WriteOrRollBack = [&](const uint8_t *Data, size_t Size,
+                               off_t GoodEnd) {
+      if (writeAll(AppendFd, Data, Size))
+        return true;
+      if (::ftruncate(AppendFd, GoodEnd) != 0) {
+        // Rollback failed too: abandon the segment, never append to it
+        // again from this handle (reopen repairs it).
+        ::close(AppendFd);
+        AppendFd = -1;
+        ++AppendSegment;
+      }
+      return false;
+    };
+    if (End == 0) {
+      ByteWriter Header;
+      Header.u32(SegmentMagic);
+      Header.u32(FormatVersion);
+      if (!WriteOrRollBack(Header.Bytes.data(), Header.Bytes.size(), 0))
+        return false;
+      End = static_cast<off_t>(SegmentHeaderBytes);
+      if (std::find(KnownSegments.begin(), KnownSegments.end(),
+                    AppendSegment) == KnownSegments.end()) {
+        KnownSegments.push_back(AppendSegment);
+        ++Stats.Segments;
+      }
+    }
+    if (Options.MaxSegmentBytes &&
+        static_cast<uint64_t>(End) + Record.size() > Options.MaxSegmentBytes &&
+        static_cast<uint64_t>(End) > SegmentHeaderBytes) {
+      // Rotate and retry once with the fresh segment.
+      ::close(AppendFd);
+      AppendFd = -1;
+      ++AppendSegment;
+      continue;
+    }
+    if (!WriteOrRollBack(Record.data(), Record.size(), End))
+      return false;
+    Ref.Segment = AppendSegment;
+    Ref.PayloadOffset = static_cast<uint64_t>(End) + RecordHeaderBytes;
+    Ref.PayloadBytes =
+        static_cast<uint32_t>(Record.size() - RecordHeaderBytes);
+    return true;
+  }
+  return false;
+}
+
+void DiskCertStore::store(const DatasetFingerprint &Data, const float *X,
+                          unsigned NumFeatures, uint32_t PoisoningBudget,
+                          const VerifierConfig &Config,
+                          const Certificate &Cert) {
+  if (!isPersistableVerdict(Cert.Kind)) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    ++Stats.Declined;
+    return;
+  }
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (Index.count(K)) {
+    // Certificates for equal keys are interchangeable; appending again
+    // would only grow the segment for compaction to reclaim.
+    ++Stats.DuplicatesDeclined;
+    return;
+  }
+  std::vector<uint8_t> Record = serializeRecord(K, Cert);
+  RecordRef Ref;
+  if (!appendLocked(Record, Ref))
+    return; // The store may decline (CertificateStore contract).
+  Ref.Checksum = fnv1a64(Record.data() + RecordHeaderBytes,
+                         Record.size() - RecordHeaderBytes);
+  Index.emplace(std::move(K), Ref);
+  ++Stats.Appends;
+  ++Stats.LiveRecords;
+  Stats.LiveBytes += Record.size();
+}
+
+bool DiskCertStore::compact(std::string *Error) {
+  auto Fail = [&](const std::string &Message) {
+    if (Error)
+      *Error = Message;
+    return false;
+  };
+  std::lock_guard<std::mutex> Guard(Mutex);
+  FileLock Lock(LockFd);
+  if (!Lock.locked())
+    return Fail("cannot lock '" + Dir + "/LOCK': " + errnoString());
+
+  // This handle's index only covers the records it saw at open plus its
+  // own appends — sibling processes may have appended records (and
+  // whole segments) since. Compaction is a *directory-wide* rewrite, so
+  // rescan under the lock: every intact record in every current-version
+  // segment survives (deduped), whoever wrote it. Only duplicates,
+  // torn/corrupt records, and stale-version segments are reclaimed.
+  std::vector<uint32_t> OldSegments;
+  {
+    DIR *D = ::opendir(Dir.c_str());
+    if (!D)
+      return Fail("cannot list '" + Dir + "': " + errnoString());
+    while (struct dirent *Entry = ::readdir(D)) {
+      uint32_t Id = 0;
+      if (parseSegmentName(Entry->d_name, Id))
+        OldSegments.push_back(Id);
+    }
+    ::closedir(D);
+  }
+  std::sort(OldSegments.begin(), OldSegments.end());
+  uint32_t MaxSeen =
+      std::max(AppendSegment,
+               OldSegments.empty() ? 0u : OldSegments.back());
+  uint32_t NewSegment = MaxSeen + 1;
+  std::string NewPath = segmentPath(NewSegment);
+
+  std::unordered_map<StoreKey, RecordRef, StoreKeyHash> NewIndex;
+  uint64_t NewBytes = SegmentHeaderBytes;
+  uint64_t SeenRecords = 0;
+  // O_EXCL: never clobber a file some racing writer created — the lock
+  // should make that impossible, but an unlink is irreversible.
+  int Fd = ::open(NewPath.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (Fd < 0)
+    return Fail("cannot create '" + NewPath + "': " + errnoString());
+  auto Abort = [&](const std::string &Message) {
+    ::close(Fd);
+    ::unlink(NewPath.c_str());
+    return Fail(Message);
+  };
+  {
+    ByteWriter Header;
+    Header.u32(SegmentMagic);
+    Header.u32(FormatVersion);
+    if (!writeAll(Fd, Header.Bytes.data(), Header.Bytes.size()))
+      return Abort("cannot write '" + NewPath + "': " + errnoString());
+  }
+  for (uint32_t Id : OldSegments) {
+    std::vector<uint8_t> Bytes;
+    std::string ReadError;
+    if (!readWholeFile(segmentPath(Id), Bytes, ReadError) ||
+        Bytes.size() < SegmentHeaderBytes)
+      continue; // Unreadable/torn-header: nothing to preserve.
+    ByteReader Header{Bytes.data(), Bytes.size()};
+    if (Header.u32() != SegmentMagic || Header.u32() != FormatVersion)
+      continue; // Stale format: invalidated by design.
+    bool WriteFailed = false;
+    walkSegmentRecords(Bytes, [&](StoreKey &&Key, const Certificate &Cert,
+                                  size_t, uint32_t, uint64_t Checksum) {
+      ++SeenRecords;
+      if (WriteFailed || NewIndex.count(Key))
+        return; // Duplicate (first wins — certificates interchangeable).
+      std::vector<uint8_t> Record = serializeRecord(Key, Cert);
+      if (!writeAll(Fd, Record.data(), Record.size())) {
+        WriteFailed = true;
+        return;
+      }
+      RecordRef NewRef;
+      NewRef.Segment = NewSegment;
+      NewRef.PayloadOffset = NewBytes + RecordHeaderBytes;
+      NewRef.PayloadBytes =
+          static_cast<uint32_t>(Record.size() - RecordHeaderBytes);
+      NewRef.Checksum = Checksum;
+      NewIndex.emplace(std::move(Key), NewRef);
+      NewBytes += Record.size();
+    });
+    if (WriteFailed)
+      return Abort("cannot write '" + NewPath + "': " + errnoString());
+  }
+  // The new segment must be durable before the old ones disappear —
+  // its *data* via fsync on the file, its *directory entry* via fsync
+  // on the directory (without the latter, a power loss after the
+  // unlinks below could persist the removals but not the new file,
+  // emptying the store).
+  if (::fsync(Fd) != 0)
+    return Abort("cannot fsync '" + NewPath + "': " + errnoString());
+  ::close(Fd);
+  {
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd < 0 || ::fsync(DirFd) != 0) {
+      if (DirFd >= 0)
+        ::close(DirFd);
+      ::unlink(NewPath.c_str());
+      return Fail("cannot fsync '" + Dir + "': " + errnoString());
+    }
+    ::close(DirFd);
+  }
+
+  // Point reads at the new segment, then reclaim every old file —
+  // including stale-version and torn segments the scan skipped.
+  closeFdsLocked();
+  for (uint32_t Id : OldSegments)
+    ::unlink(segmentPath(Id).c_str());
+
+  Index = std::move(NewIndex);
+  KnownSegments = {NewSegment};
+  AppendSegment = NewSegment;
+  Stats.Segments = 1;
+  Stats.LiveRecords = Index.size();
+  // Same accounting as the open-time scan: record bytes (16-byte record
+  // headers included), the 8-byte segment header excluded.
+  Stats.LiveBytes = NewBytes - SegmentHeaderBytes;
+  ++Stats.Compactions;
+  Stats.CompactionRecordsDropped += SeenRecords - Index.size();
+  Stats.DuplicateRecords = 0;
+  return true;
+}
+
+DiskCertStoreStats DiskCertStore::stats() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return Stats;
+}

@@ -1,0 +1,232 @@
+//===- serving/DiskCertStore.h - Disk-backed certificate store -*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The persistence tier of the certificate store: a `CertificateStore`
+/// that appends certificates to segment files in one directory and
+/// rebuilds a fingerprint-keyed in-memory index on open, so certificates
+/// outlive the process that verified them. The 128-bit dataset content
+/// fingerprint in every key (see serving/StoreKey.h) makes staleness
+/// structurally impossible — a rebuilt or edited training set changes
+/// the fingerprint, and the old records simply never match again.
+///
+/// ## On-disk format (FormatVersion 1)
+///
+/// A store directory holds a `LOCK` file plus append-only segments
+/// `seg-NNNNNN.antcert`. Each segment starts with an 8-byte header
+/// (magic "ACST", u32 format version); records follow back to back:
+///
+///     u32 record magic "CERT"
+///     u32 payload bytes
+///     u64 payload checksum (FNV-1a 64)
+///     payload: serialized StoreKey, then the Certificate, both as
+///              fixed-width little-endian fields with floats/doubles
+///              stored as their bit patterns (support/BitHash.h policy)
+///
+/// Every multi-byte field is explicitly little-endian; a record is
+/// written with a single `write(2)` call, so a crash can only leave a
+/// *torn tail*, never an interleaved one.
+///
+/// ## Crash consistency and corruption tolerance
+///
+/// `open` validates every record: a bad segment header (or unknown
+/// format version) skips the whole segment, a bad record header stops
+/// the scan of that segment (the record boundary is lost), and a
+/// checksum mismatch skips just that record. A torn or corrupt record
+/// is therefore *never served* — at worst a previously stored
+/// certificate is forgotten and re-verified, which is always sound.
+/// When the tail of the last segment is torn, open truncates it back to
+/// the last whole record (under the exclusive lock) so later appends
+/// are not stranded behind garbage. tests/DiskCertStoreTests.cpp
+/// truncates a store at every byte offset and asserts reopen never
+/// returns a wrong certificate.
+///
+/// ## Locking protocol (single-writer / multi-reader)
+///
+/// Cross-process coordination uses an advisory `flock(2)` on the `LOCK`
+/// file: appends, open-time tail repair, and compaction hold it
+/// exclusively; lookups take no lock at all (records are immutable once
+/// written, and the checksum + full-key compare reject anything torn).
+/// Several `CertServer` processes can thus share one store directory:
+/// one appends at a time, everyone reads. A process's index covers the
+/// records present when it opened plus its own appends; records another
+/// process appends later are picked up on its next open (a miss
+/// meanwhile just re-verifies).
+///
+/// ## Invalidation story
+///
+///  - dataset changed → fingerprint changed → key never matches: no
+///    staleness by construction, nothing to invalidate.
+///  - format changed → bump `FormatVersion` → old segments fail the
+///    header check, are skipped wholesale on open, and are reclaimed by
+///    the next compaction.
+///
+/// Only deterministic verdicts (Robust / Unknown / ResourceLimit) are
+/// ever persisted — the same discipline as the RAM tier; `store`
+/// declines anything else defensively even though `Verifier` never
+/// offers it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SERVING_DISKCERTSTORE_H
+#define ANTIDOTE_SERVING_DISKCERTSTORE_H
+
+#include "serving/StoreKey.h"
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace antidote {
+
+struct DiskCertStoreOptions {
+  /// Appends rotate to a fresh segment once the current one would grow
+  /// past this (compaction granularity; the format has no hard limit).
+  /// 0 = never rotate.
+  uint64_t MaxSegmentBytes = 4ull << 20;
+};
+
+/// Monotonic counters plus the live footprint; a consistent snapshot is
+/// taken under the store's mutex.
+struct DiskCertStoreStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Appends = 0;            ///< Records this handle wrote.
+  uint64_t DuplicatesDeclined = 0; ///< Stores skipped: key already on disk.
+  uint64_t Declined = 0;           ///< Stores refused (non-deterministic verdict).
+  uint64_t CorruptSkipped = 0;     ///< Torn/corrupt records dropped on open or read.
+  uint64_t StaleSegments = 0;      ///< Segments skipped: wrong magic/version.
+  uint64_t DuplicateRecords = 0;   ///< Redundant records seen on open (compaction reclaims them).
+  uint64_t LiveRecords = 0;
+  uint64_t LiveBytes = 0; ///< Bytes of indexed records (headers included).
+  uint64_t Segments = 0;  ///< Readable current-version segments.
+  uint64_t Compactions = 0;
+  uint64_t CompactionRecordsDropped = 0;
+};
+
+/// One-line operator-readable rendering, e.g. "2 hits, 0 misses;
+/// 2 records in 1 segment, 472 bytes; 0 appended, 0 duplicates,
+/// 0 corrupt skipped". Printed by the CLIs behind a "disk: " prefix;
+/// the CI persistence smoke greps it.
+std::string formatDiskStoreStats(const DiskCertStoreStats &Stats);
+
+/// The disk tier of the production certificate store. Thread-safe like
+/// every `CertificateStore` (one internal mutex); cross-process safe per
+/// the locking protocol above. Compose it behind the RAM tier with
+/// serving/TieredStore.h rather than using it as `VerifierConfig::Cache`
+/// directly — it works alone, but every hit then pays a disk read.
+class DiskCertStore final : public CertificateStore {
+public:
+  /// Bump on any record/segment layout change: old segments are then
+  /// skipped wholesale on open (never half-parsed) and reclaimed by the
+  /// next compaction.
+  static constexpr uint32_t FormatVersion = 1;
+
+  /// `open` either yields a store or a human-readable reason it could
+  /// not (unwritable directory, lock failure, ...). Skipped corrupt
+  /// records are *not* errors — they are counted in `stats()`.
+  struct OpenResult {
+    std::unique_ptr<DiskCertStore> Store;
+    std::string Error;
+    bool ok() const { return Store != nullptr; }
+  };
+
+  /// Opens (creating if needed) the store directory \p Dir and rebuilds
+  /// the index from its segments.
+  static OpenResult open(const std::string &Dir,
+                         const DiskCertStoreOptions &Options = {});
+
+  ~DiskCertStore() override;
+
+  DiskCertStore(const DiskCertStore &) = delete;
+  DiskCertStore &operator=(const DiskCertStore &) = delete;
+
+  bool lookup(const DatasetFingerprint &Data, const float *X,
+              unsigned NumFeatures, uint32_t PoisoningBudget,
+              const VerifierConfig &Config, Certificate &Out) override;
+
+  void store(const DatasetFingerprint &Data, const float *X,
+             unsigned NumFeatures, uint32_t PoisoningBudget,
+             const VerifierConfig &Config, const Certificate &Cert) override;
+
+  DiskCertStoreStats stats() const;
+
+  const std::string &directory() const { return Dir; }
+
+  /// Directory-wide rewrite under the exclusive lock: re-scans every
+  /// segment (not just this handle's index — sibling processes may have
+  /// appended records this handle never saw) and copies every intact,
+  /// deduplicated record into one fresh segment, then deletes the old
+  /// files. What gets reclaimed is exactly duplicate records (racing
+  /// writers append the same key independently), torn/corrupt records,
+  /// and stale-version segments. Lookups keep answering throughout from
+  /// this process; other processes holding an old index degrade to
+  /// misses until their next open. Returns false (and fills \p Error)
+  /// on I/O failure, leaving the old segments in place.
+  bool compact(std::string *Error = nullptr);
+
+private:
+  struct RecordRef {
+    uint32_t Segment = 0;
+    uint64_t PayloadOffset = 0;
+    uint32_t PayloadBytes = 0;
+    /// Kept in the index so every `lookup` re-verifies the payload it
+    /// just read — post-open bit rot degrades to a miss, never to a
+    /// wrong certificate.
+    uint64_t Checksum = 0;
+  };
+
+  DiskCertStore(std::string Dir, const DiskCertStoreOptions &Options)
+      : Dir(std::move(Dir)), Options(Options) {}
+
+  /// Scans all segments, builds the index, repairs a torn tail on the
+  /// append segment. Returns false with \p Error on hard I/O failure.
+  bool loadLocked(std::string &Error);
+
+  std::string segmentPath(uint32_t Segment) const;
+
+  /// Read fd for \p Segment, opened on demand and cached. -1 on failure.
+  int readFdLocked(uint32_t Segment);
+
+  /// Appends one serialized record under the cross-process exclusive
+  /// lock; fills \p Ref with where it landed. Caller holds the mutex.
+  bool appendLocked(const std::vector<uint8_t> &Record, RecordRef &Ref);
+
+  /// How a record read failed, if it did. The distinction matters for
+  /// index hygiene: a transient failure must leave the entry in place
+  /// for a later retry, a permanent one must drop it (or `store` would
+  /// forever decline the re-verified certificate as a "duplicate").
+  enum class ReadStatus : uint8_t {
+    Ok,
+    Transient, ///< fd exhaustion etc.; the record may still be fine.
+    Gone,      ///< Missing file / short read: permanently unreadable.
+  };
+
+  /// Loads one record's payload (checksum verified by the caller).
+  /// Caller holds the mutex.
+  ReadStatus readPayloadLocked(const RecordRef &Ref,
+                               std::vector<uint8_t> &Out);
+
+  void closeFdsLocked();
+
+  const std::string Dir;
+  const DiskCertStoreOptions Options;
+
+  mutable std::mutex Mutex;
+  int LockFd = -1;   ///< `LOCK` file; flock target.
+  int AppendFd = -1; ///< Current append segment, O_APPEND.
+  uint32_t AppendSegment = 0;
+  std::unordered_map<StoreKey, RecordRef, StoreKeyHash> Index;
+  std::unordered_map<uint32_t, int> ReadFds;
+  std::vector<uint32_t> KnownSegments; ///< Readable, ascending.
+  DiskCertStoreStats Stats;
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SERVING_DISKCERTSTORE_H

@@ -1,0 +1,69 @@
+//===- serving/StoreKey.cpp - Normalized certificate-store keys ---------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/StoreKey.h"
+
+#include "support/BitHash.h"
+
+#include <cstring>
+
+using namespace antidote;
+
+bool StoreKey::operator==(const StoreKey &O) const {
+  if (!(Data == O.Data) || PoisoningBudget != O.PoisoningBudget ||
+      Depth != O.Depth || Domain != O.Domain || Cprob != O.Cprob ||
+      Gini != O.Gini || DisjunctCap != O.DisjunctCap ||
+      doubleBits(TimeoutSeconds) != doubleBits(O.TimeoutSeconds) ||
+      MaxDisjuncts != O.MaxDisjuncts || MaxStateBytes != O.MaxStateBytes ||
+      Query.size() != O.Query.size())
+    return false;
+  return std::memcmp(Query.data(), O.Query.data(),
+                     Query.size() * sizeof(float)) == 0;
+}
+
+size_t StoreKeyHash::operator()(const StoreKey &K) const {
+  uint64_t H = 0;
+  H = mixBits(H, K.Data.Hi);
+  H = mixBits(H, K.Data.Lo);
+  H = mixBits(H, K.PoisoningBudget);
+  H = mixBits(H, K.Depth);
+  H = mixBits(H, static_cast<uint64_t>(K.Domain) |
+                     static_cast<uint64_t>(K.Cprob) << 8 |
+                     static_cast<uint64_t>(K.Gini) << 16);
+  H = mixBits(H, K.DisjunctCap);
+  H = mixBits(H, doubleBits(K.TimeoutSeconds));
+  H = mixBits(H, K.MaxDisjuncts);
+  H = mixBits(H, K.MaxStateBytes);
+  H = mixBits(H, K.Query.size());
+  for (float V : K.Query)
+    H = mixBits(H, floatBits(V));
+  return static_cast<size_t>(H);
+}
+
+StoreKey antidote::makeStoreKey(const DatasetFingerprint &Data,
+                                const float *X, unsigned NumFeatures,
+                                uint32_t PoisoningBudget,
+                                const VerifierConfig &Config) {
+  StoreKey K;
+  K.Data = Data;
+  K.Query.assign(X, X + NumFeatures);
+  K.PoisoningBudget = PoisoningBudget;
+  K.Depth = Config.Depth;
+  K.Domain = Config.Domain;
+  K.Cprob = Config.Cprob;
+  K.Gini = Config.Gini;
+  // Normalization: only the capped domain reads DisjunctCap, so zeroing
+  // it elsewhere lets Box/Disjuncts queries hit across clients that set
+  // different (ignored) caps.
+  K.DisjunctCap = Config.Domain == AbstractDomainKind::DisjunctsCapped
+                      ? Config.DisjunctCap
+                      : 0;
+  K.TimeoutSeconds = Config.Limits.TimeoutSeconds;
+  K.MaxDisjuncts = Config.Limits.MaxDisjuncts;
+  K.MaxStateBytes = Config.Limits.MaxStateBytes;
+  return K;
+}

@@ -1,0 +1,78 @@
+//===- serving/StoreKey.h - Normalized certificate-store keys --*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one normalized lookup key shared by every `CertificateStore`
+/// implementation — the in-memory `CertCache`, the on-disk
+/// `DiskCertStore`, and the `TieredStore` composing them. A key captures
+/// exactly the result-relevant state of one verification:
+///
+///  - the training set as its 128-bit content fingerprint
+///    (data/Fingerprint.h), never as a pointer or path;
+///  - the query as its float *bit patterns* (support/BitHash.h policy:
+///    0.0 and -0.0 are distinct, NaN payloads compare fine);
+///  - the poisoning budget n;
+///  - the result-relevant `VerifierConfig` fields: Depth, Domain, Cprob,
+///    Gini, DisjunctCap *only when the capped domain reads it*
+///    (normalized to 0 otherwise, so Box/Disjuncts clients with
+///    different ignored caps share entries), and the three run-stopping
+///    `ResourceLimits` knobs.
+///
+/// Scheduling knobs (FrontierJobs/SplitJobs/pools), the cancellation
+/// token, `MaxCacheBytes`, and the `Cache` pointer itself never enter a
+/// key: certificates are bit-identical across them, and splitting keys
+/// on them would stop a serial client from hitting entries a 64-thread
+/// sweep populated. Because both the RAM and the disk tier build keys
+/// through the same `makeStoreKey`, an entry written by either tier is
+/// addressable by the other — and by any other process that loads the
+/// same dataset (the fingerprint is process-independent by
+/// construction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SERVING_STOREKEY_H
+#define ANTIDOTE_SERVING_STOREKEY_H
+
+#include "antidote/Verifier.h"
+
+#include <vector>
+
+namespace antidote {
+
+/// The normalized certificate-store lookup key; see the file comment for
+/// what is — and deliberately is not — part of it.
+struct StoreKey {
+  DatasetFingerprint Data;
+  std::vector<float> Query; ///< Bit-compared via its float values.
+  uint32_t PoisoningBudget = 0;
+  unsigned Depth = 0;
+  AbstractDomainKind Domain = AbstractDomainKind::Box;
+  CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
+  GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
+  size_t DisjunctCap = 0; ///< 0 unless Domain reads the cap.
+  double TimeoutSeconds = 0.0;
+  size_t MaxDisjuncts = 0;
+  uint64_t MaxStateBytes = 0;
+
+  bool operator==(const StoreKey &O) const;
+  bool operator!=(const StoreKey &O) const { return !(*this == O); }
+};
+
+struct StoreKeyHash {
+  size_t operator()(const StoreKey &K) const;
+};
+
+/// Builds the normalized key for one `CertificateStore` call. Every
+/// store implementation funnels through this, so the key discipline
+/// (and its tests) live in exactly one place.
+StoreKey makeStoreKey(const DatasetFingerprint &Data, const float *X,
+                      unsigned NumFeatures, uint32_t PoisoningBudget,
+                      const VerifierConfig &Config);
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SERVING_STOREKEY_H

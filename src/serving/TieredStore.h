@@ -1,0 +1,86 @@
+//===- serving/TieredStore.h - RAM-over-disk certificate store -*- C++ -*-===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two-tier production certificate store: a RAM LRU (`CertCache`)
+/// in front of a persistent backing store (`DiskCertStore`), behind one
+/// `CertificateStore` facade so `Verifier`, `CertServer`, and
+/// `runPoisoningSweep` stay tier-agnostic.
+///
+///     lookup ──▶ RAM tier ──hit──▶ served (hash probe)
+///                  │miss
+///                  ▼
+///               disk tier ──hit──▶ served + *promoted* into RAM, so
+///                  │miss           the next repeat is a hash probe
+///                  ▼
+///               verified fresh ──▶ stored write-through to both tiers
+///
+/// Write-through happens only for deterministic verdicts — `Verifier`
+/// already filters (the PR-4 discipline), and the disk tier re-checks
+/// defensively — so neither tier can ever replay a verdict a fresh run
+/// might contradict. RAM eviction never touches disk: the byte-budgeted
+/// LRU bounds *residency*, the disk tier is the system of record, and an
+/// entry evicted from RAM is simply re-promoted on its next use.
+///
+/// Both tiers key through the shared `StoreKey` (serving/StoreKey.h), so
+/// promotion is a plain store — no key translation, and a certificate
+/// written by any process is addressable by every other process sharing
+/// the store directory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ANTIDOTE_SERVING_TIEREDSTORE_H
+#define ANTIDOTE_SERVING_TIEREDSTORE_H
+
+#include "antidote/Verifier.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace antidote {
+
+/// Tier-crossing counters (each tier also keeps its own stats).
+struct TieredStoreStats {
+  uint64_t RamHits = 0;
+  uint64_t DiskHits = 0; ///< RAM missed, disk served (and promoted).
+  uint64_t Misses = 0;   ///< Both tiers missed; the query verified fresh.
+};
+
+/// Composes two `CertificateStore`s, RAM semantics in front and
+/// persistent semantics behind. Owns neither — the server/CLI owns the
+/// tiers (the disk store may be shared more widely than one tiering).
+class TieredStore final : public CertificateStore {
+public:
+  /// \p Ram is consulted first and fed on promotion; \p Disk is the
+  /// system of record. Either may be null, degrading to the other tier
+  /// alone (a convenience for call sites with optional knobs).
+  TieredStore(CertificateStore *Ram, CertificateStore *Disk)
+      : Ram(Ram), Disk(Disk) {}
+
+  bool lookup(const DatasetFingerprint &Data, const float *X,
+              unsigned NumFeatures, uint32_t PoisoningBudget,
+              const VerifierConfig &Config, Certificate &Out) override;
+
+  void store(const DatasetFingerprint &Data, const float *X,
+             unsigned NumFeatures, uint32_t PoisoningBudget,
+             const VerifierConfig &Config, const Certificate &Cert) override;
+
+  TieredStoreStats stats() const;
+
+private:
+  CertificateStore *Ram;
+  CertificateStore *Disk;
+
+  // Relaxed atomics: counters only — the tiers do their own locking.
+  std::atomic<uint64_t> RamHits{0};
+  std::atomic<uint64_t> DiskHits{0};
+  std::atomic<uint64_t> Misses{0};
+};
+
+} // namespace antidote
+
+#endif // ANTIDOTE_SERVING_TIEREDSTORE_H

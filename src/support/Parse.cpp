@@ -70,3 +70,10 @@ std::optional<double> antidote::parseDoubleArg(const std::string &Text) {
     return std::nullopt;
   return Value;
 }
+
+std::optional<std::string> antidote::readStringEnv(const char *Name) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env)
+    return std::nullopt;
+  return std::string(Env);
+}

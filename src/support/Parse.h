@@ -61,6 +61,13 @@ EnvNumber readUnsignedEnv(const char *Name,
 EnvNumber readUnsignedEnvReporting(const char *Name, const char *ZeroMeaning,
                                    uint64_t Max = static_cast<uint64_t>(-1));
 
+/// Reads a free-form string environment variable (the twin of path-valued
+/// flags like `--cache-dir`). `nullopt` when unset or empty — same
+/// "absent means use the caller's default" convention as `EnvNumber`;
+/// there is no malformed case, validation belongs to the consumer (e.g.
+/// `DiskCertStore::open` rejecting an unusable directory loudly).
+std::optional<std::string> readStringEnv(const char *Name);
+
 } // namespace antidote
 
 #endif // ANTIDOTE_SUPPORT_PARSE_H

@@ -321,6 +321,26 @@ TEST(CertCacheTest, BudgetIsAlwaysRespected) {
   EXPECT_EQ(Stats.LiveEntries, Stats.Insertions - Stats.Evictions);
 }
 
+TEST(CertCacheTest, EntryChargeCoversKeyCertificateAndNodeOverhead) {
+  // The eviction charge must never undercount to just the certificate
+  // bytes: the key (query vector included, which the map owns) and the
+  // container node overhead are resident too, so a tiny-budget
+  // configuration has to bound them as well. Pin the floor of the
+  // charge: key + certificate + the query's heap block, with node
+  // overhead strictly on top.
+  StoreKey K;
+  K.Query.assign(4, 1.0f);
+  uint64_t Charge = CertCache::entryBytes(K);
+  EXPECT_GT(Charge, sizeof(StoreKey) + sizeof(Certificate) +
+                        K.Query.capacity() * sizeof(float));
+
+  // And the charge grows with the query (the dominant variable term).
+  StoreKey Wide = K;
+  Wide.Query.assign(784, 0.5f); // An MNIST-sized query vector.
+  EXPECT_GE(CertCache::entryBytes(Wide),
+            Charge + (784 - 4) * sizeof(float));
+}
+
 TEST(CertCacheTest, EntryLargerThanWholeBudgetIsDeclined) {
   Dataset Train = figure2Dataset();
   Verifier V(Train);

@@ -1,0 +1,832 @@
+//===- tests/DiskCertStoreTests.cpp - Disk certificate store tests ------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// The persistence tier's core promises: a fresh process pointed at a warm
+// store directory answers a previously-verified query from disk,
+// byte-identical to the fresh verdict; a torn or corrupt record is
+// *never served* (the crash-consistency test truncates a store at every
+// byte offset and reopens it — the ASan CI job runs this too); format
+// bumps invalidate old segments wholesale; compaction reclaims duplicate
+// records without losing live ones; and the two-tier composition
+// promotes disk hits into RAM.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/DiskCertStore.h"
+
+#include "TestUtil.h"
+#include "serving/CertCache.h"
+#include "serving/TieredStore.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+/// A fresh store directory per test, recursively removed on teardown
+/// (store directories are flat: LOCK + segments).
+class TempStoreDir {
+public:
+  TempStoreDir() {
+    char Template[] = "/tmp/antidote-store-test-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Dir = Made ? Made : "";
+  }
+  ~TempStoreDir() {
+    if (Dir.empty())
+      return;
+    if (DIR *D = opendir(Dir.c_str())) {
+      while (struct dirent *Entry = readdir(D)) {
+        std::string Name = Entry->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  const std::string &path() const { return Dir; }
+  std::string sub(const std::string &Name) const { return Dir + "/" + Name; }
+
+private:
+  std::string Dir;
+};
+
+/// Field-by-field certificate identity, `Seconds` included: a disk hit
+/// returns the stored certificate verbatim.
+void expectIdenticalCertificates(const Certificate &A, const Certificate &B) {
+  EXPECT_EQ(A.Kind, B.Kind);
+  EXPECT_EQ(A.PoisoningBudget, B.PoisoningBudget);
+  EXPECT_EQ(A.Depth, B.Depth);
+  EXPECT_EQ(A.Domain, B.Domain);
+  EXPECT_EQ(A.ConcretePrediction, B.ConcretePrediction);
+  EXPECT_EQ(A.DominatingClass, B.DominatingClass);
+  EXPECT_EQ(A.NumTerminals, B.NumTerminals);
+  EXPECT_EQ(A.PeakDisjuncts, B.PeakDisjuncts);
+  EXPECT_EQ(A.PeakStateBytes, B.PeakStateBytes);
+  EXPECT_EQ(A.BestSplitCalls, B.BestSplitCalls);
+  EXPECT_EQ(A.Seconds, B.Seconds);
+}
+
+VerifierConfig makeConfig(AbstractDomainKind Domain) {
+  VerifierConfig Config;
+  Config.Depth = 2;
+  Config.Domain = Domain;
+  Config.DisjunctCap = 4;
+  Config.Limits.TimeoutSeconds = 30.0;
+  return Config;
+}
+
+std::unique_ptr<DiskCertStore> openOrDie(const std::string &Dir,
+                                         const DiskCertStoreOptions &Options =
+                                             {}) {
+  DiskCertStore::OpenResult Opened = DiskCertStore::open(Dir, Options);
+  EXPECT_TRUE(Opened.ok()) << Opened.Error;
+  return std::move(Opened.Store);
+}
+
+std::vector<uint8_t> readFileBytes(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(In),
+                              std::istreambuf_iterator<char>());
+}
+
+void writeFileBytes(const std::string &Path, const std::vector<uint8_t> &Bytes) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  Out.write(reinterpret_cast<const char *>(Bytes.data()),
+            static_cast<std::streamsize>(Bytes.size()));
+  ASSERT_TRUE(Out.good()) << Path;
+}
+
+/// Record boundaries of one segment, parsed with format knowledge the
+/// corruption tests need: each element is the offset of a record start;
+/// the first record starts right after the 8-byte segment header.
+struct RecordSpan {
+  size_t Offset = 0; ///< Of the 16-byte record header.
+  size_t Bytes = 0;  ///< Header + payload.
+};
+
+std::vector<RecordSpan> parseRecordSpans(const std::vector<uint8_t> &Segment) {
+  std::vector<RecordSpan> Spans;
+  size_t Offset = 8;
+  while (Offset + 16 <= Segment.size()) {
+    uint32_t PayloadBytes = 0;
+    for (int I = 0; I < 4; ++I)
+      PayloadBytes |= static_cast<uint32_t>(Segment[Offset + 4 + I])
+                      << (8 * I);
+    RecordSpan Span;
+    Span.Offset = Offset;
+    Span.Bytes = 16 + PayloadBytes;
+    EXPECT_LE(Offset + Span.Bytes, Segment.size());
+    Spans.push_back(Span);
+    Offset += Span.Bytes;
+  }
+  EXPECT_EQ(Offset, Segment.size());
+  return Spans;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Warm restart: cached ≡ fresh, across all three abstract domains
+//===----------------------------------------------------------------------===//
+
+class DiskStoreRestartTest
+    : public ::testing::TestWithParam<AbstractDomainKind> {};
+
+TEST_P(DiskStoreRestartTest, FreshProcessAnswersFromWarmDirByteIdentical) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  VerifierConfig Config = makeConfig(GetParam());
+  const float X[] = {9.5f};
+
+  Certificate Cold;
+  {
+    // "Process one": verify against a cold store, then shut down.
+    Verifier V(Train);
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+    Config.Cache = Store.get();
+    Cold = V.verify(X, /*PoisoningBudget=*/2, Config);
+    DiskCertStoreStats Stats = Store->stats();
+    EXPECT_EQ(Stats.Misses, 1u);
+    EXPECT_EQ(Stats.Appends, 1u);
+  }
+
+  // "Process two": a fresh Verifier and a fresh store handle on the
+  // same directory. The first query must be served from disk, verbatim —
+  // `Seconds` included, which a re-verification could never reproduce.
+  Verifier V(Train);
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 1u);
+  Config.Cache = Store.get();
+  Certificate Warm = V.verify(X, /*PoisoningBudget=*/2, Config);
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 0u);
+  expectIdenticalCertificates(Cold, Warm);
+
+  // And identical (Seconds aside) to a store-less verification: serving
+  // from disk never changes an answer.
+  VerifierConfig Fresh = makeConfig(GetParam());
+  Certificate Reverified = V.verify(X, /*PoisoningBudget=*/2, Fresh);
+  EXPECT_EQ(Warm.Kind, Reverified.Kind);
+  EXPECT_EQ(Warm.ConcretePrediction, Reverified.ConcretePrediction);
+  EXPECT_EQ(Warm.DominatingClass, Reverified.DominatingClass);
+  EXPECT_EQ(Warm.NumTerminals, Reverified.NumTerminals);
+  EXPECT_EQ(Warm.PeakDisjuncts, Reverified.PeakDisjuncts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, DiskStoreRestartTest,
+                         ::testing::Values(AbstractDomainKind::Box,
+                                           AbstractDomainKind::Disjuncts,
+                                           AbstractDomainKind::DisjunctsCapped),
+                         [](const auto &Info) {
+                           switch (Info.param) {
+                           case AbstractDomainKind::Box:
+                             return "Box";
+                           case AbstractDomainKind::Disjuncts:
+                             return "Disjuncts";
+                           case AbstractDomainKind::DisjunctsCapped:
+                             return "DisjunctsCapped";
+                           }
+                           return "Unknown";
+                         });
+
+//===----------------------------------------------------------------------===//
+// Key discipline and verdict discipline
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCertStoreTest, DatasetMutationMissesViaFingerprint) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Dataset Mutated = figure2Dataset();
+  Mutated.addRow({5.0f}, 1);
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  Config.Cache = Store.get();
+  const float X[] = {9.5f};
+
+  Verifier V(Train);
+  V.verify(X, 2, Config);
+
+  Verifier VMutated(Mutated);
+  ASSERT_NE(V.fingerprint(), VMutated.fingerprint());
+  VMutated.verify(X, 2, Config);
+
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Hits, 0u);
+  EXPECT_EQ(Stats.Misses, 2u);
+  EXPECT_EQ(Stats.LiveRecords, 2u);
+}
+
+TEST(DiskCertStoreTest, NonDeterministicVerdictsAreNeverPersisted) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  const float X[] = {9.5f};
+
+  // Defense in depth: even a store() call that bypasses Verifier's own
+  // filter must decline a wall-clock-dependent verdict.
+  Certificate TimedOut;
+  TimedOut.Kind = VerdictKind::Timeout;
+  Store->store(V.fingerprint(), X, 1, 2, Config, TimedOut);
+  Certificate Cancelled;
+  Cancelled.Kind = VerdictKind::Cancelled;
+  Store->store(V.fingerprint(), X, 1, 2, Config, Cancelled);
+
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Declined, 2u);
+  EXPECT_EQ(Stats.Appends, 0u);
+  EXPECT_EQ(Stats.LiveRecords, 0u);
+}
+
+TEST(DiskCertStoreTest, DuplicateStoreIsDeclinedNotAppended) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = Store.get();
+  const float X[] = {9.5f};
+  Certificate Cold = V.verify(X, 2, Config);
+
+  // A second offer for the same key (certificates are interchangeable)
+  // must not grow the segment.
+  Store->store(V.fingerprint(), X, 1, 2, Config, Cold);
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Appends, 1u);
+  EXPECT_EQ(Stats.DuplicatesDeclined, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Corruption tolerance
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Seeds a store with one Box certificate per query in \p Queries and
+/// returns the store-less reference certificates (index-aligned).
+std::vector<Certificate> seedStore(const std::string &Dir, Verifier &V,
+                                   const std::vector<float> &Queries) {
+  std::vector<Certificate> Expected;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir);
+  Config.Cache = Store.get();
+  for (float Q : Queries) {
+    const float X[] = {Q};
+    Expected.push_back(V.verify(X, /*PoisoningBudget=*/1, Config));
+  }
+  EXPECT_EQ(Store->stats().Appends, Queries.size());
+  return Expected;
+}
+
+} // namespace
+
+TEST(DiskCertStoreTest, ForeignNonDeterministicRecordIsNotServedBack) {
+  // The write-side filter has a read-side twin: a record that *claims*
+  // a Timeout verdict but carries a valid checksum (appended by buggy
+  // or foreign tooling into a shared directory) must be dropped on
+  // open, never served — a cached Timeout could contradict a fresh run.
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  seedStore(Dir.path(), V, {9.5f});
+
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+  ASSERT_EQ(Spans.size(), 1u);
+  // Payload layout: 63 bytes of fixed key fields + one 4-byte query
+  // float, then the certificate starting with its Kind byte.
+  size_t PayloadOffset = Spans[0].Offset + 16;
+  size_t KindOffset = PayloadOffset + 63 + 4;
+  ASSERT_LT(KindOffset, Bytes.size());
+  Bytes[KindOffset] = 2; // VerdictKind::Timeout.
+  // Re-checksum (FNV-1a 64) so the record looks structurally intact.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (size_t I = PayloadOffset; I < Spans[0].Offset + Spans[0].Bytes; ++I) {
+    H ^= Bytes[I];
+    H *= 0x100000001b3ull;
+  }
+  for (int I = 0; I < 8; ++I)
+    Bytes[Spans[0].Offset + 8 + I] = static_cast<uint8_t>(H >> (8 * I));
+  writeFileBytes(Segment, Bytes);
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 0u);
+  EXPECT_EQ(Store->stats().CorruptSkipped, 1u);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Certificate Out;
+  const float X[] = {9.5f};
+  EXPECT_FALSE(Store->lookup(V.fingerprint(), X, 1, 1, Config, Out));
+}
+
+TEST(DiskCertStoreTest, CorruptRecordIsSkippedOthersIntact) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  std::vector<float> Queries = {1.5f, 9.5f, 12.5f};
+  std::vector<Certificate> Expected = seedStore(Dir.path(), V, Queries);
+
+  // Flip one byte inside the *middle* record's payload.
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+  ASSERT_EQ(Spans.size(), 3u);
+  Bytes[Spans[1].Offset + 16 + 5] ^= 0xFF;
+  writeFileBytes(Segment, Bytes);
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.CorruptSkipped, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 2u);
+
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = Store.get();
+  // Records 0 and 2 still hit, byte-identical; the corrupted one misses
+  // (and re-verifies rather than serving garbage).
+  const float X0[] = {Queries[0]}, X1[] = {Queries[1]}, X2[] = {Queries[2]};
+  expectIdenticalCertificates(Expected[0], V.verify(X0, 1, Config));
+  expectIdenticalCertificates(Expected[2], V.verify(X2, 1, Config));
+  EXPECT_EQ(Store->stats().Hits, 2u);
+  Certificate Reverified = V.verify(X1, 1, Config);
+  EXPECT_EQ(Store->stats().Misses, 1u);
+  EXPECT_EQ(Reverified.Kind, Expected[1].Kind);
+}
+
+// The ISSUE's crash-consistency gate (the ASan matrix job runs this
+// too): truncate the segment at *every* byte offset — simulating a
+// crash mid-append at any point — and assert reopen never returns a
+// wrong certificate: records wholly before the cut still hit verbatim,
+// everything after it misses, and nothing crashes or leaks.
+TEST(DiskCertStoreTest, TruncationAtEveryOffsetNeverServesWrongCertificate) {
+  TempStoreDir SeedDir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  std::vector<float> Queries = {1.5f, 3.5f, 9.5f, 12.5f};
+  std::vector<Certificate> Expected = seedStore(SeedDir.path(), V, Queries);
+
+  std::vector<uint8_t> Bytes =
+      readFileBytes(SeedDir.sub("seg-000001.antcert"));
+  std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+  ASSERT_EQ(Spans.size(), Queries.size());
+
+  VerifierConfig Probe = makeConfig(AbstractDomainKind::Box);
+  for (size_t Cut = 0; Cut <= Bytes.size(); ++Cut) {
+    TempStoreDir Dir;
+    writeFileBytes(Dir.sub("seg-000001.antcert"),
+                   std::vector<uint8_t>(Bytes.begin(), Bytes.begin() + Cut));
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+    ASSERT_NE(Store, nullptr) << "cut at " << Cut;
+    for (size_t I = 0; I < Queries.size(); ++I) {
+      const float X[] = {Queries[I]};
+      Certificate Out;
+      bool Hit = Store->lookup(V.fingerprint(), X, 1, /*PoisoningBudget=*/1,
+                               Probe, Out);
+      bool WholeRecordSurvived = Spans[I].Offset + Spans[I].Bytes <= Cut;
+      EXPECT_EQ(Hit, WholeRecordSurvived)
+          << "cut at " << Cut << ", record " << I;
+      if (Hit)
+        expectIdenticalCertificates(Expected[I], Out);
+    }
+  }
+}
+
+TEST(DiskCertStoreTest, PostOpenCorruptionDegradesToMissNotWrongCert) {
+  // `lookup` re-reads the payload from disk on every hit, so corruption
+  // that lands *after* the open-time scan — in the certificate bytes,
+  // where the full-key compare cannot see it — must still be caught by
+  // the checksum kept in the index and degrade to a miss.
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  seedStore(Dir.path(), V, {9.5f});
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 1u);
+
+  // Flip a byte in the certificate region (past the 63-byte fixed key
+  // fields + one 4-byte query float) while the store handle is live.
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+  ASSERT_EQ(Spans.size(), 1u);
+  size_t CertByte = Spans[0].Offset + 16 + 63 + 4 + 2;
+  ASSERT_LT(CertByte, Bytes.size());
+  Bytes[CertByte] ^= 0xFF;
+  writeFileBytes(Segment, Bytes);
+
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Certificate Out;
+  const float X[] = {9.5f};
+  EXPECT_FALSE(Store->lookup(V.fingerprint(), X, 1, 1, Config, Out));
+  EXPECT_GE(Store->stats().CorruptSkipped, 1u);
+  EXPECT_EQ(Store->stats().Hits, 0u);
+}
+
+TEST(DiskCertStoreTest, TornTailIsRepairedAndAppendsStayReachable) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  std::vector<float> Queries = {1.5f, 9.5f};
+  std::vector<Certificate> Expected = seedStore(Dir.path(), V, Queries);
+
+  // Tear the last record in half — a crash mid-append.
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+  size_t Cut = Spans[1].Offset + Spans[1].Bytes / 2;
+  writeFileBytes(Segment,
+                 std::vector<uint8_t>(Bytes.begin(), Bytes.begin() + Cut));
+
+  // Reopen repairs the tail, then a new append lands after the repair
+  // and must be reachable by the *next* open (a scan stops at the first
+  // bad boundary, so appending after garbage would strand it).
+  {
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+    EXPECT_EQ(Store->stats().LiveRecords, 1u);
+    EXPECT_GE(Store->stats().CorruptSkipped, 1u);
+    VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+    Config.Cache = Store.get();
+    const float X[] = {12.5f};
+    V.verify(X, 1, Config);
+    EXPECT_EQ(Store->stats().Appends, 1u);
+  }
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = Store.get();
+  const float X0[] = {1.5f}, X2[] = {12.5f};
+  expectIdenticalCertificates(Expected[0], V.verify(X0, 1, Config));
+  V.verify(X2, 1, Config);
+  EXPECT_EQ(Store->stats().Hits, 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Versioning, compaction, rotation, multi-handle sharing
+//===----------------------------------------------------------------------===//
+
+TEST(DiskCertStoreTest, FormatVersionBumpInvalidatesWholeSegment) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  seedStore(Dir.path(), V, {1.5f, 9.5f});
+
+  // Rewrite the segment header's version field: simulates records laid
+  // down by a future (or past) format.
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  Bytes[4] = static_cast<uint8_t>(DiskCertStore::FormatVersion + 1);
+  writeFileBytes(Segment, Bytes);
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.StaleSegments, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 0u);
+  EXPECT_EQ(Stats.Segments, 0u);
+
+  // New writes must route to a fresh segment, never append behind the
+  // foreign-format one, and the next open must see them.
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = Store.get();
+  const float X[] = {9.5f};
+  Certificate Cold = V.verify(X, 1, Config);
+  EXPECT_EQ(Store->stats().Appends, 1u);
+  Store.reset();
+
+  Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 1u);
+  Config.Cache = Store.get();
+  Certificate Warm = V.verify(X, 1, Config);
+  EXPECT_EQ(Store->stats().Hits, 1u);
+  expectIdenticalCertificates(Cold, Warm);
+}
+
+TEST(DiskCertStoreTest, CompactionDropsDuplicatesAndStaleSegments) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  const float X[] = {9.5f}, Y[] = {1.5f};
+
+  // Two handles share the directory, as two server processes would.
+  // Both open on an empty store, so both append the same key: a
+  // duplicate record only compaction reclaims.
+  std::unique_ptr<DiskCertStore> A = openOrDie(Dir.path());
+  std::unique_ptr<DiskCertStore> B = openOrDie(Dir.path());
+  Config.Cache = A.get();
+  Certificate Cold = V.verify(X, 1, Config);
+  Config.Cache = B.get();
+  V.verify(X, 1, Config);
+  V.verify(Y, 1, Config);
+  A.reset();
+  B.reset();
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().DuplicateRecords, 1u);
+  EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  // The duplicate occupies file bytes without being indexed; compaction
+  // must shrink the *files* (LiveBytes never counted it).
+  uint64_t FileBytesBefore =
+      readFileBytes(Dir.sub("seg-000001.antcert")).size();
+
+  std::string Error;
+  ASSERT_TRUE(Store->compact(&Error)) << Error;
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Compactions, 1u);
+  EXPECT_EQ(Stats.CompactionRecordsDropped, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 2u);
+  EXPECT_EQ(Stats.Segments, 1u);
+  EXPECT_EQ(Stats.DuplicateRecords, 0u);
+  EXPECT_LT(readFileBytes(Dir.sub("seg-000002.antcert")).size(),
+            FileBytesBefore);
+
+  // Still serving, still byte-identical — through this handle and a
+  // fresh open.
+  Config.Cache = Store.get();
+  expectIdenticalCertificates(Cold, V.verify(X, 1, Config));
+  Store.reset();
+  Store = openOrDie(Dir.path());
+  EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  EXPECT_EQ(Store->stats().DuplicateRecords, 0u);
+  Config.Cache = Store.get();
+  expectIdenticalCertificates(Cold, V.verify(X, 1, Config));
+}
+
+TEST(DiskCertStoreTest, CompactionPreservesRecordsFromSiblingHandles) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  const float X[] = {9.5f}, Y[] = {1.5f};
+
+  // A opens the empty directory; B then appends two certificates A's
+  // index has never seen (and, with a tiny rotation budget, a whole
+  // segment A does not know exists). A's compaction is a
+  // directory-wide rewrite: it must carry B's records over, not
+  // destroy them.
+  std::unique_ptr<DiskCertStore> A = openOrDie(Dir.path());
+  DiskCertStoreOptions Tiny;
+  Tiny.MaxSegmentBytes = 1; // B rotates every record into a new segment.
+  std::unique_ptr<DiskCertStore> B = openOrDie(Dir.path(), Tiny);
+  Config.Cache = B.get();
+  Certificate CertX = V.verify(X, 1, Config);
+  Certificate CertY = V.verify(Y, 1, Config);
+  ASSERT_EQ(B->stats().Appends, 2u);
+  B.reset();
+
+  std::string Error;
+  ASSERT_TRUE(A->compact(&Error)) << Error;
+  EXPECT_EQ(A->stats().LiveRecords, 2u);
+  EXPECT_EQ(A->stats().CompactionRecordsDropped, 0u);
+  Config.Cache = A.get();
+  expectIdenticalCertificates(CertX, V.verify(X, 1, Config));
+  expectIdenticalCertificates(CertY, V.verify(Y, 1, Config));
+  EXPECT_EQ(A->stats().Hits, 2u);
+
+  // And a fresh open sees exactly the compacted segment.
+  A.reset();
+  std::unique_ptr<DiskCertStore> C = openOrDie(Dir.path());
+  EXPECT_EQ(C->stats().LiveRecords, 2u);
+  EXPECT_EQ(C->stats().Segments, 1u);
+}
+
+TEST(DiskCertStoreTest, AppendsSurviveSiblingCompaction) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  const float X[] = {9.5f}, Y[] = {1.5f};
+
+  // B appends, then A compacts (unlinking the segment B's append fd
+  // still points at). B's next append must detect the unlinked inode
+  // and rotate — writing through the stale fd would "succeed" into an
+  // inode that vanishes with the last close.
+  std::unique_ptr<DiskCertStore> A = openOrDie(Dir.path());
+  std::unique_ptr<DiskCertStore> B = openOrDie(Dir.path());
+  Config.Cache = B.get();
+  Certificate CertX = V.verify(X, 1, Config);
+  std::string Error;
+  ASSERT_TRUE(A->compact(&Error)) << Error;
+  Certificate CertY = V.verify(Y, 1, Config);
+  EXPECT_EQ(B->stats().Appends, 2u);
+  A.reset();
+  B.reset();
+
+  std::unique_ptr<DiskCertStore> C = openOrDie(Dir.path());
+  EXPECT_EQ(C->stats().LiveRecords, 2u);
+  Config.Cache = C.get();
+  expectIdenticalCertificates(CertX, V.verify(X, 1, Config));
+  expectIdenticalCertificates(CertY, V.verify(Y, 1, Config));
+  EXPECT_EQ(C->stats().Hits, 2u);
+}
+
+TEST(DiskCertStoreTest, SegmentsRotateUnderMaxSegmentBytes) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  DiskCertStoreOptions Options;
+  Options.MaxSegmentBytes = 1; // Every record rotates to a new segment.
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), Options);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = Store.get();
+  for (float Q : {1.5f, 9.5f, 12.5f}) {
+    const float X[] = {Q};
+    V.verify(X, 1, Config);
+  }
+  EXPECT_EQ(Store->stats().Segments, 3u);
+  EXPECT_EQ(Store->stats().LiveRecords, 3u);
+
+  // A reopen sees all segments; compaction folds them into one.
+  Store.reset();
+  Store = openOrDie(Dir.path(), Options);
+  EXPECT_EQ(Store->stats().Segments, 3u);
+  EXPECT_EQ(Store->stats().LiveRecords, 3u);
+  std::string Error;
+  ASSERT_TRUE(Store->compact(&Error)) << Error;
+  EXPECT_EQ(Store->stats().Segments, 1u);
+  EXPECT_EQ(Store->stats().LiveRecords, 3u);
+  Config.Cache = Store.get();
+  const float X[] = {9.5f};
+  V.verify(X, 1, Config);
+  EXPECT_EQ(Store->stats().Hits, 1u);
+}
+
+TEST(DiskCertStoreTest, UnwritableDirectoryFailsOpenWithClearError) {
+  DiskCertStore::OpenResult Opened =
+      DiskCertStore::open("/proc/antidote-definitely-not-writable/store");
+  EXPECT_FALSE(Opened.ok());
+  EXPECT_FALSE(Opened.Error.empty());
+  EXPECT_EQ(Opened.Store, nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// The two-tier composition
+//===----------------------------------------------------------------------===//
+
+TEST(TieredStoreTest, DiskHitIsPromotedToRam) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  const float X[] = {9.5f};
+
+  // Process one: write-through seeds both tiers.
+  Certificate Cold;
+  {
+    CertCache Ram(/*MaxBytes=*/0);
+    std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+    TieredStore Tiered(&Ram, Disk.get());
+    Config.Cache = &Tiered;
+    Cold = V.verify(X, 2, Config);
+    TieredStoreStats Stats = Tiered.stats();
+    EXPECT_EQ(Stats.Misses, 1u);
+    EXPECT_EQ(Ram.stats().Insertions, 1u);
+    EXPECT_EQ(Disk->stats().Appends, 1u);
+  }
+
+  // Process two: RAM is empty, disk is warm. First repeat hits disk and
+  // is promoted; the second repeat must hit RAM without touching disk.
+  CertCache Ram(/*MaxBytes=*/0);
+  std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+  TieredStore Tiered(&Ram, Disk.get());
+  Config.Cache = &Tiered;
+
+  Certificate FirstRepeat = V.verify(X, 2, Config);
+  expectIdenticalCertificates(Cold, FirstRepeat);
+  TieredStoreStats Stats = Tiered.stats();
+  EXPECT_EQ(Stats.DiskHits, 1u);
+  EXPECT_EQ(Stats.RamHits, 0u);
+  EXPECT_EQ(Ram.stats().Insertions, 1u); // The promotion.
+
+  Certificate SecondRepeat = V.verify(X, 2, Config);
+  expectIdenticalCertificates(Cold, SecondRepeat);
+  Stats = Tiered.stats();
+  EXPECT_EQ(Stats.RamHits, 1u);
+  EXPECT_EQ(Stats.DiskHits, 1u);          // Unchanged.
+  EXPECT_EQ(Disk->stats().Hits, 1u);      // Disk untouched by the repeat.
+  // The disk tier declined nothing and appended nothing extra: the
+  // promotion is RAM-only, write-through happened once.
+  EXPECT_EQ(Disk->stats().Appends, 0u);
+  EXPECT_EQ(Disk->stats().LiveRecords, 1u);
+}
+
+TEST(TieredStoreTest, RamEvictionFallsBackToDiskAndRepromotes) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  // A RAM tier too small for any entry: every store declines, every
+  // lookup falls through — the disk tier alone must keep serving.
+  CertCache Ram(/*MaxBytes=*/1);
+  std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+  TieredStore Tiered(&Ram, Disk.get());
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  Config.Cache = &Tiered;
+  const float X[] = {9.5f};
+
+  Certificate Cold = V.verify(X, 1, Config);
+  Certificate Warm = V.verify(X, 1, Config);
+  expectIdenticalCertificates(Cold, Warm);
+  TieredStoreStats Stats = Tiered.stats();
+  EXPECT_EQ(Stats.Misses, 1u);
+  EXPECT_EQ(Stats.DiskHits, 1u);
+  EXPECT_EQ(Stats.RamHits, 0u);
+  EXPECT_EQ(Ram.stats().Declined, 2u); // Write-through + promotion.
+}
+
+TEST(TieredStoreTest, ConcurrentBatchWorkersShareBothTiers) {
+  // The TSan CI job runs this: four pool workers hammering one tiered
+  // store — RAM probes, disk appends under the flock, promotions —
+  // must stay race-free, and every served certificate must match a
+  // store-less verification in every deterministic field.
+  Rng R(77);
+  RandomDatasetSpec Spec;
+  Spec.MinRows = 8;
+  Spec.MaxRows = 12;
+  Dataset Train = makeRandomDataset(R, Spec);
+  Verifier V(Train);
+
+  TempStoreDir Dir;
+  CertCache Ram(/*MaxBytes=*/4096); // Small: concurrent RAM evictions.
+  std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+  TieredStore Tiered(&Ram, Disk.get());
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  Config.Cache = &Tiered;
+
+  std::vector<std::vector<float>> Points;
+  for (int I = 0; I < 16; ++I)
+    Points.push_back(makeRandomQuery(R, Spec));
+  std::vector<const float *> Inputs;
+  for (int Round = 0; Round < 3; ++Round)
+    for (const auto &P : Points)
+      Inputs.push_back(P.data());
+
+  std::unique_ptr<ThreadPool> Pool = makeVerificationPool(4);
+  std::vector<Certificate> Certs =
+      V.verifyBatch(Inputs, 2, Config, Pool.get());
+
+  VerifierConfig Fresh = makeConfig(AbstractDomainKind::Disjuncts);
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    Certificate Expected = V.verify(Inputs[I], 2, Fresh);
+    EXPECT_EQ(Certs[I].Kind, Expected.Kind) << "query " << I;
+    EXPECT_EQ(Certs[I].ConcretePrediction, Expected.ConcretePrediction);
+    EXPECT_EQ(Certs[I].NumTerminals, Expected.NumTerminals);
+    EXPECT_EQ(Certs[I].PeakDisjuncts, Expected.PeakDisjuncts);
+  }
+  TieredStoreStats Stats = Tiered.stats();
+  EXPECT_EQ(Stats.RamHits + Stats.DiskHits + Stats.Misses, Inputs.size());
+  EXPECT_GE(Stats.Misses, 16u); // At least one cold run per point.
+  // Every distinct point is on disk exactly once (duplicate offers from
+  // racing workers were declined, not appended).
+  EXPECT_EQ(Disk->stats().LiveRecords, 16u);
+
+  // And a restart serves all 16 from disk.
+  Disk.reset();
+  Disk = openOrDie(Dir.path());
+  EXPECT_EQ(Disk->stats().LiveRecords, 16u);
+  Config.Cache = Disk.get();
+  for (const auto &P : Points)
+    V.verify(P.data(), 2, Config);
+  EXPECT_EQ(Disk->stats().Hits, 16u);
+}
+
+TEST(TieredStoreTest, DegradesToSingleTierWhenOneIsAbsent) {
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+  const float X[] = {9.5f};
+
+  // RAM-only tiering behaves like the plain cache.
+  CertCache Ram(/*MaxBytes=*/0);
+  TieredStore RamOnly(&Ram, nullptr);
+  Config.Cache = &RamOnly;
+  Certificate Cold = V.verify(X, 1, Config);
+  expectIdenticalCertificates(Cold, V.verify(X, 1, Config));
+  EXPECT_EQ(RamOnly.stats().RamHits, 1u);
+
+  // Disk-only tiering still serves across handles.
+  TempStoreDir Dir;
+  std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+  TieredStore DiskOnly(nullptr, Disk.get());
+  Config.Cache = &DiskOnly;
+  Certificate DiskCold = V.verify(X, 1, Config);
+  expectIdenticalCertificates(DiskCold, V.verify(X, 1, Config));
+  EXPECT_EQ(DiskOnly.stats().DiskHits, 1u);
+}
