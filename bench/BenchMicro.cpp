@@ -124,6 +124,91 @@ static void BM_AbstractBestSplit(benchmark::State &State) {
 }
 BENCHMARK(BM_AbstractBestSplit)->Arg(1)->Arg(8)->Arg(64);
 
+//===----------------------------------------------------------------------===//
+// SoA kernel benches: the branch-free column kernels in isolation.
+//
+// These three pin the hot loops the struct-of-arrays refactor vectorized:
+// the dense candidate-scan split enumeration, the fused ent#-from-counts,
+// and the compare-into-mask row filter. They are in the CI regression gate
+// (BENCH_kernels.json); a >25% cpu_time slowdown fails the gate.
+//===----------------------------------------------------------------------===//
+
+// One full candidate enumeration pass over every feature: compaction of the
+// sorted orders into dense (value, label) scratch plus the boundary scan.
+static void BM_KernelSplitCandidateScan(benchmark::State &State) {
+  RowIndexList Rows = allRows(mammo().Split.Train);
+  SplitEnumerationPrepass Pre(mammoCtx(), Rows);
+  std::vector<uint32_t> PosCounts(mammo().Split.Train.numClasses());
+  for (auto _ : State) {
+    size_t Candidates = 0;
+    for (unsigned F = 0; F < mammo().Split.Train.numFeatures(); ++F)
+      forEachFeatureCandidateSplit(
+          Pre, F, PredicateMode::ConcreteMidpoint, PosCounts,
+          [&](const SplitPredicate &, const std::vector<uint32_t> &,
+              uint32_t) { ++Candidates; });
+    benchmark::DoNotOptimize(Candidates);
+  }
+}
+BENCHMARK(BM_KernelSplitCandidateScan);
+
+// ent# straight from a flat count slice: Arg(0) = the fused branch-free
+// kernel (Optimal x ExactTerm), Arg(1) = the retained naive reference
+// composition cprob# |> ent# on the same counts. The ratio between the two
+// is the fusion speedup, measurable inside one binary.
+static void BM_KernelAbstractGiniCounts(benchmark::State &State) {
+  std::vector<uint32_t> Counts = {311, 353, 127, 64};
+  uint32_t Total = 855, Budget = 16;
+  if (State.range(0) == 0) {
+    for (auto _ : State) {
+      Interval Ent = abstractGiniImpurityFromCounts(
+          Counts, Total, Budget, CprobTransformerKind::Optimal,
+          GiniLiftingKind::ExactTerm);
+      benchmark::DoNotOptimize(Ent);
+    }
+  } else {
+    for (auto _ : State) {
+      Interval Ent = abstractGiniImpurity(
+          abstractClassProbabilities(Counts, Total, Budget,
+                                     CprobTransformerKind::Optimal),
+          GiniLiftingKind::ExactTerm);
+      benchmark::DoNotOptimize(Ent);
+    }
+  }
+}
+BENCHMARK(BM_KernelAbstractGiniCounts)->Arg(0)->Arg(1);
+
+// The branch-free always-write/conditionally-advance row filter over one
+// contiguous feature column (the concrete DTrace partition step).
+static void BM_KernelFilterMask(benchmark::State &State) {
+  const Dataset &Train = mammo().Split.Train;
+  RowIndexList Rows = allRows(Train);
+  SplitPredicate Pred = SplitPredicate::threshold(1, 52.0);
+  for (auto _ : State) {
+    RowIndexList Kept = filterRows(Train, Rows, Pred, true);
+    benchmark::DoNotOptimize(Kept.size());
+  }
+}
+BENCHMARK(BM_KernelFilterMask);
+
+// Slice-wise interval join over SoA bound slices (support/Interval.h).
+static void BM_KernelSliceJoin(benchmark::State &State) {
+  const size_t N = 1024;
+  std::vector<double> ALo(N), AHi(N), BLo(N), BHi(N), OutLo(N), OutHi(N);
+  for (size_t I = 0; I < N; ++I) {
+    ALo[I] = static_cast<double>(I % 17);
+    AHi[I] = ALo[I] + 2.0;
+    BLo[I] = static_cast<double>(I % 23) - 1.0;
+    BHi[I] = BLo[I] + 3.0;
+  }
+  for (auto _ : State) {
+    joinSlices(ALo.data(), AHi.data(), BLo.data(), BHi.data(), OutLo.data(),
+               OutHi.data(), N);
+    benchmark::DoNotOptimize(OutLo.data());
+    benchmark::DoNotOptimize(OutHi.data());
+  }
+}
+BENCHMARK(BM_KernelSliceJoin);
+
 static void BM_ConcreteDTrace(benchmark::State &State) {
   RowIndexList Rows = allRows(mammo().Split.Train);
   const float *X = mammo().Split.Test.row(0);

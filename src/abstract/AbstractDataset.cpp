@@ -78,18 +78,42 @@ AbstractDataset AbstractDataset::restrict(const SplitPredicate &Pred,
   // is exactly equation (1); for a symbolic ρ the Maybe rows are kept but
   // charged to the budget, which is the closed form of the Appendix B.1
   // join ⟨T,n⟩↓#φa ⊔ ⟨T,n⟩↓#φb.
-  RowIndexList Possible;
+  //
+  // Kernel shape: the three-valued evaluation over one feature unfolds into
+  // two comparisons against the predicate's column slice (True ⇔ V ≤ lo,
+  // Maybe ⇔ lo < V < hi), and the kept rows compact through an always-write
+  // cursor — no data-dependent branch in either loop. The scratch keeps the
+  // copied-out row vector at exact capacity, which the stateBytes() memory
+  // accounting depends on.
+  const float *Col = Base->column(Pred.feature());
+  const double PredLo = Pred.lo();
+  const double PredHi = Pred.hi();
+  thread_local std::vector<uint32_t> Scratch;
+  Scratch.resize(Rows.size());
+  uint32_t *Out = Scratch.data();
+  size_t N = 0;
   uint32_t Definite = 0;
-  for (uint32_t Row : Rows) {
-    ThreeValued V = Pred.evaluate(Base->value(Row, Pred.feature()));
-    bool IsDefinite =
-        Positive ? V == ThreeValued::True : V == ThreeValued::False;
-    bool IsPossible = IsDefinite || V == ThreeValued::Maybe;
-    if (IsPossible)
-      Possible.push_back(Row);
-    Definite += IsDefinite;
+  if (Positive) {
+    for (uint32_t Row : Rows) {
+      const double V = Col[Row];
+      const bool LeLo = V <= PredLo;
+      const bool LtHi = V < PredHi;
+      Out[N] = Row;
+      N += LeLo | LtHi;
+      Definite += LeLo;
+    }
+  } else {
+    for (uint32_t Row : Rows) {
+      const double V = Col[Row];
+      const bool LeLo = V <= PredLo;
+      const bool LtHi = V < PredHi;
+      Out[N] = Row;
+      N += !LeLo;
+      Definite += !(LeLo | LtHi);
+    }
   }
-  uint32_t PossibleSize = static_cast<uint32_t>(Possible.size());
+  RowIndexList Possible(Scratch.begin(), Scratch.begin() + N);
+  uint32_t PossibleSize = static_cast<uint32_t>(N);
   uint32_t NewBudget =
       std::max(std::min(Budget, PossibleSize),
                (PossibleSize - Definite) + std::min(Budget, Definite));
@@ -103,10 +127,11 @@ AbstractDataset::restrictToPureClass(unsigned Class) const {
   uint32_t Drop = size() - Keep;
   if (Drop > Budget)
     return std::nullopt;
+  const uint32_t *Labels = Base->labels();
   RowIndexList Pure;
   Pure.reserve(Keep);
   for (uint32_t Row : Rows)
-    if (Base->label(Row) == Class)
+    if (Labels[Row] == Class)
       Pure.push_back(Row);
   return AbstractDataset(*Base, std::move(Pure), Budget - Drop);
 }

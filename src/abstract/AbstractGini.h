@@ -77,7 +77,11 @@ Interval abstractGiniImpurity(
     const std::vector<Interval> &Probs,
     GiniLiftingKind Lifting = GiniLiftingKind::ExactTerm);
 
-/// `ent#` straight from counts.
+/// `ent#` straight from counts. For the paper's evaluation configuration
+/// (Optimal × ExactTerm, n < |T|) this runs a fused branch-free kernel over
+/// the flat count slice — bit-identical to, but much faster than, composing
+/// `abstractClassProbabilities` + `abstractGiniImpurity`, which remain the
+/// retained naive reference (and serve the ablation kinds).
 Interval abstractGiniImpurityFromCounts(
     const std::vector<uint32_t> &Counts, uint32_t Total, uint32_t Budget,
     CprobTransformerKind Kind,

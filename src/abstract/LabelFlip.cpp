@@ -285,7 +285,14 @@ public:
                  const float *X, unsigned Depth, uint64_t MaxSets,
                  FlipEnumerationResult &Result)
       : BaseCtx(Ctx), Rows(Rows), X(X), Depth(Depth), MaxSets(MaxSets),
-        Result(Result) {
+        Result(Result),
+        // Materialize the row subset once, column-by-column, and build the
+        // split context over it once: flips only touch labels, and neither
+        // the feature columns nor the cached sorted orders depend on them,
+        // so each check() below patches labels in place instead of
+        // re-copying the matrix and re-sorting every feature.
+        Flipped(Dataset::gatherRows(Ctx.base(), Rows)),
+        FlippedCtx(Flipped), FlippedRows(allRows(Flipped)) {
     Labels.reserve(Rows.size());
     for (uint32_t Row : Rows)
       Labels.push_back(Ctx.base().label(Row));
@@ -318,14 +325,11 @@ private:
       Result.Exhausted = false;
       return false;
     }
-    // Materialize the relabeled training set and retrain from scratch.
-    const Dataset &Base = BaseCtx.base();
-    Dataset Flipped(Base.schema());
-    Flipped.reserveRows(static_cast<unsigned>(Rows.size()));
+    // Patch the current relabeling into the pre-gathered dataset and
+    // retrain against the hoisted split context.
     for (size_t I = 0; I < Rows.size(); ++I)
-      Flipped.addRow(Base.row(Rows[I]), Labels[I]);
-    SplitContext Ctx(Flipped);
-    TraceResult Trace = runDTrace(Ctx, allRows(Flipped), X, Depth);
+      Flipped.setLabel(static_cast<unsigned>(I), Labels[I]);
+    TraceResult Trace = runDTrace(FlippedCtx, FlippedRows, X, Depth);
     ++Result.SetsChecked;
     if (Trace.PredictedClass == Result.OriginalPrediction)
       return true;
@@ -339,6 +343,9 @@ private:
   unsigned Depth;
   uint64_t MaxSets;
   FlipEnumerationResult &Result;
+  Dataset Flipped;            ///< Row subset, gathered once per enumeration.
+  SplitContext FlippedCtx;    ///< Label-independent; built once over Flipped.
+  RowIndexList FlippedRows;   ///< allRows(Flipped), hoisted.
   std::vector<unsigned> Labels;
 };
 

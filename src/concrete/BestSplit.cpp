@@ -13,18 +13,26 @@ using namespace antidote;
 
 SplitContext::SplitContext(const Dataset &Base) : Base(&Base) {
   Orders.resize(Base.numFeatures());
+  Values.resize(Base.numFeatures());
   for (unsigned F = 0; F < Base.numFeatures(); ++F) {
     if (Base.schema().FeatureKinds[F] != FeatureKind::Real)
       continue;
+    const float *Col = Base.column(F);
     RowIndexList &Order = Orders[F];
     Order = allRows(Base);
-    std::sort(Order.begin(), Order.end(), [&Base, F](uint32_t A, uint32_t B) {
-      double Va = Base.value(A, F);
-      double Vb = Base.value(B, F);
+    std::sort(Order.begin(), Order.end(), [Col](uint32_t A, uint32_t B) {
+      float Va = Col[A];
+      float Vb = Col[B];
       if (Va != Vb)
         return Va < Vb;
       return A < B;
     });
+    // Materialize the sorted values aligned with the order, so enumeration
+    // passes never gather through the row ids.
+    std::vector<float> &Sorted = Values[F];
+    Sorted.resize(Order.size());
+    for (size_t I = 0, E = Order.size(); I < E; ++I)
+      Sorted[I] = Col[Order[I]];
   }
 }
 
@@ -42,8 +50,10 @@ SplitEnumerationPrepass::SplitEnumerationPrepass(const SplitContext &Ctx,
   for (uint32_t Row : Rows)
     InRows[Row] = 1;
 
-  // Boolean features: one row-major pass accumulates, for every boolean
-  // feature at once, the class counts of the `value == 0` side.
+  // Boolean features: one pass per boolean column accumulates the class
+  // counts of its `value == 0` side. The comparison result feeds the count
+  // directly (no conditional increment), and each pass reads exactly one
+  // column slice plus the label slice.
   bool HasBoolean = false;
   for (unsigned F = 0; F < NumFeatures; ++F)
     if (Base.schema().FeatureKinds[F] == FeatureKind::Boolean)
@@ -51,12 +61,14 @@ SplitEnumerationPrepass::SplitEnumerationPrepass(const SplitContext &Ctx,
   if (!HasBoolean)
     return;
   ZeroCounts.assign(static_cast<size_t>(NumFeatures) * NumClasses, 0);
-  for (uint32_t Row : Rows) {
-    const float *Values = Base.row(Row);
-    unsigned Label = Base.label(Row);
-    for (unsigned F = 0; F < NumFeatures; ++F)
-      if (Values[F] == 0.0f)
-        ++ZeroCounts[static_cast<size_t>(F) * NumClasses + Label];
+  const uint32_t *Labels = Base.labels();
+  for (unsigned F = 0; F < NumFeatures; ++F) {
+    if (Base.schema().FeatureKinds[F] != FeatureKind::Boolean)
+      continue;
+    const float *Col = Base.column(F);
+    uint32_t *Out = ZeroCounts.data() + static_cast<size_t>(F) * NumClasses;
+    for (uint32_t Row : Rows)
+      Out[Labels[Row]] += Col[Row] == 0.0f;
   }
 }
 
@@ -141,12 +153,18 @@ RowIndexList antidote::filterRows(const Dataset &Base,
                                   const RowIndexList &Rows,
                                   const SplitPredicate &Pred, bool Positive) {
   assert(!Pred.isSymbolic() && "concrete filter needs a concrete predicate");
-  RowIndexList Result;
+  // Compare-and-compact over one column slice: a concrete predicate is
+  // `value ≤ threshold` on a single feature, so the three-valued evaluate
+  // collapses to one comparison. Always write the row id, advance the write
+  // cursor by the comparison result — no data-dependent branch.
+  const float *Col = Base.column(Pred.feature());
+  const double Threshold = Pred.lo();
+  RowIndexList Result(Rows.size());
+  size_t N = 0;
   for (uint32_t Row : Rows) {
-    bool Sat = Pred.evaluate(Base.value(Row, Pred.feature())) ==
-               ThreeValued::True;
-    if (Sat == Positive)
-      Result.push_back(Row);
+    Result[N] = Row;
+    N += (static_cast<double>(Col[Row]) <= Threshold) == Positive;
   }
+  Result.resize(N);
   return Result;
 }

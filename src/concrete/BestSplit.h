@@ -33,7 +33,15 @@
 ///
 /// `SplitContext` caches, per base dataset, the per-feature value-sorted row
 /// orders that make each enumeration a single filtered pass (O(|features| ×
-/// |base rows|)) instead of a fresh sort per tree node.
+/// |base rows|)) instead of a fresh sort per tree node — plus, aligned with
+/// each order, the sorted column values themselves, so the enumeration scans
+/// two dense arrays instead of gathering values row-by-row.
+///
+/// Kernel shape: each per-feature pass first *compacts* the in-set entries
+/// of the sorted order into dense (value, label) scratch with an
+/// always-write/conditionally-advance loop (no data-dependent branch), then
+/// scans the dense slice for value boundaries. Both passes touch only
+/// contiguous memory, which is what lets the compiler vectorize them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -71,9 +79,20 @@ public:
     return Orders[Feature];
   }
 
+  /// Column values of \p Feature aligned with `sortedOrder(Feature)`:
+  /// `sortedValues(F)[I] == column(F)[sortedOrder(F)[I]]`. Lets the
+  /// enumeration read the sorted values with unit stride instead of
+  /// gathering through the row ids. Only available for Real features.
+  const float *sortedValues(unsigned Feature) const {
+    assert(Base->schema().FeatureKinds[Feature] == FeatureKind::Real &&
+           "sorted values are only built for real features");
+    return Values[Feature].data();
+  }
+
 private:
   const Dataset *Base;
   std::vector<RowIndexList> Orders; ///< Indexed by feature; empty if Boolean.
+  std::vector<std::vector<float>> Values; ///< Aligned with Orders.
 };
 
 /// Read-only state shared by every per-feature enumeration pass over one
@@ -141,16 +160,29 @@ void forEachFeatureCandidateSplit(const SplitEnumerationPrepass &Pre,
     return;
   }
 
-  // Real feature: walk the global order restricted to the current rows,
-  // emitting a candidate at every boundary between distinct values.
+  // Real feature. The boundary scan runs over a dense (value, label)
+  // sequence in sorted order; how that sequence is produced depends on the
+  // row set:
+  //
+  //  - Full row set (the top-of-tree case and every entire-dataset abstract
+  //    query): the SplitContext's presorted value slice *is* the sequence —
+  //    no membership test, no compaction, just two unit-stride reads.
+  //  - Proper subset: compact the in-set entries into scratch first with an
+  //    always-write/conditionally-advance loop (no data-dependent branch),
+  //    then scan the dense slice.
+  //
+  // Both paths visit the same (value, label) sequence in the same order, so
+  // every consumer sees bit-identical candidates.
+  const RowIndexList &Order = Pre.context().sortedOrder(Feature);
+  const float *SortedVals = Pre.context().sortedValues(Feature);
+  const uint32_t *Labels = Base.labels();
+  const size_t OrderSize = Order.size();
+
   std::fill(PosCounts.begin(), PosCounts.end(), 0);
   uint32_t PosTotal = 0;
   bool HavePrev = false;
   double Prev = 0.0;
-  for (uint32_t Row : Pre.context().sortedOrder(Feature)) {
-    if (!Pre.contains(Row))
-      continue;
-    double V = Base.value(Row, Feature);
+  auto EmitBoundary = [&](double V) {
     if (HavePrev && V != Prev) {
       assert(PosTotal > 0 && PosTotal < Total && "boundary must split");
       if (Mode == PredicateMode::ConcreteMidpoint)
@@ -161,7 +193,33 @@ void forEachFeatureCandidateSplit(const SplitEnumerationPrepass &Pre,
     }
     Prev = V;
     HavePrev = true;
-    ++PosCounts[Base.label(Row)];
+  };
+
+  if (Total == OrderSize) {
+    for (size_t I = 0; I < OrderSize; ++I) {
+      EmitBoundary(SortedVals[I]);
+      ++PosCounts[Labels[Order[I]]];
+      ++PosTotal;
+    }
+    return;
+  }
+
+  thread_local std::vector<float> ValScratch;
+  thread_local std::vector<uint32_t> LabScratch;
+  ValScratch.resize(OrderSize);
+  LabScratch.resize(OrderSize);
+  size_t N = 0;
+  for (size_t I = 0; I < OrderSize; ++I) {
+    const uint32_t Row = Order[I];
+    ValScratch[N] = SortedVals[I];
+    LabScratch[N] = Labels[Row];
+    N += Pre.contains(Row);
+  }
+  assert(N == Total && "compaction must keep exactly the row set");
+
+  for (size_t I = 0; I < N; ++I) {
+    EmitBoundary(ValScratch[I]);
+    ++PosCounts[LabScratch[I]];
     ++PosTotal;
   }
 }

@@ -21,7 +21,8 @@ DatasetSchema DatasetSchema::uniform(unsigned NumFeatures, FeatureKind Kind,
 }
 
 void Dataset::reserveRows(unsigned N) {
-  Values.reserve(static_cast<size_t>(N) * numFeatures());
+  for (std::vector<float> &Column : Columns)
+    Column.reserve(N);
   Labels.reserve(N);
 }
 
@@ -38,8 +39,58 @@ void Dataset::addRow(const float *Features, unsigned Label) {
       assert((Features[F] == 0.0f || Features[F] == 1.0f) &&
              "boolean feature must be 0 or 1");
 #endif
-  Values.insert(Values.end(), Features, Features + numFeatures());
+  for (unsigned F = 0, E = numFeatures(); F < E; ++F)
+    Columns[F].push_back(Features[F]);
   Labels.push_back(Label);
+  RowMirror.clear();
+}
+
+void Dataset::materializeRowMirror() const {
+  const size_t Rows = numRows(), Features = numFeatures();
+  RowMirror.resize(Rows * Features);
+  for (size_t F = 0; F < Features; ++F) {
+    const float *Column = Columns[F].data();
+    float *Out = RowMirror.data() + F;
+    for (size_t Row = 0; Row < Rows; ++Row)
+      Out[Row * Features] = Column[Row];
+  }
+}
+
+Dataset Dataset::gatherRows(const Dataset &Base, const RowIndexList &Rows) {
+  Dataset Out(Base.schema());
+  const size_t Count = Rows.size();
+  // Empty selection: done. (Also keeps the bulk copies below away from the
+  // null data() an empty base column returns — copying zero bytes from null
+  // is formally undefined and trips GCC's -Wnonnull.)
+  if (Count == 0)
+    return Out;
+  // A canonical (sorted, duplicate-free) view of every row is the identity
+  // selection, so the per-column gather degenerates to a bulk copy.
+  const bool FullRange =
+      Count == Base.numRows() && isCanonicalRowSet(Rows);
+  for (unsigned F = 0, E = Base.numFeatures(); F < E; ++F) {
+    std::vector<float> &Column = Out.Columns[F];
+    const float *Src = Base.column(F);
+    if (FullRange) {
+      // The common flip-enumerator case: the view covers every base row in
+      // order, so the gather degenerates to one bulk copy per feature.
+      Column.assign(Src, Src + Count);
+      continue;
+    }
+    Column.resize(Count);
+    float *Dst = Column.data();
+    for (size_t I = 0; I < Count; ++I)
+      Dst[I] = Src[Rows[I]];
+  }
+  Out.Labels.resize(Count);
+  const uint32_t *SrcLabels = Base.labels();
+  if (FullRange) {
+    std::copy(SrcLabels, SrcLabels + Count, Out.Labels.begin());
+  } else {
+    for (size_t I = 0; I < Count; ++I)
+      Out.Labels[I] = SrcLabels[Rows[I]];
+  }
+  return Out;
 }
 
 RowIndexList antidote::allRows(const Dataset &Base) {
@@ -51,8 +102,9 @@ RowIndexList antidote::allRows(const Dataset &Base) {
 std::vector<uint32_t> antidote::classCounts(const Dataset &Base,
                                             const RowIndexList &Rows) {
   std::vector<uint32_t> Counts(Base.numClasses(), 0);
+  const uint32_t *Labels = Base.labels();
   for (uint32_t Row : Rows)
-    ++Counts[Base.label(Row)];
+    ++Counts[Labels[Row]];
   return Counts;
 }
 

@@ -9,12 +9,21 @@
 /// Immutable feature/label storage plus sorted row-index views.
 ///
 /// A training set T ⊆ X × Y (paper §3.1) is represented as an immutable
-/// `Dataset` (row-major feature matrix + labels) and, everywhere else in the
-/// system, as a *sorted vector of row indices* into such a base dataset.
-/// Both the concrete learner's `filter` and the abstract domain's `⟨T,n⟩`
-/// element refine training sets by dropping rows, so index views make every
-/// refinement a cheap subsequence selection and make the set algebra the
-/// abstract domain needs (|T1 \ T2|, unions, intersections) linear merges.
+/// `Dataset` (struct-of-arrays feature matrix + labels) and, everywhere else
+/// in the system, as a *sorted vector of row indices* into such a base
+/// dataset. Both the concrete learner's `filter` and the abstract domain's
+/// `⟨T,n⟩` element refine training sets by dropping rows, so index views make
+/// every refinement a cheap subsequence selection and make the set algebra
+/// the abstract domain needs (|T1 \ T2|, unions, intersections) linear
+/// merges.
+///
+/// Storage is one contiguous `float` column per feature (struct-of-arrays):
+/// every hot kernel — candidate-split enumeration, predicate evaluation,
+/// fingerprinting — walks a single feature across many rows, and a column
+/// slice turns each of those walks into a unit-stride scan the compiler can
+/// vectorize. The row-major accessor `row()` is kept as a compatibility shim
+/// for per-row consumers (test query points, tree classification); it is
+/// backed by a lazily materialized row-major mirror.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,7 +60,10 @@ struct DatasetSchema {
                                unsigned NumClasses);
 };
 
-/// An immutable, row-major labeled dataset.
+/// A sorted-ascending set of row indices into some base `Dataset`.
+using RowIndexList = std::vector<uint32_t>;
+
+/// An immutable, struct-of-arrays labeled dataset.
 ///
 /// Feature values are stored as `float`: the benchmark datasets are small
 /// integers or 8-bit pixel intensities, and halving the footprint matters
@@ -63,16 +75,24 @@ public:
   /// schema is assigned (e.g. registry/loader result structs).
   Dataset() = default;
 
-  explicit Dataset(DatasetSchema Schema) : Schema(std::move(Schema)) {}
+  explicit Dataset(DatasetSchema Schema)
+      : Schema(std::move(Schema)), Columns(this->Schema.numFeatures()) {}
 
   const DatasetSchema &schema() const { return Schema; }
   unsigned numFeatures() const { return Schema.numFeatures(); }
   unsigned numClasses() const { return Schema.NumClasses; }
   unsigned numRows() const { return static_cast<unsigned>(Labels.size()); }
 
+  /// Contiguous slice of feature \p Feature across all rows (numRows()
+  /// floats, unit stride). The kernels' primary view of the data.
+  const float *column(unsigned Feature) const {
+    assert(Feature < numFeatures() && "feature out of range");
+    return Columns[Feature].data();
+  }
+
   double value(unsigned Row, unsigned Feature) const {
     assert(Row < numRows() && Feature < numFeatures() && "index out of range");
-    return Values[static_cast<size_t>(Row) * numFeatures() + Feature];
+    return Columns[Feature][Row];
   }
 
   unsigned label(unsigned Row) const {
@@ -80,10 +100,23 @@ public:
     return Labels[Row];
   }
 
+  /// Contiguous slice of all numRows() labels.
+  const uint32_t *labels() const { return Labels.data(); }
+
   /// Pointer to the feature vector of \p Row (numFeatures() floats).
+  ///
+  /// Compatibility shim over the column storage: the first call materializes
+  /// a row-major mirror of the whole matrix (so callers that stash the
+  /// returned pointer — e.g. batched query points — stay valid for the
+  /// dataset's lifetime). The first call must not race with other `row()`
+  /// calls or with mutation; in practice every caller is a single-threaded
+  /// setup path over a *test* set, so training matrices never pay for the
+  /// mirror.
   const float *row(unsigned Row) const {
     assert(Row < numRows() && "row out of range");
-    return Values.data() + static_cast<size_t>(Row) * numFeatures();
+    if (RowMirror.size() != static_cast<size_t>(numRows()) * numFeatures())
+      materializeRowMirror();
+    return RowMirror.data() + static_cast<size_t>(Row) * numFeatures();
   }
 
   void reserveRows(unsigned N);
@@ -93,19 +126,38 @@ public:
   void addRow(const std::vector<float> &Features, unsigned Label);
   void addRow(const float *Features, unsigned Label);
 
-  /// Bytes of feature/label storage (for the memory reports).
+  /// Rewrites the label of \p Row. The one sanctioned mutation of existing
+  /// rows: the label-flip enumerator materializes a row subset once and then
+  /// patches labels per flip set instead of rebuilding the matrix.
+  void setLabel(unsigned Row, unsigned Label) {
+    assert(Row < numRows() && "row out of range");
+    assert(Label < numClasses() && "label out of range");
+    Labels[Row] = Label;
+  }
+
+  /// A new dataset holding the rows of \p Base selected by \p Rows (in
+  /// order), copied column-by-column: one bulk copy per feature instead of a
+  /// per-row × per-feature gather loop.
+  static Dataset gatherRows(const Dataset &Base, const RowIndexList &Rows);
+
+  /// Bytes of feature/label storage (for the memory reports). Deliberately
+  /// excludes the lazy row-major mirror, which only test sets materialize.
   uint64_t storageBytes() const {
-    return Values.size() * sizeof(float) + Labels.size() * sizeof(uint32_t);
+    return static_cast<uint64_t>(numRows()) * numFeatures() * sizeof(float) +
+           Labels.size() * sizeof(uint32_t);
   }
 
 private:
-  DatasetSchema Schema;
-  std::vector<float> Values;
-  std::vector<uint32_t> Labels;
-};
+  void materializeRowMirror() const;
 
-/// A sorted-ascending set of row indices into some base `Dataset`.
-using RowIndexList = std::vector<uint32_t>;
+  DatasetSchema Schema;
+  /// One contiguous value array per feature; Columns[F][Row] pairs with
+  /// Labels[Row].
+  std::vector<std::vector<float>> Columns;
+  std::vector<uint32_t> Labels;
+  /// Lazy row-major mirror backing the `row()` shim; see `row()`.
+  mutable std::vector<float> RowMirror;
+};
 
 /// Returns [0, Base.numRows()) as a view over the whole dataset.
 RowIndexList allRows(const Dataset &Base);

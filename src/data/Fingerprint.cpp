@@ -79,12 +79,16 @@ DatasetFingerprint antidote::fingerprintDataset(const Dataset &Data) {
       H.word(static_cast<unsigned char>(C));
   }
 
+  // Row-major word order is the on-disk/cache-key contract: walk the column
+  // slices in lockstep instead of materializing the row-major mirror.
   H.section(/*Tag=*/3, Data.numRows());
   const unsigned NumFeatures = Data.numFeatures();
+  std::vector<const float *> Cols(NumFeatures);
+  for (unsigned Feature = 0; Feature < NumFeatures; ++Feature)
+    Cols[Feature] = Data.column(Feature);
   for (unsigned Row = 0; Row < Data.numRows(); ++Row) {
-    const float *Values = Data.row(Row);
     for (unsigned Feature = 0; Feature < NumFeatures; ++Feature)
-      H.word(floatBits(Values[Feature]));
+      H.word(floatBits(Cols[Feature][Row]));
     H.word(Data.label(Row));
   }
   return H.result();

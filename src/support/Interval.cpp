@@ -74,6 +74,24 @@ Interval Interval::clamp(const Interval &Bounds) const {
   return Interval(NewLo, NewHi);
 }
 
+void antidote::joinSlices(const double *ALo, const double *AHi,
+                          const double *BLo, const double *BHi,
+                          double *OutLo, double *OutHi, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    OutLo[I] = std::min(ALo[I], BLo[I]);
+  for (size_t I = 0; I < N; ++I)
+    OutHi[I] = std::max(AHi[I], BHi[I]);
+}
+
+void antidote::meetSlices(const double *ALo, const double *AHi,
+                          const double *BLo, const double *BHi,
+                          double *OutLo, double *OutHi, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    OutLo[I] = std::max(ALo[I], BLo[I]);
+  for (size_t I = 0; I < N; ++I)
+    OutHi[I] = std::min(AHi[I], BHi[I]);
+}
+
 std::string Interval::str() const {
   if (Empty)
     return "[bot]";

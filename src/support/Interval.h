@@ -20,6 +20,7 @@
 #define ANTIDOTE_SUPPORT_INTERVAL_H
 
 #include <cassert>
+#include <cstddef>
 #include <string>
 
 namespace antidote {
@@ -104,6 +105,29 @@ private:
   double Hi;
   bool Empty;
 };
+
+//===----------------------------------------------------------------------===//
+// Slice-wise interval algebra
+//===----------------------------------------------------------------------===//
+//
+// The vectorized kernels keep families of intervals in struct-of-arrays
+// form — one flat `double` slice of lower bounds plus one of upper bounds —
+// instead of arrays of `Interval` objects, so elementwise lattice ops are
+// branch-free min/max loops the compiler can vectorize. Empty elements are
+// not representable in slice form; every element must be a genuine [lo, hi]
+// with lo <= hi (which all probability/score slices guarantee).
+
+/// Elementwise join: `Out{Lo,Hi}[i] = [min(ALo[i], BLo[i]),
+/// max(AHi[i], BHi[i])]` for `i < N`. Output slices may alias A's.
+void joinSlices(const double *ALo, const double *AHi, const double *BLo,
+                const double *BHi, double *OutLo, double *OutHi, size_t N);
+
+/// Elementwise meet: `Out{Lo,Hi}[i] = [max(ALo[i], BLo[i]),
+/// min(AHi[i], BHi[i])]` for `i < N`. An empty intersection surfaces as
+/// `OutLo[i] > OutHi[i]` (the caller's bottom test). Output slices may
+/// alias A's.
+void meetSlices(const double *ALo, const double *AHi, const double *BLo,
+                const double *BHi, double *OutLo, double *OutHi, size_t N);
 
 } // namespace antidote
 

@@ -135,19 +135,41 @@ TEST(OrderedFanoutTest, CancelWakesWorkersParkedAtWindowHorizon) {
 }
 
 TEST(OrderedFanoutTest, CancelRemainingSkipsUnclaimedWork) {
+  // Deterministic version: park both workers on gate tasks submitted
+  // before the fan-out exists, so its helper tasks queue behind them and
+  // no worker can claim a chunk until the gate opens. The consumer then
+  // computes items 0..9 inline (awaitItem's claim-or-compute path),
+  // cancels, and only then opens the gate: the helpers start, observe the
+  // skip flag at the top of drainChunks, and claim nothing. Exactly the
+  // ten awaited items run, on every scheduling.
+  std::mutex GateMutex; // Declared before the pool: workers use the gate.
+  std::condition_variable GateCv;
+  bool GateOpen = false;
   ThreadPool Pool(2);
-  const size_t Count = 100000; // Big enough that cancel lands mid-stream.
+  auto Blocker = [&] {
+    std::unique_lock<std::mutex> Lock(GateMutex);
+    GateCv.wait(Lock, [&] { return GateOpen; });
+  };
+  Pool.submit(Blocker);
+  Pool.submit(Blocker);
+
+  const size_t Count = 100000;
   std::atomic<size_t> ComputeCalls{0};
   {
     OrderedFanout Fanout(&Pool, Count, /*ChunkSize=*/4,
                          [&](size_t) { ComputeCalls.fetch_add(1); });
     for (size_t I = 0; I < 10; ++I)
-      Fanout.awaitItem(I);
+      Fanout.awaitItem(I); // Workers are parked: each runs inline.
     Fanout.cancelRemaining();
-    // Destructor joins the workers' in-flight chunks.
+    {
+      std::lock_guard<std::mutex> Lock(GateMutex);
+      GateOpen = true;
+    }
+    GateCv.notify_all();
+    // Destructor waits for helpers that started; queued ones exit on
+    // entry once they observe teardown.
   }
-  EXPECT_GE(ComputeCalls.load(), 10u);
-  EXPECT_LT(ComputeCalls.load(), Count);
+  EXPECT_EQ(ComputeCalls.load(), 10u);
 }
 
 //===----------------------------------------------------------------------===//
