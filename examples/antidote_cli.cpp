@@ -67,6 +67,7 @@ struct CliOptions {
   bool CacheEnabled = false; ///< --cache-bytes/env seen (or --serve).
   std::string CacheDir;        ///< Persistent certificate store directory.
   bool CacheDirExplicit = false; ///< --cache-dir flag (not just the env twin).
+  bool DeltaSlack = true; ///< Serve from a lineage parent's certificates.
   bool FlipModel = false;
 };
 
@@ -79,7 +80,8 @@ void printUsage() {
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
       "                    [--frontier-jobs N] [--split-jobs N]\n"
-      "                    [--cache-bytes B] [--cache-dir DIR] [--flip]\n\n"
+      "                    [--cache-bytes B] [--cache-dir DIR]\n"
+      "                    [--delta-slack 0|1] [--flip]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -131,7 +133,15 @@ void printUsage() {
       "front,\n"
       "             disk behind; certificates survive restarts and may "
       "be shared\n"
-      "             by several processes; unusable paths error out)\n");
+      "             by several processes; unusable paths error out)\n"
+      "  --delta-slack    ANTIDOTE_DELTA_SLACK    1    delta-tolerant "
+      "serving:\n"
+      "             answer from a lineage parent's certificate when the "
+      "store\n"
+      "             misses under this dataset's own fingerprint (sound "
+      "for\n"
+      "             pure-removal deltas; 0 = exact/range matches only, "
+      "for A/B runs)\n");
 }
 
 /// Applies \p Name as the default for \p Out when the flag was absent.
@@ -160,7 +170,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       !applyUnsignedEnv("ANTIDOTE_SPLIT_JOBS", "all cores", UINT_MAX,
                         Options.SplitJobs) ||
       !applyUnsignedEnv("ANTIDOTE_CACHE_BYTES", "unbounded", UINT64_MAX,
-                        Options.CacheBytes, &Options.CacheEnabled))
+                        Options.CacheBytes, &Options.CacheEnabled) ||
+      !applyUnsignedEnv("ANTIDOTE_DELTA_SLACK", "disabled", 1,
+                        Options.DeltaSlack))
     return false;
   if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
     Options.CacheDir = *Dir;
@@ -248,6 +260,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.CacheDir = Value;
       Options.CacheDirExplicit = true;
       Options.CacheEnabled = true;
+    } else if (Arg == "--delta-slack") {
+      if (!CountFlag(1, Options.DeltaSlack))
+        return false;
     } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -406,6 +421,7 @@ int main(int Argc, char **Argv) {
     ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
     ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
     ServerConfig.Query.SplitJobs = Options.SplitJobs;
+    ServerConfig.Query.DeltaSlack = Options.DeltaSlack;
     ServerConfig.Jobs = Options.Jobs;
     ServerConfig.Backing = DiskStore.get();
     CertServer Server(Train, ServerConfig);
@@ -495,6 +511,7 @@ int main(int Argc, char **Argv) {
   Config.Limits.MaxCacheBytes = Options.CacheBytes;
   Config.FrontierJobs = Options.FrontierJobs;
   Config.SplitJobs = Options.SplitJobs;
+  Config.DeltaSlack = Options.DeltaSlack;
   // Optional certificate store (--cache-bytes / --cache-dir and their
   // env twins): a RAM-only cache is pointless for a one-shot batch with
   // distinct rows but demos the hit path; the two-tier composition with

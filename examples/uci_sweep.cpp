@@ -32,11 +32,12 @@ using namespace antidote;
 
 static void printUsage(const char *Program) {
   std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] [--cache-dir DIR] [dataset-name]\n",
+              "[--cache-bytes B] [--cache-dir DIR] [--delta-slack 0|1] "
+              "[dataset-name]\n",
               Program);
   std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] [--cache-dir DIR] --csv <train.csv> "
-              "<test.csv>\n",
+              "[--cache-bytes B] [--cache-dir DIR] [--delta-slack 0|1] "
+              "--csv <train.csv> <test.csv>\n",
               Program);
   std::printf("knobs (flag beats env-var twin beats default; malformed "
               "values in either error out):\n");
@@ -69,6 +70,16 @@ static void printUsage(const char *Program) {
               "deterministic cells\n"
               "                     from disk; unusable paths error "
               "out\n");
+  std::printf("  --delta-slack 0|1  delta-tolerant serving: answer from "
+              "a lineage\n"
+              "                     parent's certificates when the store "
+              "misses under\n"
+              "                     this dataset's own fingerprint "
+              "(sound for pure-removal\n"
+              "                     deltas; env ANTIDOTE_DELTA_SLACK; "
+              "default 1;\n"
+              "                     0 = exact/range matches only, for "
+              "A/B runs)\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -85,6 +96,7 @@ int main(int Argc, char **Argv) {
   uint64_t CacheBytes = 0;
   bool CacheEnabled = false;
   std::string CacheDir;
+  bool DeltaSlack = true;
   const char *Program = Argv[0];
 
   // Environment twins first (flags override them below); malformed env
@@ -115,6 +127,14 @@ int main(int Argc, char **Argv) {
     CacheDir = *Dir;
     CacheEnabled = true;
   }
+  {
+    EnvNumber Env =
+        readUnsignedEnvReporting("ANTIDOTE_DELTA_SLACK", "disabled", 1);
+    if (Env.Status == EnvNumberStatus::Malformed)
+      return 1;
+    if (Env.Status == EnvNumberStatus::Ok)
+      DeltaSlack = Env.Value != 0;
+  }
 
   // Extract the jobs/cache flags from any position; the remaining
   // arguments keep their historical positional meaning. Values parse
@@ -133,6 +153,21 @@ int main(int Argc, char **Argv) {
       }
       CacheDir = Argv[++I];
       CacheEnabled = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--delta-slack") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --delta-slack needs a value\n");
+        return 1;
+      }
+      std::optional<uint64_t> Parsed = parseUnsignedArg(Argv[++I], 1);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: --delta-slack needs 0 or 1, got '%s'\n",
+                     Argv[I]);
+        return 1;
+      }
+      DeltaSlack = *Parsed != 0;
       continue;
     }
     if (IsJobs || IsFrontier || IsSplit || IsCache) {
@@ -212,6 +247,7 @@ int main(int Argc, char **Argv) {
   Config.Jobs = Jobs;
   Config.FrontierJobs = FrontierJobs;
   Config.SplitJobs = SplitJobs;
+  Config.DeltaSlack = DeltaSlack;
   std::unique_ptr<CertCache> Cache;
   if (CacheEnabled)
     Cache = std::make_unique<CertCache>(Config.InstanceLimits);

@@ -41,8 +41,20 @@ const char *verdictKindName(VerdictKind Kind);
 struct Certificate {
   VerdictKind Kind = VerdictKind::Unknown;
 
-  /// The n of ∆n(T) this certificate speaks about.
+  /// The n of ∆n(T) this certificate speaks about — the budget of the
+  /// *query* it answers.
   uint32_t PoisoningBudget = 0;
+
+  /// The radius the underlying proof actually ran at. A fresh
+  /// verification sets this equal to `PoisoningBudget`; a range- or
+  /// slack-served answer keeps the stored proof's radius and rewrites
+  /// only `PoisoningBudget` to the queried n. The two differing is how
+  /// a client (or test) can tell a served answer rests on a wider
+  /// certificate: a Robust verdict is backed by a proof at
+  /// `CertifiedRadius >= PoisoningBudget` (monotonicity: ∆n ⊆ ∆N for
+  /// n <= N), an Unknown by a failed attempt at
+  /// `CertifiedRadius <= PoisoningBudget`.
+  uint32_t CertifiedRadius = 0;
 
   /// Learner parameters the proof is relative to.
   unsigned Depth = 0;

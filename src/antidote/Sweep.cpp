@@ -41,6 +41,7 @@ public:
     QueryConfig.SplitJobs = Config.SplitJobs;
     QueryConfig.FrontierPool = FrontierPool;
     QueryConfig.Cache = Config.Cache;
+    QueryConfig.DeltaSlack = Config.DeltaSlack;
   }
 
   SweepSeries run() {

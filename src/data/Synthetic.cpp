@@ -124,8 +124,11 @@ TrainTestSplit antidote::makeMammographicLike(uint64_t Seed) {
     bool Malignant = I >= 427;
     PendingRow Row;
     Row.Label = Malignant ? 1 : 0;
+    // Move-assignment of a fresh vector, not initializer-list assign:
+    // GCC 12's -O3 -Wnonnull misfires on assign()'s memmove from the
+    // list's backing array.
     if (!Malignant) {
-      Row.Features = {
+      Row.Features = std::vector<float>{
           ordinal(R, 3.7, 0.8, 1, 5),            // BI-RADS
           ordinal(R, 52.0, 14.0, 18, 96),        // age
           ordinal(R, 1.9, 1.0, 1, 4),            // shape
@@ -133,7 +136,7 @@ TrainTestSplit antidote::makeMammographicLike(uint64_t Seed) {
           ordinal(R, 2.9, 0.4, 1, 4),            // density
       };
     } else {
-      Row.Features = {
+      Row.Features = std::vector<float>{
           ordinal(R, 4.8, 0.7, 1, 5),
           ordinal(R, 63.0, 12.0, 18, 96),
           ordinal(R, 3.4, 0.9, 1, 4),

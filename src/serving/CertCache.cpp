@@ -7,6 +7,7 @@
 
 #include "serving/CertCache.h"
 
+#include <cassert>
 #include <cstdio>
 
 using namespace antidote;
@@ -17,17 +18,20 @@ std::string antidote::formatCacheStats(const CertCacheStats &Stats,
   if (MaxBytes)
     std::snprintf(Budget, sizeof(Budget), "%llu",
                   static_cast<unsigned long long>(MaxBytes));
-  char Buf[224];
+  char Buf[256];
+  // The trailing "range: N hits" clause is a grep target of the CI
+  // persistence smoke — keep its spelling stable.
   std::snprintf(Buf, sizeof(Buf),
                 "%llu hit%s, %llu misses, %llu evictions, %llu declined; "
-                "%llu entries, %llu bytes live (budget %s)",
+                "%llu entries, %llu bytes live (budget %s); range: %llu hits",
                 static_cast<unsigned long long>(Stats.Hits),
                 Stats.Hits == 1 ? "" : "s",
                 static_cast<unsigned long long>(Stats.Misses),
                 static_cast<unsigned long long>(Stats.Evictions),
                 static_cast<unsigned long long>(Stats.Declined),
                 static_cast<unsigned long long>(Stats.LiveEntries),
-                static_cast<unsigned long long>(Stats.LiveBytes), Budget);
+                static_cast<unsigned long long>(Stats.LiveBytes), Budget,
+                static_cast<unsigned long long>(Stats.RangeHits));
   return Buf;
 }
 
@@ -53,15 +57,41 @@ bool CertCache::lookup(const DatasetFingerprint &Data, const float *X,
   StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
   std::lock_guard<std::mutex> Guard(Mutex);
   auto It = Entries.find(K);
-  if (It == Entries.end()) {
-    ++Stats.Misses;
-    return false;
+  if (It != Entries.end()) {
+    // Touch: move to the MRU end.
+    Lru.splice(Lru.begin(), Lru, It->second.LruIt);
+    ++Stats.Hits;
+    Out = It->second.Cert;
+    return true;
   }
-  // Touch: move to the MRU end.
-  Lru.splice(Lru.begin(), Lru, It->second.LruIt);
-  ++Stats.Hits;
-  Out = It->second.Cert;
-  return true;
+  // Exact miss: radius-range probe. Prefer Robust (the informative
+  // verdict): the tightest stored proof at radius >= n; else fall back
+  // to the widest failed attempt at radius <= n.
+  auto RIt = RangeIndex.find(rangeBaseKey(K));
+  if (RIt != RangeIndex.end()) {
+    const StoreKey *Found = nullptr;
+    auto Rob = RIt->second.Robust.lower_bound(PoisoningBudget);
+    if (Rob != RIt->second.Robust.end()) {
+      Found = Rob->second;
+    } else {
+      auto Unk = RIt->second.Unknown.upper_bound(PoisoningBudget);
+      if (Unk != RIt->second.Unknown.begin())
+        Found = std::prev(Unk)->second;
+    }
+    if (Found) {
+      auto EIt = Entries.find(*Found);
+      assert(EIt != Entries.end() && "range index out of lockstep");
+      Lru.splice(Lru.begin(), Lru, EIt->second.LruIt);
+      ++Stats.RangeHits;
+      Out = EIt->second.Cert;
+      // The stored proof keeps its radius; only the answered budget
+      // is rewritten (see the header's range invariant).
+      Out.PoisoningBudget = PoisoningBudget;
+      return true;
+    }
+  }
+  ++Stats.Misses;
+  return false;
 }
 
 void CertCache::store(const DatasetFingerprint &Data, const float *X,
@@ -86,6 +116,7 @@ void CertCache::store(const DatasetFingerprint &Data, const float *X,
   It->second.Cert = Cert;
   It->second.Bytes = Bytes;
   It->second.LruIt = Lru.begin();
+  registerRangeLocked(It->first, Cert);
   Stats.LiveBytes += Bytes;
   ++Stats.LiveEntries;
   ++Stats.Insertions;
@@ -94,10 +125,40 @@ void CertCache::store(const DatasetFingerprint &Data, const float *X,
       evictOneLocked();
 }
 
+void CertCache::registerRangeLocked(const StoreKey &K,
+                                    const Certificate &Cert) {
+  // Only original proofs enter the range index (see RangeSlot): a
+  // promotion of a range-served answer carries a CertifiedRadius
+  // different from its key's budget and is exact-serving only.
+  if (Cert.CertifiedRadius != K.PoisoningBudget)
+    return;
+  RangeSlot &Slot = RangeIndex[rangeBaseKey(K)];
+  if (Cert.Kind == VerdictKind::Robust)
+    Slot.Robust.emplace(Cert.CertifiedRadius, &K);
+  else if (Cert.Kind == VerdictKind::Unknown)
+    Slot.Unknown.emplace(Cert.CertifiedRadius, &K);
+}
+
+void CertCache::unregisterRangeLocked(const StoreKey &K,
+                                      const Certificate &Cert) {
+  if (Cert.CertifiedRadius != K.PoisoningBudget)
+    return;
+  auto RIt = RangeIndex.find(rangeBaseKey(K));
+  if (RIt == RangeIndex.end())
+    return;
+  if (Cert.Kind == VerdictKind::Robust)
+    RIt->second.Robust.erase(Cert.CertifiedRadius);
+  else if (Cert.Kind == VerdictKind::Unknown)
+    RIt->second.Unknown.erase(Cert.CertifiedRadius);
+  if (RIt->second.Robust.empty() && RIt->second.Unknown.empty())
+    RangeIndex.erase(RIt);
+}
+
 void CertCache::evictOneLocked() {
   const StoreKey *Victim = Lru.back();
   Lru.pop_back();
   auto It = Entries.find(*Victim);
+  unregisterRangeLocked(It->first, It->second.Cert);
   Stats.LiveBytes -= It->second.Bytes;
   --Stats.LiveEntries;
   ++Stats.Evictions;
@@ -113,6 +174,7 @@ void CertCache::clear() {
   std::lock_guard<std::mutex> Guard(Mutex);
   Lru.clear();
   Entries.clear();
+  RangeIndex.clear();
   Stats.LiveBytes = 0;
   Stats.LiveEntries = 0;
 }

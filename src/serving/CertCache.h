@@ -26,6 +26,13 @@
 ///    discipline lives in serving/StoreKey.h, shared with the on-disk
 ///    tier: scheduling knobs never split the key, so a serial client
 ///    hits entries a 64-thread sweep populated, and vice versa.
+///  - **Range-served ≡ sound.** When the exact key misses, a
+///    radius-range probe (serving/StoreKey.h `rangeServes`) may serve
+///    a Robust certificate proven at a *wider* radius or an Unknown
+///    attempt that failed at a *narrower* one — both monotone-sound,
+///    counted as `RangeHits`, and returned with `PoisoningBudget`
+///    rewritten to the queried n while `CertifiedRadius` keeps naming
+///    the stored proof. Exact hits stay verbatim.
 ///  - **Byte-budgeted.** Every entry is charged its approximate resident
 ///    footprint — the key (query vector included), the certificate, and
 ///    the map/list node overhead, so the charge can never undercount to
@@ -47,6 +54,7 @@
 #include "serving/StoreKey.h"
 
 #include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -58,8 +66,10 @@ namespace antidote {
 /// the serving smoke tests. A consistent snapshot is taken under the
 /// cache's mutex.
 struct CertCacheStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
+  uint64_t Hits = 0;   ///< Exact-key hits.
+  uint64_t Misses = 0; ///< Neither an exact nor a range entry served.
+  uint64_t RangeHits = 0; ///< Served by the radius-range rule
+                          ///< (serving/StoreKey.h `rangeServes`).
   uint64_t Insertions = 0;
   uint64_t Evictions = 0;
   uint64_t Declined = 0; ///< Stores rejected (entry alone over budget).
@@ -122,8 +132,24 @@ private:
     std::list<const StoreKey *>::iterator LruIt;
   };
 
+  /// Radius-ordered views of the entries sharing one budget-agnostic
+  /// base key (serving/StoreKey.h `rangeBaseKey`): proof radius ->
+  /// the entry's map key. Only *original* proofs — entries whose
+  /// `CertifiedRadius` equals their key's budget — are registered, so
+  /// a radius names at most one entry (a range-served promotion keyed
+  /// under the queried budget would alias the original's radius and
+  /// adds no serving power the original lacks).
+  struct RangeSlot {
+    std::map<uint32_t, const StoreKey *> Robust;  ///< Serve n <= radius.
+    std::map<uint32_t, const StoreKey *> Unknown; ///< Serve n >= radius.
+  };
+
   /// Pops the LRU tail. Caller holds the mutex.
   void evictOneLocked();
+
+  /// Range-index maintenance for one entry; callers hold the mutex.
+  void registerRangeLocked(const StoreKey &K, const Certificate &Cert);
+  void unregisterRangeLocked(const StoreKey &K, const Certificate &Cert);
 
   const uint64_t MaxBytes;
 
@@ -132,6 +158,9 @@ private:
   /// (unordered_map never moves its elements, only its buckets).
   std::list<const StoreKey *> Lru;
   std::unordered_map<StoreKey, Slot, StoreKeyHash> Entries;
+  /// Base key (budget zeroed) -> radius-sorted entry views; kept in
+  /// lockstep with `Entries` by store/evict/clear.
+  std::unordered_map<StoreKey, RangeSlot, StoreKeyHash> RangeIndex;
   CertCacheStats Stats;
 };
 

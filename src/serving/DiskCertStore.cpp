@@ -10,6 +10,7 @@
 #include "support/BitHash.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -148,6 +149,8 @@ void writePayload(ByteWriter &W, const StoreKey &K, const Certificate &Cert) {
   W.u64(Cert.PeakStateBytes);
   W.u32(Cert.BestSplitCalls);
   W.u64(doubleBits(Cert.Seconds));
+  // FormatVersion 2: the proof radius the range index serves from.
+  W.u32(Cert.CertifiedRadius);
 }
 
 bool readPayload(const uint8_t *Payload, size_t PayloadBytes, StoreKey &K,
@@ -185,6 +188,7 @@ bool readPayload(const uint8_t *Payload, size_t PayloadBytes, StoreKey &K,
   Cert.PeakStateBytes = R.u64();
   Cert.BestSplitCalls = R.u32();
   Cert.Seconds = doubleFromBits(R.u64());
+  Cert.CertifiedRadius = R.u32();
   // The whole payload must be consumed (trailing bytes mean a format
   // skew the version header should have caught), and only verdicts the
   // write side may persist are accepted back — the read-side twin of
@@ -414,11 +418,14 @@ private:
 } // namespace
 
 std::string antidote::formatDiskStoreStats(const DiskCertStoreStats &Stats) {
-  char Buf[256];
+  char Buf[288];
+  // The trailing "range: N hits" clause is a grep target of the CI
+  // persistence smoke — keep its spelling stable.
   std::snprintf(
       Buf, sizeof(Buf),
       "%llu hit%s, %llu misses; %llu records in %llu segment%s "
-      "(%llu bytes); %llu appended, %llu duplicates, %llu corrupt skipped",
+      "(%llu bytes); %llu appended, %llu duplicates, %llu corrupt skipped; "
+      "range: %llu hits",
       static_cast<unsigned long long>(Stats.Hits), Stats.Hits == 1 ? "" : "s",
       static_cast<unsigned long long>(Stats.Misses),
       static_cast<unsigned long long>(Stats.LiveRecords),
@@ -428,7 +435,8 @@ std::string antidote::formatDiskStoreStats(const DiskCertStoreStats &Stats) {
       static_cast<unsigned long long>(Stats.Appends),
       static_cast<unsigned long long>(Stats.DuplicateRecords +
                                       Stats.DuplicatesDeclined),
-      static_cast<unsigned long long>(Stats.CorruptSkipped));
+      static_cast<unsigned long long>(Stats.CorruptSkipped),
+      static_cast<unsigned long long>(Stats.RangeHits));
   return Buf;
 }
 
@@ -530,16 +538,18 @@ bool DiskCertStore::loadLocked(std::string &Error) {
     ++Stats.Segments;
     KnownSegments.push_back(Id);
     SegmentWalk Walk = walkSegmentRecords(
-        Bytes, [&](StoreKey &&Key, const Certificate &, size_t Offset,
+        Bytes, [&](StoreKey &&Key, const Certificate &Cert, size_t Offset,
                    uint32_t PayloadBytes, uint64_t Checksum) {
           RecordRef Ref;
           Ref.Segment = Id;
           Ref.PayloadOffset = Offset + RecordHeaderBytes;
           Ref.PayloadBytes = PayloadBytes;
           Ref.Checksum = Checksum;
+          Ref.Kind = Cert.Kind;
+          Ref.CertifiedRadius = Cert.CertifiedRadius;
           auto [It, Inserted] = Index.try_emplace(std::move(Key), Ref);
-          (void)It;
           if (Inserted) {
+            registerRangeLocked(It->first, Ref);
             ++Stats.LiveRecords;
             Stats.LiveBytes += RecordHeaderBytes + PayloadBytes;
           } else {
@@ -611,15 +621,82 @@ DiskCertStore::readPayloadLocked(const RecordRef &Ref,
   return ReadStatus::Ok;
 }
 
+void DiskCertStore::registerRangeLocked(const StoreKey &K,
+                                        const RecordRef &Ref) {
+  // Only original proofs enter the range index — same rule as the RAM
+  // tier (serving/CertCache.cpp): a write-through of a range- or
+  // slack-served answer has CertifiedRadius != budget and serves its
+  // exact key only.
+  if (Ref.CertifiedRadius != K.PoisoningBudget)
+    return;
+  RangeSlot &Slot = RangeIndex[rangeBaseKey(K)];
+  if (Ref.Kind == VerdictKind::Robust)
+    Slot.Robust.emplace(Ref.CertifiedRadius, &K);
+  else if (Ref.Kind == VerdictKind::Unknown)
+    Slot.Unknown.emplace(Ref.CertifiedRadius, &K);
+}
+
+void DiskCertStore::unregisterRangeLocked(const StoreKey &K,
+                                          const RecordRef &Ref) {
+  if (Ref.CertifiedRadius != K.PoisoningBudget)
+    return;
+  auto RIt = RangeIndex.find(rangeBaseKey(K));
+  if (RIt == RangeIndex.end())
+    return;
+  if (Ref.Kind == VerdictKind::Robust)
+    RIt->second.Robust.erase(Ref.CertifiedRadius);
+  else if (Ref.Kind == VerdictKind::Unknown)
+    RIt->second.Unknown.erase(Ref.CertifiedRadius);
+  if (RIt->second.Robust.empty() && RIt->second.Unknown.empty())
+    RangeIndex.erase(RIt);
+}
+
+void DiskCertStore::dropDeadEntryLocked(
+    std::unordered_map<StoreKey, RecordRef, StoreKeyHash>::iterator It) {
+  // Permanently unreadable or not the record we indexed: drop the
+  // dead entry — leaving it would also make `store` decline the
+  // re-verified certificate as a "duplicate", pinning the key in a
+  // never-served state for the rest of the process.
+  unregisterRangeLocked(It->first, It->second);
+  Stats.LiveBytes -= std::min<uint64_t>(
+      Stats.LiveBytes, RecordHeaderBytes + It->second.PayloadBytes);
+  --Stats.LiveRecords;
+  Index.erase(It);
+  ++Stats.CorruptSkipped;
+}
+
 bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
                            unsigned NumFeatures, uint32_t PoisoningBudget,
                            const VerifierConfig &Config, Certificate &Out) {
   StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
   std::lock_guard<std::mutex> Guard(Mutex);
   auto It = Index.find(K);
+  bool Ranged = false;
   if (It == Index.end()) {
-    ++Stats.Misses;
-    return false;
+    // Exact miss: radius-range probe, same preference order as the RAM
+    // tier — the tightest stored Robust proof at radius >= n, else the
+    // widest failed attempt at radius <= n.
+    auto RIt = RangeIndex.find(rangeBaseKey(K));
+    if (RIt != RangeIndex.end()) {
+      const StoreKey *Found = nullptr;
+      auto Rob = RIt->second.Robust.lower_bound(PoisoningBudget);
+      if (Rob != RIt->second.Robust.end()) {
+        Found = Rob->second;
+      } else {
+        auto Unk = RIt->second.Unknown.upper_bound(PoisoningBudget);
+        if (Unk != RIt->second.Unknown.begin())
+          Found = std::prev(Unk)->second;
+      }
+      if (Found) {
+        It = Index.find(*Found);
+        assert(It != Index.end() && "range index out of lockstep");
+        Ranged = true;
+      }
+    }
+    if (It == Index.end()) {
+      ++Stats.Misses;
+      return false;
+    }
   }
   std::vector<uint8_t> Payload;
   StoreKey StoredKey;
@@ -638,21 +715,21 @@ bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
   if (Status == ReadStatus::Gone ||
       fnv1a64(Payload.data(), Payload.size()) != It->second.Checksum ||
       !readPayload(Payload.data(), Payload.size(), StoredKey, Cert) ||
-      StoredKey != K) {
-    // Permanently unreadable or not the record we indexed: drop the
-    // dead entry — leaving it would also make `store` decline the
-    // re-verified certificate as a "duplicate", pinning the key in a
-    // never-served state for the rest of the process.
-    Stats.LiveBytes -=
-        std::min<uint64_t>(Stats.LiveBytes,
-                           RecordHeaderBytes + It->second.PayloadBytes);
-    --Stats.LiveRecords;
-    Index.erase(It);
-    ++Stats.CorruptSkipped;
+      StoredKey != It->first ||
+      (Ranged && !rangeServes(Cert.Kind, Cert.CertifiedRadius,
+                              PoisoningBudget))) {
+    dropDeadEntryLocked(It);
     ++Stats.Misses;
     return false;
   }
-  ++Stats.Hits;
+  if (Ranged) {
+    ++Stats.RangeHits;
+    // The stored proof keeps its radius; only the answered budget is
+    // rewritten (CertificateStore range contract, antidote/Verifier.h).
+    Cert.PoisoningBudget = PoisoningBudget;
+  } else {
+    ++Stats.Hits;
+  }
   Out = Cert;
   return true;
 }
@@ -764,7 +841,11 @@ void DiskCertStore::store(const DatasetFingerprint &Data, const float *X,
     return; // The store may decline (CertificateStore contract).
   Ref.Checksum = fnv1a64(Record.data() + RecordHeaderBytes,
                          Record.size() - RecordHeaderBytes);
-  Index.emplace(std::move(K), Ref);
+  Ref.Kind = Cert.Kind;
+  Ref.CertifiedRadius = Cert.CertifiedRadius;
+  auto [It, Inserted] = Index.emplace(std::move(K), Ref);
+  if (Inserted)
+    registerRangeLocked(It->first, Ref);
   ++Stats.Appends;
   ++Stats.LiveRecords;
   Stats.LiveBytes += Record.size();
@@ -852,6 +933,8 @@ bool DiskCertStore::compact(std::string *Error) {
       NewRef.PayloadBytes =
           static_cast<uint32_t>(Record.size() - RecordHeaderBytes);
       NewRef.Checksum = Checksum;
+      NewRef.Kind = Cert.Kind;
+      NewRef.CertifiedRadius = Cert.CertifiedRadius;
       NewIndex.emplace(std::move(Key), NewRef);
       NewBytes += Record.size();
     });
@@ -884,6 +967,9 @@ bool DiskCertStore::compact(std::string *Error) {
     ::unlink(segmentPath(Id).c_str());
 
   Index = std::move(NewIndex);
+  RangeIndex.clear();
+  for (const auto &[Key, Ref] : Index)
+    registerRangeLocked(Key, Ref);
   KnownSegments = {NewSegment};
   AppendSegment = NewSegment;
   Stats.Segments = 1;

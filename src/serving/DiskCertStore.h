@@ -14,7 +14,7 @@
 /// structurally impossible — a rebuilt or edited training set changes
 /// the fingerprint, and the old records simply never match again.
 ///
-/// ## On-disk format (FormatVersion 1)
+/// ## On-disk format (FormatVersion 2)
 ///
 /// A store directory holds a `LOCK` file plus append-only segments
 /// `seg-NNNNNN.antcert`. Each segment starts with an 8-byte header
@@ -26,6 +26,12 @@
 ///     payload: serialized StoreKey, then the Certificate, both as
 ///              fixed-width little-endian fields with floats/doubles
 ///              stored as their bit patterns (support/BitHash.h policy)
+///
+/// FormatVersion 2 appended the certificate's `CertifiedRadius` (u32)
+/// to the payload — the field the radius-range index serves from —
+/// and, per the invalidation story below, version-1 segments are
+/// skipped wholesale on open and reclaimed by the next compaction
+/// (their certificates are simply re-verified; always sound).
 ///
 /// Every multi-byte field is explicitly little-endian; a record is
 /// written with a single `write(2)` call, so a crash can only leave a
@@ -77,6 +83,7 @@
 
 #include "serving/StoreKey.h"
 
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -94,8 +101,10 @@ struct DiskCertStoreOptions {
 /// Monotonic counters plus the live footprint; a consistent snapshot is
 /// taken under the store's mutex.
 struct DiskCertStoreStats {
-  uint64_t Hits = 0;
-  uint64_t Misses = 0;
+  uint64_t Hits = 0;   ///< Exact-key hits.
+  uint64_t Misses = 0; ///< Neither an exact nor a range record served.
+  uint64_t RangeHits = 0; ///< Served by the radius-range rule
+                          ///< (serving/StoreKey.h `rangeServes`).
   uint64_t Appends = 0;            ///< Records this handle wrote.
   uint64_t DuplicatesDeclined = 0; ///< Stores skipped: key already on disk.
   uint64_t Declined = 0;           ///< Stores refused (non-deterministic verdict).
@@ -124,8 +133,8 @@ class DiskCertStore final : public CertificateStore {
 public:
   /// Bump on any record/segment layout change: old segments are then
   /// skipped wholesale on open (never half-parsed) and reclaimed by the
-  /// next compaction.
-  static constexpr uint32_t FormatVersion = 1;
+  /// next compaction. 2 = CertifiedRadius joined the payload.
+  static constexpr uint32_t FormatVersion = 2;
 
   /// `open` either yields a store or a human-readable reason it could
   /// not (unwritable directory, lock failure, ...). Skipped corrupt
@@ -179,6 +188,19 @@ private:
     /// just read — post-open bit rot degrades to a miss, never to a
     /// wrong certificate.
     uint64_t Checksum = 0;
+    /// Mirrored from the record so the range index can be maintained
+    /// (and a dead entry unregistered) without re-reading the payload.
+    VerdictKind Kind = VerdictKind::Unknown;
+    uint32_t CertifiedRadius = 0;
+  };
+
+  /// Radius-ordered views of the records sharing one budget-agnostic
+  /// base key — the same structure (and registration rule: original
+  /// proofs only, radius == key budget) as the RAM tier's; see
+  /// serving/CertCache.h `RangeSlot`.
+  struct RangeSlot {
+    std::map<uint32_t, const StoreKey *> Robust;
+    std::map<uint32_t, const StoreKey *> Unknown;
   };
 
   DiskCertStore(std::string Dir, const DiskCertStoreOptions &Options)
@@ -214,6 +236,16 @@ private:
 
   void closeFdsLocked();
 
+  /// Range-index maintenance for one index entry (\p K must point into
+  /// `Index`); callers hold the mutex.
+  void registerRangeLocked(const StoreKey &K, const RecordRef &Ref);
+  void unregisterRangeLocked(const StoreKey &K, const RecordRef &Ref);
+
+  /// Drops a permanently unreadable index entry (stats + range index);
+  /// caller holds the mutex. \p It must be valid.
+  void dropDeadEntryLocked(
+      std::unordered_map<StoreKey, RecordRef, StoreKeyHash>::iterator It);
+
   const std::string Dir;
   const DiskCertStoreOptions Options;
 
@@ -222,6 +254,9 @@ private:
   int AppendFd = -1; ///< Current append segment, O_APPEND.
   uint32_t AppendSegment = 0;
   std::unordered_map<StoreKey, RecordRef, StoreKeyHash> Index;
+  /// Base key (budget zeroed) -> radius-sorted record views; kept in
+  /// lockstep with `Index` by load/store/compact and dead-entry drops.
+  std::unordered_map<StoreKey, RangeSlot, StoreKeyHash> RangeIndex;
   std::unordered_map<uint32_t, int> ReadFds;
   std::vector<uint32_t> KnownSegments; ///< Readable, ascending.
   DiskCertStoreStats Stats;

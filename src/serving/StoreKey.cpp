@@ -67,3 +67,24 @@ StoreKey antidote::makeStoreKey(const DatasetFingerprint &Data,
   K.MaxStateBytes = Config.Limits.MaxStateBytes;
   return K;
 }
+
+StoreKey antidote::rangeBaseKey(const StoreKey &K) {
+  StoreKey Base = K;
+  Base.PoisoningBudget = 0;
+  return Base;
+}
+
+bool antidote::rangeServes(VerdictKind Kind, uint32_t CertifiedRadius,
+                          uint32_t QueryBudget) {
+  switch (Kind) {
+  case VerdictKind::Robust:
+    return CertifiedRadius >= QueryBudget;
+  case VerdictKind::Unknown:
+    return CertifiedRadius <= QueryBudget;
+  case VerdictKind::Timeout:
+  case VerdictKind::ResourceLimit:
+  case VerdictKind::Cancelled:
+    return false; // Exact-match only (and Timeout/Cancelled never stored).
+  }
+  return false;
+}

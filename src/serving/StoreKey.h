@@ -73,6 +73,33 @@ StoreKey makeStoreKey(const DatasetFingerprint &Data, const float *X,
                       unsigned NumFeatures, uint32_t PoisoningBudget,
                       const VerifierConfig &Config);
 
+/// The budget-agnostic base of \p K: the same key with
+/// `PoisoningBudget` zeroed. The range indexes in `CertCache` and
+/// `DiskCertStore` group their entries under base keys, so one probe
+/// finds every stored proof radius for the same (dataset, query,
+/// config) and the radius-range rule below picks a serving one.
+StoreKey rangeBaseKey(const StoreKey &K);
+
+/// The radius-range serving rule, shared by both store tiers (and
+/// their tests): may a certificate of kind \p Kind proven at
+/// \p CertifiedRadius answer a query at \p QueryBudget?
+///
+///  - Robust at N serves any n <= N: ∆n(T) ⊆ ∆N(T), so a prediction
+///    invariant across the larger family is invariant across the
+///    smaller (paper §4.1's concretization is anti-monotone in n).
+///  - Unknown at N serves any n >= N: the abstraction failed to prove
+///    at N, and widening the radius only loses precision, so the
+///    failed attempt stands in for the wider one (it claims nothing,
+///    hence is vacuously sound either way).
+///  - ResourceLimit serves only its exact budget: the resource
+///    accounting is budget-specific and neither direction transfers.
+///
+/// Exact matches (CertifiedRadius == QueryBudget) are handled by the
+/// plain key lookup before any range probe, so this rule only decides
+/// the strict cross-radius cases.
+bool rangeServes(VerdictKind Kind, uint32_t CertifiedRadius,
+                 uint32_t QueryBudget);
+
 } // namespace antidote
 
 #endif // ANTIDOTE_SERVING_STOREKEY_H

@@ -31,6 +31,16 @@
 /// written by any process is addressable by every other process sharing
 /// the store directory.
 ///
+/// Radius-range serving lives *inside* each tier (the same rule both
+/// sides of serving/StoreKey.h `rangeServes`), so this facade needs no
+/// range logic of its own. One subtlety is free by construction: when a
+/// disk *range* hit is promoted, it is stored under the queried budget
+/// but carries the original proof's `CertifiedRadius` (≠ that budget),
+/// so the RAM tier's registration rule (original proofs only) keeps it
+/// out of the RAM range index — promoted range answers serve exact
+/// repeats only, and every range probe keeps resolving against original
+/// proofs. No radius collision, no double counting.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANTIDOTE_SERVING_TIEREDSTORE_H

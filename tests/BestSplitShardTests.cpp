@@ -118,10 +118,11 @@ TEST(BestSplitShardTest, ConcreteBestSplitBitIdenticalAcrossSplitJobs) {
           bestSplit(Ctx, Rows, Pool.get(), Jobs);
       ASSERT_EQ(Serial.has_value(), Sharded.has_value())
           << "trial " << Trial << ", SplitJobs=" << Jobs;
-      if (Serial)
+      if (Serial) {
         EXPECT_TRUE(*Serial == *Sharded)
             << "trial " << Trial << ", SplitJobs=" << Jobs << ": "
             << Serial->str() << " vs " << Sharded->str();
+      }
     }
   }
 }

@@ -28,6 +28,7 @@ namespace {
 void expectIdenticalCertificates(const Certificate &A, const Certificate &B) {
   EXPECT_EQ(A.Kind, B.Kind);
   EXPECT_EQ(A.PoisoningBudget, B.PoisoningBudget);
+  EXPECT_EQ(A.CertifiedRadius, B.CertifiedRadius);
   EXPECT_EQ(A.Depth, B.Depth);
   EXPECT_EQ(A.Domain, B.Domain);
   EXPECT_EQ(A.ConcretePrediction, B.ConcretePrediction);
@@ -119,10 +120,21 @@ TEST(CertCacheTest, ResultRelevantKnobsSplitEntries) {
 
   VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
   Config.Cache = &Cache;
-  V.verify(X, 2, Config);
+  Certificate Stored = V.verify(X, 2, Config);
 
-  // Different budget, depth, domain, or limits: all must miss.
-  V.verify(X, 3, Config);
+  // A different budget is no longer a plain miss: the radius-range index
+  // covers it when the verdict lattice allows. Here the stored verdict
+  // at radius 2 is Unknown, which answers the *wider* budget 3 a
+  // fortiori — served as a range hit, not an exact one.
+  ASSERT_EQ(Stored.Kind, VerdictKind::Unknown);
+  Certificate RangeServed = V.verify(X, 3, Config);
+  EXPECT_EQ(RangeServed.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(RangeServed.PoisoningBudget, 3u);
+  EXPECT_EQ(RangeServed.CertifiedRadius, 2u);
+  EXPECT_EQ(Cache.stats().RangeHits, 1u);
+
+  // Depth, domain, limits: all result-relevant, all must miss — the
+  // range rule never crosses them (they change the base key).
   VerifierConfig Deeper = Config;
   Deeper.Depth = 3;
   V.verify(X, 2, Deeper);
@@ -141,7 +153,8 @@ TEST(CertCacheTest, ResultRelevantKnobsSplitEntries) {
 
   CertCacheStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits, 0u);
-  EXPECT_EQ(Stats.Misses, 7u);
+  EXPECT_EQ(Stats.RangeHits, 1u);
+  EXPECT_EQ(Stats.Misses, 6u);
 }
 
 TEST(CertCacheTest, SchedulingKnobsShareEntries) {
@@ -415,4 +428,196 @@ TEST(CertCacheTest, ConcurrentBatchWorkersShareOneCache) {
   CertCacheStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits + Stats.Misses, Inputs.size());
   EXPECT_GE(Stats.Misses, 16u); // At least one cold run per point.
+}
+
+//===----------------------------------------------------------------------===//
+// Radius-range lookup: the serving lattice (Robust down, Unknown up)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A synthetic *original* proof at \p Radius: `CertifiedRadius` equals the
+/// key's budget, so storing it registers it in the range index.
+Certificate makeProof(VerdictKind Kind, uint32_t Radius,
+                      size_t NumTerminals = 1) {
+  Certificate Cert;
+  Cert.Kind = Kind;
+  Cert.PoisoningBudget = Radius;
+  Cert.CertifiedRadius = Radius;
+  Cert.NumTerminals = NumTerminals;
+  return Cert;
+}
+
+DatasetFingerprint someFingerprint() {
+  DatasetFingerprint FP;
+  FP.Hi = 0x1234;
+  FP.Lo = 0x5678;
+  return FP;
+}
+
+} // namespace
+
+TEST(CertCacheRangeTest, RobustServesEveryNarrowerBudget) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+
+  for (uint32_t N = 0; N <= 4; ++N) {
+    Certificate Out;
+    ASSERT_TRUE(Cache.lookup(FP, X, 1, N, Config, Out)) << "budget " << N;
+    EXPECT_EQ(Out.Kind, VerdictKind::Robust);
+    EXPECT_EQ(Out.PoisoningBudget, N);    // Rewritten to the queried n.
+    EXPECT_EQ(Out.CertifiedRadius, 5u);   // Still names the stored proof.
+  }
+
+  // The stored budget itself is an exact hit, not a range one; anything
+  // wider than the proof is a miss.
+  Certificate Out;
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 5, Config, Out));
+  EXPECT_EQ(Out.PoisoningBudget, 5u);
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 6, Config, Out));
+
+  CertCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.RangeHits, 5u);
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+TEST(CertCacheRangeTest, UnknownServesEveryWiderBudget) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 5, Config, makeProof(VerdictKind::Unknown, 5));
+
+  Certificate Out;
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 7, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(Out.PoisoningBudget, 7u);
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+
+  // Narrower budgets are not covered: the abstraction might succeed there.
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 3, Config, Out));
+
+  CertCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.RangeHits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+TEST(CertCacheRangeTest, TightestCoveringRobustProofServes) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 5, Config,
+              makeProof(VerdictKind::Robust, 5, /*NumTerminals=*/55));
+  Cache.store(FP, X, 1, 9, Config,
+              makeProof(VerdictKind::Robust, 9, /*NumTerminals=*/99));
+
+  Certificate Out;
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u); // Tightest covering proof wins.
+  EXPECT_EQ(Out.NumTerminals, 55u);
+
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 7, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 9u);
+  EXPECT_EQ(Out.NumTerminals, 99u);
+}
+
+TEST(CertCacheRangeTest, RobustPreferredOverUnknownFallback) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 2, Config, makeProof(VerdictKind::Unknown, 2));
+  Cache.store(FP, X, 1, 6, Config, makeProof(VerdictKind::Robust, 6));
+
+  // Both entries could serve n=4 (Unknown@2 goes up, Robust@6 comes
+  // down); the informative verdict wins.
+  Certificate Out;
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 4, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Robust);
+  EXPECT_EQ(Out.CertifiedRadius, 6u);
+
+  // Beyond the widest Robust proof only the failed attempt remains.
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 7, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(Out.CertifiedRadius, 2u);
+
+  // Below the failed attempt with no covering proof... Robust@6 still
+  // covers n=1, so it serves; this pins the lower_bound probe.
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 1, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Robust);
+}
+
+TEST(CertCacheRangeTest, ResourceLimitVerdictsServeExactOnly) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 5, Config, makeProof(VerdictKind::ResourceLimit, 5));
+
+  Certificate Out;
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 4, Config, Out));
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 6, Config, Out));
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 5, Config, Out));
+  EXPECT_EQ(Cache.stats().RangeHits, 0u);
+}
+
+TEST(CertCacheRangeTest, PromotedOffBudgetEntryServesExactOnly) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+
+  // What the tiered store writes when promoting a disk range hit: keyed
+  // under the *queried* budget 3 but certifying radius 5. It must stay
+  // out of the range index (the original radius-5 proof, wherever it
+  // lives, already covers everything this one could serve).
+  Certificate Promoted = makeProof(VerdictKind::Robust, 5);
+  Promoted.PoisoningBudget = 3;
+  Cache.store(FP, X, 1, 3, Config, Promoted);
+
+  Certificate Out;
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 2, Config, Out));
+  ASSERT_TRUE(Cache.lookup(FP, X, 1, 3, Config, Out)); // Exact repeats hit.
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_EQ(Cache.stats().RangeHits, 0u);
+}
+
+TEST(CertCacheRangeTest, EvictionUnregistersRangeEntries) {
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float A[] = {1.0f};
+  const float B[] = {2.0f};
+  const float C[] = {3.0f};
+  uint64_t One = CertCache::entryBytes(makeStoreKey(FP, A, 1, 5, Config));
+
+  // Room for two entries; the third store evicts the LRU tail (A).
+  CertCache Cache(2 * One + One / 2);
+  Cache.store(FP, A, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  Cache.store(FP, B, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  Cache.store(FP, C, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  ASSERT_GE(Cache.stats().Evictions, 1u);
+
+  // A's proof is gone from the range index with it; B and C still serve.
+  Certificate Out;
+  EXPECT_FALSE(Cache.lookup(FP, A, 1, 3, Config, Out));
+  EXPECT_TRUE(Cache.lookup(FP, B, 1, 3, Config, Out));
+  EXPECT_TRUE(Cache.lookup(FP, C, 1, 3, Config, Out));
+}
+
+TEST(CertCacheRangeTest, ClearDropsTheRangeIndex) {
+  CertCache Cache(0);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  Cache.store(FP, X, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  Cache.clear();
+
+  Certificate Out;
+  EXPECT_FALSE(Cache.lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Cache.stats().RangeHits, 0u);
 }

@@ -102,8 +102,17 @@ TEST(CertServerTest, MixedPoisoningBudgetsAreGroupedCorrectly) {
     const float X[] = {9.5f};
     Certificate Expected =
         Server.verifier().verify(X, Budgets[I], smallConfig().Query);
+    // The verdict must match a fresh verification even when the range
+    // index served this budget from a proof at a different radius — in
+    // that case the work counters (NumTerminals, ...) describe the
+    // stored proof, so what is pinned here is the verdict plus the
+    // radius lattice rule, not counter equality.
     EXPECT_EQ(Cert.Kind, Expected.Kind);
-    EXPECT_EQ(Cert.NumTerminals, Expected.NumTerminals);
+    if (Cert.Kind == VerdictKind::Robust) {
+      EXPECT_GE(Cert.CertifiedRadius, Budgets[I]);
+    } else if (Cert.Kind == VerdictKind::Unknown) {
+      EXPECT_LE(Cert.CertifiedRadius, Budgets[I]);
+    }
   }
 }
 

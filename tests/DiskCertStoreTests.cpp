@@ -69,6 +69,7 @@ private:
 void expectIdenticalCertificates(const Certificate &A, const Certificate &B) {
   EXPECT_EQ(A.Kind, B.Kind);
   EXPECT_EQ(A.PoisoningBudget, B.PoisoningBudget);
+  EXPECT_EQ(A.CertifiedRadius, B.CertifiedRadius);
   EXPECT_EQ(A.Depth, B.Depth);
   EXPECT_EQ(A.Domain, B.Domain);
   EXPECT_EQ(A.ConcretePrediction, B.ConcretePrediction);
@@ -829,4 +830,166 @@ TEST(TieredStoreTest, DegradesToSingleTierWhenOneIsAbsent) {
   Certificate DiskCold = V.verify(X, 1, Config);
   expectIdenticalCertificates(DiskCold, V.verify(X, 1, Config));
   EXPECT_EQ(DiskOnly.stats().DiskHits, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Radius-range lookup across restarts: the serving lattice on disk
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A synthetic *original* proof at \p Radius (`CertifiedRadius` equals
+/// the key's budget, so the record joins the range index on load).
+Certificate makeProof(VerdictKind Kind, uint32_t Radius) {
+  Certificate Cert;
+  Cert.Kind = Kind;
+  Cert.PoisoningBudget = Radius;
+  Cert.CertifiedRadius = Radius;
+  Cert.NumTerminals = 1;
+  return Cert;
+}
+
+DatasetFingerprint someFingerprint() {
+  DatasetFingerprint FP;
+  FP.Hi = 0x1234;
+  FP.Lo = 0x5678;
+  return FP;
+}
+
+} // namespace
+
+TEST(DiskStoreRangeTest, ColdProcessAnswersNarrowerBudgetViaRange) {
+  TempStoreDir Dir;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+
+  // Process one proves Robust at radius 5 and exits.
+  {
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+    Store->store(FP, X, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  }
+
+  // Process two never saw that query: the rebuilt index must serve the
+  // narrower budget from the persisted proof, radius intact (the v2
+  // payload round-trips CertifiedRadius).
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  Certificate Out;
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Robust);
+  EXPECT_EQ(Out.PoisoningBudget, 3u);
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_EQ(Store->stats().RangeHits, 1u);
+
+  // The exact budget is a plain hit; wider than the proof is a miss.
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 5, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_FALSE(Store->lookup(FP, X, 1, 6, Config, Out));
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 1u);
+}
+
+TEST(DiskStoreRangeTest, UnknownServesWiderBudgetAcrossRestart) {
+  TempStoreDir Dir;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  {
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+    Store->store(FP, X, 1, 2, Config, makeProof(VerdictKind::Unknown, 2));
+  }
+
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  Certificate Out;
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 4, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(Out.PoisoningBudget, 4u);
+  EXPECT_EQ(Out.CertifiedRadius, 2u);
+  EXPECT_FALSE(Store->lookup(FP, X, 1, 1, Config, Out));
+}
+
+TEST(DiskStoreRangeTest, CompactionRebuildsTheRangeIndex) {
+  TempStoreDir Dir;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  Store->store(FP, X, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+  Store->store(FP, X, 1, 8, Config, makeProof(VerdictKind::Unknown, 8));
+
+  std::string Error;
+  ASSERT_TRUE(Store->compact(&Error)) << Error;
+
+  Certificate Out;
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Robust);
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 9, Config, Out));
+  EXPECT_EQ(Out.Kind, VerdictKind::Unknown);
+  EXPECT_EQ(Out.CertifiedRadius, 8u);
+
+  // And again from a cold open of the compacted directory.
+  std::unique_ptr<DiskCertStore> Reopened = openOrDie(Dir.path());
+  ASSERT_TRUE(Reopened->lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+}
+
+TEST(DiskStoreRangeTest, OffBudgetRecordServesExactOnly) {
+  TempStoreDir Dir;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+
+  // A record whose radius differs from its key's budget (what a
+  // promoted range-served answer would look like if it were ever
+  // written through) must not join the range index.
+  Certificate Promoted = makeProof(VerdictKind::Robust, 5);
+  Promoted.PoisoningBudget = 3;
+  Store->store(FP, X, 1, 3, Config, Promoted);
+
+  Certificate Out;
+  EXPECT_FALSE(Store->lookup(FP, X, 1, 2, Config, Out));
+  ASSERT_TRUE(Store->lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_EQ(Store->stats().RangeHits, 0u);
+
+  // Same discipline after a cold reload of the segment.
+  Store.reset();
+  std::unique_ptr<DiskCertStore> Reopened = openOrDie(Dir.path());
+  EXPECT_FALSE(Reopened->lookup(FP, X, 1, 2, Config, Out));
+}
+
+TEST(TieredStoreTest, DiskRangeHitPromotesAsExactOnly) {
+  TempStoreDir Dir;
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Disjuncts);
+  DatasetFingerprint FP = someFingerprint();
+  const float X[] = {1.0f};
+  std::unique_ptr<DiskCertStore> Disk = openOrDie(Dir.path());
+  Disk->store(FP, X, 1, 5, Config, makeProof(VerdictKind::Robust, 5));
+
+  CertCache Ram(/*MaxBytes=*/0);
+  TieredStore Tiered(&Ram, Disk.get());
+
+  // RAM misses, disk range-serves, the answer is promoted under the
+  // queried budget 3.
+  Certificate Out;
+  ASSERT_TRUE(Tiered.lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_EQ(Disk->stats().RangeHits, 1u);
+  EXPECT_EQ(Ram.stats().Insertions, 1u);
+
+  // Exact repeats of budget 3 now hit RAM...
+  ASSERT_TRUE(Tiered.lookup(FP, X, 1, 3, Config, Out));
+  EXPECT_EQ(Ram.stats().Hits, 1u);
+  EXPECT_EQ(Disk->stats().RangeHits, 1u);
+
+  // ...but the promoted copy (radius 5 under budget 3) stayed out of
+  // the RAM range index: budget 2 falls through to the disk tier's
+  // original proof instead of being served twice over from RAM.
+  ASSERT_TRUE(Tiered.lookup(FP, X, 1, 2, Config, Out));
+  EXPECT_EQ(Out.CertifiedRadius, 5u);
+  EXPECT_EQ(Ram.stats().RangeHits, 0u);
+  EXPECT_EQ(Disk->stats().RangeHits, 2u);
 }

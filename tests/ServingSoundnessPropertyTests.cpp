@@ -1,0 +1,153 @@
+//===- tests/ServingSoundnessPropertyTests.cpp - Served ≡ sound ---------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// Randomized property tests for the two cross-key serving rules: the
+// radius-range lattice (Robust down, Unknown up; serving/StoreKey.h) and
+// the removal-delta slack path (data/Fingerprint.h `DatasetLineage`).
+// The one property that must never break, across all three abstract
+// domains:
+//
+//   whenever the store serves Robust, a fresh cache-less verification
+//   of the same query says Robust too — and never the reverse
+//   (a store must not conjure a proof verification cannot reproduce).
+//
+// A served Unknown is vacuously sound (it claims nothing), so only the
+// Robust direction is a soundness property; the tests still run fresh
+// verification on every served answer to catch a served-Robust /
+// fresh-Unknown divergence from either rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/CertCache.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+namespace {
+
+VerifierConfig domainConfig(AbstractDomainKind Domain) {
+  VerifierConfig Config;
+  Config.Depth = 2;
+  Config.Domain = Domain;
+  Config.DisjunctCap = 4;
+  Config.Limits.TimeoutSeconds = 30.0;
+  return Config;
+}
+
+/// Only deterministic verdicts participate in the property (a Timeout
+/// would make the fresh reference itself unstable; the store never
+/// holds one anyway).
+bool deterministic(VerdictKind Kind) {
+  return Kind == VerdictKind::Robust || Kind == VerdictKind::Unknown ||
+         Kind == VerdictKind::ResourceLimit;
+}
+
+} // namespace
+
+class ServingSoundnessProperty
+    : public ::testing::TestWithParam<AbstractDomainKind> {};
+
+// Seed the store with a fresh proof at one radius, query every other
+// radius: whatever the range rule serves must agree with fresh
+// verification on the Robust direction.
+TEST_P(ServingSoundnessProperty, RangeServedRobustImpliesFreshRobust) {
+  Rng R(0xA57C0DE + static_cast<uint64_t>(GetParam()));
+  RandomDatasetSpec Spec;
+  VerifierConfig Fresh = domainConfig(GetParam());
+
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    Dataset Train = makeRandomDataset(R, Spec);
+    Verifier V(Train);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+
+    CertCache Cache(/*MaxBytes=*/0);
+    VerifierConfig Cached = domainConfig(GetParam());
+    Cached.Cache = &Cache;
+
+    uint32_t SeedRadius = 1 + static_cast<uint32_t>(R.uniformInt(4));
+    Certificate SeedCert = V.verify(X.data(), SeedRadius, Cached);
+    if (!deterministic(SeedCert.Kind))
+      continue;
+
+    for (uint32_t N = 1; N <= 6; ++N) {
+      Certificate Served;
+      if (!Cache.lookup(V.fingerprint(), X.data(), Train.numFeatures(), N,
+                        Cached, Served))
+        continue;
+      Certificate Reference = V.verify(X.data(), N, Fresh);
+      if (!deterministic(Reference.Kind))
+        continue;
+      EXPECT_EQ(Served.PoisoningBudget, N);
+      if (Served.Kind == VerdictKind::Robust) {
+        EXPECT_EQ(Reference.Kind, VerdictKind::Robust)
+            << "unsound range serve: trial " << Trial << " seed radius "
+            << SeedRadius << " (" << SeedCert.CertifiedRadius
+            << ") query " << N;
+      }
+      // And the reverse inclusion the lattice promises: any budget the
+      // seed proof covers must actually be served.
+      if (SeedCert.Kind == VerdictKind::Robust && N <= SeedRadius) {
+        EXPECT_EQ(Served.Kind, VerdictKind::Robust);
+      }
+    }
+  }
+}
+
+// Random removal deltas: serve the child from the parent's store with
+// n + RowsRemoved slack, then check every served Robust against a fresh
+// child verification.
+TEST_P(ServingSoundnessProperty, SlackServedRobustImpliesFreshRobust) {
+  Rng R(0xDE17A + static_cast<uint64_t>(GetParam()));
+  RandomDatasetSpec Spec;
+  Spec.MinRows = 6; // Leave rows to remove.
+  VerifierConfig Fresh = domainConfig(GetParam());
+
+  for (int Trial = 0; Trial < 12; ++Trial) {
+    Dataset Parent = makeRandomDataset(R, Spec);
+    Verifier PV(Parent);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+
+    CertCache Cache(/*MaxBytes=*/0);
+    VerifierConfig Cached = domainConfig(GetParam());
+    Cached.Cache = &Cache;
+
+    // Stock the parent's entries at a few radii (fresh verifications
+    // write through), so the slack consult has proofs to find.
+    for (uint32_t SeedRadius = 1; SeedRadius <= 4; ++SeedRadius)
+      PV.verify(X.data(), SeedRadius, Cached);
+
+    // Child: one or two rows removed at random positions.
+    Dataset Child = Parent;
+    Child.markLineage();
+    unsigned Removals = 1 + static_cast<unsigned>(R.uniformInt(2));
+    for (unsigned I = 0; I < Removals && Child.numRows() > 1; ++I)
+      Child.removeRow(
+          static_cast<unsigned>(R.uniformInt(Child.numRows())));
+    Verifier CV(Child);
+    CV.setLineage(lineageSinceMark(PV.fingerprint(), Child));
+
+    for (uint32_t N = 1; N <= 3; ++N) {
+      Certificate Served = CV.verify(X.data(), N, Cached);
+      Certificate Reference = CV.verify(X.data(), N, Fresh);
+      if (!deterministic(Served.Kind) || !deterministic(Reference.Kind))
+        continue;
+      if (Served.Kind == VerdictKind::Robust) {
+        EXPECT_EQ(Reference.Kind, VerdictKind::Robust)
+            << "unsound slack serve: trial " << Trial << " removals "
+            << Removals << " budget " << N << " served radius "
+            << Served.CertifiedRadius;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDomains, ServingSoundnessProperty,
+                         ::testing::Values(AbstractDomainKind::Box,
+                                           AbstractDomainKind::Disjuncts,
+                                           AbstractDomainKind::DisjunctsCapped));

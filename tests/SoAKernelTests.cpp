@@ -221,8 +221,9 @@ void expectGolden(const GoldenCert &G, const Certificate &C,
   EXPECT_EQ(C.Kind, G.Kind) << Label;
   EXPECT_EQ(C.ConcretePrediction, G.ConcretePrediction) << Label;
   EXPECT_EQ(C.DominatingClass.has_value(), G.HasDominating) << Label;
-  if (C.DominatingClass && G.HasDominating)
+  if (C.DominatingClass && G.HasDominating) {
     EXPECT_EQ(*C.DominatingClass, G.DominatingClass) << Label;
+  }
   EXPECT_EQ(C.NumTerminals, G.NumTerminals) << Label;
   EXPECT_EQ(C.PeakDisjuncts, G.PeakDisjuncts) << Label;
   EXPECT_EQ(C.BestSplitCalls, G.BestSplitCalls) << Label;
