@@ -251,6 +251,28 @@ BENCHMARK(BM_VerifyQuery)
     ->Args({0, 16})
     ->Args({1, 16});
 
+// The label-flip threat model through the same unified frontier engine as
+// removal (abstract/ThreatModel.h): the cost profile differs — flip keeps
+// exact row sets, so restricts are concrete filters, but the forced-pure
+// terminal check and the flip cprob# intervals run per disjunct. Gated by
+// tools/bench_compare.py alongside BM_VerifyQuery so an engine-level
+// change that only hurts one model is still caught. Disjuncts only: the
+// flip transformer is unsound under box joins.
+static void BM_FlipVerify(benchmark::State &State) {
+  VerifierConfig Config;
+  Config.Depth = 2;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.Threat = ThreatModelKind::LabelFlip;
+  Config.Limits.TimeoutSeconds = 5.0;
+  const float *X = mammo().Split.Test.row(1);
+  uint32_t Budget = static_cast<uint32_t>(State.range(0));
+  for (auto _ : State) {
+    Certificate Cert = mammoVerifier().verify(X, Budget, Config);
+    benchmark::DoNotOptimize(Cert.Kind);
+  }
+}
+BENCHMARK(BM_FlipVerify)->Arg(2)->Arg(16);
+
 // Serial-vs-parallel scaling of the §6.1 sweep: the same synthetic
 // workload at Jobs = 1/2/4. Aggregates are identical across thread counts
 // (tests/ParallelSweepTests.cpp enforces this); only wall clock should

@@ -8,9 +8,13 @@
 //
 //   antidote_cli --train train.csv --query "5.1,3.5,1.4,0.2" --n 8
 //                --depth 2 --domain disjuncts
-//   antidote_cli --dataset mammography --row 3 --n 16 --flip
+//   antidote_cli --dataset mammography --row 3 --n 16 --threat flip
 //   antidote_cli --dataset iris --all --n 4 --jobs 8
 //   antidote_cli --dataset iris --serve --n 4 --cache-bytes 1048576
+//
+// --threat picks the poisoning model (removal | flip); every mode —
+// single query, --all, --serve, caching, the disk store — works under
+// either, through the same Verifier stack.
 //
 // --serve turns the process into a warm certificate server: queries
 // stream in on stdin (one "v1,v2,..." feature vector per line), are
@@ -22,7 +26,6 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "abstract/LabelFlip.h"
 #include "data/Csv.h"
 #include "data/Registry.h"
 #include "serving/CertServer.h"
@@ -66,9 +69,8 @@ struct CliOptions {
   uint64_t CacheBytes = 0;   ///< Certificate-cache budget; 0 = unbounded.
   bool CacheEnabled = false; ///< --cache-bytes/env seen (or --serve).
   std::string CacheDir;        ///< Persistent certificate store directory.
-  bool CacheDirExplicit = false; ///< --cache-dir flag (not just the env twin).
   bool DeltaSlack = true; ///< Serve from a lineage parent's certificates.
-  bool FlipModel = false;
+  ThreatModelKind Threat = ThreatModelKind::Removal;
 };
 
 void printUsage() {
@@ -76,12 +78,12 @@ void printUsage() {
       "usage: antidote_cli (--train FILE.csv | --dataset NAME)\n"
       "                    (--query \"v1,v2,...\" | --row K | --all |"
       " --serve)\n"
-      "                    [--n N] [--depth D]\n"
+      "                    [--n N] [--depth D] [--threat removal|flip]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
       "                    [--frontier-jobs N] [--split-jobs N]\n"
       "                    [--cache-bytes B] [--cache-dir DIR]\n"
-      "                    [--delta-slack 0|1] [--flip]\n\n"
+      "                    [--delta-slack 0|1]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -94,8 +96,6 @@ void printUsage() {
       "  --serve    warm certificate server: read one query per line\n"
       "             (\"v1,v2,...\") from stdin, batch them through one\n"
       "             long-lived Verifier, cache repeated queries\n"
-      "  --flip     certify against label flips instead of row\n"
-      "             insertions/removals\n"
       "\n"
       "knobs (flag beats env-var twin beats default; malformed values\n"
       "in either error out):\n"
@@ -104,6 +104,11 @@ void printUsage() {
       "             (at most the training-set size)\n"
       "  --depth          -                       2    decision-tree "
       "depth\n"
+      "  --threat         ANTIDOTE_THREAT   removal    poisoning model: "
+      "'removal'\n"
+      "             (attacker added up to n rows) or 'flip' (attacker "
+      "relabeled\n"
+      "             up to n rows; disjuncts domain only)\n"
       "  --domain         -               disjuncts    abstract domain\n"
       "  --cap            -                      64    disjunct cap "
       "(capped domain only)\n"
@@ -178,6 +183,17 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     Options.CacheDir = *Dir;
     Options.CacheEnabled = true;
   }
+  if (std::optional<std::string> Threat = readStringEnv("ANTIDOTE_THREAT")) {
+    std::optional<ThreatModelKind> Parsed = parseThreatModelName(*Threat);
+    if (!Parsed) {
+      std::fprintf(stderr,
+                   "error: ANTIDOTE_THREAT must be 'removal' or 'flip', "
+                   "got '%s'\n",
+                   Threat->c_str());
+      return false;
+    }
+    Options.Threat = *Parsed;
+  }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
@@ -186,10 +202,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     if (Arg == "--help" || Arg == "-h")
       return false;
     const char *Value = nullptr;
-    if (Arg == "--flip") {
-      Options.FlipModel = true;
-      continue;
-    }
     if (Arg == "--all") {
       Options.AllRows = true;
       continue;
@@ -258,11 +270,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       Options.CacheEnabled = true;
     } else if (Arg == "--cache-dir") {
       Options.CacheDir = Value;
-      Options.CacheDirExplicit = true;
       Options.CacheEnabled = true;
     } else if (Arg == "--delta-slack") {
       if (!CountFlag(1, Options.DeltaSlack))
         return false;
+    } else if (Arg == "--threat") {
+      std::optional<ThreatModelKind> Parsed = parseThreatModelName(Value);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: --threat must be 'removal' or 'flip', got "
+                     "'%s'\n",
+                     Value);
+        return false;
+      }
+      Options.Threat = *Parsed;
     } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -287,15 +308,22 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
                          "source\n");
     return false;
   }
-  if (Options.AllRows && (Options.FlipModel || Options.DatasetName.empty())) {
-    std::fprintf(stderr, "error: --all needs --dataset and no --flip\n");
+  if (Options.AllRows && Options.DatasetName.empty()) {
+    std::fprintf(stderr, "error: --all needs --dataset\n");
     return false;
   }
-  if (Options.Serve &&
-      (Options.FlipModel || Options.AllRows ||
-       !Options.QueryValues.empty() || Options.TestRow >= 0)) {
-    std::fprintf(stderr, "error: --serve takes queries from stdin and "
-                         "supports no --flip\n");
+  if (Options.Serve && (Options.AllRows || !Options.QueryValues.empty() ||
+                        Options.TestRow >= 0)) {
+    std::fprintf(stderr,
+                 "error: --serve takes queries from stdin only\n");
+    return false;
+  }
+  if (!threatModel(Options.Threat).supportsDomain(Options.Domain)) {
+    std::fprintf(stderr,
+                 "error: the %s threat model supports only the disjuncts "
+                 "domain (its class-probability transformer is unsound "
+                 "under box joins)\n",
+                 threatModelName(Options.Threat));
     return false;
   }
   return true;
@@ -383,26 +411,16 @@ int main(int Argc, char **Argv) {
 
   std::printf("training set: %u rows x %u features, %u classes\n",
               Train.numRows(), Train.numFeatures(), Train.numClasses());
-  std::printf("threat model: up to %u %s\n", Options.Budget,
-              Options.FlipModel ? "label flips"
-                                : "attacker-contributed rows (removals)");
+  std::printf("threat model: %s (up to %u %s)\n",
+              threatModelName(Options.Threat), Options.Budget,
+              Options.Threat == ThreatModelKind::LabelFlip
+                  ? "relabeled training rows"
+                  : "attacker-contributed rows removed");
 
   // The persistent tier (--cache-dir / ANTIDOTE_CACHE_DIR): opened once,
   // shared by whichever mode runs below. An unusable directory is a
   // usage error — fail loudly now, not after hours of verification.
   std::unique_ptr<DiskCertStore> DiskStore;
-  if (!Options.CacheDir.empty() && Options.FlipModel) {
-    // The flip path produces LabelFlipResults, not certificates. The
-    // explicit flag is a usage error; the ambient env twin is ignored
-    // the same way flip mode already ignores ANTIDOTE_CACHE_BYTES.
-    if (Options.CacheDirExplicit) {
-      std::fprintf(stderr,
-                   "error: --cache-dir does not support --flip (label-flip "
-                   "results are not certificates)\n");
-      return 2;
-    }
-    Options.CacheDir.clear();
-  }
   if (!Options.CacheDir.empty()) {
     DiskCertStore::OpenResult Opened = DiskCertStore::open(Options.CacheDir);
     if (!Opened.ok()) {
@@ -416,6 +434,7 @@ int main(int Argc, char **Argv) {
     CertServerConfig ServerConfig;
     ServerConfig.Query.Depth = Options.Depth;
     ServerConfig.Query.Domain = Options.Domain;
+    ServerConfig.Query.Threat = Options.Threat;
     ServerConfig.Query.DisjunctCap = Options.DisjunctCap;
     ServerConfig.Query.Limits.TimeoutSeconds = Options.TimeoutSeconds;
     ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
@@ -425,10 +444,11 @@ int main(int Argc, char **Argv) {
     ServerConfig.Jobs = Options.Jobs;
     ServerConfig.Backing = DiskStore.get();
     CertServer Server(Train, ServerConfig);
-    std::printf("serving (dataset %s): one query per line on stdin "
-                "(%u comma-separated features), n=%u\n",
+    std::printf("serving (dataset %s, threat %s): one query per line on "
+                "stdin (%u comma-separated features), n=%u\n",
                 Server.verifier().fingerprint().hex().c_str(),
-                Train.numFeatures(), Options.Budget);
+                threatModelName(Options.Threat), Train.numFeatures(),
+                Options.Budget);
 
     // Responses stream back in submission order as they complete — an
     // interactive client sees answers while it is still typing queries,
@@ -481,31 +501,19 @@ int main(int Argc, char **Argv) {
     while (!Pending.empty())
       PrintFront();
 
-    std::printf("served %zu queries: %u robust\n", Submitted, Robust);
+    std::printf("served %zu queries (threat %s): %u robust\n", Submitted,
+                threatModelName(Options.Threat), Robust);
     printCacheStats(Server.cacheStats(), Options.CacheBytes);
     if (DiskStore)
       printDiskStats(*DiskStore);
     return Robust == Submitted ? 0 : 1;
   }
 
-  if (Options.FlipModel) {
-    SplitContext Ctx(Train);
-    LabelFlipConfig Config;
-    Config.Depth = Options.Depth;
-    Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
-    LabelFlipResult Result = verifyLabelFlipRobustness(
-        Ctx, allRows(Train), Query.data(), Options.Budget, Config);
-    std::printf("prediction: class %u\n", Result.ConcretePrediction);
-    std::printf("verdict: %s (%zu terminals, %.3fs)\n",
-                Result.Robust ? "ROBUST (proven)" : "unknown",
-                Result.NumTerminals, Result.Seconds);
-    return Result.Robust ? 0 : 1;
-  }
-
   Verifier V(Train);
   VerifierConfig Config;
   Config.Depth = Options.Depth;
   Config.Domain = Options.Domain;
+  Config.Threat = Options.Threat;
   Config.DisjunctCap = Options.DisjunctCap;
   Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
   Config.Limits.MaxCacheBytes = Options.CacheBytes;
@@ -546,7 +554,8 @@ int main(int Argc, char **Argv) {
       Robust += Certs[Row].isRobust();
       std::printf("row %4u: %s\n", Row, Certs[Row].summary().c_str());
     }
-    std::printf("robust: %u / %zu\n", Robust, Certs.size());
+    std::printf("robust (threat %s): %u / %zu\n",
+                threatModelName(Options.Threat), Robust, Certs.size());
     if (Cache)
       printCacheStats(Cache->stats(), Options.CacheBytes);
     if (DiskStore)

@@ -8,7 +8,8 @@
 // fraction-verified curve (one row of the paper's Figure 6).
 //
 // Usage:
-//   uci_sweep [--jobs N] [--frontier-jobs N] [dataset-name]
+//   uci_sweep [--jobs N] [--frontier-jobs N] [--threat removal|flip]
+//             [dataset-name]
 //   uci_sweep [--jobs N] [--frontier-jobs N] --csv train.csv test.csv
 //
 //===----------------------------------------------------------------------===//
@@ -32,12 +33,12 @@ using namespace antidote;
 
 static void printUsage(const char *Program) {
   std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] [--cache-dir DIR] [--delta-slack 0|1] "
-              "[dataset-name]\n",
+              "[--threat removal|flip] [--cache-bytes B] [--cache-dir DIR] "
+              "[--delta-slack 0|1] [dataset-name]\n",
               Program);
   std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--cache-bytes B] [--cache-dir DIR] [--delta-slack 0|1] "
-              "--csv <train.csv> <test.csv>\n",
+              "[--threat removal|flip] [--cache-bytes B] [--cache-dir DIR] "
+              "[--delta-slack 0|1] --csv <train.csv> <test.csv>\n",
               Program);
   std::printf("knobs (flag beats env-var twin beats default; malformed "
               "values in either error out):\n");
@@ -52,6 +53,14 @@ static void printUsage(const char *Program) {
               "candidate scoring\n"
               "                     pass (0 = all cores; env "
               "ANTIDOTE_SPLIT_JOBS; default 1)\n");
+  std::printf("  --threat MODEL     poisoning model: 'removal' (attacker "
+              "added up to\n"
+              "                     n rows) or 'flip' (attacker relabeled "
+              "up to n rows;\n"
+              "                     disjuncts domain only — box cells are "
+              "skipped);\n"
+              "                     env ANTIDOTE_THREAT; default "
+              "removal\n");
   std::printf("  --cache-bytes B    attach a certificate cache with "
               "byte budget B\n"
               "                     (0 = unbounded; env "
@@ -97,6 +106,7 @@ int main(int Argc, char **Argv) {
   bool CacheEnabled = false;
   std::string CacheDir;
   bool DeltaSlack = true;
+  ThreatModelKind Threat = ThreatModelKind::Removal;
   const char *Program = Argv[0];
 
   // Environment twins first (flags override them below); malformed env
@@ -135,6 +145,17 @@ int main(int Argc, char **Argv) {
     if (Env.Status == EnvNumberStatus::Ok)
       DeltaSlack = Env.Value != 0;
   }
+  if (std::optional<std::string> Env = readStringEnv("ANTIDOTE_THREAT")) {
+    std::optional<ThreatModelKind> Parsed = parseThreatModelName(*Env);
+    if (!Parsed) {
+      std::fprintf(stderr,
+                   "error: ANTIDOTE_THREAT must be 'removal' or 'flip', "
+                   "got '%s'\n",
+                   Env->c_str());
+      return 1;
+    }
+    Threat = *Parsed;
+  }
 
   // Extract the jobs/cache flags from any position; the remaining
   // arguments keep their historical positional meaning. Values parse
@@ -153,6 +174,23 @@ int main(int Argc, char **Argv) {
       }
       CacheDir = Argv[++I];
       CacheEnabled = true;
+      continue;
+    }
+    if (std::strcmp(Argv[I], "--threat") == 0) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: --threat needs a value\n");
+        return 1;
+      }
+      std::optional<ThreatModelKind> Parsed =
+          parseThreatModelName(Argv[++I]);
+      if (!Parsed) {
+        std::fprintf(stderr,
+                     "error: --threat must be 'removal' or 'flip', got "
+                     "'%s'\n",
+                     Argv[I]);
+        return 1;
+      }
+      Threat = *Parsed;
       continue;
     }
     if (std::strcmp(Argv[I], "--delta-slack") == 0) {
@@ -233,14 +271,21 @@ int main(int Argc, char **Argv) {
     VerifyRows = std::move(Bench.VerifyRows);
   }
 
-  std::printf("=== Poisoning-robustness sweep: %s ===\n", Name.c_str());
+  std::printf("=== Poisoning-robustness sweep: %s (threat %s) ===\n",
+              Name.c_str(), threatModelName(Threat));
   std::printf("train %u rows x %u features, verifying %zu test inputs, "
-              "%u job(s), %u frontier job(s), %u split job(s)\n\n",
+              "%u job(s), %u frontier job(s), %u split job(s)\n",
               Train.numRows(), Train.numFeatures(), VerifyRows.size(),
               Jobs, FrontierJobs, SplitJobs);
+  if (Threat == ThreatModelKind::LabelFlip)
+    std::printf("note: box-domain cells are skipped — the flip "
+                "class-probability transformer is sound only under the "
+                "disjuncts domain\n");
+  std::printf("\n");
 
   SweepConfig Config;
   Config.Depths = {1, 2};
+  Config.Threat = Threat;
   Config.InstanceLimits.TimeoutSeconds = 2.0;
   Config.InstanceLimits.MaxCacheBytes = CacheBytes;
   Config.MaxPoisoning = Train.numRows();

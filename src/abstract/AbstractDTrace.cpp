@@ -40,27 +40,38 @@ class LearnerRun {
 public:
   LearnerRun(const SplitContext &Ctx, const float *X,
              const AbstractLearnerConfig &Config)
-      : Ctx(Ctx), X(X), Config(Config), Tracker(Config.Cprob),
-        Meter(Config.Limits, Config.Cancel) {}
+      : Ctx(Ctx), X(X), Config(Config), Model(threatModel(Config.Threat)),
+        Tracker(Config.Cprob), Meter(Config.Limits, Config.Cancel) {}
 
   AbstractLearnerResult run(const AbstractDataset &Initial);
 
 private:
   /// Everything one disjunct's transfer step produces, in the order the
-  /// serial learner would have emitted it: the feasible `pure` terminals,
-  /// then (when ⋄ ∈ Ψ) the disjunct itself, then the child disjuncts.
+  /// serial learner would have emitted it: the forced probability-vector
+  /// terminals (flip model only), then the feasible `pure` abstract-state
+  /// terminals, then (when ⋄ ∈ Ψ) the disjunct itself, then the child
+  /// disjuncts.
   struct DisjunctStep {
+    std::vector<std::vector<Interval>> ForcedTerminals;
     std::vector<AbstractDataset> Terminals;
     std::vector<AbstractDataset> Children;
     bool CalledBestSplit = false;
   };
 
   /// Adds a terminal abstract state (a place where some concrete run of
-  /// DTrace returns) and folds it into the domination check. Merge phase
-  /// only.
+  /// DTrace returns) and folds it into the domination check through the
+  /// threat model's `cprob#`. Merge phase only.
   void addTerminal(AbstractDataset Terminal) {
-    Tracker.addTerminal(Terminal);
+    Tracker.addTerminal(Model.classProbabilities(Terminal, Config.Cprob));
+    ++Result.NumTerminals;
     Result.Terminals.push_back(std::move(Terminal));
+  }
+
+  /// Adds a terminal known only as an exact probability vector (a forced
+  /// pure leaf under the flip model). Merge phase only.
+  void addForcedTerminal(const std::vector<Interval> &Probs) {
+    Tracker.addTerminal(Probs);
+    ++Result.NumTerminals;
   }
 
   /// True once the run should stop (cancellation, timeout, resource
@@ -84,12 +95,6 @@ private:
     return Config.StopOnRefutation && Tracker.failed();
   }
 
-  /// The `ent(T) = 0` conditional (§4.7) for one disjunct: appends the
-  /// feasible pure terminals to \p Out; returns false iff the `ent ≠ 0`
-  /// else-branch is infeasible (every concretization is already pure).
-  bool collectPureTerminals(const AbstractDataset &Cur,
-                            std::vector<AbstractDataset> &Out) const;
-
   /// The pure per-disjunct transfer step: the entropy conditional, then
   /// bestSplit# / the ⋄ conditional / filter#. Const — safe to run on any
   /// worker concurrently with other disjuncts' steps.
@@ -98,6 +103,7 @@ private:
   const SplitContext &Ctx;
   const float *X;
   const AbstractLearnerConfig &Config;
+  const ThreatModel &Model;
   DominationTracker Tracker;
   ResourceMeter Meter;
   AbstractLearnerResult Result;
@@ -110,40 +116,11 @@ private:
 
 } // namespace
 
-bool LearnerRun::collectPureTerminals(const AbstractDataset &Cur,
-                                      std::vector<AbstractDataset> &Out)
-    const {
-  // Then-branch: restrict to single-class concretizations. A pure
-  // restriction with no rows corresponds only to the empty training set,
-  // which no concrete DTrace state can be (the initial set is non-empty and
-  // filter keeps the non-empty side x lies on), so it is skipped.
-  if (Config.Domain == AbstractDomainKind::Box) {
-    std::optional<AbstractDataset> Joined;
-    for (unsigned C = 0; C < Cur.base().numClasses(); ++C) {
-      std::optional<AbstractDataset> Pure = Cur.restrictToPureClass(C);
-      if (!Pure || Pure->isEmptySet())
-        continue;
-      Joined = Joined ? AbstractDataset::join(*Joined, std::move(*Pure))
-                      : std::move(*Pure);
-    }
-    if (Joined)
-      Out.push_back(std::move(*Joined));
-  } else {
-    for (unsigned C = 0; C < Cur.base().numClasses(); ++C) {
-      std::optional<AbstractDataset> Pure = Cur.restrictToPureClass(C);
-      if (Pure && !Pure->isEmptySet())
-        Out.push_back(std::move(*Pure));
-    }
-  }
-  // Else-branch feasibility: if the whole abstract set is single-class,
-  // every concretization has zero entropy and no concrete run continues.
-  return !Cur.isSingleClass();
-}
-
 LearnerRun::DisjunctStep
 LearnerRun::transferStep(const AbstractDataset &Cur) const {
   DisjunctStep Out;
-  if (!collectPureTerminals(Cur, Out.Terminals))
+  if (!Model.collectPureTerminals(Cur, Config.Domain, Out.Terminals,
+                                  Out.ForcedTerminals))
     return Out;
 
   // An interruption inside bestSplit# yields nullopt (a truncated Ψ is
@@ -152,7 +129,7 @@ LearnerRun::transferStep(const AbstractDataset &Cur) const {
   // the persistent meter trips the merge phase's very next shouldAbort()
   // poll — before the budget outcome could be masked — so a truncated
   // state never reaches a Completed verdict.
-  std::optional<PredicateSet> Psi = abstractBestSplit(
+  std::optional<PredicateSet> Psi = Model.bestSplit(
       Ctx, Cur, Config.Cprob, Config.Gini, &Meter, Pool, Config.SplitJobs);
   Out.CalledBestSplit = true;
   if (!Psi)
@@ -184,6 +161,8 @@ LearnerRun::transferStep(const AbstractDataset &Cur) const {
 
 AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
   assert(!Initial.isEmptySet() && "DTrace# needs a non-empty abstract set");
+  assert(Model.supportsDomain(Config.Domain) &&
+         "threat model does not support the requested abstract domain");
   Timer Elapsed;
 
   // The run's one fan-out pool (frontier disjuncts + bestSplit# feature
@@ -247,6 +226,8 @@ AbstractLearnerResult LearnerRun::run(const AbstractDataset &Initial) {
         }
         Fanout.awaitItem(I);
         DisjunctStep &Step = Steps[I];
+        for (const std::vector<Interval> &Probs : Step.ForcedTerminals)
+          addForcedTerminal(Probs);
         for (AbstractDataset &Terminal : Step.Terminals)
           addTerminal(std::move(Terminal));
         Result.BestSplitCalls += Step.CalledBestSplit;

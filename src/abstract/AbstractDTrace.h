@@ -26,6 +26,13 @@
 /// streamed into a `DominationTracker` so verification can stop the moment
 /// Corollary 4.12 becomes unsatisfiable.
 ///
+/// The engine is generic over the poisoning **threat model**
+/// (abstract/ThreatModel.h): every model-specific transformer — `cprob#`,
+/// the pure-leaf conditional, the `bestSplit#` candidate/overlap rule —
+/// is supplied by `Config.Threat`'s `ThreatModel`, so ∆n removal and
+/// label-flip contamination share the frontier loop, both fan-out axes,
+/// the resource accounting, and cancellation below.
+///
 /// Each depth iteration is split into two phases so one verification can
 /// scale across cores (`FrontierJobs`): a pure per-disjunct *transfer*
 /// phase (the `ent = 0` conditional, `bestSplit#`, and `filter#` for one
@@ -51,6 +58,7 @@
 #include "abstract/AbstractDataset.h"
 #include "abstract/AbstractFilter.h"
 #include "abstract/Domination.h"
+#include "abstract/ThreatModel.h"
 #include "concrete/BestSplit.h"
 #include "support/Budget.h"
 #include "support/ThreadPool.h"
@@ -72,6 +80,12 @@ const char *domainKindName(AbstractDomainKind Kind);
 struct AbstractLearnerConfig {
   unsigned Depth = 1;
   AbstractDomainKind Domain = AbstractDomainKind::Box;
+
+  /// Which perturbation set the budget n of the initial ⟨T, n⟩ ranges
+  /// over (abstract/ThreatModel.h). The model must support `Domain`
+  /// (flips run the Disjuncts domain only).
+  ThreatModelKind Threat = ThreatModelKind::Removal;
+
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
 
@@ -141,6 +155,12 @@ struct AbstractLearnerResult {
   /// Terminal abstract training sets. Possibly truncated when the run
   /// stopped early (refutation, timeout, or resource limit).
   std::vector<AbstractDataset> Terminals;
+
+  /// Total terminals folded into the domination check: `Terminals.size()`
+  /// plus the forced probability-vector terminals some threat models emit
+  /// (a flip attacker forcing a pure leaf) that have no abstract-state
+  /// representation. Equals `Terminals.size()` under Removal.
+  size_t NumTerminals = 0;
 
   /// The Corollary 4.12 dominating class over all terminals, when it
   /// exists and Status == Completed.

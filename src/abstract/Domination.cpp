@@ -23,10 +23,13 @@ antidote::dominatingClassOf(const std::vector<Interval> &Probs) {
 }
 
 void DominationTracker::addTerminal(const AbstractDataset &Terminal) {
+  addTerminal(abstractClassProbabilities(Terminal, Kind));
+}
+
+void DominationTracker::addTerminal(const std::vector<Interval> &Probs) {
   if (Failed)
     return;
-  std::optional<unsigned> Dominator =
-      dominatingClassOf(abstractClassProbabilities(Terminal, Kind));
+  std::optional<unsigned> Dominator = dominatingClassOf(Probs);
   if (!Dominator || (SeenAny && *Dominator != Class)) {
     Failed = true;
     return;

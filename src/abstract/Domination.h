@@ -37,8 +37,14 @@ class DominationTracker {
 public:
   explicit DominationTracker(CprobTransformerKind Kind) : Kind(Kind) {}
 
-  /// Folds one terminal abstract training set into the check.
+  /// Folds one terminal abstract training set into the check, using the
+  /// removal-model `cprob#` the tracker was constructed with.
   void addTerminal(const AbstractDataset &Terminal);
+
+  /// Folds one terminal given directly as its `cprob#` interval vector —
+  /// the form threat models with non-removal probability transformers
+  /// (and forced pure-leaf terminals) feed the shared engine.
+  void addTerminal(const std::vector<Interval> &Probs);
 
   /// True once domination has become impossible.
   bool failed() const { return Failed; }

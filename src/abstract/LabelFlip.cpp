@@ -7,6 +7,7 @@
 
 #include "abstract/LabelFlip.h"
 
+#include "abstract/AbstractDTrace.h"
 #include "abstract/AbstractGini.h"
 #include "support/Timer.h"
 
@@ -84,189 +85,54 @@ antidote::flipBestSplit(const SplitContext &Ctx, const RowIndexList &Rows,
   return Kept;
 }
 
-namespace {
-
-/// One disjunct of the flip analysis: an exact row set plus the number of
-/// flipped rows that may be among them.
-struct FlipState {
-  RowIndexList Rows;
-  uint32_t Budget;
-
-  bool operator==(const FlipState &Other) const {
-    return Budget == Other.Budget && Rows == Other.Rows;
-  }
-  bool operator<(const FlipState &Other) const {
-    if (Budget != Other.Budget)
-      return Budget < Other.Budget;
-    return Rows < Other.Rows;
-  }
-};
-
-/// Incremental Corollary 4.12 over terminal probability-interval vectors.
-class VectorDominationTracker {
-public:
-  void addTerminal(const std::vector<Interval> &Probs) {
-    if (Failed)
-      return;
-    std::optional<unsigned> Dominator = dominatingClassOf(Probs);
-    if (!Dominator || (SeenAny && *Dominator != Class)) {
-      Failed = true;
-      return;
-    }
-    Class = *Dominator;
-    SeenAny = true;
-  }
-
-  bool failed() const { return Failed; }
-  std::optional<unsigned> dominatingClass() const {
-    if (Failed || !SeenAny)
-      return std::nullopt;
-    return Class;
-  }
-
-private:
-  bool Failed = false;
-  bool SeenAny = false;
-  unsigned Class = 0;
-};
-
-/// Exact unit probability vector for a forced-pure terminal of \p Class.
-std::vector<Interval> unitProbabilities(unsigned NumClasses,
-                                        unsigned Class) {
-  std::vector<Interval> Probs(NumClasses, Interval(0.0));
-  Probs[Class] = Interval(1.0);
-  return Probs;
-}
-
-} // namespace
-
 LabelFlipResult
 antidote::verifyLabelFlipRobustness(const SplitContext &Ctx,
                                     const RowIndexList &Rows, const float *X,
                                     uint32_t Budget,
                                     const LabelFlipConfig &Config) {
   assert(!Rows.empty() && "flip verification over an empty training set");
-  const Dataset &Base = Ctx.base();
   Timer Elapsed;
-  ResourceMeter Meter(Config.Limits, Config.Cancel);
   LabelFlipResult Result;
   Result.ConcretePrediction =
       runDTrace(Ctx, Rows, X, Config.Depth).PredictedClass;
 
-  VectorDominationTracker Tracker;
-  std::vector<FlipState> Frontier;
-  Frontier.push_back(
-      {Rows, std::min<uint32_t>(Budget, static_cast<uint32_t>(Rows.size()))});
+  // The flip analysis is one instance of the shared DTrace# frontier
+  // engine: the LabelFlip threat model supplies cprob#, the forced-pure
+  // conditional, and the concrete-midpoint bestSplit#, and the engine
+  // supplies the frontier loop, dedup, resource metering, cancellation,
+  // and domination tracking.
+  AbstractLearnerConfig Learner;
+  Learner.Depth = Config.Depth;
+  Learner.Domain = AbstractDomainKind::Disjuncts;
+  Learner.Threat = ThreatModelKind::LabelFlip;
+  Learner.Limits = Config.Limits;
+  Learner.Cancel = Config.Cancel;
+  AbstractLearnerResult Run = runAbstractDTrace(
+      Ctx, AbstractDataset(Ctx.base(), Rows, Budget), X, Learner);
 
-  size_t NumTerminals = 0;
-  auto AddTerminal = [&](const std::vector<Interval> &Probs) {
-    Tracker.addTerminal(Probs);
-    ++NumTerminals;
-  };
-
-  bool Aborted = false;
-  for (unsigned Iter = 0; Iter < Config.Depth && !Frontier.empty(); ++Iter) {
-    std::vector<FlipState> Next;
-    for (const FlipState &Cur : Frontier) {
-      if (Tracker.failed()) {
-        Aborted = true;
-        break;
-      }
-      if (Meter.interrupted()) {
-        switch (Meter.interruptionReason()) {
-        case BudgetOutcome::Timeout:
-          Result.RunStatus = LabelFlipResult::Status::Timeout;
-          break;
-        case BudgetOutcome::ResourceLimit:
-          Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
-          break;
-        default:
-          Result.RunStatus = LabelFlipResult::Status::Cancelled;
-          break;
-        }
-        Aborted = true;
-        break;
-      }
-      uint32_t Total = static_cast<uint32_t>(Cur.Rows.size());
-      std::vector<uint32_t> Counts = classCounts(Base, Cur.Rows);
-
-      // ent(T_L) = 0 conditional: the attacker may be able to force a pure
-      // leaf of class i by flipping every other-class row.
-      bool BasePure = isPure(Counts);
-      for (unsigned C = 0; C < Base.numClasses(); ++C)
-        if (Total - Counts[C] <= Cur.Budget)
-          AddTerminal(unitProbabilities(Base.numClasses(), C));
-      // The ent != 0 branch needs some *mixed* labeling: impossible for a
-      // singleton, and for n = 0 it needs mixed base labels.
-      if (Total < 2 || (Cur.Budget == 0 && BasePure))
-        continue;
-
-      std::vector<SplitPredicate> Preds =
-          flipBestSplit(Ctx, Cur.Rows, Cur.Budget);
-      if (Preds.empty()) {
-        // No non-trivial split exists for *any* labeling (triviality is
-        // label-independent): every concrete run returns here.
-        AddTerminal(flipClassProbabilities(Counts, Total, Cur.Budget));
-        continue;
-      }
-      for (const SplitPredicate &Pred : Preds) {
-        // Predicates are concrete midpoints, so x's side and the kept row
-        // set are exact; only the flip budget is carried over.
-        bool Satisfied = Pred.evaluate(X) == ThreeValued::True;
-        RowIndexList Side = filterRows(Base, Cur.Rows, Pred, Satisfied);
-        uint32_t SideBudget =
-            std::min(Cur.Budget, static_cast<uint32_t>(Side.size()));
-        Next.push_back({std::move(Side), SideBudget});
-      }
-    }
-    if (Aborted)
-      break;
-    std::sort(Next.begin(), Next.end());
-    Next.erase(std::unique(Next.begin(), Next.end()), Next.end());
-    Result.PeakDisjuncts = std::max(Result.PeakDisjuncts, Next.size());
-    uint64_t LiveBytes = 0;
-    for (const FlipState &S : Next)
-      LiveBytes += S.Rows.capacity() * sizeof(uint32_t) + sizeof(S);
-    switch (Meter.check(Next.size(), LiveBytes)) {
-    case BudgetOutcome::Ok:
-      break;
-    case BudgetOutcome::Cancelled:
-      Result.RunStatus = LabelFlipResult::Status::Cancelled;
-      Aborted = true;
-      break;
-    case BudgetOutcome::Timeout:
-      Result.RunStatus = LabelFlipResult::Status::Timeout;
-      Aborted = true;
-      break;
-    case BudgetOutcome::ResourceLimit:
-      Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
-      Aborted = true;
-      break;
-    }
-    if (Aborted)
-      break;
-    Frontier = std::move(Next);
+  switch (Run.Status) {
+  case LearnerStatus::Completed:
+    Result.RunStatus = LabelFlipResult::Status::Completed;
+    break;
+  case LearnerStatus::Timeout:
+    Result.RunStatus = LabelFlipResult::Status::Timeout;
+    break;
+  case LearnerStatus::ResourceLimit:
+    Result.RunStatus = LabelFlipResult::Status::ResourceLimit;
+    break;
+  case LearnerStatus::Cancelled:
+    Result.RunStatus = LabelFlipResult::Status::Cancelled;
+    break;
   }
-
-  if (!Aborted)
-    for (const FlipState &Cur : Frontier) {
-      AddTerminal(flipClassProbabilities(
-          classCounts(Base, Cur.Rows),
-          static_cast<uint32_t>(Cur.Rows.size()), Cur.Budget));
-      if (Tracker.failed())
-        break;
-    }
-
-  Result.NumTerminals = NumTerminals;
+  Result.NumTerminals = Run.NumTerminals;
+  Result.PeakDisjuncts = Run.PeakDisjuncts;
   Result.Seconds = Elapsed.seconds();
-  if (Result.RunStatus != LabelFlipResult::Status::Completed)
-    return Result;
-  std::optional<unsigned> Dominator = Tracker.dominatingClass();
-  if (Dominator) {
-    assert(*Dominator == Result.ConcretePrediction &&
+  if (Result.RunStatus == LabelFlipResult::Status::Completed &&
+      Run.DominatingClass) {
+    assert(*Run.DominatingClass == Result.ConcretePrediction &&
            "dominating class contradicts the unflipped learner");
     Result.Robust = true;
-    Result.DominatingClass = *Dominator;
+    Result.DominatingClass = *Run.DominatingClass;
   }
   return Result;
 }

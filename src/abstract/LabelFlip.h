@@ -28,9 +28,15 @@
 /// What remains abstract is `bestSplit#` (scores depend on labels), handled
 /// with the same minimal-interval-overlap rule as §4.6, and the `ent = 0`
 /// conditional (the attacker may be able to force a pure leaf of either
-/// class). The analysis below runs the disjunctive domain (§5.2 style); a
-/// box variant would need a row-set join against flip semantics and is
+/// class). The analysis runs the disjunctive domain (§5.2 style); a box
+/// variant would need a row-set join against flip semantics and is
 /// intentionally not provided.
+///
+/// Since the threat-model refactor the verification itself is one instance
+/// of the shared `DTrace#` frontier engine (abstract/AbstractDTrace.h with
+/// `Threat = ThreatModelKind::LabelFlip`); `verifyLabelFlipRobustness`
+/// remains as a thin convenience wrapper, and the per-model transformers
+/// below are consumed by abstract/ThreatModel.cpp.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -8,6 +8,7 @@
 #include "antidote/AttackSearch.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace antidote;
 
@@ -96,5 +97,93 @@ AttackResult antidote::findPoisoningAttack(const SplitContext &Ctx,
     Trace = std::move(BestTrace);
   }
   std::sort(Result.RemovedRows.begin(), Result.RemovedRows.end());
+  return Result;
+}
+
+FlipAttackResult antidote::findLabelFlipAttack(const SplitContext &Ctx,
+                                               const RowIndexList &Rows,
+                                               const float *X, uint32_t Budget,
+                                               unsigned Depth,
+                                               unsigned CandidatePoolPerStep) {
+  assert(!Rows.empty() && "flip attack search over an empty training set");
+  FlipAttackResult Result;
+
+  // Flips only touch labels, so gather the row subset once and patch labels
+  // in place (the feature columns and the split context's cached sort
+  // orders are label-independent — same trick as the flip enumeration
+  // oracle). Local row i corresponds to original row Rows[i].
+  Dataset Local = Dataset::gatherRows(Ctx.base(), Rows);
+  SplitContext LocalCtx(Local);
+  RowIndexList LocalRows = allRows(Local);
+  unsigned NumClasses = Local.numClasses();
+
+  TraceResult Trace = runDTrace(LocalCtx, LocalRows, X, Depth);
+  ++Result.Retrainings;
+  Result.OriginalPrediction = Trace.PredictedClass;
+  if (NumClasses < 2)
+    return Result;
+
+  std::vector<bool> Flipped(LocalRows.size(), false);
+  uint32_t MaxFlips =
+      std::min<uint32_t>(Budget, static_cast<uint32_t>(LocalRows.size()));
+  for (uint32_t Step = 0; Step < MaxFlips; ++Step) {
+    unsigned Predicted = Trace.PredictedClass;
+
+    // Candidates: the leaf's not-yet-flipped supporters of the current
+    // prediction. Relabeling anything else can only help via a changed
+    // split, which the greedy re-derivation after each committed flip
+    // picks up anyway.
+    RowIndexList Candidates;
+    for (uint32_t Row : Trace.FinalRows)
+      if (!Flipped[Row] && Local.label(Row) == Predicted)
+        Candidates.push_back(Row);
+    if (Candidates.empty())
+      break;
+    if (Candidates.size() > CandidatePoolPerStep) {
+      RowIndexList Sampled;
+      Sampled.reserve(CandidatePoolPerStep);
+      double Stride =
+          static_cast<double>(Candidates.size()) / CandidatePoolPerStep;
+      for (unsigned I = 0; I < CandidatePoolPerStep; ++I)
+        Sampled.push_back(Candidates[static_cast<size_t>(I * Stride)]);
+      Candidates = std::move(Sampled);
+    }
+
+    // Evaluate every (candidate, replacement label) by full retraining.
+    std::optional<LabelFlip> Best;
+    int64_t BestMargin = 0;
+    TraceResult BestTrace;
+    for (uint32_t Candidate : Candidates) {
+      unsigned BaseLabel = Local.label(Candidate);
+      for (unsigned C = 0; C < NumClasses; ++C) {
+        if (C == BaseLabel)
+          continue;
+        Local.setLabel(Candidate, C);
+        TraceResult Attempt = runDTrace(LocalCtx, LocalRows, X, Depth);
+        ++Result.Retrainings;
+        if (Attempt.PredictedClass != Result.OriginalPrediction) {
+          Result.Found = true;
+          Result.FlippedPrediction = Attempt.PredictedClass;
+          Result.Flips.push_back({Rows[Candidate], C});
+          return Result;
+        }
+        Local.setLabel(Candidate, BaseLabel);
+        int64_t Margin = leafMargin(Attempt, Attempt.PredictedClass);
+        if (!Best || Margin < BestMargin) {
+          Best = LabelFlip{Candidate, C};
+          BestMargin = Margin;
+          BestTrace = std::move(Attempt);
+        }
+      }
+    }
+    if (!Best)
+      break;
+
+    // Commit the best flip and continue from its trace.
+    Local.setLabel(Best->Row, Best->NewLabel);
+    Flipped[Best->Row] = true;
+    Result.Flips.push_back({Rows[Best->Row], Best->NewLabel});
+    Trace = std::move(BestTrace);
+  }
   return Result;
 }

@@ -11,12 +11,15 @@
 ///
 /// The attack literature the paper positions itself against (§7) *finds*
 /// poisoned training sets rather than proving their absence. This module
-/// provides that baseline for decision trees under the ∆n removal model:
-/// it greedily removes the training row whose deletion most erodes the
-/// predicted class's margin at x's leaf, re-deriving the trace after each
-/// removal. A found attack certifies non-robustness (it is a concrete
-/// witness); failure to find one proves nothing — which is precisely the
-/// asymmetry Antidote's sound verification resolves from the other side.
+/// provides that baseline for decision trees under both threat models
+/// (abstract/ThreatModel.h): `findPoisoningAttack` greedily removes the
+/// training row whose deletion most erodes the predicted class's margin at
+/// x's leaf, and `findLabelFlipAttack` greedily relabels the supporter
+/// whose flip erodes it most, each re-deriving the trace after every
+/// committed perturbation. A found attack certifies non-robustness (it is
+/// a concrete witness); failure to find one proves nothing — which is
+/// precisely the asymmetry Antidote's sound verification resolves from the
+/// other side.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -50,6 +53,37 @@ AttackResult findPoisoningAttack(const SplitContext &Ctx,
                                  const RowIndexList &Rows, const float *X,
                                  uint32_t Budget, unsigned Depth,
                                  unsigned CandidatePoolPerStep = 48);
+
+/// One committed relabeling of a flip attack.
+struct LabelFlip {
+  uint32_t Row = 0;       ///< Row index into the *original* dataset.
+  unsigned NewLabel = 0;  ///< The label the attacker assigns it.
+};
+
+/// Result of a greedy label-flip attack search.
+struct FlipAttackResult {
+  /// True iff applying `Flips` changes the prediction on x.
+  bool Found = false;
+
+  /// The relabelings, in commit order (|Flips| ≤ budget, distinct rows).
+  std::vector<LabelFlip> Flips;
+
+  unsigned OriginalPrediction = 0;
+  unsigned FlippedPrediction = 0;
+
+  /// Number of DTrace retrainings performed.
+  uint64_t Retrainings = 0;
+};
+
+/// Searches for T_L ∈ ∆flip_n(T) with L(T_L)(x) ≠ L(T)(x) — the flip-model
+/// counterpart of `findPoisoningAttack`. Greedy margin descent over the
+/// rows of x's current leaf carrying the predicted label, trying every
+/// replacement label per candidate; \p CandidatePoolPerStep bounds the
+/// candidates evaluated per step (subsampled evenly if more).
+FlipAttackResult findLabelFlipAttack(const SplitContext &Ctx,
+                                     const RowIndexList &Rows, const float *X,
+                                     uint32_t Budget, unsigned Depth,
+                                     unsigned CandidatePoolPerStep = 48);
 
 } // namespace antidote
 

@@ -9,9 +9,11 @@
 /// The result object a verification run hands back to clients.
 ///
 /// A `Robust` verdict is a proof (by Theorem 4.11 + Corollary 4.12) that
-/// *no* attacker who contributed up to `PoisoningBudget` training rows could
-/// have changed the model's prediction on the queried input. Any other
-/// verdict is inconclusive — the analysis is sound but incomplete (§2).
+/// *no* attacker who perturbed the training set within the certificate's
+/// threat model — removed up to `PoisoningBudget` rows, or relabeled up to
+/// that many (`Threat`) — could have changed the model's prediction on the
+/// queried input. Any other verdict is inconclusive — the analysis is
+/// sound but incomplete (§2).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -59,6 +61,11 @@ struct Certificate {
   /// Learner parameters the proof is relative to.
   unsigned Depth = 0;
   AbstractDomainKind Domain = AbstractDomainKind::Box;
+
+  /// Which perturbation set ∆n(T) the proof quantifies over
+  /// (abstract/ThreatModel.h): row removal or label flips. A certificate
+  /// only ever answers queries under its own threat model.
+  ThreatModelKind Threat = ThreatModelKind::Removal;
 
   /// Prediction of the unpoisoned learner L(T)(x).
   unsigned ConcretePrediction = 0;

@@ -32,6 +32,7 @@ public:
     Series.MaxVerifiedN.assign(VerifyRows.size(), 0);
     QueryConfig.Depth = Depth;
     QueryConfig.Domain = Spec.Domain;
+    QueryConfig.Threat = Config.Threat;
     QueryConfig.Cprob = Config.Cprob;
     QueryConfig.Gini = Config.Gini;
     QueryConfig.DisjunctCap = Spec.DisjunctCap;
@@ -210,6 +211,8 @@ SweepResult antidote::runPoisoningSweep(
 
   for (unsigned Depth : Config.Depths)
     for (const SweepDomainSpec &Spec : Config.Domains) {
+      if (!threatModel(Config.Threat).supportsDomain(Spec.Domain))
+        continue;
       if (Config.Cancel && Config.Cancel->cancelled())
         return Result;
       ProtocolRun Run(V, Test, VerifyRows, Config, Spec, Depth, Pool.get(),

@@ -67,6 +67,12 @@ struct SweepConfig {
       {"disjuncts", AbstractDomainKind::Disjuncts, 0},
   };
 
+  /// The poisoning threat model every probe quantifies over
+  /// (abstract/ThreatModel.h). Specs whose domain the model does not
+  /// support (flips run Disjuncts only) are skipped with an empty series
+  /// so a mixed default domain list stays usable under either model.
+  ThreatModelKind Threat = ThreatModelKind::Removal;
+
   /// Stop doubling once n would exceed this.
   uint32_t MaxPoisoning = 1u << 14;
 

@@ -31,11 +31,11 @@ const char *antidote::verdictKindName(VerdictKind Kind) {
 std::string Certificate::summary() const {
   char Buf[192];
   std::snprintf(Buf, sizeof(Buf),
-                "%s (n=%u, depth=%u, %s): prediction %u, %zu terminals, "
+                "%s (n=%u, depth=%u, %s, %s): prediction %u, %zu terminals, "
                 "%zu peak disjuncts, %.3fs",
                 verdictKindName(Kind), PoisoningBudget, Depth,
-                domainKindName(Domain), ConcretePrediction, NumTerminals,
-                PeakDisjuncts, Seconds);
+                domainKindName(Domain), threatModelName(Threat),
+                ConcretePrediction, NumTerminals, PeakDisjuncts, Seconds);
   return Buf;
 }
 
@@ -80,8 +80,13 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
     // of T0), so the slack path stays dark then — the randomized
     // property tests pin both directions. Only Robust transfers:
     // serving a parent Unknown would trade a possibly-provable child
-    // query for a vacuous answer.
-    if (Config.DeltaSlack && HasLineage && Lineage.RowsAdded == 0) {
+    // query for a vacuous answer. The whole argument is about *removed
+    // rows*, so it exists only under the Removal threat model: a flip
+    // child T (missing rows of T0) has relabelings that are not
+    // relabelings of T0, and no removal budget widening bridges the
+    // two perturbation sets.
+    if (Config.DeltaSlack && Config.Threat == ThreatModelKind::Removal &&
+        HasLineage && Lineage.RowsAdded == 0) {
       uint64_t Slack = static_cast<uint64_t>(PoisoningBudget) +
                        Lineage.RowsRemoved;
       Certificate Parent;
@@ -110,11 +115,13 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   Cert.CertifiedRadius = PoisoningBudget;
   Cert.Depth = Config.Depth;
   Cert.Domain = Config.Domain;
+  Cert.Threat = Config.Threat;
   Cert.ConcretePrediction = predict(X, Config.Depth);
 
   AbstractLearnerConfig LearnerConfig;
   LearnerConfig.Depth = Config.Depth;
   LearnerConfig.Domain = Config.Domain;
+  LearnerConfig.Threat = Config.Threat;
   LearnerConfig.Cprob = Config.Cprob;
   LearnerConfig.Gini = Config.Gini;
   LearnerConfig.DisjunctCap = Config.DisjunctCap;
@@ -128,7 +135,7 @@ Certificate Verifier::verify(const float *X, uint32_t PoisoningBudget,
   AbstractLearnerResult Run = runAbstractDTrace(Ctx, Initial, X,
                                                 LearnerConfig);
 
-  Cert.NumTerminals = Run.Terminals.size();
+  Cert.NumTerminals = Run.NumTerminals;
   Cert.PeakDisjuncts = Run.PeakDisjuncts;
   Cert.PeakStateBytes = Run.PeakStateBytes;
   Cert.BestSplitCalls = Run.BestSplitCalls;

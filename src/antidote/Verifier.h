@@ -40,6 +40,13 @@ class ReverifyScheduler;
 struct VerifierConfig {
   unsigned Depth = 2;
   AbstractDomainKind Domain = AbstractDomainKind::Box;
+
+  /// The poisoning threat model the budget n quantifies over
+  /// (abstract/ThreatModel.h). Flip queries require the Disjuncts domain
+  /// (`threatModel(Threat).supportsDomain`); front ends enforce this
+  /// before building a config.
+  ThreatModelKind Threat = ThreatModelKind::Removal;
+
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
   size_t DisjunctCap = 64; ///< DisjunctsCapped only (precision knob).
@@ -88,7 +95,10 @@ struct VerifierConfig {
   /// fingerprint with budget n + RowsRemoved, and serve a Robust
   /// certificate found there (sound for pure-removal deltas; see
   /// `DatasetLineage`). The CLI knob `--delta-slack 0` turns this off
-  /// for A/B runs. Ignored without lineage or without a cache.
+  /// for A/B runs. Ignored without lineage or without a cache — and
+  /// under any threat model other than Removal: the n + k containment
+  /// argument is about removed rows and does not transfer to flips
+  /// (a relabeling of the child set is not a relabeling of the parent).
   bool DeltaSlack = true;
 
   /// Optional hook the slack path notifies when it serves an answer
@@ -130,11 +140,12 @@ public:
 ///    `store` under a key that *soundly answers* the queried one: same
 ///    training-set fingerprint, same query bit pattern, a
 ///    `VerifierConfig` equal in every result-relevant field (Depth,
-///    Domain, Cprob, Gini, DisjunctCap where the domain reads it, and
-///    the three run-stopping `Limits` knobs), and a poisoning budget
+///    Domain, Threat, Cprob, Gini, DisjunctCap where the domain reads
+///    it, and the three run-stopping `Limits` knobs), and a poisoning budget
 ///    that either matches exactly or is covered by the *range rule*:
 ///    a Robust certificate proven at radius N answers any budget
-///    n <= N (∆n(T) ⊆ ∆N(T)), an Unknown at radius N answers any
+///    n <= N (∆n(T) ⊆ ∆N(T) — budgets nest under both threat models,
+///    so the rule applies per model), an Unknown at radius N answers any
 ///    n >= N (the abstraction that failed at N fails a fortiori at a
 ///    wider radius), and a ResourceLimit answers only its exact
 ///    budget. A range-served certificate comes back with

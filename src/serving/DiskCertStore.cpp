@@ -129,6 +129,9 @@ void writePayload(ByteWriter &W, const StoreKey &K, const Certificate &Cert) {
   W.u8(static_cast<uint8_t>(K.Domain));
   W.u8(static_cast<uint8_t>(K.Cprob));
   W.u8(static_cast<uint8_t>(K.Gini));
+  // FormatVersion 3: the threat model partitions keys (and hence the
+  // range indexes) per model.
+  W.u8(static_cast<uint8_t>(K.Threat));
   W.u64(K.DisjunctCap);
   W.u64(doubleBits(K.TimeoutSeconds));
   W.u64(K.MaxDisjuncts);
@@ -141,6 +144,7 @@ void writePayload(ByteWriter &W, const StoreKey &K, const Certificate &Cert) {
   W.u32(Cert.PoisoningBudget);
   W.u32(Cert.Depth);
   W.u8(static_cast<uint8_t>(Cert.Domain));
+  W.u8(static_cast<uint8_t>(Cert.Threat));
   W.u32(Cert.ConcretePrediction);
   W.u8(Cert.DominatingClass ? 1 : 0);
   W.u32(Cert.DominatingClass ? *Cert.DominatingClass : 0);
@@ -163,6 +167,7 @@ bool readPayload(const uint8_t *Payload, size_t PayloadBytes, StoreKey &K,
   K.Domain = static_cast<AbstractDomainKind>(R.u8());
   K.Cprob = static_cast<CprobTransformerKind>(R.u8());
   K.Gini = static_cast<GiniLiftingKind>(R.u8());
+  K.Threat = static_cast<ThreatModelKind>(R.u8());
   K.DisjunctCap = static_cast<size_t>(R.u64());
   K.TimeoutSeconds = doubleFromBits(R.u64());
   K.MaxDisjuncts = static_cast<size_t>(R.u64());
@@ -178,6 +183,7 @@ bool readPayload(const uint8_t *Payload, size_t PayloadBytes, StoreKey &K,
   Cert.PoisoningBudget = R.u32();
   Cert.Depth = R.u32();
   Cert.Domain = static_cast<AbstractDomainKind>(R.u8());
+  Cert.Threat = static_cast<ThreatModelKind>(R.u8());
   Cert.ConcretePrediction = R.u32();
   bool HasDominating = R.u8() != 0;
   uint32_t Dominating = R.u32();
@@ -458,8 +464,23 @@ DiskCertStore::OpenResult DiskCertStore::open(const std::string &Dir,
         "cannot open certificate store '" + Dir + "': " + errnoString();
     return Result;
   }
-  if (!Store->loadLocked(Result.Error))
+  uint64_t TotalSegmentBytes = 0;
+  if (!Store->loadLocked(Result.Error, TotalSegmentBytes))
     return Result;
+  // Auto-compaction: when the directory is mostly dead weight —
+  // stale-version segments after a format bump, corruption, piles of
+  // duplicates — reclaim it now rather than serving from (and paying
+  // the scan of) a junkyard forever. Dead bytes are everything scanned
+  // but not indexed. Best effort: a failed compaction leaves the
+  // just-built index serving, same as no trigger at all.
+  if (Options.AutoCompactDeadFraction > 0 && TotalSegmentBytes > 0) {
+    uint64_t Live = Store->Stats.LiveBytes;
+    uint64_t Dead = TotalSegmentBytes > Live ? TotalSegmentBytes - Live : 0;
+    if (static_cast<double>(Dead) >
+        Options.AutoCompactDeadFraction *
+            static_cast<double>(TotalSegmentBytes))
+      Store->compact();
+  }
   Result.Store = std::move(Store);
   return Result;
 }
@@ -488,7 +509,8 @@ std::string DiskCertStore::segmentPath(uint32_t Segment) const {
   return Dir + "/" + Name;
 }
 
-bool DiskCertStore::loadLocked(std::string &Error) {
+bool DiskCertStore::loadLocked(std::string &Error,
+                               uint64_t &TotalSegmentBytes) {
   // The exclusive lock serializes index rebuilds against appends from
   // other processes (and lets the tail repair below truncate safely).
   // An unlockable LOCK file (e.g. ENOLCK on NFS) degrades to a
@@ -522,6 +544,7 @@ bool DiskCertStore::loadLocked(std::string &Error) {
       ++Stats.StaleSegments;
       continue;
     }
+    TotalSegmentBytes += Bytes.size();
     if (Bytes.size() < SegmentHeaderBytes) {
       // Torn before the header finished: unusable, reclaimed by compact.
       ++Stats.StaleSegments;

@@ -14,7 +14,7 @@
 /// structurally impossible — a rebuilt or edited training set changes
 /// the fingerprint, and the old records simply never match again.
 ///
-/// ## On-disk format (FormatVersion 2)
+/// ## On-disk format (FormatVersion 3)
 ///
 /// A store directory holds a `LOCK` file plus append-only segments
 /// `seg-NNNNNN.antcert`. Each segment starts with an 8-byte header
@@ -28,10 +28,14 @@
 ///              stored as their bit patterns (support/BitHash.h policy)
 ///
 /// FormatVersion 2 appended the certificate's `CertifiedRadius` (u32)
-/// to the payload — the field the radius-range index serves from —
-/// and, per the invalidation story below, version-1 segments are
-/// skipped wholesale on open and reclaimed by the next compaction
-/// (their certificates are simply re-verified; always sound).
+/// to the payload — the field the radius-range index serves from.
+/// FormatVersion 3 added the threat model byte to both the key and the
+/// certificate sections (a removal proof must never answer a flip
+/// query; pre-threat records carry no model tag, so they cannot be
+/// attributed safely). Per the invalidation story below, version-1 and
+/// version-2 segments are skipped wholesale on open and reclaimed by
+/// the next compaction (their certificates are simply re-verified;
+/// always sound).
 ///
 /// Every multi-byte field is explicitly little-endian; a record is
 /// written with a single `write(2)` call, so a crash can only leave a
@@ -96,6 +100,16 @@ struct DiskCertStoreOptions {
   /// past this (compaction granularity; the format has no hard limit).
   /// 0 = never rotate.
   uint64_t MaxSegmentBytes = 4ull << 20;
+
+  /// `open` compacts the directory right after the index rebuild when
+  /// dead bytes — stale-version segments, torn/corrupt records,
+  /// duplicates, anything scanned but not indexed — exceed this
+  /// fraction of the total segment bytes on disk. A format bump thus
+  /// reclaims its invalidated segments on the first open instead of
+  /// waiting for an explicit `compact()`. <= 0 disables; the trigger
+  /// failing (I/O error) is not an open failure — the store serves
+  /// what it indexed and the dead bytes wait for the next chance.
+  double AutoCompactDeadFraction = 0.5;
 };
 
 /// Monotonic counters plus the live footprint; a consistent snapshot is
@@ -133,8 +147,9 @@ class DiskCertStore final : public CertificateStore {
 public:
   /// Bump on any record/segment layout change: old segments are then
   /// skipped wholesale on open (never half-parsed) and reclaimed by the
-  /// next compaction. 2 = CertifiedRadius joined the payload.
-  static constexpr uint32_t FormatVersion = 2;
+  /// next compaction. 2 = CertifiedRadius joined the payload; 3 = the
+  /// threat model byte joined both the key and certificate sections.
+  static constexpr uint32_t FormatVersion = 3;
 
   /// `open` either yields a store or a human-readable reason it could
   /// not (unwritable directory, lock failure, ...). Skipped corrupt
@@ -207,8 +222,11 @@ private:
       : Dir(std::move(Dir)), Options(Options) {}
 
   /// Scans all segments, builds the index, repairs a torn tail on the
-  /// append segment. Returns false with \p Error on hard I/O failure.
-  bool loadLocked(std::string &Error);
+  /// append segment. \p TotalSegmentBytes accumulates every byte read
+  /// from a segment file, indexed or not — the denominator of the
+  /// auto-compaction dead fraction. Returns false with \p Error on hard
+  /// I/O failure.
+  bool loadLocked(std::string &Error, uint64_t &TotalSegmentBytes);
 
   std::string segmentPath(uint32_t Segment) const;
 

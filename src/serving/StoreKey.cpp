@@ -15,8 +15,8 @@ using namespace antidote;
 
 bool StoreKey::operator==(const StoreKey &O) const {
   if (!(Data == O.Data) || PoisoningBudget != O.PoisoningBudget ||
-      Depth != O.Depth || Domain != O.Domain || Cprob != O.Cprob ||
-      Gini != O.Gini || DisjunctCap != O.DisjunctCap ||
+      Depth != O.Depth || Domain != O.Domain || Threat != O.Threat ||
+      Cprob != O.Cprob || Gini != O.Gini || DisjunctCap != O.DisjunctCap ||
       doubleBits(TimeoutSeconds) != doubleBits(O.TimeoutSeconds) ||
       MaxDisjuncts != O.MaxDisjuncts || MaxStateBytes != O.MaxStateBytes ||
       Query.size() != O.Query.size())
@@ -33,7 +33,8 @@ size_t StoreKeyHash::operator()(const StoreKey &K) const {
   H = mixBits(H, K.Depth);
   H = mixBits(H, static_cast<uint64_t>(K.Domain) |
                      static_cast<uint64_t>(K.Cprob) << 8 |
-                     static_cast<uint64_t>(K.Gini) << 16);
+                     static_cast<uint64_t>(K.Gini) << 16 |
+                     static_cast<uint64_t>(K.Threat) << 24);
   H = mixBits(H, K.DisjunctCap);
   H = mixBits(H, doubleBits(K.TimeoutSeconds));
   H = mixBits(H, K.MaxDisjuncts);
@@ -54,6 +55,7 @@ StoreKey antidote::makeStoreKey(const DatasetFingerprint &Data,
   K.PoisoningBudget = PoisoningBudget;
   K.Depth = Config.Depth;
   K.Domain = Config.Domain;
+  K.Threat = Config.Threat;
   K.Cprob = Config.Cprob;
   K.Gini = Config.Gini;
   // Normalization: only the capped domain reads DisjunctCap, so zeroing

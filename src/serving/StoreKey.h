@@ -16,8 +16,10 @@
 ///  - the query as its float *bit patterns* (support/BitHash.h policy:
 ///    0.0 and -0.0 are distinct, NaN payloads compare fine);
 ///  - the poisoning budget n;
-///  - the result-relevant `VerifierConfig` fields: Depth, Domain, Cprob,
-///    Gini, DisjunctCap *only when the capped domain reads it*
+///  - the result-relevant `VerifierConfig` fields: Depth, Domain, the
+///    threat model (a removal proof must never answer a flip query, and
+///    vice versa — the key partitions the range indexes per model too),
+///    Cprob, Gini, DisjunctCap *only when the capped domain reads it*
 ///    (normalized to 0 otherwise, so Box/Disjuncts clients with
 ///    different ignored caps share entries), and the three run-stopping
 ///    `ResourceLimits` knobs.
@@ -51,6 +53,7 @@ struct StoreKey {
   uint32_t PoisoningBudget = 0;
   unsigned Depth = 0;
   AbstractDomainKind Domain = AbstractDomainKind::Box;
+  ThreatModelKind Threat = ThreatModelKind::Removal;
   CprobTransformerKind Cprob = CprobTransformerKind::Optimal;
   GiniLiftingKind Gini = GiniLiftingKind::ExactTerm;
   size_t DisjunctCap = 0; ///< 0 unless Domain reads the cap.
@@ -83,6 +86,11 @@ StoreKey rangeBaseKey(const StoreKey &K);
 /// The radius-range serving rule, shared by both store tiers (and
 /// their tests): may a certificate of kind \p Kind proven at
 /// \p CertifiedRadius answer a query at \p QueryBudget?
+///
+/// The rule is sound for every threat model whose budgets nest
+/// (∆a(T) ⊆ ∆b(T) for a ≤ b) — true for removal (§4.1) and label flips
+/// (≤ a relabelings is a special case of ≤ b) — and the threat model is
+/// part of the key, so the range index never mixes proofs across models.
 ///
 ///  - Robust at N serves any n <= N: ∆n(T) ⊆ ∆N(T), so a prediction
 ///    invariant across the larger family is invariant across the

@@ -246,6 +246,65 @@ TEST(DeltaSlackTest, ParentUnknownIsNeverSlackServed) {
   EXPECT_TRUE(Scheduler.Calls.empty());
 }
 
+TEST(DeltaSlackTest, FlipQueryIsNeverAnsweredFromParentCertificate) {
+  // The threat gate: slack's n + k containment argument is about rows
+  // *removed* from the parent — a relabeling of the child set is not a
+  // relabeling of the parent, so a flip query must never be answered
+  // from a parent certificate, whatever that certificate's own model.
+  // Plant unmistakable Robust certificates under the parent fingerprint
+  // at exactly the radius the slack consult would probe (n=1 plus one
+  // removal = 2), under both the removal and the flip config, and check
+  // the child's flip query walks past both.
+  Dataset Parent = separatedDataset();
+  Verifier PV(Parent);
+  CertCache Cache(/*MaxBytes=*/0);
+  const float X[] = {2.5f};
+
+  VerifierConfig RemovalCfg = slackConfig();
+  VerifierConfig FlipCfg = slackConfig();
+  FlipCfg.Threat = ThreatModelKind::LabelFlip;
+
+  Certificate Planted;
+  Planted.Kind = VerdictKind::Robust;
+  Planted.PoisoningBudget = 2;
+  Planted.CertifiedRadius = 2;
+  Planted.Depth = RemovalCfg.Depth;
+  Planted.Domain = RemovalCfg.Domain;
+  Planted.ConcretePrediction = 0;
+  Planted.DominatingClass = 0;
+  Planted.NumTerminals = 999999; // The marker: no fresh run looks like this.
+  Planted.Threat = ThreatModelKind::Removal;
+  Cache.store(PV.fingerprint(), X, 1, 2, RemovalCfg, Planted);
+  Planted.Threat = ThreatModelKind::LabelFlip;
+  Cache.store(PV.fingerprint(), X, 1, 2, FlipCfg, Planted);
+
+  Dataset Child = separatedDataset();
+  Child.markLineage();
+  Child.removeRow(0);
+  Verifier CV(Child);
+  CV.setLineage(lineageSinceMark(PV.fingerprint(), Child));
+
+  // Control first: a removal query at n=1 is slack-served the planted
+  // parent proof (the gate is about the threat, not the plumbing).
+  VerifierConfig CachedRemoval = RemovalCfg;
+  CachedRemoval.Cache = &Cache;
+  Certificate ServedRemoval = CV.verify(X, 1, CachedRemoval);
+  EXPECT_EQ(ServedRemoval.NumTerminals, 999999u);
+  EXPECT_EQ(ServedRemoval.CertifiedRadius, 2u);
+
+  // The property: the same query under the flip model verifies fresh —
+  // not the marker, not the parent radius — and schedules no reverify.
+  CapturingScheduler Scheduler;
+  VerifierConfig CachedFlip = FlipCfg;
+  CachedFlip.Cache = &Cache;
+  CachedFlip.Reverify = &Scheduler;
+  Certificate ServedFlip = CV.verify(X, 1, CachedFlip);
+  EXPECT_NE(ServedFlip.NumTerminals, 999999u);
+  EXPECT_EQ(ServedFlip.CertifiedRadius, 1u);
+  EXPECT_EQ(ServedFlip.Threat, ThreatModelKind::LabelFlip);
+  EXPECT_TRUE(Scheduler.Calls.empty());
+}
+
 //===----------------------------------------------------------------------===//
 // CertServer end to end: slack serve, then background exact write-through
 //===----------------------------------------------------------------------===//

@@ -314,10 +314,11 @@ TEST(DiskCertStoreTest, ForeignNonDeterministicRecordIsNotServedBack) {
   std::vector<uint8_t> Bytes = readFileBytes(Segment);
   std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
   ASSERT_EQ(Spans.size(), 1u);
-  // Payload layout: 63 bytes of fixed key fields + one 4-byte query
-  // float, then the certificate starting with its Kind byte.
+  // Payload layout: 64 bytes of fixed key fields (threat byte included)
+  // + one 4-byte query float, then the certificate starting with its
+  // Kind byte.
   size_t PayloadOffset = Spans[0].Offset + 16;
-  size_t KindOffset = PayloadOffset + 63 + 4;
+  size_t KindOffset = PayloadOffset + 64 + 4;
   ASSERT_LT(KindOffset, Bytes.size());
   Bytes[KindOffset] = 2; // VerdictKind::Timeout.
   // Re-checksum (FNV-1a 64) so the record looks structurally intact.
@@ -423,13 +424,13 @@ TEST(DiskCertStoreTest, PostOpenCorruptionDegradesToMissNotWrongCert) {
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
   EXPECT_EQ(Store->stats().LiveRecords, 1u);
 
-  // Flip a byte in the certificate region (past the 63-byte fixed key
+  // Flip a byte in the certificate region (past the 64-byte fixed key
   // fields + one 4-byte query float) while the store handle is live.
   std::string Segment = Dir.sub("seg-000001.antcert");
   std::vector<uint8_t> Bytes = readFileBytes(Segment);
   std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
   ASSERT_EQ(Spans.size(), 1u);
-  size_t CertByte = Spans[0].Offset + 16 + 63 + 4 + 2;
+  size_t CertByte = Spans[0].Offset + 16 + 64 + 4 + 2;
   ASSERT_LT(CertByte, Bytes.size());
   Bytes[CertByte] ^= 0xFF;
   writeFileBytes(Segment, Bytes);
@@ -497,7 +498,11 @@ TEST(DiskCertStoreTest, FormatVersionBumpInvalidatesWholeSegment) {
   Bytes[4] = static_cast<uint8_t>(DiskCertStore::FormatVersion + 1);
   writeFileBytes(Segment, Bytes);
 
-  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  // Auto-compaction off: this test pins the *skip* behavior; the
+  // reclaim-on-open path has its own tests below.
+  DiskCertStoreOptions NoAuto;
+  NoAuto.AutoCompactDeadFraction = 0;
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), NoAuto);
   DiskCertStoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.StaleSegments, 1u);
   EXPECT_EQ(Stats.LiveRecords, 0u);
@@ -512,12 +517,87 @@ TEST(DiskCertStoreTest, FormatVersionBumpInvalidatesWholeSegment) {
   EXPECT_EQ(Store->stats().Appends, 1u);
   Store.reset();
 
-  Store = openOrDie(Dir.path());
+  Store = openOrDie(Dir.path(), NoAuto);
   EXPECT_EQ(Store->stats().LiveRecords, 1u);
   Config.Cache = Store.get();
   Certificate Warm = V.verify(X, 1, Config);
   EXPECT_EQ(Store->stats().Hits, 1u);
   expectIdenticalCertificates(Cold, Warm);
+}
+
+TEST(DiskCertStoreTest, AutoCompactOnOpenReclaimsStaleSegments) {
+  // A format bump leaves the directory dominated by dead bytes; the
+  // default options reclaim them on the very next open instead of
+  // waiting for an explicit compact().
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  seedStore(Dir.path(), V, {1.5f, 9.5f});
+
+  std::string Segment = Dir.sub("seg-000001.antcert");
+  std::vector<uint8_t> Bytes = readFileBytes(Segment);
+  Bytes[4] = static_cast<uint8_t>(DiskCertStore::FormatVersion + 1);
+  writeFileBytes(Segment, Bytes);
+
+  // The whole directory is dead (fraction 1.0 > default 0.5): open
+  // compacts, unlinking the stale segment.
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
+  DiskCertStoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.StaleSegments, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 0u);
+  EXPECT_EQ(Stats.Compactions, 1u);
+  struct stat St;
+  EXPECT_NE(::stat(Segment.c_str(), &St), 0); // Stale file reclaimed.
+}
+
+TEST(DiskCertStoreTest, AutoCompactThresholdGatesTheTrigger) {
+  // One corrupt record out of three is ~1/3 dead: a threshold above
+  // that must not trigger, one below it must — and live records
+  // survive either way.
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  auto SeedAndCorrupt = [&](const std::string &Dir) {
+    seedStore(Dir, V, {1.5f, 9.5f, 12.5f});
+    std::string Segment = Dir + "/seg-000001.antcert";
+    std::vector<uint8_t> Bytes = readFileBytes(Segment);
+    std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+    ASSERT_EQ(Spans.size(), 3u);
+    Bytes[Spans[1].Offset + 16 + 5] ^= 0xFF;
+    writeFileBytes(Segment, Bytes);
+  };
+
+  {
+    TempStoreDir Dir;
+    SeedAndCorrupt(Dir.path());
+    DiskCertStoreOptions High;
+    High.AutoCompactDeadFraction = 0.9; // Above ~1/3 dead: no trigger.
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), High);
+    EXPECT_EQ(Store->stats().Compactions, 0u);
+    EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  }
+  {
+    TempStoreDir Dir;
+    SeedAndCorrupt(Dir.path());
+    DiskCertStoreOptions Low;
+    Low.AutoCompactDeadFraction = 0.1; // Below ~1/3 dead: triggers.
+    std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), Low);
+    DiskCertStoreStats Stats = Store->stats();
+    EXPECT_EQ(Stats.Compactions, 1u);
+    EXPECT_EQ(Stats.LiveRecords, 2u);
+    EXPECT_EQ(Stats.Segments, 1u);
+
+    // The surviving records still serve, byte-identical, from the
+    // compacted segment — through this handle and a cold reopen.
+    VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+    Config.Cache = Store.get();
+    const float X0[] = {1.5f}, X2[] = {12.5f};
+    V.verify(X0, 1, Config);
+    V.verify(X2, 1, Config);
+    EXPECT_EQ(Store->stats().Hits, 2u);
+    Store.reset();
+    Store = openOrDie(Dir.path());
+    EXPECT_EQ(Store->stats().LiveRecords, 2u);
+  }
 }
 
 TEST(DiskCertStoreTest, CompactionDropsDuplicatesAndStaleSegments) {

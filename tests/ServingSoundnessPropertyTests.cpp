@@ -7,7 +7,8 @@
 // radius-range lattice (Robust down, Unknown up; serving/StoreKey.h) and
 // the removal-delta slack path (data/Fingerprint.h `DatasetLineage`).
 // The one property that must never break, across all three abstract
-// domains:
+// domains and both threat models (flips run Disjuncts only — the one
+// domain the flip transformers are sound under):
 //
 //   whenever the store serves Robust, a fresh cache-less verification
 //   of the same query says Robust too — and never the reverse
@@ -31,10 +32,14 @@ using namespace antidote::testutil;
 
 namespace {
 
-VerifierConfig domainConfig(AbstractDomainKind Domain) {
+/// One (domain, threat) cell of the property matrix.
+using ServingParam = std::pair<AbstractDomainKind, ThreatModelKind>;
+
+VerifierConfig paramConfig(const ServingParam &Param) {
   VerifierConfig Config;
   Config.Depth = 2;
-  Config.Domain = Domain;
+  Config.Domain = Param.first;
+  Config.Threat = Param.second;
   Config.DisjunctCap = 4;
   Config.Limits.TimeoutSeconds = 30.0;
   return Config;
@@ -51,15 +56,17 @@ bool deterministic(VerdictKind Kind) {
 } // namespace
 
 class ServingSoundnessProperty
-    : public ::testing::TestWithParam<AbstractDomainKind> {};
+    : public ::testing::TestWithParam<ServingParam> {};
 
 // Seed the store with a fresh proof at one radius, query every other
 // radius: whatever the range rule serves must agree with fresh
-// verification on the Robust direction.
+// verification on the Robust direction. Budgets nest under both threat
+// models, so the range lattice applies per model unchanged.
 TEST_P(ServingSoundnessProperty, RangeServedRobustImpliesFreshRobust) {
-  Rng R(0xA57C0DE + static_cast<uint64_t>(GetParam()));
+  Rng R(0xA57C0DE + static_cast<uint64_t>(GetParam().first) * 7 +
+        static_cast<uint64_t>(GetParam().second) * 131);
   RandomDatasetSpec Spec;
-  VerifierConfig Fresh = domainConfig(GetParam());
+  VerifierConfig Fresh = paramConfig(GetParam());
 
   for (int Trial = 0; Trial < 12; ++Trial) {
     Dataset Train = makeRandomDataset(R, Spec);
@@ -67,7 +74,7 @@ TEST_P(ServingSoundnessProperty, RangeServedRobustImpliesFreshRobust) {
     std::vector<float> X = makeRandomQuery(R, Spec);
 
     CertCache Cache(/*MaxBytes=*/0);
-    VerifierConfig Cached = domainConfig(GetParam());
+    VerifierConfig Cached = paramConfig(GetParam());
     Cached.Cache = &Cache;
 
     uint32_t SeedRadius = 1 + static_cast<uint32_t>(R.uniformInt(4));
@@ -101,12 +108,17 @@ TEST_P(ServingSoundnessProperty, RangeServedRobustImpliesFreshRobust) {
 
 // Random removal deltas: serve the child from the parent's store with
 // n + RowsRemoved slack, then check every served Robust against a fresh
-// child verification.
+// child verification. Under the flip model the slack rule does not apply
+// (a relabeled child set is not contained in any parent flip set), so the
+// same setup additionally pins that no parent proof leaks through: every
+// flip answer must be a fresh child verification or a same-fingerprint
+// range serve, never a certificate at the parent's widened radius.
 TEST_P(ServingSoundnessProperty, SlackServedRobustImpliesFreshRobust) {
-  Rng R(0xDE17A + static_cast<uint64_t>(GetParam()));
+  Rng R(0xDE17A + static_cast<uint64_t>(GetParam().first) * 7 +
+        static_cast<uint64_t>(GetParam().second) * 131);
   RandomDatasetSpec Spec;
   Spec.MinRows = 6; // Leave rows to remove.
-  VerifierConfig Fresh = domainConfig(GetParam());
+  VerifierConfig Fresh = paramConfig(GetParam());
 
   for (int Trial = 0; Trial < 12; ++Trial) {
     Dataset Parent = makeRandomDataset(R, Spec);
@@ -114,7 +126,7 @@ TEST_P(ServingSoundnessProperty, SlackServedRobustImpliesFreshRobust) {
     std::vector<float> X = makeRandomQuery(R, Spec);
 
     CertCache Cache(/*MaxBytes=*/0);
-    VerifierConfig Cached = domainConfig(GetParam());
+    VerifierConfig Cached = paramConfig(GetParam());
     Cached.Cache = &Cache;
 
     // Stock the parent's entries at a few radii (fresh verifications
@@ -142,12 +154,26 @@ TEST_P(ServingSoundnessProperty, SlackServedRobustImpliesFreshRobust) {
             << "unsound slack serve: trial " << Trial << " removals "
             << Removals << " budget " << N << " served radius "
             << Served.CertifiedRadius;
+        // Flip queries must never be answered from the parent's widened
+        // radius — the slack gate is Removal-only. In this ascending
+        // loop the only Robust sources a flip query has are its own
+        // fresh runs, so a wider served radius can only be a leak.
+        if (GetParam().second == ThreatModelKind::LabelFlip) {
+          EXPECT_EQ(Served.CertifiedRadius, N)
+              << "parent certificate slack-served a flip query";
+        }
       }
     }
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllDomains, ServingSoundnessProperty,
-                         ::testing::Values(AbstractDomainKind::Box,
-                                           AbstractDomainKind::Disjuncts,
-                                           AbstractDomainKind::DisjunctsCapped));
+INSTANTIATE_TEST_SUITE_P(
+    DomainsAndThreats, ServingSoundnessProperty,
+    ::testing::Values(
+        ServingParam{AbstractDomainKind::Box, ThreatModelKind::Removal},
+        ServingParam{AbstractDomainKind::Disjuncts, ThreatModelKind::Removal},
+        ServingParam{AbstractDomainKind::DisjunctsCapped,
+                     ThreatModelKind::Removal},
+        // Flips run the one domain their transformers are sound under.
+        ServingParam{AbstractDomainKind::Disjuncts,
+                     ThreatModelKind::LabelFlip}));

@@ -1,0 +1,353 @@
+//===- tests/ThreatModelTests.cpp - First-class threat-model tests ------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+// The threat-model refactor's contracts: the `ThreatModel` singletons and
+// their name/domain discipline, the label-flip model flowing through the
+// *unified* `Verifier` entry point (identical to the historical
+// `verifyLabelFlipRobustness` loop and sound against exhaustive
+// relabeling), the `Threat` field partitioning certificate-store keys per
+// model (a removal proof must never answer a flip query, exact or range),
+// and the greedy flip-attack search producing genuine concrete witnesses.
+//
+//===----------------------------------------------------------------------===//
+
+#include "abstract/LabelFlip.h"
+#include "abstract/ThreatModel.h"
+#include "antidote/AttackSearch.h"
+#include "antidote/Verifier.h"
+#include "serving/CertCache.h"
+
+#include "TestUtil.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace antidote;
+using namespace antidote::testutil;
+
+//===----------------------------------------------------------------------===//
+// Names and domain support
+//===----------------------------------------------------------------------===//
+
+TEST(ThreatModelNameTest, NamesRoundTripThroughTheParser) {
+  EXPECT_STREQ(threatModelName(ThreatModelKind::Removal), "removal");
+  EXPECT_STREQ(threatModelName(ThreatModelKind::LabelFlip), "flip");
+  EXPECT_EQ(parseThreatModelName("removal"), ThreatModelKind::Removal);
+  EXPECT_EQ(parseThreatModelName("flip"), ThreatModelKind::LabelFlip);
+  // The CLI convention is exact lowercase names; anything else is a
+  // usage error, not a fuzzy match.
+  EXPECT_FALSE(parseThreatModelName("").has_value());
+  EXPECT_FALSE(parseThreatModelName("Flip").has_value());
+  EXPECT_FALSE(parseThreatModelName("label-flip").has_value());
+  EXPECT_FALSE(parseThreatModelName("removal ").has_value());
+}
+
+TEST(ThreatModelTest, SingletonsReportTheirKind) {
+  EXPECT_EQ(threatModel(ThreatModelKind::Removal).kind(),
+            ThreatModelKind::Removal);
+  EXPECT_EQ(threatModel(ThreatModelKind::LabelFlip).kind(),
+            ThreatModelKind::LabelFlip);
+  EXPECT_STREQ(threatModel(ThreatModelKind::LabelFlip).name(), "flip");
+}
+
+TEST(ThreatModelTest, DomainSupportMatchesTheSoundnessArguments) {
+  const ThreatModel &Removal = threatModel(ThreatModelKind::Removal);
+  const ThreatModel &Flip = threatModel(ThreatModelKind::LabelFlip);
+  for (AbstractDomainKind Domain :
+       {AbstractDomainKind::Box, AbstractDomainKind::Disjuncts,
+        AbstractDomainKind::DisjunctsCapped})
+    EXPECT_TRUE(Removal.supportsDomain(Domain));
+  // The flip cprob# transformer is unsound under any join of exact row
+  // sets: Disjuncts only.
+  EXPECT_TRUE(Flip.supportsDomain(AbstractDomainKind::Disjuncts));
+  EXPECT_FALSE(Flip.supportsDomain(AbstractDomainKind::Box));
+  EXPECT_FALSE(Flip.supportsDomain(AbstractDomainKind::DisjunctsCapped));
+}
+
+//===----------------------------------------------------------------------===//
+// The unified engine: Verifier flip verdicts ≡ the historical loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A 16-row linearly separable set (same shape as LabelFlipTests.cpp):
+/// wide margins make depth-1 flip proofs succeed.
+Dataset separableDataset() {
+  Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  for (int I = 0; I < 16; ++I)
+    Data.addRow({static_cast<float>(I)}, I < 8 ? 0u : 1u);
+  return Data;
+}
+
+VerifierConfig flipConfig(unsigned Depth) {
+  VerifierConfig Config;
+  Config.Depth = Depth;
+  Config.Domain = AbstractDomainKind::Disjuncts;
+  Config.Threat = ThreatModelKind::LabelFlip;
+  Config.Limits.TimeoutSeconds = 30.0;
+  return Config;
+}
+
+} // namespace
+
+TEST(UnifiedEngineTest, VerifierFlipVerdictsMatchTheWrapperLoop) {
+  // The refactor's bit-identical claim: `Verifier::verify` with
+  // Threat = LabelFlip and the pre-refactor entry point
+  // (`verifyLabelFlipRobustness`, now a thin wrapper over the same
+  // engine) agree on the verdict *and* every cost counter, across
+  // random sets, the Figure 2 example, and the separable set.
+  Rng R(0x7EA7);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 9;
+  for (int Trial = 0; Trial < 24; ++Trial) {
+    Dataset Data = Trial == 0   ? figure2Dataset()
+                   : Trial == 1 ? separableDataset()
+                                : makeRandomDataset(R, Spec);
+    std::vector<float> X(Data.numFeatures(), 2.0f);
+    if (Trial > 1)
+      X = makeRandomQuery(R, Spec);
+    unsigned Depth = 1 + static_cast<unsigned>(R.uniformInt(2));
+    uint32_t Budget = static_cast<uint32_t>(R.uniformInt(3));
+
+    Verifier V(Data);
+    Certificate Cert = V.verify(X.data(), Budget, flipConfig(Depth));
+
+    LabelFlipConfig Wrapper;
+    Wrapper.Depth = Depth;
+    LabelFlipResult Loop = verifyLabelFlipRobustness(
+        V.context(), allRows(Data), X.data(), Budget, Wrapper);
+
+    ASSERT_EQ(Cert.Kind == VerdictKind::Robust, Loop.Robust)
+        << "trial " << Trial << " depth " << Depth << " n " << Budget;
+    EXPECT_EQ(Cert.ConcretePrediction, Loop.ConcretePrediction);
+    EXPECT_EQ(Cert.NumTerminals, Loop.NumTerminals);
+    EXPECT_EQ(Cert.PeakDisjuncts, Loop.PeakDisjuncts);
+    if (Cert.isRobust()) {
+      ASSERT_TRUE(Cert.DominatingClass.has_value());
+      EXPECT_EQ(*Cert.DominatingClass, Loop.DominatingClass);
+    }
+  }
+}
+
+TEST(UnifiedEngineTest, FlipCertificateRecordsItsThreatModel) {
+  Dataset Data = separableDataset();
+  Verifier V(Data);
+  const float X[] = {2.0f};
+
+  Certificate Flip = V.verify(X, 1, flipConfig(1));
+  ASSERT_EQ(Flip.Kind, VerdictKind::Robust);
+  EXPECT_EQ(Flip.Threat, ThreatModelKind::LabelFlip);
+  EXPECT_EQ(Flip.CertifiedRadius, 1u);
+  EXPECT_NE(Flip.summary().find("flip"), std::string::npos);
+
+  VerifierConfig RemovalConfig = flipConfig(1);
+  RemovalConfig.Threat = ThreatModelKind::Removal;
+  Certificate Removal = V.verify(X, 1, RemovalConfig);
+  EXPECT_EQ(Removal.Threat, ThreatModelKind::Removal);
+  EXPECT_NE(Removal.summary().find("removal"), std::string::npos);
+}
+
+TEST(UnifiedEngineTest, EngineFlipProofsAreSoundAgainstEnumeration) {
+  // Robust through the unified entry point ⇒ exhaustive relabeling
+  // agrees — the end-to-end soundness property, now stated against
+  // `Verifier` rather than the historical loop.
+  Rng R(0xF11B);
+  unsigned Proven = 0;
+  for (int Trial = 0; Trial < 16; ++Trial) {
+    unsigned Rows = 12 + static_cast<unsigned>(R.uniformInt(4));
+    unsigned Boundary = 5 + static_cast<unsigned>(R.uniformInt(4));
+    Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+    for (unsigned I = 0; I < Rows; ++I)
+      Data.addRow({static_cast<float>(I)}, I < Boundary ? 0u : 1u);
+    Verifier V(Data);
+    float X = R.bernoulli(0.5) ? static_cast<float>(Boundary - 4)
+                               : static_cast<float>(Boundary + 3);
+    unsigned Depth = 1;
+    Certificate Cert = V.verify(&X, 1, flipConfig(Depth));
+    if (!Cert.isRobust())
+      continue;
+    ++Proven;
+    FlipEnumerationResult Oracle =
+        verifyByFlipEnumeration(V.context(), allRows(Data), &X, 1, Depth);
+    EXPECT_TRUE(Oracle.Robust)
+        << "engine flip proof contradicted by enumeration (boundary="
+        << Boundary << ", rows=" << Rows << ", x=" << X << ")";
+    EXPECT_EQ(*Cert.DominatingClass, Oracle.OriginalPrediction);
+  }
+  EXPECT_GT(Proven, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Store-key partitioning: certificates never cross threat models
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Certificate makeRobustCert(ThreatModelKind Threat, uint32_t Radius) {
+  Certificate Cert;
+  Cert.Kind = VerdictKind::Robust;
+  Cert.PoisoningBudget = Radius;
+  Cert.CertifiedRadius = Radius;
+  Cert.Depth = 1;
+  Cert.Domain = AbstractDomainKind::Disjuncts;
+  Cert.Threat = Threat;
+  Cert.ConcretePrediction = 0;
+  Cert.DominatingClass = 0;
+  return Cert;
+}
+
+} // namespace
+
+TEST(ThreatPartitionTest, RemovalCertificateNeverAnswersFlipQuery) {
+  Dataset Data = separableDataset();
+  Verifier V(Data);
+  const float X[] = {2.0f};
+  CertCache Cache(/*MaxBytes=*/0);
+
+  VerifierConfig Removal = flipConfig(1);
+  Removal.Threat = ThreatModelKind::Removal;
+  VerifierConfig Flip = flipConfig(1);
+
+  Cache.store(V.fingerprint(), X, 1, 3, Removal,
+              makeRobustCert(ThreatModelKind::Removal, 3));
+
+  // Control: the same-model exact and range probes do serve.
+  Certificate Out;
+  EXPECT_TRUE(Cache.lookup(V.fingerprint(), X, 1, 3, Removal, Out));
+  EXPECT_TRUE(Cache.lookup(V.fingerprint(), X, 1, 1, Removal, Out));
+  EXPECT_EQ(Out.Threat, ThreatModelKind::Removal);
+
+  // The property: a flip query misses at the exact radius and at every
+  // radius the removal proof would range-serve within its own model.
+  for (uint32_t N = 1; N <= 3; ++N)
+    EXPECT_FALSE(Cache.lookup(V.fingerprint(), X, 1, N, Flip, Out))
+        << "removal@3 leaked into a flip query at n=" << N;
+}
+
+TEST(ThreatPartitionTest, FlipCertificateNeverAnswersRemovalQuery) {
+  Dataset Data = separableDataset();
+  Verifier V(Data);
+  const float X[] = {2.0f};
+  CertCache Cache(/*MaxBytes=*/0);
+
+  VerifierConfig Removal = flipConfig(1);
+  Removal.Threat = ThreatModelKind::Removal;
+  VerifierConfig Flip = flipConfig(1);
+
+  Cache.store(V.fingerprint(), X, 1, 3, Flip,
+              makeRobustCert(ThreatModelKind::LabelFlip, 3));
+
+  Certificate Out;
+  EXPECT_TRUE(Cache.lookup(V.fingerprint(), X, 1, 2, Flip, Out));
+  EXPECT_EQ(Out.Threat, ThreatModelKind::LabelFlip);
+  EXPECT_EQ(Out.CertifiedRadius, 3u);
+
+  for (uint32_t N = 1; N <= 3; ++N)
+    EXPECT_FALSE(Cache.lookup(V.fingerprint(), X, 1, N, Removal, Out))
+        << "flip@3 leaked into a removal query at n=" << N;
+}
+
+TEST(ThreatPartitionTest, VerifierWriteThroughKeysPerModel) {
+  // The production write path (not hand-built certificates): one cache,
+  // both models verifying the same query. Each model's second query is a
+  // hit; the counts prove neither model's entry answered the other.
+  Dataset Data = separableDataset();
+  Verifier V(Data);
+  const float X[] = {2.0f};
+  CertCache Cache(/*MaxBytes=*/0);
+
+  VerifierConfig Removal = flipConfig(1);
+  Removal.Threat = ThreatModelKind::Removal;
+  Removal.Cache = &Cache;
+  VerifierConfig Flip = flipConfig(1);
+  Flip.Cache = &Cache;
+
+  Certificate R1 = V.verify(X, 1, Removal);
+  Certificate F1 = V.verify(X, 1, Flip);
+  EXPECT_EQ(Cache.stats().Misses, 2u); // The flip query missed removal's.
+  EXPECT_EQ(Cache.stats().Insertions, 2u);
+
+  Certificate R2 = V.verify(X, 1, Removal);
+  Certificate F2 = V.verify(X, 1, Flip);
+  EXPECT_EQ(Cache.stats().Hits, 2u);
+  EXPECT_EQ(R2.Threat, ThreatModelKind::Removal);
+  EXPECT_EQ(F2.Threat, ThreatModelKind::LabelFlip);
+  EXPECT_EQ(R1.Kind, R2.Kind);
+  EXPECT_EQ(F1.Kind, F2.Kind);
+}
+
+//===----------------------------------------------------------------------===//
+// The greedy flip-attack search
+//===----------------------------------------------------------------------===//
+
+TEST(FlipAttackSearchTest, FoundAttackIsAConcreteWitness) {
+  // Depth-0 majority 2-1: one flip of a majority row hands class 1 the
+  // vote, so the greedy search must find a witness — and replaying its
+  // flips through a concrete retraining must reproduce the claim.
+  Dataset Data(DatasetSchema::uniform(1, FeatureKind::Real, 2));
+  Data.addRow({0.0f}, 0);
+  Data.addRow({1.0f}, 0);
+  Data.addRow({2.0f}, 1);
+  SplitContext Ctx(Data);
+  float X = 0.0f;
+
+  FlipAttackResult Attack =
+      findLabelFlipAttack(Ctx, allRows(Data), &X, /*Budget=*/1, /*Depth=*/0);
+  ASSERT_TRUE(Attack.Found);
+  ASSERT_LE(Attack.Flips.size(), 1u);
+  EXPECT_EQ(Attack.OriginalPrediction, 0u);
+
+  Dataset Flipped = Data;
+  for (const LabelFlip &Flip : Attack.Flips) {
+    ASSERT_LT(Flip.Row, Data.numRows());
+    ASSERT_NE(Flip.NewLabel, Data.label(Flip.Row));
+    Flipped.setLabel(Flip.Row, Flip.NewLabel);
+  }
+  SplitContext FlippedCtx(Flipped);
+  TraceResult Replay = runDTrace(FlippedCtx, allRows(Flipped), &X, 0);
+  EXPECT_EQ(Replay.PredictedClass, Attack.FlippedPrediction);
+  EXPECT_NE(Replay.PredictedClass, Attack.OriginalPrediction);
+}
+
+TEST(FlipAttackSearchTest, FlipsAreDistinctRowsWithinBudget) {
+  Rng R(0xA77AC4);
+  RandomDatasetSpec Spec;
+  Spec.MaxRows = 10;
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    Dataset Data = makeRandomDataset(R, Spec);
+    SplitContext Ctx(Data);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+    uint32_t Budget = 1 + static_cast<uint32_t>(R.uniformInt(3));
+    FlipAttackResult Attack =
+        findLabelFlipAttack(Ctx, allRows(Data), X.data(), Budget, 1);
+    EXPECT_LE(Attack.Flips.size(), Budget);
+    std::vector<uint32_t> Rows;
+    for (const LabelFlip &Flip : Attack.Flips) {
+      EXPECT_LT(Flip.Row, Data.numRows());
+      EXPECT_LT(Flip.NewLabel, Data.numClasses());
+      Rows.push_back(Flip.Row);
+    }
+    std::sort(Rows.begin(), Rows.end());
+    EXPECT_EQ(std::adjacent_find(Rows.begin(), Rows.end()), Rows.end())
+        << "attack relabeled the same row twice";
+  }
+}
+
+TEST(FlipAttackSearchTest, NoAttackExistsInsideACertifiedBudget) {
+  // Verifier and attacker meet in the middle: whenever the engine
+  // *proves* flip robustness at n, the greedy search must come up empty
+  // at the same budget (a found attack would be a soundness bug in one
+  // of the two).
+  Dataset Data = separableDataset();
+  Verifier V(Data);
+  const float X[] = {2.0f};
+  Certificate Cert = V.verify(X, 1, flipConfig(1));
+  ASSERT_EQ(Cert.Kind, VerdictKind::Robust);
+
+  FlipAttackResult Attack =
+      findLabelFlipAttack(V.context(), allRows(Data), X, 1, 1);
+  EXPECT_FALSE(Attack.Found);
+}
