@@ -30,8 +30,11 @@
 #include "data/Registry.h"
 #include "serving/CertServer.h"
 #include "serving/DiskCertStore.h"
+#include "serving/NetServer.h"
 #include "serving/TieredStore.h"
 #include "support/Parse.h"
+
+#include <signal.h>
 
 #include <algorithm>
 #include <chrono>
@@ -58,6 +61,12 @@ struct CliOptions {
   int TestRow = -1;        ///< Row of the registry test split to query.
   bool AllRows = false;    ///< Verify every row of the test split.
   bool Serve = false;      ///< Serve stdin queries through a CertServer.
+  bool Listen = false;     ///< Serve the binary protocol over TCP.
+  uint16_t ListenPort = 0; ///< 0 = kernel-assigned (printed on startup).
+  size_t MaxClients = 64;  ///< Concurrent-connection cap; 0 = unbounded.
+  size_t ShedDepth = 0;    ///< Queue depth that triggers shedding; 0 = never.
+  double ClientRate = 0.0; ///< Per-client admits/second; 0 = unpaced.
+  double ClientBurst = 8.0; ///< Per-client token-bucket capacity.
   uint32_t Budget = 1;
   unsigned Depth = 2;
   AbstractDomainKind Domain = AbstractDomainKind::Disjuncts;
@@ -77,13 +86,16 @@ void printUsage() {
   std::printf(
       "usage: antidote_cli (--train FILE.csv | --dataset NAME)\n"
       "                    (--query \"v1,v2,...\" | --row K | --all |"
-      " --serve)\n"
+      " --serve |\n"
+      "                     --listen PORT)\n"
       "                    [--n N] [--depth D] [--threat removal|flip]\n"
       "                    [--domain box|disjuncts|capped] [--cap K]\n"
       "                    [--timeout SECONDS] [--jobs N]\n"
       "                    [--frontier-jobs N] [--split-jobs N]\n"
       "                    [--cache-bytes B] [--cache-dir DIR]\n"
-      "                    [--delta-slack 0|1]\n\n"
+      "                    [--delta-slack 0|1]\n"
+      "                    [--max-clients N] [--shed-depth N]\n"
+      "                    [--client-rate R] [--client-burst B]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -96,6 +108,12 @@ void printUsage() {
       "  --serve    warm certificate server: read one query per line\n"
       "             (\"v1,v2,...\") from stdin, batch them through one\n"
       "             long-lived Verifier, cache repeated queries\n"
+      "  --listen   network certificate server: bind 127.0.0.1:PORT\n"
+      "             (0 = kernel-assigned, printed on startup) and speak\n"
+      "             the length-prefixed binary protocol (see\n"
+      "             examples/net_client.cpp); each request carries its\n"
+      "             own poisoning budget and optional deadline; SIGINT/\n"
+      "             SIGTERM shut down cleanly and print the net: stats\n"
       "\n"
       "knobs (flag beats env-var twin beats default; malformed values\n"
       "in either error out):\n"
@@ -146,7 +164,26 @@ void printUsage() {
       "             misses under this dataset's own fingerprint (sound "
       "for\n"
       "             pure-removal deltas; 0 = exact/range matches only, "
-      "for A/B runs)\n");
+      "for A/B runs)\n"
+      "  --listen         ANTIDOTE_LISTEN       off    TCP port to "
+      "serve on\n"
+      "             (0 = kernel-assigned; presence of either turns "
+      "listen mode on)\n"
+      "  --max-clients    ANTIDOTE_MAX_CLIENTS   64    concurrent "
+      "connections\n"
+      "             (0 = unbounded; extra accepts are closed "
+      "immediately)\n"
+      "  --shed-depth     ANTIDOTE_SHED_DEPTH     0    verification-"
+      "queue depth\n"
+      "             at which new work is shed (store hits still "
+      "answered;\n"
+      "             0 = never shed)\n"
+      "  --client-rate    ANTIDOTE_CLIENT_RATE    0    per-client "
+      "admitted\n"
+      "             requests/second, token bucket (0 = unpaced)\n"
+      "  --client-burst   ANTIDOTE_CLIENT_BURST   8    token-bucket "
+      "capacity:\n"
+      "             requests one client may burst before pacing bites\n");
 }
 
 /// Applies \p Name as the default for \p Out when the flag was absent.
@@ -177,7 +214,32 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       !applyUnsignedEnv("ANTIDOTE_CACHE_BYTES", "unbounded", UINT64_MAX,
                         Options.CacheBytes, &Options.CacheEnabled) ||
       !applyUnsignedEnv("ANTIDOTE_DELTA_SLACK", "disabled", 1,
-                        Options.DeltaSlack))
+                        Options.DeltaSlack) ||
+      !applyUnsignedEnv("ANTIDOTE_LISTEN", "kernel-assigned port", 65535,
+                        Options.ListenPort, &Options.Listen) ||
+      !applyUnsignedEnv("ANTIDOTE_MAX_CLIENTS", "unbounded", SIZE_MAX,
+                        Options.MaxClients) ||
+      !applyUnsignedEnv("ANTIDOTE_SHED_DEPTH", "never shed", SIZE_MAX,
+                        Options.ShedDepth))
+    return false;
+  // Double-valued twins (no unsigned helper fits): same rule, malformed
+  // values are fatal.
+  auto DoubleEnv = [](const char *Name, double Min, double &Out) {
+    std::optional<std::string> Text = readStringEnv(Name);
+    if (!Text)
+      return true;
+    std::optional<double> Parsed = parseDoubleArg(Text->c_str());
+    if (!Parsed || *Parsed < Min) {
+      std::fprintf(stderr,
+                   "error: %s needs a finite number >= %g, got '%s'\n",
+                   Name, Min, Text->c_str());
+      return false;
+    }
+    Out = *Parsed;
+    return true;
+  };
+  if (!DoubleEnv("ANTIDOTE_CLIENT_RATE", 0.0, Options.ClientRate) ||
+      !DoubleEnv("ANTIDOTE_CLIENT_BURST", 1.0, Options.ClientBurst))
     return false;
   if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
     Options.CacheDir = *Dir;
@@ -274,6 +336,26 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     } else if (Arg == "--delta-slack") {
       if (!CountFlag(1, Options.DeltaSlack))
         return false;
+    } else if (Arg == "--listen") {
+      if (!CountFlag(65535, Options.ListenPort))
+        return false;
+      Options.Listen = true;
+    } else if (Arg == "--max-clients") {
+      if (!CountFlag(SIZE_MAX, Options.MaxClients))
+        return false;
+    } else if (Arg == "--shed-depth") {
+      if (!CountFlag(SIZE_MAX, Options.ShedDepth))
+        return false;
+    } else if (Arg == "--client-rate" || Arg == "--client-burst") {
+      bool Burst = Arg == "--client-burst";
+      std::optional<double> Parsed = parseDoubleArg(Value);
+      if (!Parsed || *Parsed < (Burst ? 1.0 : 0.0)) {
+        std::fprintf(stderr,
+                     "error: %s needs a finite number >= %g, got '%s'\n",
+                     Arg.c_str(), Burst ? 1.0 : 0.0, Value);
+        return false;
+      }
+      (Burst ? Options.ClientBurst : Options.ClientRate) = *Parsed;
     } else if (Arg == "--threat") {
       std::optional<ThreatModelKind> Parsed = parseThreatModelName(Value);
       if (!Parsed) {
@@ -302,7 +384,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
   }
   bool HaveData = !Options.TrainCsv.empty() ^ !Options.DatasetName.empty();
   bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0 ||
-                   Options.AllRows || Options.Serve;
+                   Options.AllRows || Options.Serve || Options.Listen;
   if (!HaveData || !HaveQuery) {
     std::fprintf(stderr, "error: need one data source and one query "
                          "source\n");
@@ -313,9 +395,15 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     return false;
   }
   if (Options.Serve && (Options.AllRows || !Options.QueryValues.empty() ||
-                        Options.TestRow >= 0)) {
+                        Options.TestRow >= 0 || Options.Listen)) {
     std::fprintf(stderr,
                  "error: --serve takes queries from stdin only\n");
+    return false;
+  }
+  if (Options.Listen && (Options.AllRows || !Options.QueryValues.empty() ||
+                         Options.TestRow >= 0)) {
+    std::fprintf(stderr,
+                 "error: --listen takes queries from the socket only\n");
     return false;
   }
   if (!threatModel(Options.Threat).supportsDomain(Options.Domain)) {
@@ -390,8 +478,9 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::vector<float> Query;
-  if (Options.AllRows || Options.Serve) {
-    // --all resolves its inputs below; --serve reads them from stdin.
+  if (Options.AllRows || Options.Serve || Options.Listen) {
+    // --all resolves its inputs below; --serve reads them from stdin,
+    // --listen from the socket.
   } else if (!Options.QueryValues.empty()) {
     if (!parseQuery(Options.QueryValues, Train.numFeatures(), Query)) {
       std::fprintf(stderr, "error: query must have %u numeric values\n",
@@ -428,6 +517,76 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     DiskStore = std::move(Opened.Store);
+  }
+
+  if (Options.Listen) {
+    // Block the shutdown signals *before* the server threads spawn so
+    // every thread inherits the mask and sigwait below is the only
+    // consumer — the one portable way to both run an epoll loop and
+    // shut down cleanly on SIGINT/SIGTERM.
+    sigset_t ShutdownSigs;
+    sigemptyset(&ShutdownSigs);
+    sigaddset(&ShutdownSigs, SIGINT);
+    sigaddset(&ShutdownSigs, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &ShutdownSigs, nullptr);
+
+    CertServerConfig ServerConfig;
+    ServerConfig.Query.Depth = Options.Depth;
+    ServerConfig.Query.Domain = Options.Domain;
+    ServerConfig.Query.Threat = Options.Threat;
+    ServerConfig.Query.DisjunctCap = Options.DisjunctCap;
+    ServerConfig.Query.Limits.TimeoutSeconds = Options.TimeoutSeconds;
+    ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
+    ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
+    ServerConfig.Query.SplitJobs = Options.SplitJobs;
+    ServerConfig.Query.DeltaSlack = Options.DeltaSlack;
+    ServerConfig.Jobs = Options.Jobs;
+    ServerConfig.Backing = DiskStore.get();
+    CertServer Server(Train, ServerConfig);
+
+    NetServerConfig NetConfig;
+    NetConfig.Port = Options.ListenPort;
+    NetConfig.MaxClients = Options.MaxClients;
+    NetConfig.ShedDepth = Options.ShedDepth;
+    NetConfig.ClientRate = Options.ClientRate;
+    NetConfig.ClientBurst = Options.ClientBurst;
+    NetServer Net(Server, NetConfig);
+    std::string Error;
+    if (!Net.start(Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    // The CI smoke (and any script) learns the kernel-assigned port
+    // from this line; keep its shape stable.
+    std::printf("listening on 127.0.0.1:%u (dataset %s, threat %s, %u "
+                "features)\n",
+                Net.port(), Server.verifier().fingerprint().hex().c_str(),
+                threatModelName(Options.Threat), Train.numFeatures());
+    std::fflush(stdout);
+
+    int Sig = 0;
+    sigwait(&ShutdownSigs, &Sig);
+    std::printf("signal %d: shutting down\n", Sig);
+    Net.stop();
+    NetServerStats Stats = Net.stats();
+    std::printf("net: accepted=%llu refused=%llu framing=%llu "
+                "requests=%llu verified=%llu probe_hits=%llu "
+                "shed_overload=%llu shed_paced=%llu bad_requests=%llu "
+                "cancelled=%llu\n",
+                static_cast<unsigned long long>(Stats.Accepted),
+                static_cast<unsigned long long>(Stats.RefusedClients),
+                static_cast<unsigned long long>(Stats.FramingErrors),
+                static_cast<unsigned long long>(Stats.Requests),
+                static_cast<unsigned long long>(Stats.Verified),
+                static_cast<unsigned long long>(Stats.ProbeHits),
+                static_cast<unsigned long long>(Stats.ShedOverload),
+                static_cast<unsigned long long>(Stats.ShedPaced),
+                static_cast<unsigned long long>(Stats.BadArity),
+                static_cast<unsigned long long>(Stats.Cancelled));
+    printCacheStats(Server.cacheStats(), Options.CacheBytes);
+    if (DiskStore)
+      printDiskStats(*DiskStore);
+    return 0;
   }
 
   if (Options.Serve) {

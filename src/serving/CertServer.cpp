@@ -47,29 +47,120 @@ CertServer::CertServer(const Dataset &Train, const CertServerConfig &Config)
 
 CertServer::~CertServer() { stop(); }
 
+void CertServer::fulfill(Request &R, const Certificate &Cert) {
+  // Move the callback out first: set_value may unblock a waiter that
+  // destroys the request's surroundings.
+  std::function<void(const Certificate &)> Completion =
+      std::move(R.Completion);
+  R.Promise.set_value(Cert);
+  if (Completion)
+    Completion(Cert);
+}
+
 std::future<Certificate> CertServer::submit(std::vector<float> X,
                                             uint32_t PoisoningBudget) {
-  assert(X.size() == V.trainingSet().numFeatures() &&
-         "query arity must match the training set");
   Request R;
   R.X = std::move(X);
   R.PoisoningBudget = PoisoningBudget;
+  return enqueue(std::move(R), nullptr);
+}
+
+std::future<Certificate> CertServer::submit(std::vector<float> X,
+                                            uint32_t PoisoningBudget,
+                                            SubmitOptions Options,
+                                            uint64_t &TicketOut) {
+  Request R;
+  R.X = std::move(X);
+  R.PoisoningBudget = PoisoningBudget;
+  R.Completion = std::move(Options.Completion);
+  if (Options.DeadlineSeconds > 0.0) {
+    R.HasDeadline = true;
+    R.Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(Options.DeadlineSeconds));
+  }
+  return enqueue(std::move(R), &TicketOut);
+}
+
+std::future<Certificate> CertServer::enqueue(Request R,
+                                             uint64_t *TicketOut) {
+  assert(R.X.size() == V.trainingSet().numFeatures() &&
+         "query arity must match the training set");
   std::future<Certificate> Result = R.Promise.get_future();
   {
     std::lock_guard<std::mutex> Guard(Mutex);
     if (Stopping) {
       Certificate Refused;
       Refused.Kind = VerdictKind::Cancelled;
-      Refused.PoisoningBudget = PoisoningBudget;
+      Refused.PoisoningBudget = R.PoisoningBudget;
       Refused.Depth = Config.Query.Depth;
       Refused.Domain = Config.Query.Domain;
-      R.Promise.set_value(Refused);
+      Refused.Threat = Config.Query.Threat;
+      if (TicketOut)
+        *TicketOut = 0; // Nothing to cancel; the answer is already here.
+      fulfill(R, Refused);
       return Result;
+    }
+    if (TicketOut) {
+      R.Ticket = NextTicket++;
+      R.Cancel = std::make_shared<CancellationToken>();
+      LiveTokens.emplace(R.Ticket, R.Cancel);
+      *TicketOut = R.Ticket;
     }
     Queue.push_back(std::move(R));
   }
   QueueChanged.notify_one();
   return Result;
+}
+
+bool CertServer::cancelRequest(uint64_t Ticket) {
+  if (Ticket == 0)
+    return false;
+  Request Cancelled;
+  bool FoundQueued = false;
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    // Still queued: release the slot now — admission control upstream
+    // keys off the queue depth, and a dead client's request must not
+    // hold capacity hostage, let alone get verified.
+    for (auto It = Queue.begin(); It != Queue.end(); ++It) {
+      if (It->Ticket != Ticket)
+        continue;
+      Cancelled = std::move(*It);
+      Queue.erase(It);
+      LiveTokens.erase(Ticket);
+      FoundQueued = true;
+      break;
+    }
+    if (!FoundQueued) {
+      auto It = LiveTokens.find(Ticket);
+      if (It == LiveTokens.end())
+        return false; // Unknown or already served.
+      // In flight: the verification observes the token at its next
+      // budget poll and reports Cancelled through the normal path.
+      It->second->cancel();
+      return true;
+    }
+  }
+  Certificate Refused;
+  Refused.Kind = VerdictKind::Cancelled;
+  Refused.PoisoningBudget = Cancelled.PoisoningBudget;
+  Refused.Depth = Config.Query.Depth;
+  Refused.Domain = Config.Query.Domain;
+  Refused.Threat = Config.Query.Threat;
+  fulfill(Cancelled, Refused);
+  Idle.notify_all(); // A drain may have been waiting on this request.
+  return true;
+}
+
+bool CertServer::probeStore(const float *X, uint32_t PoisoningBudget,
+                            Certificate &Out) const {
+  CertificateStore *Store = Config.Query.Cache;
+  if (!Store)
+    return false;
+  return Store->lookup(V.fingerprint(), X, V.trainingSet().numFeatures(),
+                       PoisoningBudget, Config.Query, Out);
 }
 
 void CertServer::dispatchLoop() {
@@ -130,6 +221,14 @@ void CertServer::dispatchLoop() {
   }
 }
 
+void CertServer::finish(Request &R, const Certificate &Cert) {
+  if (R.Ticket) {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    LiveTokens.erase(R.Ticket);
+  }
+  fulfill(R, Cert);
+}
+
 void CertServer::serveBatch(std::vector<Request> Batch) {
   // Group by poisoning budget (verifyBatch verifies one n per call)
   // while preserving submission order within each group. Serving traffic
@@ -150,18 +249,67 @@ void CertServer::serveBatch(std::vector<Request> Batch) {
            Batch[Order[GroupEnd]].PoisoningBudget == N)
       ++GroupEnd;
 
-    std::vector<const float *> Inputs;
-    Inputs.reserve(GroupEnd - GroupStart);
+    bool AnyTicketed = false;
     for (size_t I = GroupStart; I < GroupEnd; ++I)
-      Inputs.push_back(Batch[Order[I]].X.data());
+      if (Batch[Order[I]].Ticket || Batch[Order[I]].HasDeadline)
+        AnyTicketed = true;
 
-    // Cache lookups/stores happen per query on the batch-pool workers,
-    // inside Verifier::verify — hits cost a hash probe, misses verify
-    // and seed the cache for the next repeat.
-    std::vector<Certificate> Certs =
-        V.verifyBatch(Inputs, N, Config.Query, BatchPool.get());
-    for (size_t I = GroupStart; I < GroupEnd; ++I)
-      Batch[Order[I]].Promise.set_value(Certs[I - GroupStart]);
+    if (AnyTicketed) {
+      // Per-request path: each request verifies under its own token and
+      // its own deadline-clamped limits, so one client's cancellation
+      // or deadline never stops a neighbour's identical query. Expired
+      // requests answer Timeout here without consuming a verification
+      // (sound: Timeout claims nothing).
+      auto Now = std::chrono::steady_clock::now();
+      std::vector<size_t> Live;       // Indices into Batch.
+      std::vector<VerifierConfig> Configs;
+      for (size_t I = GroupStart; I < GroupEnd; ++I) {
+        Request &R = Batch[Order[I]];
+        if (R.HasDeadline && R.Deadline <= Now) {
+          Certificate Expired;
+          Expired.Kind = VerdictKind::Timeout;
+          Expired.PoisoningBudget = N;
+          Expired.Depth = Config.Query.Depth;
+          Expired.Domain = Config.Query.Domain;
+          Expired.Threat = Config.Query.Threat;
+          finish(R, Expired);
+          continue;
+        }
+        VerifierConfig C = Config.Query;
+        if (R.Cancel)
+          C.Cancel = R.Cancel.get();
+        if (R.HasDeadline) {
+          double Remaining =
+              std::chrono::duration<double>(R.Deadline - Now).count();
+          C.Limits.TimeoutSeconds =
+              C.Limits.TimeoutSeconds > 0
+                  ? std::min(C.Limits.TimeoutSeconds, Remaining)
+                  : Remaining;
+        }
+        Live.push_back(Order[I]);
+        Configs.push_back(std::move(C));
+      }
+      std::vector<Certificate> Certs(Live.size());
+      parallelFor(BatchPool.get(), Live.size(), [&](size_t J) {
+        Request &R = Batch[Live[J]];
+        Certs[J] = V.verify(R.X.data(), R.PoisoningBudget, Configs[J]);
+      });
+      for (size_t J = 0; J < Live.size(); ++J)
+        finish(Batch[Live[J]], Certs[J]);
+    } else {
+      std::vector<const float *> Inputs;
+      Inputs.reserve(GroupEnd - GroupStart);
+      for (size_t I = GroupStart; I < GroupEnd; ++I)
+        Inputs.push_back(Batch[Order[I]].X.data());
+
+      // Cache lookups/stores happen per query on the batch-pool workers,
+      // inside Verifier::verify — hits cost a hash probe, misses verify
+      // and seed the cache for the next repeat.
+      std::vector<Certificate> Certs =
+          V.verifyBatch(Inputs, N, Config.Query, BatchPool.get());
+      for (size_t I = GroupStart; I < GroupEnd; ++I)
+        fulfill(Batch[Order[I]], Certs[I - GroupStart]);
+    }
 
     GroupStart = GroupEnd;
   }
@@ -236,7 +384,13 @@ void CertServer::stop() {
 void CertServer::abort() {
   // Cancel first so the drain inside stop() is cheap: every queued or
   // in-flight verification observes the token and reports Cancelled
-  // instead of running to completion.
+  // instead of running to completion. Ticketed requests verify under
+  // their own tokens, not AbortToken, so those are cancelled too.
   AbortToken.cancel();
+  {
+    std::lock_guard<std::mutex> Guard(Mutex);
+    for (auto &Entry : LiveTokens)
+      Entry.second->cancel();
+  }
   stop();
 }

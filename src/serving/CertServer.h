@@ -61,11 +61,15 @@
 #include "serving/CertCache.h"
 #include "serving/TieredStore.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
+#include <memory>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace antidote {
@@ -128,12 +132,67 @@ public:
   CertServer(const CertServer &) = delete;
   CertServer &operator=(const CertServer &) = delete;
 
+  /// Per-request options for the ticketed `submit` overload — what a
+  /// network front end knows that the plain API does not.
+  struct SubmitOptions {
+    /// Remaining wall-clock budget the *client* granted this request,
+    /// counted from submission — queue wait included, unlike the
+    /// server-wide `Limits.TimeoutSeconds`, which a `ResourceMeter`
+    /// only starts once verification begins. A request still queued
+    /// when its deadline passes is answered `Timeout` without
+    /// verifying; one dispatched in time verifies under
+    /// min(server timeout, remaining deadline). <= 0 = no deadline.
+    double DeadlineSeconds = 0.0;
+
+    /// Called from the serving thread immediately after the future is
+    /// fulfilled, with the same certificate — the completion signal
+    /// for event-loop callers that cannot block on futures. Must not
+    /// block; must not call back into this server's submit/cancel
+    /// paths synchronously with anything that would deadlock (pushing
+    /// onto an external queue and signalling an eventfd is the
+    /// intended shape — see serving/NetServer.cpp). Invoked exactly
+    /// once for every accepted request, whatever its outcome.
+    std::function<void(const Certificate &)> Completion;
+  };
+
   /// Enqueues one query. \p X must hold exactly
   /// `verifier().trainingSet().numFeatures()` values (the CLI front end
   /// validates before submitting; this is the programmatic API's
   /// contract). The future is always eventually fulfilled.
   std::future<Certificate> submit(std::vector<float> X,
                                   uint32_t PoisoningBudget);
+
+  /// The ticketed overload: like `submit`, plus per-request deadline
+  /// and completion callback, and a ticket (never 0) for
+  /// `cancelRequest`. Each ticketed request verifies under its own
+  /// `CancellationToken`, so one client's cancellation never stops a
+  /// neighbour's identical query.
+  std::future<Certificate> submit(std::vector<float> X,
+                                  uint32_t PoisoningBudget,
+                                  SubmitOptions Options,
+                                  uint64_t &TicketOut);
+
+  /// Abandons a ticketed request — the lever a network front end pulls
+  /// when the client disconnects mid-flight. A still-queued request is
+  /// removed immediately (releasing its queue slot — admission control
+  /// upstream watches `pendingRequests`) and fulfilled as `Cancelled`;
+  /// an in-flight one has its token cancelled so the verification
+  /// winds down at its next budget poll instead of running to
+  /// completion for a reader that no longer exists. Returns false when
+  /// the ticket is unknown or already served. The future (and
+  /// completion callback) still resolve on every path — cancellation
+  /// abandons the *work*, never the bookkeeping.
+  bool cancelRequest(uint64_t Ticket);
+
+  /// Store-only probe: consults the server's composed certificate
+  /// store (RAM and disk tiers, range rule included) exactly as the
+  /// verify path would, but never verifies and never touches the
+  /// queue. This is the shed path's lifeline — under overload the
+  /// network tier answers what is already known (a hash probe / disk
+  /// read) while refusing to take on new verification work. Safe from
+  /// any thread; false when there is no store or no serving entry.
+  bool probeStore(const float *X, uint32_t PoisoningBudget,
+                  Certificate &Out) const;
 
   /// The warm verifier (for its fingerprint, dataset, and direct
   /// cache-bypassing queries in tests).
@@ -182,7 +241,30 @@ private:
     std::vector<float> X;
     uint32_t PoisoningBudget = 0;
     std::promise<Certificate> Promise;
+
+    /// Ticketed-submit extras; defaulted (inert) for the plain path.
+    uint64_t Ticket = 0; ///< 0 = not cancellable.
+    bool HasDeadline = false;
+    std::chrono::steady_clock::time_point Deadline{};
+    /// Per-request cancellation, shared with `LiveTokens` so
+    /// `cancelRequest`/`abort` reach it after the request leaves the
+    /// queue.
+    std::shared_ptr<CancellationToken> Cancel;
+    std::function<void(const Certificate &)> Completion;
   };
+
+  /// Fulfills \p R's promise and fires its completion callback (in that
+  /// order — the callback may inspect the future's side effects).
+  static void fulfill(Request &R, const Certificate &Cert);
+
+  /// Shared enqueue tail of both submit overloads. \p TicketOut non-null
+  /// marks the request ticketed: it gets a ticket, its own cancellation
+  /// token, and a `LiveTokens` entry.
+  std::future<Certificate> enqueue(Request R, uint64_t *TicketOut);
+
+  /// Fulfills a request leaving `serveBatch` and drops its
+  /// `LiveTokens` entry (after which `cancelRequest` returns false).
+  void finish(Request &R, const Certificate &Cert);
 
   /// A slack-served query awaiting its exact background re-verification.
   struct BackgroundRequest {
@@ -216,6 +298,14 @@ private:
   std::condition_variable Idle;         ///< Signalled when work completes.
   std::deque<Request> Queue;
   size_t InFlight = 0; ///< Requests taken off the queue, not yet served.
+  uint64_t NextTicket = 1; ///< Ticket source; 0 is reserved for "none".
+  /// Every accepted-but-unserved ticketed request's token, queued or
+  /// in-flight, so `cancelRequest` (after the request left the queue)
+  /// and `abort` (which must reach per-request tokens — ticketed
+  /// verifications run under their own token, not `AbortToken`) can
+  /// cancel them. Erased when the request is fulfilled.
+  std::unordered_map<uint64_t, std::shared_ptr<CancellationToken>>
+      LiveTokens;
   /// Exact re-verifications of slack-served queries; the dispatcher
   /// drains it only while `Queue` is empty. Pending entries are dropped
   /// on `stop()` (they are an optimization, not owed work).

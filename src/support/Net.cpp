@@ -1,0 +1,147 @@
+//===- support/Net.cpp - Socket and event-loop primitives ---------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Net.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace antidote;
+
+void FdHandle::reset(int NewFd) {
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+}
+
+bool antidote::setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
+}
+
+ListenResult antidote::listenTcpLoopback(uint16_t Port, int Backlog) {
+  ListenResult Result;
+  FdHandle Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid()) {
+    Result.Error = std::string("socket: ") + std::strerror(errno);
+    return Result;
+  }
+  int One = 1;
+  ::setsockopt(Sock.get(), SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::bind(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) != 0) {
+    Result.Error = std::string("bind 127.0.0.1:") + std::to_string(Port) +
+                   ": " + std::strerror(errno);
+    return Result;
+  }
+  if (::listen(Sock.get(), Backlog) != 0) {
+    Result.Error = std::string("listen: ") + std::strerror(errno);
+    return Result;
+  }
+  // Port-0 readback: publish the port the kernel actually assigned.
+  socklen_t Len = sizeof(Addr);
+  if (::getsockname(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                    &Len) != 0) {
+    Result.Error = std::string("getsockname: ") + std::strerror(errno);
+    return Result;
+  }
+  if (!setNonBlocking(Sock.get())) {
+    Result.Error = std::string("fcntl O_NONBLOCK: ") + std::strerror(errno);
+    return Result;
+  }
+  Result.Port = ntohs(Addr.sin_port);
+  Result.Fd = std::move(Sock);
+  return Result;
+}
+
+FdHandle antidote::connectTcpLoopback(uint16_t Port) {
+  FdHandle Sock(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!Sock.valid())
+    return FdHandle();
+  sockaddr_in Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sin_family = AF_INET;
+  Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  Addr.sin_port = htons(Port);
+  if (::connect(Sock.get(), reinterpret_cast<sockaddr *>(&Addr),
+                sizeof(Addr)) != 0)
+    return FdHandle();
+  // Request frames are small and latency-sensitive; don't Nagle them.
+  int One = 1;
+  ::setsockopt(Sock.get(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Sock;
+}
+
+Epoll::Epoll() : Fd(::epoll_create1(EPOLL_CLOEXEC)) {}
+
+bool Epoll::add(int TargetFd, uint64_t Data, bool Write) {
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN | (Write ? EPOLLOUT : 0u);
+  Ev.data.u64 = Data;
+  return ::epoll_ctl(Fd.get(), EPOLL_CTL_ADD, TargetFd, &Ev) == 0;
+}
+
+bool Epoll::mod(int TargetFd, uint64_t Data, bool Write) {
+  epoll_event Ev;
+  std::memset(&Ev, 0, sizeof(Ev));
+  Ev.events = EPOLLIN | (Write ? EPOLLOUT : 0u);
+  Ev.data.u64 = Data;
+  return ::epoll_ctl(Fd.get(), EPOLL_CTL_MOD, TargetFd, &Ev) == 0;
+}
+
+void Epoll::del(int TargetFd) {
+  ::epoll_ctl(Fd.get(), EPOLL_CTL_DEL, TargetFd, nullptr);
+}
+
+bool Epoll::wait(std::vector<EpollEvent> &Out, int TimeoutMillis) {
+  Out.clear();
+  epoll_event Events[64];
+  int N = ::epoll_wait(Fd.get(), Events, 64, TimeoutMillis);
+  if (N < 0)
+    return errno == EINTR; // A signal is not an event-loop failure.
+  Out.reserve(static_cast<size_t>(N));
+  for (int I = 0; I < N; ++I) {
+    EpollEvent E;
+    E.Data = Events[I].data.u64;
+    E.Readable = (Events[I].events & EPOLLIN) != 0;
+    E.Writable = (Events[I].events & EPOLLOUT) != 0;
+    E.Closed = (Events[I].events & (EPOLLHUP | EPOLLERR)) != 0;
+    Out.push_back(E);
+  }
+  return true;
+}
+
+WakeFd::WakeFd() : Fd(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {}
+
+void WakeFd::signal() {
+  uint64_t One = 1;
+  // A full counter (EAGAIN) already guarantees a pending wakeup.
+  ssize_t Ignored = ::write(Fd.get(), &One, sizeof(One));
+  (void)Ignored;
+}
+
+void WakeFd::drain() {
+  uint64_t Count = 0;
+  ssize_t Ignored = ::read(Fd.get(), &Count, sizeof(Count));
+  (void)Ignored;
+}

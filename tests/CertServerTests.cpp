@@ -12,10 +12,13 @@
 
 #include "serving/CertServer.h"
 
+#include "NetHarness.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
 using namespace antidote;
@@ -234,4 +237,168 @@ TEST(CertServerTest, ManyClientThreadsOneServer) {
   EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
   EXPECT_GE(Stats.Misses, 6u);
   EXPECT_GE(Stats.Hits, 1u); // 48 requests over 6 points must repeat.
+}
+
+//===----------------------------------------------------------------------===//
+// The ticketed submit API (what the network front end rides on):
+// cancellation, deadlines, completion callbacks, and the store-only
+// probe. The GateStore (tests/NetHarness.h) pins verifications inside
+// the store write-through, so queue occupancy is test-controlled.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// smallConfig() with \p Gate as the backing store and one-request
+/// batches, so one pinned verification occupies exactly one dispatch.
+CertServerConfig gatedConfig(testharness::GateStore &Gate) {
+  CertServerConfig Config = smallConfig();
+  Config.MaxBatch = 1;
+  Config.Backing = &Gate;
+  return Config;
+}
+
+} // namespace
+
+TEST(CertServerTest, CancelQueuedRequestReleasesItsSlotImmediately) {
+  Dataset Train = figure2Dataset();
+  testharness::GateStore Gate;
+  CertServer Server(Train, gatedConfig(Gate));
+
+  // A blocker pins the dispatcher inside the gate; two more queue.
+  Gate.close();
+  CertServer::SubmitOptions None;
+  uint64_t BlockerTicket = 0, T1 = 0, T2 = 0;
+  std::future<Certificate> Blocker =
+      Server.submit(point(20.0f), 3, None, BlockerTicket);
+  ASSERT_TRUE(Gate.waitForEntered(1));
+  std::future<Certificate> F1 = Server.submit(point(21.0f), 3, None, T1);
+  std::future<Certificate> F2 = Server.submit(point(22.0f), 3, None, T2);
+  ASSERT_NE(T1, 0u);
+  ASSERT_NE(T1, T2);
+  ASSERT_EQ(Server.pendingRequests(), 3u);
+
+  // Cancelling a queued request frees its slot NOW — with the gate still
+  // closed nothing else can shrink the count — and resolves the future
+  // as Cancelled without any verification having run for it.
+  EXPECT_TRUE(Server.cancelRequest(T1));
+  EXPECT_EQ(Server.pendingRequests(), 2u);
+  ASSERT_EQ(F1.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(F1.get().Kind, VerdictKind::Cancelled);
+
+  // Double-cancels and unknown tickets refuse (the bookkeeping is gone).
+  EXPECT_FALSE(Server.cancelRequest(T1));
+  EXPECT_FALSE(Server.cancelRequest(~0ull));
+
+  // The in-flight blocker is also cancellable — its token trips, the
+  // slot winds down cooperatively rather than instantly.
+  EXPECT_TRUE(Server.cancelRequest(BlockerTicket));
+
+  Gate.open();
+  Blocker.get(); // Resolves whatever the token race decided; never hangs.
+  EXPECT_NE(F2.get().Kind, VerdictKind::Cancelled); // Untouched neighbour.
+  EXPECT_FALSE(Server.cancelRequest(T2)); // Already served.
+}
+
+TEST(CertServerTest, CompletionCallbackFiresExactlyOncePerRequest) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+
+  std::atomic<int> Calls{0};
+  CertServer::SubmitOptions Options;
+  Options.Completion = [&](const Certificate &Cert) {
+    EXPECT_NE(Cert.Kind, VerdictKind::Cancelled);
+    ++Calls;
+  };
+  uint64_t Ticket = 0;
+  std::future<Certificate> F = Server.submit(point(9.5f), 2, Options, Ticket);
+  EXPECT_NE(Ticket, 0u);
+  F.get();
+  // The callback runs right after fulfillment, before the dispatcher
+  // books the batch as done — drain orders us after both.
+  Server.drain();
+  EXPECT_EQ(Calls.load(), 1);
+
+  // A submission refused by a stopped server still gets its callback —
+  // exactly once, with the Cancelled certificate — so an event-loop
+  // caller never leaks an outstanding-request slot.
+  Server.stop();
+  std::atomic<int> RefusedCalls{0};
+  CertServer::SubmitOptions AfterStop;
+  AfterStop.Completion = [&](const Certificate &Cert) {
+    EXPECT_EQ(Cert.Kind, VerdictKind::Cancelled);
+    ++RefusedCalls;
+  };
+  uint64_t RefusedTicket = 99; // Must be overwritten to "no ticket".
+  std::future<Certificate> Refused =
+      Server.submit(point(9.5f), 2, AfterStop, RefusedTicket);
+  EXPECT_EQ(RefusedTicket, 0u);
+  EXPECT_EQ(Refused.get().Kind, VerdictKind::Cancelled);
+  EXPECT_EQ(RefusedCalls.load(), 1);
+}
+
+TEST(CertServerTest, ProbeStoreAnswersOnlyWhatIsAlreadyKnown) {
+  Dataset Train = figure2Dataset();
+  CertServer Server(Train, smallConfig());
+
+  const float X[] = {9.5f};
+  Certificate Probe;
+  // Cold store: the probe misses and — crucially — verifies nothing.
+  EXPECT_FALSE(Server.probeStore(X, 2, Probe));
+  EXPECT_EQ(Server.pendingRequests(), 0u);
+
+  Certificate Served = Server.submit(point(9.5f), 2).get();
+  Server.drain();
+
+  // Warm: the probe replays the stored certificate verbatim.
+  ASSERT_TRUE(Server.probeStore(X, 2, Probe));
+  EXPECT_EQ(Probe.Kind, Served.Kind);
+  EXPECT_EQ(Probe.NumTerminals, Served.NumTerminals);
+  EXPECT_EQ(Probe.Seconds, Served.Seconds);
+
+  // The range rule rides along: a Robust proof at radius 2 also answers
+  // the budget-1 probe (∆1 ⊆ ∆2), with the budget rewritten.
+  if (Served.isRobust()) {
+    Certificate Narrower;
+    ASSERT_TRUE(Server.probeStore(X, 1, Narrower));
+    EXPECT_EQ(Narrower.Kind, VerdictKind::Robust);
+    EXPECT_EQ(Narrower.PoisoningBudget, 1u);
+    EXPECT_GE(Narrower.CertifiedRadius, 1u);
+  }
+
+  // A point never queried still misses.
+  const float Cold[] = {3.5f};
+  EXPECT_FALSE(Server.probeStore(Cold, 2, Probe));
+}
+
+TEST(CertServerTest, DeadlineExpiredWhileQueuedAnswersTimeout) {
+  Dataset Train = figure2Dataset();
+  testharness::GateStore Gate;
+  CertServer Server(Train, gatedConfig(Gate));
+
+  Gate.close();
+  CertServer::SubmitOptions None;
+  uint64_t BlockerTicket = 0;
+  std::future<Certificate> Blocker =
+      Server.submit(point(20.0f), 3, None, BlockerTicket);
+  ASSERT_TRUE(Gate.waitForEntered(1));
+
+  // 50ms of client budget, spent entirely waiting behind the blocker.
+  CertServer::SubmitOptions Deadline;
+  Deadline.DeadlineSeconds = 0.05;
+  uint64_t Ticket = 0;
+  std::future<Certificate> Doomed =
+      Server.submit(point(21.0f), 3, Deadline, Ticket);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  Gate.open();
+
+  Certificate Cert = Doomed.get();
+  EXPECT_EQ(Cert.Kind, VerdictKind::Timeout);
+  EXPECT_EQ(Cert.PoisoningBudget, 3u);
+  // The blocker had no deadline; its verdict is real.
+  EXPECT_NE(Blocker.get().Kind, VerdictKind::Timeout);
+  // Deadline timeouts are never cached: the same query asked again (no
+  // deadline this time) verifies for real.
+  EXPECT_NE(Server.submit(point(21.0f), 3).get().Kind,
+            VerdictKind::Timeout);
 }

@@ -22,10 +22,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "serving/CertCache.h"
+#include "serving/NetServer.h"
 
+#include "NetHarness.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
 
 using namespace antidote;
 using namespace antidote::testutil;
@@ -164,6 +169,151 @@ TEST_P(ServingSoundnessProperty, SlackServedRobustImpliesFreshRobust) {
         }
       }
     }
+  }
+}
+
+// The wire is not a third serving rule, but it is a third place to get
+// one wrong: the network tier decodes, admits, submits ticketed (its own
+// token, deadline, completion callback), and re-encodes every
+// certificate. Random traffic through a real socket — repeats (the
+// range path), mixed budgets, occasional near-zero deadlines (the
+// timeout path) — must uphold the same property: a wire Robust implies
+// a fresh cache-less Robust. Everything else (Unknown, Timeout,
+// ResourceLimit) claims nothing.
+TEST_P(ServingSoundnessProperty, WireServedRobustImpliesFreshRobust) {
+  Rng R(0x3E7A11 + static_cast<uint64_t>(GetParam().first) * 7 +
+        static_cast<uint64_t>(GetParam().second) * 131);
+  RandomDatasetSpec Spec;
+  VerifierConfig Fresh = paramConfig(GetParam());
+
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    Dataset Train = makeRandomDataset(R, Spec);
+    CertServerConfig Config;
+    Config.Query = paramConfig(GetParam());
+    Config.Jobs = 2;
+    CertServer Server(Train, Config);
+    NetServer Net(Server, NetServerConfig());
+    std::string Error;
+    ASSERT_TRUE(Net.start(Error)) << Error;
+
+    testharness::NetClient Client(Net.port());
+    ASSERT_TRUE(Client.connected());
+
+    // Pipeline a mixed batch: few distinct points so repeats (and the
+    // range rule underneath them) occur often.
+    std::vector<std::vector<float>> Points;
+    for (int I = 0; I < 4; ++I)
+      Points.push_back(makeRandomQuery(R, Spec));
+    std::vector<std::pair<std::vector<float>, uint32_t>> Sent;
+    constexpr uint64_t NumQueries = 16;
+    for (uint64_t Tag = 0; Tag < NumQueries; ++Tag) {
+      const std::vector<float> &X =
+          Points[static_cast<size_t>(R.uniformInt(Points.size()))];
+      uint32_t N = 1 + static_cast<uint32_t>(R.uniformInt(4));
+      uint32_t DeadlineMillis =
+          R.bernoulli(0.25) ? 1 + static_cast<uint32_t>(R.uniformInt(5))
+                            : 0;
+      Sent.emplace_back(X, N);
+      ASSERT_TRUE(Client.send(
+          testharness::makeRequest(Tag, N, X, DeadlineMillis)));
+    }
+
+    for (uint64_t I = 0; I < NumQueries; ++I) {
+      NetResponse Response;
+      ASSERT_TRUE(Client.recvResponse(Response));
+      ASSERT_EQ(Response.Status, NetStatus::Ok);
+      ASSERT_LT(Response.Tag, Sent.size()); // Deadlines may reorder.
+      const std::vector<float> &X = Sent[Response.Tag].first;
+      uint32_t N = Sent[Response.Tag].second;
+      EXPECT_EQ(Response.Cert.PoisoningBudget, N);
+      if (Response.Cert.Kind != VerdictKind::Robust)
+        continue;
+      Certificate Reference = Server.verifier().verify(X.data(), N, Fresh);
+      if (!deterministic(Reference.Kind))
+        continue;
+      EXPECT_EQ(Reference.Kind, VerdictKind::Robust)
+          << "unsound wire serve: trial " << Trial << " tag "
+          << Response.Tag << " budget " << N << " served radius "
+          << Response.Cert.CertifiedRadius;
+    }
+    Net.stop();
+  }
+}
+
+// Same property with the delta-slack path in the loop: the server is
+// built on a child dataset whose lineage points at a parent whose
+// certificates pre-stock the backing store. A wire Robust that was
+// slack-served from the parent's widened radius must still be provable
+// fresh on the child.
+TEST_P(ServingSoundnessProperty, WireSlackServedRobustImpliesFreshRobust) {
+  Rng R(0x3E7DE17A + static_cast<uint64_t>(GetParam().first) * 7 +
+        static_cast<uint64_t>(GetParam().second) * 131);
+  RandomDatasetSpec Spec;
+  Spec.MinRows = 6; // Leave rows to remove.
+  VerifierConfig Fresh = paramConfig(GetParam());
+
+  for (int Trial = 0; Trial < 4; ++Trial) {
+    Dataset Parent = makeRandomDataset(R, Spec);
+    Verifier PV(Parent);
+    std::vector<float> X = makeRandomQuery(R, Spec);
+
+    // Parent proofs at radii 1-4, written through into the store the
+    // child server will be backed by.
+    CertCache Store(/*MaxBytes=*/0);
+    VerifierConfig Stock = paramConfig(GetParam());
+    Stock.Cache = &Store;
+    for (uint32_t SeedRadius = 1; SeedRadius <= 4; ++SeedRadius)
+      PV.verify(X.data(), SeedRadius, Stock);
+
+    Dataset Child = Parent;
+    Child.markLineage();
+    unsigned Removals = 1 + static_cast<unsigned>(R.uniformInt(2));
+    for (unsigned I = 0; I < Removals && Child.numRows() > 1; ++I)
+      Child.removeRow(
+          static_cast<unsigned>(R.uniformInt(Child.numRows())));
+
+    CertServerConfig Config;
+    Config.Query = paramConfig(GetParam());
+    Config.Jobs = 2;
+    Config.Backing = &Store;
+    Config.Lineage = lineageSinceMark(PV.fingerprint(), Child);
+    CertServer Server(Child, Config);
+    NetServer Net(Server, NetServerConfig());
+    std::string Error;
+    ASSERT_TRUE(Net.start(Error)) << Error;
+
+    testharness::NetClient Client(Net.port());
+    ASSERT_TRUE(Client.connected());
+    // Strictly sequential, ascending budgets — exactly the inline
+    // test's discipline, so at budget N no same-fingerprint proof wider
+    // than N exists yet and the flip-leak check below stays meaningful.
+    for (uint64_t Tag = 1; Tag <= 3; ++Tag) {
+      ASSERT_TRUE(Client.send(testharness::makeRequest(
+          Tag, static_cast<uint32_t>(Tag), X)));
+      NetResponse Response;
+      ASSERT_TRUE(Client.recvResponse(Response));
+      ASSERT_EQ(Response.Status, NetStatus::Ok);
+      ASSERT_EQ(Response.Tag, Tag);
+      uint32_t N = static_cast<uint32_t>(Response.Tag);
+      if (Response.Cert.Kind != VerdictKind::Robust)
+        continue;
+      Certificate Reference = Server.verifier().verify(X.data(), N, Fresh);
+      if (!deterministic(Reference.Kind))
+        continue;
+      EXPECT_EQ(Reference.Kind, VerdictKind::Robust)
+          << "unsound wire slack serve: trial " << Trial << " removals "
+          << Removals << " budget " << N << " served radius "
+          << Response.Cert.CertifiedRadius;
+      // Flip cells must never see the parent's widened radius (the
+      // slack gate is Removal-only) — same leak check as inline.
+      if (GetParam().second == ThreatModelKind::LabelFlip) {
+        EXPECT_EQ(Response.Cert.CertifiedRadius, N)
+            << "parent certificate slack-served a flip query over wire";
+      }
+    }
+    Net.stop();
+    // stop() drops pending background re-verifications by design; the
+    // server itself tears down next, before the stack-owned Store.
   }
 }
 
