@@ -140,7 +140,7 @@ antidote::benchutil::runFigureBench(const FigureBenchSpec &Spec) {
   }
   if (Cache)
     std::printf("certificate cache: %s\n",
-                formatCacheStats(Cache->stats(), *CacheBytes).c_str());
+                Cache->stats().summary().c_str());
   std::printf("\ntotal bench time: %s; process peak RSS: %s\n\n",
               formatSeconds(Total.seconds()).c_str(),
               formatBytes(static_cast<double>(processPeakRssBytes()))

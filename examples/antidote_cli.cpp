@@ -11,6 +11,8 @@
 //   antidote_cli --dataset mammography --row 3 --n 16 --threat flip
 //   antidote_cli --dataset iris --all --n 4 --jobs 8
 //   antidote_cli --dataset iris --serve --n 4 --cache-bytes 1048576
+//   antidote_cli --dataset iris --listen 0 --n 4 --cache-dir store
+//                --replicate-from primary:9000
 //
 // --threat picks the poisoning model (removal | flip); every mode —
 // single query, --all, --serve, caching, the disk store — works under
@@ -19,7 +21,14 @@
 // --serve turns the process into a warm certificate server: queries
 // stream in on stdin (one "v1,v2,..." feature vector per line), are
 // batched through one long-lived Verifier + thread pool, and repeated
-// queries short-circuit to the fingerprint-keyed certificate cache.
+// queries short-circuit to the fingerprint-keyed certificate store.
+//
+// The store is composed here, at the wiring layer: a RAM LRU
+// (CertCache) in front of an optional persistent DiskCertStore behind
+// one TieredStore facade — everything downstream (CertServer,
+// NetServer, Replicator) holds only the abstract CertificateStore.
+// --replicate-from turns a serving process into a replica that pulls
+// the source's journal into its own --cache-dir.
 //
 // Exit code 0 = robust proven (with --all/--serve: every query proven),
 // 1 = not proven, 2 = usage/load error.
@@ -28,9 +37,12 @@
 
 #include "data/Csv.h"
 #include "data/Registry.h"
+#include "serving/CertCache.h"
 #include "serving/CertServer.h"
 #include "serving/DiskCertStore.h"
 #include "serving/NetServer.h"
+#include "serving/Replicator.h"
+#include "serving/ServingOptions.h"
 #include "serving/TieredStore.h"
 #include "support/Parse.h"
 
@@ -53,33 +65,21 @@ using namespace antidote;
 
 namespace {
 
-/// Parsed command line.
+/// Parsed command line: the shared serving knobs plus this front end's
+/// own mode and verification flags.
 struct CliOptions {
+  ServingOptions Serving;
   std::string TrainCsv;
   std::string DatasetName;
   std::string QueryValues; ///< Comma-separated feature vector.
   int TestRow = -1;        ///< Row of the registry test split to query.
   bool AllRows = false;    ///< Verify every row of the test split.
   bool Serve = false;      ///< Serve stdin queries through a CertServer.
-  bool Listen = false;     ///< Serve the binary protocol over TCP.
-  uint16_t ListenPort = 0; ///< 0 = kernel-assigned (printed on startup).
-  size_t MaxClients = 64;  ///< Concurrent-connection cap; 0 = unbounded.
-  size_t ShedDepth = 0;    ///< Queue depth that triggers shedding; 0 = never.
-  double ClientRate = 0.0; ///< Per-client admits/second; 0 = unpaced.
-  double ClientBurst = 8.0; ///< Per-client token-bucket capacity.
   uint32_t Budget = 1;
   unsigned Depth = 2;
   AbstractDomainKind Domain = AbstractDomainKind::Disjuncts;
   size_t DisjunctCap = 64;
   double TimeoutSeconds = 60.0;
-  unsigned Jobs = 1; ///< Worker threads for --all/--serve; 0 = all cores.
-  unsigned FrontierJobs = 1; ///< Executors within one DTrace# frontier.
-  unsigned SplitJobs = 1; ///< Executors within one bestSplit# scoring pass.
-  uint64_t CacheBytes = 0;   ///< Certificate-cache budget; 0 = unbounded.
-  bool CacheEnabled = false; ///< --cache-bytes/env seen (or --serve).
-  std::string CacheDir;        ///< Persistent certificate store directory.
-  bool DeltaSlack = true; ///< Serve from a lineage parent's certificates.
-  ThreatModelKind Threat = ThreatModelKind::Removal;
 };
 
 void printUsage() {
@@ -88,14 +88,10 @@ void printUsage() {
       "                    (--query \"v1,v2,...\" | --row K | --all |"
       " --serve |\n"
       "                     --listen PORT)\n"
-      "                    [--n N] [--depth D] [--threat removal|flip]\n"
-      "                    [--domain box|disjuncts|capped] [--cap K]\n"
-      "                    [--timeout SECONDS] [--jobs N]\n"
-      "                    [--frontier-jobs N] [--split-jobs N]\n"
-      "                    [--cache-bytes B] [--cache-dir DIR]\n"
-      "                    [--delta-slack 0|1]\n"
-      "                    [--max-clients N] [--shed-depth N]\n"
-      "                    [--client-rate R] [--client-burst B]\n\n"
+      "                    [--n N] [--depth D] [--domain box|disjuncts|"
+      "capped]\n"
+      "                    [--cap K] [--timeout SECONDS] [serving "
+      "knobs...]\n\n"
       "  --train    training set CSV (features..., integer label)\n"
       "  --dataset  built-in benchmark:");
   for (const std::string &Name : benchmarkDatasetNames())
@@ -111,151 +107,34 @@ void printUsage() {
       "  --listen   network certificate server: bind 127.0.0.1:PORT\n"
       "             (0 = kernel-assigned, printed on startup) and speak\n"
       "             the length-prefixed binary protocol (see\n"
-      "             examples/net_client.cpp); each request carries its\n"
-      "             own poisoning budget and optional deadline; SIGINT/\n"
-      "             SIGTERM shut down cleanly and print the net: stats\n"
+      "             examples/net_client.cpp); SIGINT/SIGTERM shut down\n"
+      "             cleanly and print the net:/cache:/disk: stats; also\n"
+      "             answers replication journal polls, so replicas can\n"
+      "             pull this process's store\n"
       "\n"
-      "knobs (flag beats env-var twin beats default; malformed values\n"
-      "in either error out):\n"
-      "  flag             env twin                default\n"
-      "  --n              -                       1    poisoning budget\n"
-      "             (at most the training-set size)\n"
-      "  --depth          -                       2    decision-tree "
-      "depth\n"
-      "  --threat         ANTIDOTE_THREAT   removal    poisoning model: "
-      "'removal'\n"
-      "             (attacker added up to n rows) or 'flip' (attacker "
-      "relabeled\n"
-      "             up to n rows; disjuncts domain only)\n"
-      "  --domain         -               disjuncts    abstract domain\n"
-      "  --cap            -                      64    disjunct cap "
-      "(capped domain only)\n"
-      "  --timeout        -                      60    per-query "
-      "wall-clock budget, seconds (0 = none)\n"
-      "  --jobs           ANTIDOTE_JOBS           1    worker threads "
-      "for --all/--serve\n"
-      "             (0 = all cores)\n"
-      "  --frontier-jobs  ANTIDOTE_FRONTIER_JOBS  1    executors inside "
-      "one query's DTrace#\n"
-      "             frontier (0 = all cores); certificates identical "
-      "for every value\n"
-      "  --split-jobs     ANTIDOTE_SPLIT_JOBS     1    executors inside "
-      "one bestSplit# candidate\n"
-      "             scoring pass (0 = all cores); shares the frontier "
-      "pool,\n"
-      "             certificates identical for every value\n"
-      "  --cache-bytes    ANTIDOTE_CACHE_BYTES  off    certificate-cache "
-      "byte budget\n"
-      "             (0 = unbounded; always on under --serve, off "
-      "otherwise\n"
-      "             unless given; cached certificates are identical to "
-      "fresh ones)\n"
-      "  --cache-dir      ANTIDOTE_CACHE_DIR    off    persistent "
-      "certificate store\n"
-      "             directory (created if missing; two-tier: RAM LRU in "
-      "front,\n"
-      "             disk behind; certificates survive restarts and may "
-      "be shared\n"
-      "             by several processes; unusable paths error out)\n"
-      "  --delta-slack    ANTIDOTE_DELTA_SLACK    1    delta-tolerant "
-      "serving:\n"
-      "             answer from a lineage parent's certificate when the "
-      "store\n"
-      "             misses under this dataset's own fingerprint (sound "
-      "for\n"
-      "             pure-removal deltas; 0 = exact/range matches only, "
-      "for A/B runs)\n"
-      "  --listen         ANTIDOTE_LISTEN       off    TCP port to "
-      "serve on\n"
-      "             (0 = kernel-assigned; presence of either turns "
-      "listen mode on)\n"
-      "  --max-clients    ANTIDOTE_MAX_CLIENTS   64    concurrent "
-      "connections\n"
-      "             (0 = unbounded; extra accepts are closed "
-      "immediately)\n"
-      "  --shed-depth     ANTIDOTE_SHED_DEPTH     0    verification-"
-      "queue depth\n"
-      "             at which new work is shed (store hits still "
-      "answered;\n"
-      "             0 = never shed)\n"
-      "  --client-rate    ANTIDOTE_CLIENT_RATE    0    per-client "
-      "admitted\n"
-      "             requests/second, token bucket (0 = unpaced)\n"
-      "  --client-burst   ANTIDOTE_CLIENT_BURST   8    token-bucket "
-      "capacity:\n"
-      "             requests one client may burst before pacing bites\n");
-}
-
-/// Applies \p Name as the default for \p Out when the flag was absent.
-/// Malformed env values are as fatal as malformed flags (the shared
-/// report in support/Parse prints the error).
-template <typename T>
-bool applyUnsignedEnv(const char *Name, const char *ZeroMeaning,
-                      uint64_t Max, T &Out, bool *WasSet = nullptr) {
-  EnvNumber Env = readUnsignedEnvReporting(Name, ZeroMeaning, Max);
-  if (Env.Status == EnvNumberStatus::Malformed)
-    return false;
-  if (Env.Status == EnvNumberStatus::Ok) {
-    Out = static_cast<T>(Env.Value);
-    if (WasSet)
-      *WasSet = true;
-  }
-  return true;
+      "verification knobs:\n"
+      "  --n N            poisoning budget (at most the training-set "
+      "size; default 1)\n"
+      "  --depth D        decision-tree depth (default 2)\n"
+      "  --domain D       abstract domain: box|disjuncts|capped "
+      "(default disjuncts)\n"
+      "  --cap K          disjunct cap, capped domain only (default "
+      "64)\n"
+      "  --timeout S      per-query wall-clock budget, seconds (0 = "
+      "none; default 60)\n\n");
+  ServingOptions::printHelp(stdout);
+  std::printf(
+      "\nreplication: --replicate-from needs --cache-dir (the journaled "
+      "disk\nstore is the replication target) and --serve or --listen; "
+      "replicated\ncertificates are byte-identical to the source's and "
+      "pass the same\nchecksum/duplicate validation as local appends.\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
-  // Environment twins first, so explicit flags override them below.
-  if (!applyUnsignedEnv("ANTIDOTE_JOBS", "all cores", UINT_MAX,
-                        Options.Jobs) ||
-      !applyUnsignedEnv("ANTIDOTE_FRONTIER_JOBS", "all cores", UINT_MAX,
-                        Options.FrontierJobs) ||
-      !applyUnsignedEnv("ANTIDOTE_SPLIT_JOBS", "all cores", UINT_MAX,
-                        Options.SplitJobs) ||
-      !applyUnsignedEnv("ANTIDOTE_CACHE_BYTES", "unbounded", UINT64_MAX,
-                        Options.CacheBytes, &Options.CacheEnabled) ||
-      !applyUnsignedEnv("ANTIDOTE_DELTA_SLACK", "disabled", 1,
-                        Options.DeltaSlack) ||
-      !applyUnsignedEnv("ANTIDOTE_LISTEN", "kernel-assigned port", 65535,
-                        Options.ListenPort, &Options.Listen) ||
-      !applyUnsignedEnv("ANTIDOTE_MAX_CLIENTS", "unbounded", SIZE_MAX,
-                        Options.MaxClients) ||
-      !applyUnsignedEnv("ANTIDOTE_SHED_DEPTH", "never shed", SIZE_MAX,
-                        Options.ShedDepth))
+  // The shared serving knobs first (env twins, then their flags);
+  // whatever remains is this front end's own.
+  if (!Options.Serving.parse(Argc, Argv))
     return false;
-  // Double-valued twins (no unsigned helper fits): same rule, malformed
-  // values are fatal.
-  auto DoubleEnv = [](const char *Name, double Min, double &Out) {
-    std::optional<std::string> Text = readStringEnv(Name);
-    if (!Text)
-      return true;
-    std::optional<double> Parsed = parseDoubleArg(Text->c_str());
-    if (!Parsed || *Parsed < Min) {
-      std::fprintf(stderr,
-                   "error: %s needs a finite number >= %g, got '%s'\n",
-                   Name, Min, Text->c_str());
-      return false;
-    }
-    Out = *Parsed;
-    return true;
-  };
-  if (!DoubleEnv("ANTIDOTE_CLIENT_RATE", 0.0, Options.ClientRate) ||
-      !DoubleEnv("ANTIDOTE_CLIENT_BURST", 1.0, Options.ClientBurst))
-    return false;
-  if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
-    Options.CacheDir = *Dir;
-    Options.CacheEnabled = true;
-  }
-  if (std::optional<std::string> Threat = readStringEnv("ANTIDOTE_THREAT")) {
-    std::optional<ThreatModelKind> Parsed = parseThreatModelName(*Threat);
-    if (!Parsed) {
-      std::fprintf(stderr,
-                   "error: ANTIDOTE_THREAT must be 'removal' or 'flip', "
-                   "got '%s'\n",
-                   Threat->c_str());
-      return false;
-    }
-    Options.Threat = *Parsed;
-  }
   for (int I = 1; I < Argc; ++I) {
     std::string Arg = Argv[I];
     auto Next = [&]() -> const char * {
@@ -319,53 +198,6 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
         return false;
       }
       Options.TimeoutSeconds = *Parsed;
-    } else if (Arg == "--jobs" || Arg == "--frontier-jobs" ||
-               Arg == "--split-jobs") {
-      unsigned *Out = Arg == "--jobs" ? &Options.Jobs
-                      : Arg == "--frontier-jobs" ? &Options.FrontierJobs
-                                                 : &Options.SplitJobs;
-      if (!CountFlag(UINT_MAX, *Out))
-        return false;
-    } else if (Arg == "--cache-bytes") {
-      if (!CountFlag(UINT64_MAX, Options.CacheBytes))
-        return false;
-      Options.CacheEnabled = true;
-    } else if (Arg == "--cache-dir") {
-      Options.CacheDir = Value;
-      Options.CacheEnabled = true;
-    } else if (Arg == "--delta-slack") {
-      if (!CountFlag(1, Options.DeltaSlack))
-        return false;
-    } else if (Arg == "--listen") {
-      if (!CountFlag(65535, Options.ListenPort))
-        return false;
-      Options.Listen = true;
-    } else if (Arg == "--max-clients") {
-      if (!CountFlag(SIZE_MAX, Options.MaxClients))
-        return false;
-    } else if (Arg == "--shed-depth") {
-      if (!CountFlag(SIZE_MAX, Options.ShedDepth))
-        return false;
-    } else if (Arg == "--client-rate" || Arg == "--client-burst") {
-      bool Burst = Arg == "--client-burst";
-      std::optional<double> Parsed = parseDoubleArg(Value);
-      if (!Parsed || *Parsed < (Burst ? 1.0 : 0.0)) {
-        std::fprintf(stderr,
-                     "error: %s needs a finite number >= %g, got '%s'\n",
-                     Arg.c_str(), Burst ? 1.0 : 0.0, Value);
-        return false;
-      }
-      (Burst ? Options.ClientBurst : Options.ClientRate) = *Parsed;
-    } else if (Arg == "--threat") {
-      std::optional<ThreatModelKind> Parsed = parseThreatModelName(Value);
-      if (!Parsed) {
-        std::fprintf(stderr,
-                     "error: --threat must be 'removal' or 'flip', got "
-                     "'%s'\n",
-                     Value);
-        return false;
-      }
-      Options.Threat = *Parsed;
     } else if (Arg == "--domain") {
       if (std::strcmp(Value, "box") == 0)
         Options.Domain = AbstractDomainKind::Box;
@@ -382,9 +214,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
       return false;
     }
   }
+  const ServingOptions &Serving = Options.Serving;
   bool HaveData = !Options.TrainCsv.empty() ^ !Options.DatasetName.empty();
   bool HaveQuery = !Options.QueryValues.empty() || Options.TestRow >= 0 ||
-                   Options.AllRows || Options.Serve || Options.Listen;
+                   Options.AllRows || Options.Serve || Serving.Listen;
   if (!HaveData || !HaveQuery) {
     std::fprintf(stderr, "error: need one data source and one query "
                          "source\n");
@@ -395,37 +228,62 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Options) {
     return false;
   }
   if (Options.Serve && (Options.AllRows || !Options.QueryValues.empty() ||
-                        Options.TestRow >= 0 || Options.Listen)) {
+                        Options.TestRow >= 0 || Serving.Listen)) {
     std::fprintf(stderr,
                  "error: --serve takes queries from stdin only\n");
     return false;
   }
-  if (Options.Listen && (Options.AllRows || !Options.QueryValues.empty() ||
+  if (Serving.Listen && (Options.AllRows || !Options.QueryValues.empty() ||
                          Options.TestRow >= 0)) {
     std::fprintf(stderr,
                  "error: --listen takes queries from the socket only\n");
     return false;
   }
-  if (!threatModel(Options.Threat).supportsDomain(Options.Domain)) {
+  if (Serving.Replicate) {
+    if (Serving.CacheDir.empty()) {
+      std::fprintf(stderr,
+                   "error: --replicate-from needs --cache-dir (the "
+                   "journaled disk store is the replication target)\n");
+      return false;
+    }
+    if (!Options.Serve && !Serving.Listen) {
+      std::fprintf(stderr,
+                   "error: --replicate-from needs --serve or --listen "
+                   "(a one-shot process has no time to replicate)\n");
+      return false;
+    }
+  }
+  if (!threatModel(Serving.Threat).supportsDomain(Options.Domain)) {
     std::fprintf(stderr,
                  "error: the %s threat model supports only the disjuncts "
                  "domain (its class-probability transformer is unsound "
                  "under box joins)\n",
-                 threatModelName(Options.Threat));
+                 threatModelName(Serving.Threat));
     return false;
   }
   return true;
 }
 
-/// One line for the serve-mode transcript and the --all cache summary.
-void printCacheStats(const CertCacheStats &Stats, uint64_t Budget) {
-  std::printf("cache: %s\n", formatCacheStats(Stats, Budget).c_str());
+/// Every store tier's stats line comes from the one shared
+/// `StoreStats::summary()` rendering — the CI smokes grep these.
+void printStoreLines(const CertCache *Cache, const DiskCertStore *Disk) {
+  if (Cache)
+    std::printf("cache: %s\n", Cache->stats().summary().c_str());
+  if (Disk)
+    std::printf("disk: %s\n", Disk->stats().summary().c_str());
 }
 
-/// The disk tier's line, printed whenever --cache-dir is active. The CI
-/// persistence smoke greps this for a deterministic warm-restart hit.
-void printDiskStats(const DiskCertStore &Store) {
-  std::printf("disk: %s\n", formatDiskStoreStats(Store.stats()).c_str());
+/// The replica's transcript line, printed at shutdown; the CI
+/// replication smoke pins `applied=` exactly.
+void printReplStats(const ReplicatorStats &Stats) {
+  std::printf("repl: polls=%llu applied=%llu duplicates=%llu "
+              "corrupt=%llu epoch_resets=%llu errors=%llu\n",
+              static_cast<unsigned long long>(Stats.Polls),
+              static_cast<unsigned long long>(Stats.Applied),
+              static_cast<unsigned long long>(Stats.Duplicates),
+              static_cast<unsigned long long>(Stats.Corrupt),
+              static_cast<unsigned long long>(Stats.EpochResets),
+              static_cast<unsigned long long>(Stats.Errors));
 }
 
 /// Parses "v1,v2,..." into floats; returns false on malformed input.
@@ -453,6 +311,7 @@ int main(int Argc, char **Argv) {
     printUsage();
     return 2;
   }
+  const ServingOptions &Serving = Options.Serving;
 
   // Resolve the training set and query vector.
   Dataset Train;
@@ -478,7 +337,7 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   std::vector<float> Query;
-  if (Options.AllRows || Options.Serve || Options.Listen) {
+  if (Options.AllRows || Options.Serve || Serving.Listen) {
     // --all resolves its inputs below; --serve reads them from stdin,
     // --listen from the socket.
   } else if (!Options.QueryValues.empty()) {
@@ -501,25 +360,60 @@ int main(int Argc, char **Argv) {
   std::printf("training set: %u rows x %u features, %u classes\n",
               Train.numRows(), Train.numFeatures(), Train.numClasses());
   std::printf("threat model: %s (up to %u %s)\n",
-              threatModelName(Options.Threat), Options.Budget,
-              Options.Threat == ThreatModelKind::LabelFlip
+              threatModelName(Serving.Threat), Options.Budget,
+              Serving.Threat == ThreatModelKind::LabelFlip
                   ? "relabeled training rows"
                   : "attacker-contributed rows removed");
 
-  // The persistent tier (--cache-dir / ANTIDOTE_CACHE_DIR): opened once,
-  // shared by whichever mode runs below. An unusable directory is a
-  // usage error — fail loudly now, not after hours of verification.
+  // The store composition happens here, once, and everything below
+  // holds only the abstract CertificateStore: a RAM LRU in front
+  // (always on under --serve/--listen, opt-in otherwise), the
+  // persistent tier behind (--cache-dir / ANTIDOTE_CACHE_DIR, with the
+  // retention budget), both behind one TieredStore facade. An unusable
+  // directory is a usage error — fail loudly now, not after hours of
+  // verification.
   std::unique_ptr<DiskCertStore> DiskStore;
-  if (!Options.CacheDir.empty()) {
-    DiskCertStore::OpenResult Opened = DiskCertStore::open(Options.CacheDir);
+  if (!Serving.CacheDir.empty()) {
+    DiskCertStoreOptions DiskOptions;
+    DiskOptions.RetentionBytes = Serving.RetentionBytes;
+    DiskCertStore::OpenResult Opened =
+        DiskCertStore::open(Serving.CacheDir, DiskOptions);
     if (!Opened.ok()) {
       std::fprintf(stderr, "error: %s\n", Opened.Error.c_str());
       return 2;
     }
     DiskStore = std::move(Opened.Store);
   }
+  bool WantCache = Serving.CacheEnabled || Options.Serve || Serving.Listen;
+  std::unique_ptr<CertCache> Cache;
+  if (WantCache)
+    Cache = std::make_unique<CertCache>(Serving.CacheBytes);
+  TieredStore Tiered(Cache.get(), DiskStore.get());
+  CertificateStore *Store =
+      (Cache || DiskStore) ? static_cast<CertificateStore *>(&Tiered)
+                           : nullptr;
 
-  if (Options.Listen) {
+  // The replica side: a background puller appending the source's
+  // journal records through the normal validated path. Wired against
+  // the abstract store — replication() resolves to the disk tier.
+  std::unique_ptr<Replicator> Repl;
+  if (Serving.Replicate) {
+    ReplicatorConfig ReplConfig;
+    ReplConfig.Host = Serving.ReplicateHost;
+    ReplConfig.Port = Serving.ReplicatePort;
+    ReplConfig.IntervalSeconds = Serving.ReplicateInterval;
+    Repl = std::make_unique<Replicator>(*Store, ReplConfig);
+    std::string Error;
+    if (!Repl->start(Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 2;
+    }
+    std::printf("replicating from %s:%u every %g s\n",
+                Serving.ReplicateHost.c_str(), Serving.ReplicatePort,
+                Serving.ReplicateInterval);
+  }
+
+  if (Serving.Listen) {
     // Block the shutdown signals *before* the server threads spawn so
     // every thread inherits the mask and sigwait below is the only
     // consumer — the one portable way to both run an epoll loop and
@@ -533,23 +427,23 @@ int main(int Argc, char **Argv) {
     CertServerConfig ServerConfig;
     ServerConfig.Query.Depth = Options.Depth;
     ServerConfig.Query.Domain = Options.Domain;
-    ServerConfig.Query.Threat = Options.Threat;
+    ServerConfig.Query.Threat = Serving.Threat;
     ServerConfig.Query.DisjunctCap = Options.DisjunctCap;
     ServerConfig.Query.Limits.TimeoutSeconds = Options.TimeoutSeconds;
-    ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
-    ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
-    ServerConfig.Query.SplitJobs = Options.SplitJobs;
-    ServerConfig.Query.DeltaSlack = Options.DeltaSlack;
-    ServerConfig.Jobs = Options.Jobs;
-    ServerConfig.Backing = DiskStore.get();
+    ServerConfig.Query.Limits.MaxCacheBytes = Serving.CacheBytes;
+    ServerConfig.Query.FrontierJobs = Serving.FrontierJobs;
+    ServerConfig.Query.SplitJobs = Serving.SplitJobs;
+    ServerConfig.Query.DeltaSlack = Serving.DeltaSlack;
+    ServerConfig.Jobs = Serving.Jobs;
+    ServerConfig.Store = Store;
     CertServer Server(Train, ServerConfig);
 
     NetServerConfig NetConfig;
-    NetConfig.Port = Options.ListenPort;
-    NetConfig.MaxClients = Options.MaxClients;
-    NetConfig.ShedDepth = Options.ShedDepth;
-    NetConfig.ClientRate = Options.ClientRate;
-    NetConfig.ClientBurst = Options.ClientBurst;
+    NetConfig.Port = Serving.ListenPort;
+    NetConfig.MaxClients = Serving.MaxClients;
+    NetConfig.ShedDepth = Serving.ShedDepth;
+    NetConfig.ClientRate = Serving.ClientRate;
+    NetConfig.ClientBurst = Serving.ClientBurst;
     NetServer Net(Server, NetConfig);
     std::string Error;
     if (!Net.start(Error)) {
@@ -561,18 +455,20 @@ int main(int Argc, char **Argv) {
     std::printf("listening on 127.0.0.1:%u (dataset %s, threat %s, %u "
                 "features)\n",
                 Net.port(), Server.verifier().fingerprint().hex().c_str(),
-                threatModelName(Options.Threat), Train.numFeatures());
+                threatModelName(Serving.Threat), Train.numFeatures());
     std::fflush(stdout);
 
     int Sig = 0;
     sigwait(&ShutdownSigs, &Sig);
     std::printf("signal %d: shutting down\n", Sig);
+    if (Repl)
+      Repl->stop();
     Net.stop();
     NetServerStats Stats = Net.stats();
     std::printf("net: accepted=%llu refused=%llu framing=%llu "
                 "requests=%llu verified=%llu probe_hits=%llu "
                 "shed_overload=%llu shed_paced=%llu bad_requests=%llu "
-                "cancelled=%llu\n",
+                "cancelled=%llu journal_polls=%llu\n",
                 static_cast<unsigned long long>(Stats.Accepted),
                 static_cast<unsigned long long>(Stats.RefusedClients),
                 static_cast<unsigned long long>(Stats.FramingErrors),
@@ -582,10 +478,11 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Stats.ShedOverload),
                 static_cast<unsigned long long>(Stats.ShedPaced),
                 static_cast<unsigned long long>(Stats.BadArity),
-                static_cast<unsigned long long>(Stats.Cancelled));
-    printCacheStats(Server.cacheStats(), Options.CacheBytes);
-    if (DiskStore)
-      printDiskStats(*DiskStore);
+                static_cast<unsigned long long>(Stats.Cancelled),
+                static_cast<unsigned long long>(Stats.JournalPolls));
+    if (Repl)
+      printReplStats(Repl->stats());
+    printStoreLines(Cache.get(), DiskStore.get());
     return 0;
   }
 
@@ -593,20 +490,20 @@ int main(int Argc, char **Argv) {
     CertServerConfig ServerConfig;
     ServerConfig.Query.Depth = Options.Depth;
     ServerConfig.Query.Domain = Options.Domain;
-    ServerConfig.Query.Threat = Options.Threat;
+    ServerConfig.Query.Threat = Serving.Threat;
     ServerConfig.Query.DisjunctCap = Options.DisjunctCap;
     ServerConfig.Query.Limits.TimeoutSeconds = Options.TimeoutSeconds;
-    ServerConfig.Query.Limits.MaxCacheBytes = Options.CacheBytes;
-    ServerConfig.Query.FrontierJobs = Options.FrontierJobs;
-    ServerConfig.Query.SplitJobs = Options.SplitJobs;
-    ServerConfig.Query.DeltaSlack = Options.DeltaSlack;
-    ServerConfig.Jobs = Options.Jobs;
-    ServerConfig.Backing = DiskStore.get();
+    ServerConfig.Query.Limits.MaxCacheBytes = Serving.CacheBytes;
+    ServerConfig.Query.FrontierJobs = Serving.FrontierJobs;
+    ServerConfig.Query.SplitJobs = Serving.SplitJobs;
+    ServerConfig.Query.DeltaSlack = Serving.DeltaSlack;
+    ServerConfig.Jobs = Serving.Jobs;
+    ServerConfig.Store = Store;
     CertServer Server(Train, ServerConfig);
     std::printf("serving (dataset %s, threat %s): one query per line on "
                 "stdin (%u comma-separated features), n=%u\n",
                 Server.verifier().fingerprint().hex().c_str(),
-                threatModelName(Options.Threat), Train.numFeatures(),
+                threatModelName(Serving.Threat), Train.numFeatures(),
                 Options.Budget);
 
     // Responses stream back in submission order as they complete — an
@@ -661,10 +558,12 @@ int main(int Argc, char **Argv) {
       PrintFront();
 
     std::printf("served %zu queries (threat %s): %u robust\n", Submitted,
-                threatModelName(Options.Threat), Robust);
-    printCacheStats(Server.cacheStats(), Options.CacheBytes);
-    if (DiskStore)
-      printDiskStats(*DiskStore);
+                threatModelName(Serving.Threat), Robust);
+    if (Repl) {
+      Repl->stop();
+      printReplStats(Repl->stats());
+    }
+    printStoreLines(Cache.get(), DiskStore.get());
     return Robust == Submitted ? 0 : 1;
   }
 
@@ -672,36 +571,32 @@ int main(int Argc, char **Argv) {
   VerifierConfig Config;
   Config.Depth = Options.Depth;
   Config.Domain = Options.Domain;
-  Config.Threat = Options.Threat;
+  Config.Threat = Serving.Threat;
   Config.DisjunctCap = Options.DisjunctCap;
   Config.Limits.TimeoutSeconds = Options.TimeoutSeconds;
-  Config.Limits.MaxCacheBytes = Options.CacheBytes;
-  Config.FrontierJobs = Options.FrontierJobs;
-  Config.SplitJobs = Options.SplitJobs;
-  Config.DeltaSlack = Options.DeltaSlack;
-  // Optional certificate store (--cache-bytes / --cache-dir and their
-  // env twins): a RAM-only cache is pointless for a one-shot batch with
-  // distinct rows but demos the hit path; the two-tier composition with
-  // a --cache-dir makes even one-shot runs remember across processes —
-  // re-running the same query answers from disk.
-  std::unique_ptr<CertCache> Cache;
-  if (Options.CacheEnabled)
-    Cache = std::make_unique<CertCache>(Config.Limits);
-  TieredStore Tiered(Cache.get(), DiskStore.get());
-  if (Cache || DiskStore)
-    Config.Cache = &Tiered;
+  Config.Limits.MaxCacheBytes = Serving.CacheBytes;
+  Config.FrontierJobs = Serving.FrontierJobs;
+  Config.SplitJobs = Serving.SplitJobs;
+  Config.DeltaSlack = Serving.DeltaSlack;
+  // The one-shot and --all modes reuse the same composed store: a
+  // RAM-only cache is pointless for a one-shot batch with distinct rows
+  // but demos the hit path; the two-tier composition with a --cache-dir
+  // makes even one-shot runs remember across processes — re-running the
+  // same query answers from disk.
+  if (Store)
+    Config.Cache = Store;
   // One pool shared by every query of the process and by both in-query
   // fan-out levels (it outlives the verify/verifyBatch calls below);
   // null when --frontier-jobs and --split-jobs are both 1.
   std::unique_ptr<ThreadPool> FrontierPool = makeVerificationPool(
-      sharedFanoutJobs(Options.FrontierJobs, Options.SplitJobs));
+      sharedFanoutJobs(Serving.FrontierJobs, Serving.SplitJobs));
   Config.FrontierPool = FrontierPool.get();
 
   if (Options.AllRows) {
     std::vector<const float *> Inputs;
     for (uint32_t Row = 0; Row < Test.numRows(); ++Row)
       Inputs.push_back(Test.row(Row));
-    std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Options.Jobs);
+    std::unique_ptr<ThreadPool> Pool = makeVerificationPool(Serving.Jobs);
     std::printf("verifying %zu test rows on %u thread(s), %u shared "
                 "frontier/split executor(s) per query\n",
                 Inputs.size(), Pool ? Pool->size() + 1 : 1,
@@ -714,18 +609,14 @@ int main(int Argc, char **Argv) {
       std::printf("row %4u: %s\n", Row, Certs[Row].summary().c_str());
     }
     std::printf("robust (threat %s): %u / %zu\n",
-                threatModelName(Options.Threat), Robust, Certs.size());
-    if (Cache)
-      printCacheStats(Cache->stats(), Options.CacheBytes);
-    if (DiskStore)
-      printDiskStats(*DiskStore);
+                threatModelName(Serving.Threat), Robust, Certs.size());
+    printStoreLines(Cache.get(), DiskStore.get());
     return Robust == Certs.size() ? 0 : 1;
   }
 
   Certificate Cert = V.verify(Query.data(), Options.Budget, Config);
   std::printf("prediction: class %u\n", Cert.ConcretePrediction);
   std::printf("verdict: %s\n", Cert.summary().c_str());
-  if (DiskStore)
-    printDiskStats(*DiskStore);
+  printStoreLines(Cache.get(), DiskStore.get());
   return Cert.isRobust() ? 0 : 1;
 }

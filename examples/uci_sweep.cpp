@@ -12,6 +12,12 @@
 //             [dataset-name]
 //   uci_sweep [--jobs N] [--frontier-jobs N] --csv train.csv test.csv
 //
+// The serving knobs (cache, disk store, threat model, parallelism) come
+// from the shared ServingOptions table — the same flags and ANTIDOTE_*
+// env twins as antidote_cli. The process-role knobs (--listen,
+// --replicate-from) parse but are refused: a sweep is a batch job, not
+// a server.
+//
 //===----------------------------------------------------------------------===//
 
 #include "antidote/Report.h"
@@ -20,6 +26,7 @@
 #include "data/Registry.h"
 #include "serving/CertCache.h"
 #include "serving/DiskCertStore.h"
+#include "serving/ServingOptions.h"
 #include "serving/TieredStore.h"
 #include "support/Parse.h"
 
@@ -32,63 +39,14 @@
 using namespace antidote;
 
 static void printUsage(const char *Program) {
-  std::printf("usage: %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--threat removal|flip] [--cache-bytes B] [--cache-dir DIR] "
-              "[--delta-slack 0|1] [dataset-name]\n",
+  std::printf("usage: %s [serving knobs...] [dataset-name]\n", Program);
+  std::printf("       %s [serving knobs...] --csv <train.csv> "
+              "<test.csv>\n\n",
               Program);
-  std::printf("       %s [--jobs N] [--frontier-jobs N] [--split-jobs N] "
-              "[--threat removal|flip] [--cache-bytes B] [--cache-dir DIR] "
-              "[--delta-slack 0|1] --csv <train.csv> <test.csv>\n",
-              Program);
-  std::printf("knobs (flag beats env-var twin beats default; malformed "
-              "values in either error out):\n");
-  std::printf("  --jobs N           per-instance worker threads "
-              "(0 = all cores;\n"
-              "                     env ANTIDOTE_JOBS; default 1)\n");
-  std::printf("  --frontier-jobs N  executors inside each instance's "
-              "DTrace# frontier\n"
-              "                     (0 = all cores; env "
-              "ANTIDOTE_FRONTIER_JOBS; default 1)\n");
-  std::printf("  --split-jobs N     executors inside each bestSplit# "
-              "candidate scoring\n"
-              "                     pass (0 = all cores; env "
-              "ANTIDOTE_SPLIT_JOBS; default 1)\n");
-  std::printf("  --threat MODEL     poisoning model: 'removal' (attacker "
-              "added up to\n"
-              "                     n rows) or 'flip' (attacker relabeled "
-              "up to n rows;\n"
-              "                     disjuncts domain only — box cells are "
-              "skipped);\n"
-              "                     env ANTIDOTE_THREAT; default "
-              "removal\n");
-  std::printf("  --cache-bytes B    attach a certificate cache with "
-              "byte budget B\n"
-              "                     (0 = unbounded; env "
-              "ANTIDOTE_CACHE_BYTES; default off —\n"
-              "                     a sweep's probes rarely repeat, so "
-              "this mainly\n"
-              "                     demonstrates the serving layer's "
-              "plumbing)\n");
-  std::printf("  --cache-dir DIR    persistent certificate store "
-              "directory (created\n"
-              "                     if missing; env ANTIDOTE_CACHE_DIR; "
-              "default off).\n"
-              "                     Two-tier: RAM LRU in front, disk "
-              "behind — a re-run\n"
-              "                     of the same sweep answers its "
-              "deterministic cells\n"
-              "                     from disk; unusable paths error "
-              "out\n");
-  std::printf("  --delta-slack 0|1  delta-tolerant serving: answer from "
-              "a lineage\n"
-              "                     parent's certificates when the store "
-              "misses under\n"
-              "                     this dataset's own fingerprint "
-              "(sound for pure-removal\n"
-              "                     deltas; env ANTIDOTE_DELTA_SLACK; "
-              "default 1;\n"
-              "                     0 = exact/range matches only, for "
-              "A/B runs)\n");
+  ServingOptions::printHelp(stdout);
+  std::printf("\n--listen and --replicate-from are refused: a sweep is "
+              "a batch job,\nnot a server (use antidote_cli for "
+              "those).\n");
   std::printf("built-in datasets:");
   for (const std::string &Name : benchmarkDatasetNames())
     std::printf(" %s", Name.c_str());
@@ -99,143 +57,26 @@ int main(int Argc, char **Argv) {
   Dataset Train, Test;
   std::vector<uint32_t> VerifyRows;
   std::string Name = "mammography";
-  unsigned Jobs = 1;
-  unsigned FrontierJobs = 1;
-  unsigned SplitJobs = 1;
-  uint64_t CacheBytes = 0;
-  bool CacheEnabled = false;
-  std::string CacheDir;
-  bool DeltaSlack = true;
-  ThreatModelKind Threat = ThreatModelKind::Removal;
   const char *Program = Argv[0];
 
-  // Environment twins first (flags override them below); malformed env
-  // values are as fatal as malformed flags (shared report in
-  // support/Parse).
-  const std::pair<const char *, unsigned *> EnvJobs[] = {
-      {"ANTIDOTE_JOBS", &Jobs},
-      {"ANTIDOTE_FRONTIER_JOBS", &FrontierJobs},
-      {"ANTIDOTE_SPLIT_JOBS", &SplitJobs}};
-  for (const auto &[EnvName, Out] : EnvJobs) {
-    EnvNumber Env = readUnsignedEnvReporting(EnvName, "all cores", UINT_MAX);
-    if (Env.Status == EnvNumberStatus::Malformed)
-      return 1;
-    if (Env.Status == EnvNumberStatus::Ok)
-      *Out = static_cast<unsigned>(Env.Value);
+  // The shared serving knobs (env twins first, then flags — see
+  // serving/ServingOptions.h); the remaining arguments keep their
+  // historical positional meaning.
+  ServingOptions Serving;
+  if (!Serving.parse(Argc, Argv))
+    return 1;
+  // A sweep has no server role: refuse the flags that would imply one
+  // instead of silently ignoring them.
+  if (Serving.Listen) {
+    std::fprintf(stderr, "error: --listen is antidote_cli's job; a "
+                         "sweep is a batch process\n");
+    return 1;
   }
-  {
-    EnvNumber Env =
-        readUnsignedEnvReporting("ANTIDOTE_CACHE_BYTES", "unbounded");
-    if (Env.Status == EnvNumberStatus::Malformed)
-      return 1;
-    if (Env.Status == EnvNumberStatus::Ok) {
-      CacheBytes = Env.Value;
-      CacheEnabled = true;
-    }
+  if (Serving.Replicate) {
+    std::fprintf(stderr, "error: --replicate-from is antidote_cli's "
+                         "job; a sweep is a batch process\n");
+    return 1;
   }
-  if (std::optional<std::string> Dir = readStringEnv("ANTIDOTE_CACHE_DIR")) {
-    CacheDir = *Dir;
-    CacheEnabled = true;
-  }
-  {
-    EnvNumber Env =
-        readUnsignedEnvReporting("ANTIDOTE_DELTA_SLACK", "disabled", 1);
-    if (Env.Status == EnvNumberStatus::Malformed)
-      return 1;
-    if (Env.Status == EnvNumberStatus::Ok)
-      DeltaSlack = Env.Value != 0;
-  }
-  if (std::optional<std::string> Env = readStringEnv("ANTIDOTE_THREAT")) {
-    std::optional<ThreatModelKind> Parsed = parseThreatModelName(*Env);
-    if (!Parsed) {
-      std::fprintf(stderr,
-                   "error: ANTIDOTE_THREAT must be 'removal' or 'flip', "
-                   "got '%s'\n",
-                   Env->c_str());
-      return 1;
-    }
-    Threat = *Parsed;
-  }
-
-  // Extract the jobs/cache flags from any position; the remaining
-  // arguments keep their historical positional meaning. Values parse
-  // checked — garbage errors out instead of silently becoming 0 (bare
-  // atoi).
-  std::vector<char *> Rest = {Argv[0]};
-  for (int I = 1; I < Argc; ++I) {
-    bool IsJobs = std::strcmp(Argv[I], "--jobs") == 0;
-    bool IsFrontier = std::strcmp(Argv[I], "--frontier-jobs") == 0;
-    bool IsSplit = std::strcmp(Argv[I], "--split-jobs") == 0;
-    bool IsCache = std::strcmp(Argv[I], "--cache-bytes") == 0;
-    if (std::strcmp(Argv[I], "--cache-dir") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --cache-dir needs a value\n");
-        return 1;
-      }
-      CacheDir = Argv[++I];
-      CacheEnabled = true;
-      continue;
-    }
-    if (std::strcmp(Argv[I], "--threat") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --threat needs a value\n");
-        return 1;
-      }
-      std::optional<ThreatModelKind> Parsed =
-          parseThreatModelName(Argv[++I]);
-      if (!Parsed) {
-        std::fprintf(stderr,
-                     "error: --threat must be 'removal' or 'flip', got "
-                     "'%s'\n",
-                     Argv[I]);
-        return 1;
-      }
-      Threat = *Parsed;
-      continue;
-    }
-    if (std::strcmp(Argv[I], "--delta-slack") == 0) {
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: --delta-slack needs a value\n");
-        return 1;
-      }
-      std::optional<uint64_t> Parsed = parseUnsignedArg(Argv[++I], 1);
-      if (!Parsed) {
-        std::fprintf(stderr,
-                     "error: --delta-slack needs 0 or 1, got '%s'\n",
-                     Argv[I]);
-        return 1;
-      }
-      DeltaSlack = *Parsed != 0;
-      continue;
-    }
-    if (IsJobs || IsFrontier || IsSplit || IsCache) {
-      const char *Flag = Argv[I];
-      if (I + 1 >= Argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", Flag);
-        return 1;
-      }
-      std::optional<uint64_t> Parsed = parseUnsignedArg(
-          Argv[++I], IsCache ? static_cast<uint64_t>(-1) : UINT_MAX);
-      if (!Parsed) {
-        std::fprintf(stderr,
-                     "error: %s needs an unsigned integer (0 = %s), "
-                     "got '%s'\n",
-                     Flag, IsCache ? "unbounded" : "all cores", Argv[I]);
-        return 1;
-      }
-      if (IsCache) {
-        CacheBytes = *Parsed;
-        CacheEnabled = true;
-        continue;
-      }
-      (IsJobs ? Jobs : IsFrontier ? FrontierJobs : SplitJobs) =
-          static_cast<unsigned>(*Parsed);
-      continue;
-    }
-    Rest.push_back(Argv[I]);
-  }
-  Argc = static_cast<int>(Rest.size());
-  Argv = Rest.data();
 
   if (Argc >= 2 && std::strcmp(Argv[1], "--help") == 0) {
     printUsage(Program);
@@ -263,8 +104,13 @@ int main(int Argc, char **Argv) {
       VerifyRows.push_back(Row);
     Name = Argv[2];
   } else {
-    if (Argc >= 2)
+    if (Argc >= 2) {
+      if (Argv[1][0] == '-') {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", Argv[1]);
+        return 1;
+      }
       Name = Argv[1];
+    }
     BenchmarkDataset Bench = loadBenchmarkDataset(Name, BenchScale::Scaled);
     Train = std::move(Bench.Split.Train);
     Test = std::move(Bench.Split.Test);
@@ -272,12 +118,12 @@ int main(int Argc, char **Argv) {
   }
 
   std::printf("=== Poisoning-robustness sweep: %s (threat %s) ===\n",
-              Name.c_str(), threatModelName(Threat));
+              Name.c_str(), threatModelName(Serving.Threat));
   std::printf("train %u rows x %u features, verifying %zu test inputs, "
               "%u job(s), %u frontier job(s), %u split job(s)\n",
               Train.numRows(), Train.numFeatures(), VerifyRows.size(),
-              Jobs, FrontierJobs, SplitJobs);
-  if (Threat == ThreatModelKind::LabelFlip)
+              Serving.Jobs, Serving.FrontierJobs, Serving.SplitJobs);
+  if (Serving.Threat == ThreatModelKind::LabelFlip)
     std::printf("note: box-domain cells are skipped — the flip "
                 "class-probability transformer is sound only under the "
                 "disjuncts domain\n");
@@ -285,23 +131,28 @@ int main(int Argc, char **Argv) {
 
   SweepConfig Config;
   Config.Depths = {1, 2};
-  Config.Threat = Threat;
+  Config.Threat = Serving.Threat;
   Config.InstanceLimits.TimeoutSeconds = 2.0;
-  Config.InstanceLimits.MaxCacheBytes = CacheBytes;
+  Config.InstanceLimits.MaxCacheBytes = Serving.CacheBytes;
   Config.MaxPoisoning = Train.numRows();
-  Config.Jobs = Jobs;
-  Config.FrontierJobs = FrontierJobs;
-  Config.SplitJobs = SplitJobs;
-  Config.DeltaSlack = DeltaSlack;
+  Config.Jobs = Serving.Jobs;
+  Config.FrontierJobs = Serving.FrontierJobs;
+  Config.SplitJobs = Serving.SplitJobs;
+  Config.DeltaSlack = Serving.DeltaSlack;
+  // The store composition, shared with antidote_cli: RAM LRU in front,
+  // persistent tier behind (--cache-dir / ANTIDOTE_CACHE_DIR — a re-run
+  // of the same sweep answers its deterministic cells from disk), both
+  // behind the abstract CertificateStore facade. Unusable paths fail
+  // before hours of verification, not after.
   std::unique_ptr<CertCache> Cache;
-  if (CacheEnabled)
-    Cache = std::make_unique<CertCache>(Config.InstanceLimits);
-  // The persistent tier (--cache-dir / ANTIDOTE_CACHE_DIR): a re-run of
-  // the same sweep answers its deterministic cells from disk. Unusable
-  // paths fail before hours of verification, not after.
+  if (Serving.CacheEnabled)
+    Cache = std::make_unique<CertCache>(Serving.CacheBytes);
   std::unique_ptr<DiskCertStore> DiskStore;
-  if (!CacheDir.empty()) {
-    DiskCertStore::OpenResult Opened = DiskCertStore::open(CacheDir);
+  if (!Serving.CacheDir.empty()) {
+    DiskCertStoreOptions DiskOptions;
+    DiskOptions.RetentionBytes = Serving.RetentionBytes;
+    DiskCertStore::OpenResult Opened =
+        DiskCertStore::open(Serving.CacheDir, DiskOptions);
     if (!Opened.ok()) {
       std::fprintf(stderr, "error: %s\n", Opened.Error.c_str());
       return 1;
@@ -348,9 +199,9 @@ int main(int Argc, char **Argv) {
   }
   if (Cache)
     std::printf("certificate cache: %s\n",
-                formatCacheStats(Cache->stats(), CacheBytes).c_str());
+                Cache->stats().summary().c_str());
   if (DiskStore)
     std::printf("certificate disk store: %s\n",
-                formatDiskStoreStats(DiskStore->stats()).c_str());
+                DiskStore->stats().summary().c_str());
   return 0;
 }

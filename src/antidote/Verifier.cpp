@@ -7,6 +7,8 @@
 
 #include "antidote/Verifier.h"
 
+#include "serving/CertificateStore.h"
+
 #include <cstdio>
 
 using namespace antidote;

@@ -33,6 +33,9 @@
 
 namespace antidote {
 
+/// The caching hook `Verifier::verify` talks to. The antidote layer only
+/// names the seam; the contract and every implementation live above it
+/// in serving/CertificateStore.h.
 class CertificateStore;
 class ReverifyScheduler;
 
@@ -129,54 +132,6 @@ public:
   /// costs the next cold query a verification).
   virtual void scheduleReverify(const float *X, unsigned NumFeatures,
                                 uint32_t PoisoningBudget) = 0;
-};
-
-/// The caching hook `Verifier::verify` talks to. The antidote layer only
-/// defines the contract; the LRU/byte-budget implementation lives above
-/// it in serving/CertCache.h (tests may substitute their own).
-///
-/// Contract:
-///  - A `lookup` hit must return a certificate previously passed to
-///    `store` under a key that *soundly answers* the queried one: same
-///    training-set fingerprint, same query bit pattern, a
-///    `VerifierConfig` equal in every result-relevant field (Depth,
-///    Domain, Threat, Cprob, Gini, DisjunctCap where the domain reads
-///    it, and the three run-stopping `Limits` knobs), and a poisoning budget
-///    that either matches exactly or is covered by the *range rule*:
-///    a Robust certificate proven at radius N answers any budget
-///    n <= N (∆n(T) ⊆ ∆N(T) — budgets nest under both threat models,
-///    so the rule applies per model), an Unknown at radius N answers any
-///    n >= N (the abstraction that failed at N fails a fortiori at a
-///    wider radius), and a ResourceLimit answers only its exact
-///    budget. A range-served certificate comes back with
-///    `PoisoningBudget` rewritten to the queried n and
-///    `CertifiedRadius` still naming the stored proof's radius.
-///    Scheduling knobs (FrontierJobs/SplitJobs/pools),
-///    the cancellation token, `Limits.MaxCacheBytes`, and the `Cache`
-///    pointer itself are certificate-irrelevant — certificates are
-///    bit-identical across them — and must not distinguish keys.
-///  - The verifier only offers deterministic verdicts for storage
-///    (Robust / Unknown / ResourceLimit); wall-clock- or
-///    controller-dependent ones (Timeout / Cancelled) are never cached,
-///    so a hit can never replay a verdict a fresh run might not
-///    reproduce.
-///  - Both calls may run concurrently from batch-pool workers.
-class CertificateStore {
-public:
-  virtual ~CertificateStore() = default;
-
-  /// Fills \p Out and returns true when a certificate for exactly this
-  /// (training set, query, budget, config) is stored.
-  virtual bool lookup(const DatasetFingerprint &Data, const float *X,
-                      unsigned NumFeatures, uint32_t PoisoningBudget,
-                      const VerifierConfig &Config, Certificate &Out) = 0;
-
-  /// Offers a freshly computed certificate for retention. The store may
-  /// decline (byte budget); it must never mutate \p Cert.
-  virtual void store(const DatasetFingerprint &Data, const float *X,
-                     unsigned NumFeatures, uint32_t PoisoningBudget,
-                     const VerifierConfig &Config,
-                     const Certificate &Cert) = 0;
 };
 
 /// Verifies data-poisoning robustness of decision-tree learning on a fixed

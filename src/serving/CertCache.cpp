@@ -12,29 +12,6 @@
 
 using namespace antidote;
 
-std::string antidote::formatCacheStats(const CertCacheStats &Stats,
-                                       uint64_t MaxBytes) {
-  char Budget[32] = "unbounded";
-  if (MaxBytes)
-    std::snprintf(Budget, sizeof(Budget), "%llu",
-                  static_cast<unsigned long long>(MaxBytes));
-  char Buf[256];
-  // The trailing "range: N hits" clause is a grep target of the CI
-  // persistence smoke — keep its spelling stable.
-  std::snprintf(Buf, sizeof(Buf),
-                "%llu hit%s, %llu misses, %llu evictions, %llu declined; "
-                "%llu entries, %llu bytes live (budget %s); range: %llu hits",
-                static_cast<unsigned long long>(Stats.Hits),
-                Stats.Hits == 1 ? "" : "s",
-                static_cast<unsigned long long>(Stats.Misses),
-                static_cast<unsigned long long>(Stats.Evictions),
-                static_cast<unsigned long long>(Stats.Declined),
-                static_cast<unsigned long long>(Stats.LiveEntries),
-                static_cast<unsigned long long>(Stats.LiveBytes), Budget,
-                static_cast<unsigned long long>(Stats.RangeHits));
-  return Buf;
-}
-
 uint64_t CertCache::entryBytes(const StoreKey &K) {
   // One entry owns: the map's key/slot pair (sizing the pair, not
   // Key + Slot separately, keeps alignment padding in the charge), the
@@ -64,34 +41,52 @@ bool CertCache::lookup(const DatasetFingerprint &Data, const float *X,
     Out = It->second.Cert;
     return true;
   }
-  // Exact miss: radius-range probe. Prefer Robust (the informative
-  // verdict): the tightest stored proof at radius >= n; else fall back
-  // to the widest failed attempt at radius <= n.
-  auto RIt = RangeIndex.find(rangeBaseKey(K));
-  if (RIt != RangeIndex.end()) {
-    const StoreKey *Found = nullptr;
-    auto Rob = RIt->second.Robust.lower_bound(PoisoningBudget);
-    if (Rob != RIt->second.Robust.end()) {
-      Found = Rob->second;
-    } else {
-      auto Unk = RIt->second.Unknown.upper_bound(PoisoningBudget);
-      if (Unk != RIt->second.Unknown.begin())
-        Found = std::prev(Unk)->second;
-    }
-    if (Found) {
-      auto EIt = Entries.find(*Found);
-      assert(EIt != Entries.end() && "range index out of lockstep");
-      Lru.splice(Lru.begin(), Lru, EIt->second.LruIt);
-      ++Stats.RangeHits;
-      Out = EIt->second.Cert;
-      // The stored proof keeps its radius; only the answered budget
-      // is rewritten (see the header's range invariant).
-      Out.PoisoningBudget = PoisoningBudget;
-      return true;
-    }
+  // Exact miss: radius-range probe.
+  if (const StoreKey *Found = findRangeLocked(K, PoisoningBudget)) {
+    auto EIt = Entries.find(*Found);
+    assert(EIt != Entries.end() && "range index out of lockstep");
+    Lru.splice(Lru.begin(), Lru, EIt->second.LruIt);
+    ++Stats.RangeHits;
+    Out = EIt->second.Cert;
+    // The stored proof keeps its radius; only the answered budget
+    // is rewritten (see the header's range invariant).
+    Out.PoisoningBudget = PoisoningBudget;
+    return true;
   }
   ++Stats.Misses;
   return false;
+}
+
+const StoreKey *CertCache::findRangeLocked(const StoreKey &K,
+                                           uint32_t PoisoningBudget) const {
+  // Prefer Robust (the informative verdict): the tightest stored proof
+  // at radius >= n; else fall back to the widest failed attempt at
+  // radius <= n.
+  auto RIt = RangeIndex.find(rangeBaseKey(K));
+  if (RIt == RangeIndex.end())
+    return nullptr;
+  auto Rob = RIt->second.Robust.lower_bound(PoisoningBudget);
+  if (Rob != RIt->second.Robust.end())
+    return Rob->second;
+  auto Unk = RIt->second.Unknown.upper_bound(PoisoningBudget);
+  if (Unk != RIt->second.Unknown.begin())
+    return std::prev(Unk)->second;
+  return nullptr;
+}
+
+bool CertCache::rangeLookup(const DatasetFingerprint &Data, const float *X,
+                            unsigned NumFeatures, uint32_t PoisoningBudget,
+                            const VerifierConfig &Config, Certificate &Out) {
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  const StoreKey *Found = findRangeLocked(K, PoisoningBudget);
+  if (!Found)
+    return false;
+  auto EIt = Entries.find(*Found);
+  assert(EIt != Entries.end() && "range index out of lockstep");
+  Out = EIt->second.Cert;
+  Out.PoisoningBudget = PoisoningBudget;
+  return true;
 }
 
 void CertCache::store(const DatasetFingerprint &Data, const float *X,
@@ -118,8 +113,8 @@ void CertCache::store(const DatasetFingerprint &Data, const float *X,
   It->second.LruIt = Lru.begin();
   registerRangeLocked(It->first, Cert);
   Stats.LiveBytes += Bytes;
-  ++Stats.LiveEntries;
-  ++Stats.Insertions;
+  ++Stats.LiveRecords;
+  ++Stats.Stores;
   if (MaxBytes)
     while (Stats.LiveBytes > MaxBytes)
       evictOneLocked();
@@ -160,12 +155,12 @@ void CertCache::evictOneLocked() {
   auto It = Entries.find(*Victim);
   unregisterRangeLocked(It->first, It->second.Cert);
   Stats.LiveBytes -= It->second.Bytes;
-  --Stats.LiveEntries;
+  --Stats.LiveRecords;
   ++Stats.Evictions;
   Entries.erase(It);
 }
 
-CertCacheStats CertCache::stats() const {
+StoreStats CertCache::stats() const {
   std::lock_guard<std::mutex> Guard(Mutex);
   return Stats;
 }
@@ -176,5 +171,5 @@ void CertCache::clear() {
   Entries.clear();
   RangeIndex.clear();
   Stats.LiveBytes = 0;
-  Stats.LiveEntries = 0;
+  Stats.LiveRecords = 0;
 }

@@ -21,7 +21,7 @@
 ///    fresh verification that seeded it, and field-identical (modulo
 ///    wall-clock `Seconds`) to any re-verification, because only
 ///    deterministic verdicts are ever offered for storage (see
-///    `CertificateStore` in antidote/Verifier.h).
+///    `CertificateStore` in serving/CertificateStore.h).
 ///  - **Keys capture exactly the result-relevant state.** The key
 ///    discipline lives in serving/StoreKey.h, shared with the on-disk
 ///    tier: scheduling knobs never split the key, so a serial client
@@ -51,6 +51,7 @@
 #ifndef ANTIDOTE_SERVING_CERTCACHE_H
 #define ANTIDOTE_SERVING_CERTCACHE_H
 
+#include "serving/CertificateStore.h"
 #include "serving/StoreKey.h"
 
 #include <list>
@@ -61,29 +62,6 @@
 #include <vector>
 
 namespace antidote {
-
-/// Monotonic counters plus the live footprint, for ops introspection and
-/// the serving smoke tests. A consistent snapshot is taken under the
-/// cache's mutex.
-struct CertCacheStats {
-  uint64_t Hits = 0;   ///< Exact-key hits.
-  uint64_t Misses = 0; ///< Neither an exact nor a range entry served.
-  uint64_t RangeHits = 0; ///< Served by the radius-range rule
-                          ///< (serving/StoreKey.h `rangeServes`).
-  uint64_t Insertions = 0;
-  uint64_t Evictions = 0;
-  uint64_t Declined = 0; ///< Stores rejected (entry alone over budget).
-  uint64_t LiveBytes = 0;
-  uint64_t LiveEntries = 0;
-};
-
-/// One-line operator-readable rendering of \p Stats, e.g.
-/// "1 hit, 2 misses, 0 evictions, 0 declined; 2 entries, 512 bytes live
-/// (budget 1048576)". The shared text every front end (antidote_cli,
-/// uci_sweep, the figure benches) prints behind its own prefix, so a new
-/// counter surfaces everywhere at once. \p MaxBytes 0 renders as
-/// "unbounded".
-std::string formatCacheStats(const CertCacheStats &Stats, uint64_t MaxBytes);
 
 /// The RAM tier of the production certificate store: fingerprint-keyed,
 /// LRU-evicted under a byte budget, safe for concurrent pool workers.
@@ -109,9 +87,16 @@ public:
              unsigned NumFeatures, uint32_t PoisoningBudget,
              const VerifierConfig &Config, const Certificate &Cert) override;
 
-  CertCacheStats stats() const;
+  /// The radius-range probe alone (no exact-key consultation, no LRU
+  /// touch, no counter changes) — the rule `lookup` falls back to on an
+  /// exact miss, exposed for range-machinery introspection.
+  bool rangeLookup(const DatasetFingerprint &Data, const float *X,
+                   unsigned NumFeatures, uint32_t PoisoningBudget,
+                   const VerifierConfig &Config, Certificate &Out) override;
 
-  /// Drops every entry (counters are kept; `LiveBytes`/`LiveEntries`
+  StoreStats stats() const override;
+
+  /// Drops every entry (counters are kept; `LiveBytes`/`LiveRecords`
   /// reset). For dataset-reload handovers and tests.
   void clear();
 
@@ -161,7 +146,13 @@ private:
   /// Base key (budget zeroed) -> radius-sorted entry views; kept in
   /// lockstep with `Entries` by store/evict/clear.
   std::unordered_map<StoreKey, RangeSlot, StoreKeyHash> RangeIndex;
-  CertCacheStats Stats;
+  StoreStats Stats;
+
+  /// The range-rule resolution `lookup` and `rangeLookup` share: the
+  /// serving entry for \p K's base key at budget \p PoisoningBudget, or
+  /// null. Caller holds the mutex.
+  const StoreKey *findRangeLocked(const StoreKey &K,
+                                  uint32_t PoisoningBudget) const;
 };
 
 } // namespace antidote

@@ -18,18 +18,11 @@ CertServer::CertServer(const Dataset &Train, const CertServerConfig &Config)
       BatchPool(makeVerificationPool(Config.Jobs)),
       FrontierPool(makeVerificationPool(sharedFanoutJobs(
           Config.Query.FrontierJobs, Config.Query.SplitJobs))) {
-  if (Config.EnableCache)
-    Cache = std::make_unique<CertCache>(Config.Query.Limits);
-  if (Cache && Config.Backing)
-    Tiered = std::make_unique<TieredStore>(Cache.get(), Config.Backing);
   // The server owns the long-lived halves of the query config; whatever
-  // the caller put there is replaced. Store preference: the two-tier
-  // composition when both tiers exist, else whichever one does.
+  // the caller put there is replaced. The store is taken as configured —
+  // abstract, already composed by the wiring layer.
   this->Config.Query.FrontierPool = FrontierPool.get();
-  this->Config.Query.Cache =
-      Tiered ? static_cast<CertificateStore *>(Tiered.get())
-      : Cache ? static_cast<CertificateStore *>(Cache.get())
-              : Config.Backing;
+  this->Config.Query.Cache = Config.Store;
   this->Config.Query.Cancel = &AbortToken;
   if (Config.Lineage) {
     V.setLineage(*Config.Lineage);
@@ -156,11 +149,11 @@ bool CertServer::cancelRequest(uint64_t Ticket) {
 
 bool CertServer::probeStore(const float *X, uint32_t PoisoningBudget,
                             Certificate &Out) const {
-  CertificateStore *Store = Config.Query.Cache;
+  CertificateStore *Store = Config.Store;
   if (!Store)
     return false;
-  return Store->lookup(V.fingerprint(), X, V.trainingSet().numFeatures(),
-                       PoisoningBudget, Config.Query, Out);
+  return Store->probe(V.fingerprint(), X, V.trainingSet().numFeatures(),
+                      PoisoningBudget, Config.Query, Out);
 }
 
 void CertServer::dispatchLoop() {
@@ -335,10 +328,6 @@ void CertServer::scheduleReverify(const float *X, unsigned NumFeatures,
     BackgroundQueue.push_back(std::move(R));
   }
   QueueChanged.notify_one();
-}
-
-CertCacheStats CertServer::cacheStats() const {
-  return Cache ? Cache->stats() : CertCacheStats();
 }
 
 size_t CertServer::pendingRequests() const {

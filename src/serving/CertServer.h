@@ -9,8 +9,12 @@
 /// The long-lived serving subsystem the ROADMAP's north star asks for:
 /// one warm `Verifier` (per-dataset acceleration structures built once),
 /// one shared batch `ThreadPool`, one shared in-query frontier/split pool,
-/// and one fingerprint-keyed `CertCache`, behind a request queue so many
-/// clients can stream queries at a single process.
+/// and one `CertificateStore`, behind a request queue so many clients can
+/// stream queries at a single process. The server is deliberately
+/// store-agnostic: it holds exactly one abstract `CertificateStore`
+/// pointer and never names a concrete tier — the wiring layer composes
+/// whatever it wants (a RAM `CertCache`, a `DiskCertStore`, both behind
+/// a `TieredStore`, or nothing) and the server behaves identically.
 ///
 /// Request path:
 ///
@@ -27,8 +31,8 @@
 /// are independent, so folding whatever has queued up while the previous
 /// batch ran into one fan-out keeps every pool worker busy without any
 /// per-query thread churn. Caching happens *inside* `Verifier::verify`
-/// (the cache is wired into the server's `VerifierConfig`), so a repeated
-/// query costs one hash probe on a worker instead of a verification, and
+/// (the store is wired into the server's `VerifierConfig`), so a repeated
+/// query costs one store probe on a worker instead of a verification, and
 /// the served certificate is byte-identical to the fresh one that seeded
 /// the entry (see serving/CertCache.h for the invariants).
 ///
@@ -58,8 +62,7 @@
 #ifndef ANTIDOTE_SERVING_CERTSERVER_H
 #define ANTIDOTE_SERVING_CERTSERVER_H
 
-#include "serving/CertCache.h"
-#include "serving/TieredStore.h"
+#include "serving/CertificateStore.h"
 
 #include <chrono>
 #include <condition_variable>
@@ -94,17 +97,13 @@ struct CertServerConfig {
   /// codebase's "0 disables the cap" convention.
   size_t MaxBatch = 64;
 
-  /// Disables the cache entirely (for A/B runs; normally leave on — an
-  /// unbounded cache is `Query.Limits.MaxCacheBytes = 0`).
-  bool EnableCache = true;
-
-  /// Optional persistent backing store (serving/DiskCertStore.h is the
-  /// production one), externally owned — it may outlive the server or
-  /// be shared by several. With the cache enabled the server composes
-  /// the two as a `TieredStore` (RAM LRU in front, this store behind,
-  /// write-through, disk hits promoted to RAM); cache-less it is
-  /// consulted directly.
-  CertificateStore *Backing = nullptr;
+  /// The certificate store every verification consults and feeds —
+  /// externally owned (it may outlive the server or be shared by
+  /// several) and abstract on purpose: the server never knows whether
+  /// it is a RAM `CertCache`, a `DiskCertStore`, a `TieredStore`
+  /// composing both, or absent (null = every query verifies fresh).
+  /// Composition is the wiring layer's job, not the server's.
+  CertificateStore *Store = nullptr;
 
   /// Declares the training set a delta of a parent dataset (see
   /// data/Fingerprint.h `DatasetLineage`), arming the delta-slack
@@ -118,7 +117,7 @@ struct CertServerConfig {
 
 /// A long-lived certificate server for one training set.
 ///
-/// Thread-safety: `submit`, `cacheStats`, and `pendingRequests` may be
+/// Thread-safety: `submit`, `probeStore`, and `pendingRequests` may be
 /// called from any number of client threads. The returned future is
 /// fulfilled by the dispatcher (or a batch-pool worker's result folded by
 /// it); `get()` blocks until then.
@@ -184,13 +183,14 @@ public:
   /// abandons the *work*, never the bookkeeping.
   bool cancelRequest(uint64_t Ticket);
 
-  /// Store-only probe: consults the server's composed certificate
-  /// store (RAM and disk tiers, range rule included) exactly as the
-  /// verify path would, but never verifies and never touches the
-  /// queue. This is the shed path's lifeline — under overload the
-  /// network tier answers what is already known (a hash probe / disk
-  /// read) while refusing to take on new verification work. Safe from
-  /// any thread; false when there is no store or no serving entry.
+  /// Store-only probe: consults the server's certificate store (range
+  /// rule included, residency undisturbed — `CertificateStore::probe`)
+  /// exactly as the verify path would, but never verifies and never
+  /// touches the queue. This is the shed path's lifeline — under
+  /// overload the network tier answers what is already known (a hash
+  /// probe / disk read) while refusing to take on new verification
+  /// work. Safe from any thread; false when there is no store or no
+  /// serving entry.
   bool probeStore(const float *X, uint32_t PoisoningBudget,
                   Certificate &Out) const;
 
@@ -198,14 +198,11 @@ public:
   /// cache-bypassing queries in tests).
   const Verifier &verifier() const { return V; }
 
-  /// Null when the server was configured cache-less.
-  const CertCache *cache() const { return Cache.get(); }
-
-  /// Zeroed stats when the server was configured cache-less.
-  CertCacheStats cacheStats() const;
-
-  /// Null unless both the RAM cache and a backing store are configured.
-  const TieredStore *tieredStore() const { return Tiered.get(); }
+  /// The store this server serves from (null when configured without
+  /// one). Abstract by design — callers wanting stats go through
+  /// `CertificateStore::stats`, and the replication front end through
+  /// `CertificateStore::replication`.
+  CertificateStore *store() const { return Config.Store; }
 
   /// Requests not yet handed to a batch (for monitoring/backpressure).
   size_t pendingRequests() const;
@@ -289,8 +286,6 @@ private:
   VerifierConfig ExactQuery;
   std::unique_ptr<ThreadPool> BatchPool;
   std::unique_ptr<ThreadPool> FrontierPool;
-  std::unique_ptr<CertCache> Cache;
-  std::unique_ptr<TieredStore> Tiered;
   CancellationToken AbortToken; ///< Cancelled by `abort()` only.
 
   mutable std::mutex Mutex;

@@ -1,0 +1,58 @@
+//===- serving/CertificateStore.cpp - Unified store interface -----------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/CertificateStore.h"
+
+#include <cstdio>
+
+using namespace antidote;
+
+std::string StoreStats::summary() const {
+  // Stable `key=value` text — the CI smokes grep exact prefixes of this
+  // line, so field order and spellings are load-bearing. The optional
+  // clauses key off what the tier maintains, not off zero-vs-nonzero
+  // counts: a disk store always carries an epoch (>= 1 once opened), a
+  // plain cache never does, so the shape of each tier's line is
+  // deterministic.
+  char Buf[512];
+  int Len = std::snprintf(
+      Buf, sizeof(Buf),
+      "hits=%llu range_hits=%llu misses=%llu stored=%llu duplicates=%llu "
+      "declined=%llu evicted=%llu records=%llu bytes=%llu",
+      static_cast<unsigned long long>(Hits),
+      static_cast<unsigned long long>(RangeHits),
+      static_cast<unsigned long long>(Misses),
+      static_cast<unsigned long long>(Stores),
+      static_cast<unsigned long long>(DuplicatesDeclined),
+      static_cast<unsigned long long>(Declined),
+      static_cast<unsigned long long>(Evictions),
+      static_cast<unsigned long long>(LiveRecords),
+      static_cast<unsigned long long>(LiveBytes));
+  std::string Out(Buf, Len < 0 ? 0 : static_cast<size_t>(Len));
+  if (RamHits || DiskHits) {
+    Len = std::snprintf(Buf, sizeof(Buf), " ram_hits=%llu disk_hits=%llu",
+                        static_cast<unsigned long long>(RamHits),
+                        static_cast<unsigned long long>(DiskHits));
+    Out.append(Buf, Len < 0 ? 0 : static_cast<size_t>(Len));
+  }
+  if (Epoch) {
+    Len = std::snprintf(
+        Buf, sizeof(Buf),
+        " segments=%llu epoch=%llu journal=%llu corrupt=%llu stale=%llu "
+        "compactions=%llu retention_evicted=%llu refreshes=%llu",
+        static_cast<unsigned long long>(Segments),
+        static_cast<unsigned long long>(Epoch),
+        static_cast<unsigned long long>(JournalRecords),
+        static_cast<unsigned long long>(CorruptSkipped),
+        static_cast<unsigned long long>(StaleSegments),
+        static_cast<unsigned long long>(Compactions),
+        static_cast<unsigned long long>(RetentionEvictedSegments),
+        static_cast<unsigned long long>(IndexRefreshes));
+    Out.append(Buf, Len < 0 ? 0 : static_cast<size_t>(Len));
+  }
+  return Out;
+}

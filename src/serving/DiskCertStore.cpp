@@ -14,6 +14,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include <dirent.h>
 #include <fcntl.h>
@@ -377,7 +378,8 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
 
 /// RAII `flock` holder; retried on EINTR. Callers must check
 /// `locked()` — proceeding without the lock would silently void the
-/// cross-process single-writer guarantee (e.g. ENOLCK on NFS).
+/// cross-process single-writer guarantee (e.g. ENOLCK on NFS, or a
+/// `ReadOnly` handle whose LockFd is -1 by design).
 /// `Blocking = false` tries `LOCK_NB` with a few short-sleep retries
 /// instead of waiting indefinitely — the append path uses it so a
 /// sibling's long compaction (seconds, lock held throughout) cannot
@@ -386,6 +388,8 @@ bool writeAll(int Fd, const uint8_t *Data, size_t Size) {
 class FileLock {
 public:
   explicit FileLock(int Fd, bool Blocking = true) : Fd(Fd) {
+    if (Fd < 0)
+      return;
     int Rc;
     if (Blocking) {
       while ((Rc = ::flock(Fd, LOCK_EX)) != 0 && errno == EINTR) {
@@ -423,29 +427,6 @@ private:
 
 } // namespace
 
-std::string antidote::formatDiskStoreStats(const DiskCertStoreStats &Stats) {
-  char Buf[288];
-  // The trailing "range: N hits" clause is a grep target of the CI
-  // persistence smoke — keep its spelling stable.
-  std::snprintf(
-      Buf, sizeof(Buf),
-      "%llu hit%s, %llu misses; %llu records in %llu segment%s "
-      "(%llu bytes); %llu appended, %llu duplicates, %llu corrupt skipped; "
-      "range: %llu hits",
-      static_cast<unsigned long long>(Stats.Hits), Stats.Hits == 1 ? "" : "s",
-      static_cast<unsigned long long>(Stats.Misses),
-      static_cast<unsigned long long>(Stats.LiveRecords),
-      static_cast<unsigned long long>(Stats.Segments),
-      Stats.Segments == 1 ? "" : "s",
-      static_cast<unsigned long long>(Stats.LiveBytes),
-      static_cast<unsigned long long>(Stats.Appends),
-      static_cast<unsigned long long>(Stats.DuplicateRecords +
-                                      Stats.DuplicatesDeclined),
-      static_cast<unsigned long long>(Stats.CorruptSkipped),
-      static_cast<unsigned long long>(Stats.RangeHits));
-  return Buf;
-}
-
 DiskCertStore::OpenResult DiskCertStore::open(const std::string &Dir,
                                               const DiskCertStoreOptions &Options) {
   OpenResult Result;
@@ -453,27 +434,54 @@ DiskCertStore::OpenResult DiskCertStore::open(const std::string &Dir,
     Result.Error = "certificate store directory must not be empty";
     return Result;
   }
-  if (!makeDirs(Dir, Result.Error))
-    return Result;
-
-  std::unique_ptr<DiskCertStore> Store(new DiskCertStore(Dir, Options));
-  std::string LockPath = Dir + "/LOCK";
-  Store->LockFd = ::open(LockPath.c_str(), O_CREAT | O_RDWR, 0644);
-  if (Store->LockFd < 0) {
-    Result.Error =
-        "cannot open certificate store '" + Dir + "': " + errnoString();
+  if (Options.ReadOnly) {
+    // The flock downgrade: never create, never lock, never repair.
+    struct stat St;
+    if (::stat(Dir.c_str(), &St) != 0 || !S_ISDIR(St.st_mode)) {
+      Result.Error = "cannot open certificate store '" + Dir +
+                     "' read-only: not a directory";
+      return Result;
+    }
+  } else if (!makeDirs(Dir, Result.Error)) {
     return Result;
   }
+
+  std::unique_ptr<DiskCertStore> Store(new DiskCertStore(Dir, Options));
+  if (!Options.ReadOnly) {
+    std::string LockPath = Dir + "/LOCK";
+    Store->LockFd = ::open(LockPath.c_str(), O_CREAT | O_RDWR, 0644);
+    if (Store->LockFd < 0) {
+      Result.Error =
+          "cannot open certificate store '" + Dir + "': " + errnoString();
+      return Result;
+    }
+  }
+  // (ReadOnly: LockFd stays -1, so every FileLock below fails closed —
+  // no tail repair, no journal writes, and store() declines.)
   uint64_t TotalSegmentBytes = 0;
   if (!Store->loadLocked(Result.Error, TotalSegmentBytes))
     return Result;
+
+  std::string JournalError;
+  if (!Store->Journal.open(Dir, /*Writable=*/!Options.ReadOnly,
+                           JournalError)) {
+    Result.Error = JournalError;
+    return Result;
+  }
+  if (!Options.ReadOnly) {
+    FileLock Lock(Store->LockFd);
+    if (Lock.locked())
+      Store->reconcileJournalLocked();
+  }
+
   // Auto-compaction: when the directory is mostly dead weight —
   // stale-version segments after a format bump, corruption, piles of
   // duplicates — reclaim it now rather than serving from (and paying
   // the scan of) a junkyard forever. Dead bytes are everything scanned
   // but not indexed. Best effort: a failed compaction leaves the
   // just-built index serving, same as no trigger at all.
-  if (Options.AutoCompactDeadFraction > 0 && TotalSegmentBytes > 0) {
+  if (!Options.ReadOnly && Options.AutoCompactDeadFraction > 0 &&
+      TotalSegmentBytes > 0) {
     uint64_t Live = Store->Stats.LiveBytes;
     uint64_t Dead = TotalSegmentBytes > Live ? TotalSegmentBytes - Live : 0;
     if (static_cast<double>(Dead) >
@@ -481,6 +489,9 @@ DiskCertStore::OpenResult DiskCertStore::open(const std::string &Dir,
             static_cast<double>(TotalSegmentBytes))
       Store->compact();
   }
+  // The directory may already exceed the retention budget (the budget
+  // may have shrunk since the last run).
+  Store->applyRetentionLocked();
   Result.Store = std::move(Store);
   return Result;
 }
@@ -503,6 +514,17 @@ void DiskCertStore::closeFdsLocked() {
   }
 }
 
+void DiskCertStore::clearIndexLocked() {
+  closeFdsLocked();
+  Index.clear();
+  RangeIndex.clear();
+  KnownSegments.clear();
+  SegmentBytes.clear();
+  Stats.Segments = 0;
+  Stats.LiveRecords = 0;
+  Stats.LiveBytes = 0;
+}
+
 std::string DiskCertStore::segmentPath(uint32_t Segment) const {
   char Name[32];
   std::snprintf(Name, sizeof(Name), "seg-%06u.antcert", Segment);
@@ -513,9 +535,9 @@ bool DiskCertStore::loadLocked(std::string &Error,
                                uint64_t &TotalSegmentBytes) {
   // The exclusive lock serializes index rebuilds against appends from
   // other processes (and lets the tail repair below truncate safely).
-  // An unlockable LOCK file (e.g. ENOLCK on NFS) degrades to a
-  // read-only scan: no repair, and appends — which demand the lock —
-  // will decline.
+  // An unlockable LOCK file (ENOLCK on NFS, or a ReadOnly handle)
+  // degrades to a read-only scan: no repair, and appends — which
+  // demand the lock — will decline.
   FileLock Lock(LockFd);
 
   // Collect segment ids. Foreign files are left alone.
@@ -560,6 +582,7 @@ bool DiskCertStore::loadLocked(std::string &Error,
 
     ++Stats.Segments;
     KnownSegments.push_back(Id);
+    SegmentBytes[Id] = Bytes.size();
     SegmentWalk Walk = walkSegmentRecords(
         Bytes, [&](StoreKey &&Key, const Certificate &Cert, size_t Offset,
                    uint32_t PayloadBytes, uint64_t Checksum) {
@@ -588,11 +611,14 @@ bool DiskCertStore::loadLocked(std::string &Error,
     // first bad boundary, so appending after garbage would strand them).
     if (Id == SegmentIds.back()) {
       LastAppendable = Lock.locked();
-      if (Walk.ValidEnd < Bytes.size() &&
-          (!Lock.locked() ||
-           ::truncate(segmentPath(Id).c_str(),
-                      static_cast<off_t>(Walk.ValidEnd)) != 0))
-        LastAppendable = false; // Unrepairable tail: never append past it.
+      if (Walk.ValidEnd < Bytes.size()) {
+        if (!Lock.locked() ||
+            ::truncate(segmentPath(Id).c_str(),
+                       static_cast<off_t>(Walk.ValidEnd)) != 0)
+          LastAppendable = false; // Unrepairable tail: never append past it.
+        else
+          SegmentBytes[Id] = Walk.ValidEnd;
+      }
     }
   }
 
@@ -604,6 +630,79 @@ bool DiskCertStore::loadLocked(std::string &Error,
     AppendSegment = LastAppendable ? SegmentIds.back()
                                    : SegmentIds.back() + 1;
   return true;
+}
+
+std::vector<StoreJournal::Entry>
+DiskCertStore::journalEntriesFromIndexLocked() const {
+  std::vector<StoreJournal::Entry> Entries;
+  Entries.reserve(Index.size());
+  for (const auto &[Key, Ref] : Index) {
+    (void)Key;
+    StoreJournal::Entry E;
+    E.Segment = Ref.Segment;
+    E.RecordBytes = Ref.PayloadBytes + RecordHeaderBytes;
+    E.Offset = Ref.PayloadOffset - RecordHeaderBytes;
+    E.Checksum = Ref.Checksum;
+    Entries.push_back(E);
+  }
+  std::sort(Entries.begin(), Entries.end(),
+            [](const StoreJournal::Entry &A, const StoreJournal::Entry &B) {
+              return A.Segment != B.Segment ? A.Segment < B.Segment
+                                            : A.Offset < B.Offset;
+            });
+  return Entries;
+}
+
+uint64_t DiskCertStore::nextEpochLocked() const {
+  // Epochs must be monotone across *all* writers: a sibling may have
+  // bumped past our cached value, and publishing a lower epoch would
+  // let a replica's (epoch, serial) cursor alias two different
+  // journals.
+  uint64_t E = Journal.epoch();
+  StoreJournal::Header H = Journal.peekHeader();
+  if (H.Ok && H.Epoch > E)
+    E = H.Epoch;
+  return E + 1;
+}
+
+void DiskCertStore::reconcileJournalLocked() {
+  if (Options.ReadOnly)
+    return;
+  if (!Journal.valid()) {
+    // Journal unusable even after open()'s fresh-create attempt:
+    // republish from the index, best effort.
+    Journal.reset(nextEpochLocked(), journalEntriesFromIndexLocked());
+    return;
+  }
+  // Append a journal line for every indexed record a crash separated
+  // from its line (records are written before their journal entries, so
+  // the gap is always in this direction; an entry without a record just
+  // fails serve-time validation and is skipped).
+  std::set<std::pair<uint32_t, uint64_t>> Journaled;
+  for (uint64_t S = 1; S <= Journal.entryCount(); ++S) {
+    const StoreJournal::Entry &E = Journal.entry(S);
+    Journaled.emplace(E.Segment, E.Offset);
+  }
+  std::vector<StoreJournal::Entry> Missing;
+  for (const auto &[Key, Ref] : Index) {
+    (void)Key;
+    if (!Journaled.count(
+            {Ref.Segment, Ref.PayloadOffset - RecordHeaderBytes})) {
+      StoreJournal::Entry E;
+      E.Segment = Ref.Segment;
+      E.RecordBytes = Ref.PayloadBytes + RecordHeaderBytes;
+      E.Offset = Ref.PayloadOffset - RecordHeaderBytes;
+      E.Checksum = Ref.Checksum;
+      Missing.push_back(E);
+    }
+  }
+  std::sort(Missing.begin(), Missing.end(),
+            [](const StoreJournal::Entry &A, const StoreJournal::Entry &B) {
+              return A.Segment != B.Segment ? A.Segment < B.Segment
+                                            : A.Offset < B.Offset;
+            });
+  for (const StoreJournal::Entry &E : Missing)
+    Journal.append(E);
 }
 
 int DiskCertStore::readFdLocked(uint32_t Segment) {
@@ -642,6 +741,132 @@ DiskCertStore::readPayloadLocked(const RecordRef &Ref,
     Done += static_cast<size_t>(N);
   }
   return ReadStatus::Ok;
+}
+
+bool DiskCertStore::readRecordLocked(const StoreJournal::Entry &E,
+                                     std::vector<uint8_t> &Out) {
+  if (E.RecordBytes < RecordHeaderBytes ||
+      E.RecordBytes - RecordHeaderBytes > MaxPayloadBytes)
+    return false;
+  int Fd = readFdLocked(E.Segment);
+  if (Fd < 0)
+    return false;
+  Out.resize(E.RecordBytes);
+  size_t Done = 0;
+  while (Done < Out.size()) {
+    ssize_t N = ::pread(Fd, Out.data() + Done, Out.size() - Done,
+                        static_cast<off_t>(E.Offset + Done));
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  // The header must agree with the journal entry, and the payload with
+  // the header's checksum — corrupt bytes are never shipped or indexed.
+  ByteReader R{Out.data(), RecordHeaderBytes};
+  if (R.u32() != RecordMagic)
+    return false;
+  if (R.u32() != E.RecordBytes - RecordHeaderBytes)
+    return false;
+  uint64_t Checksum = R.u64();
+  if (Checksum != E.Checksum)
+    return false;
+  return fnv1a64(Out.data() + RecordHeaderBytes,
+                 E.RecordBytes - RecordHeaderBytes) == Checksum;
+}
+
+void DiskCertStore::ingestJournalEntryLocked(const StoreJournal::Entry &E) {
+  std::vector<uint8_t> Record;
+  if (!readRecordLocked(E, Record))
+    return; // Corrupt/vanished record: its serial stays a dead line.
+  StoreKey Key;
+  Certificate Cert;
+  if (!readPayload(Record.data() + RecordHeaderBytes,
+                   E.RecordBytes - RecordHeaderBytes, Key, Cert))
+    return;
+  if (std::find(KnownSegments.begin(), KnownSegments.end(), E.Segment) ==
+      KnownSegments.end()) {
+    KnownSegments.push_back(E.Segment);
+    std::sort(KnownSegments.begin(), KnownSegments.end());
+    ++Stats.Segments;
+  }
+  struct stat St;
+  if (::stat(segmentPath(E.Segment).c_str(), &St) == 0)
+    SegmentBytes[E.Segment] = static_cast<uint64_t>(St.st_size);
+  RecordRef Ref;
+  Ref.Segment = E.Segment;
+  Ref.PayloadOffset = E.Offset + RecordHeaderBytes;
+  Ref.PayloadBytes = E.RecordBytes - RecordHeaderBytes;
+  Ref.Checksum = E.Checksum;
+  Ref.Kind = Cert.Kind;
+  Ref.CertifiedRadius = Cert.CertifiedRadius;
+  auto [It, Inserted] = Index.try_emplace(std::move(Key), Ref);
+  if (Inserted) {
+    registerRangeLocked(It->first, Ref);
+    ++Stats.LiveRecords;
+    Stats.LiveBytes += E.RecordBytes;
+  } else {
+    ++Stats.DuplicateRecords;
+  }
+}
+
+void DiskCertStore::syncJournalWithDiskLocked() {
+  // Caller holds the flock. Bring the journal (and, incrementally, the
+  // index) in line with sibling mutations so our next journal entry
+  // lands *after* theirs instead of over theirs.
+  StoreJournal::Header H = Journal.peekHeader();
+  if (!H.Ok) {
+    // The journal vanished or rotted externally: republish from the
+    // index under a fresh epoch (replicas resync).
+    Journal.reset(nextEpochLocked(), journalEntriesFromIndexLocked());
+    return;
+  }
+  if (H.Epoch == Journal.epoch() && H.Generation == Journal.generation())
+    return;
+  uint64_t OldEpoch = Journal.epoch();
+  uint64_t FirstNew = 0;
+  if (!Journal.refresh(FirstNew))
+    return;
+  ++Stats.IndexRefreshes;
+  if (Journal.epoch() != OldEpoch || FirstNew == 1) {
+    // The segments changed shape under us (sibling compaction or
+    // retention). The full rescan takes the flock itself, which would
+    // not nest here, so defer it to the next lookup miss; meanwhile the
+    // index's dead refs degrade to misses on read.
+    PendingFullReload = true;
+    return;
+  }
+  for (uint64_t S = FirstNew; S <= Journal.entryCount(); ++S)
+    ingestJournalEntryLocked(Journal.entry(S));
+}
+
+bool DiskCertStore::maybeRefreshIndexLocked() {
+  StoreJournal::Header H = Journal.peekHeader();
+  bool Foreign = H.Ok && (H.Epoch != Journal.epoch() ||
+                          H.Generation != Journal.generation());
+  if (!PendingFullReload && !Foreign)
+    return false;
+  uint64_t OldEpoch = Journal.epoch();
+  uint64_t FirstNew = 0;
+  if (Foreign && !Journal.refresh(FirstNew))
+    return false;
+  ++Stats.IndexRefreshes;
+  if (PendingFullReload || Journal.epoch() != OldEpoch ||
+      (Foreign && FirstNew == 1)) {
+    // Records may have been removed (sibling compaction/retention):
+    // rebuild the index from the directory.
+    PendingFullReload = false;
+    clearIndexLocked();
+    std::string Error;
+    uint64_t TotalSegmentBytes = 0;
+    loadLocked(Error, TotalSegmentBytes);
+    return true;
+  }
+  // Same-epoch growth: ingest exactly the new journal lines.
+  for (uint64_t S = FirstNew; S <= Journal.entryCount(); ++S)
+    ingestJournalEntryLocked(Journal.entry(S));
+  return true;
 }
 
 void DiskCertStore::registerRangeLocked(const StoreKey &K,
@@ -688,17 +913,15 @@ void DiskCertStore::dropDeadEntryLocked(
   ++Stats.CorruptSkipped;
 }
 
-bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
-                           unsigned NumFeatures, uint32_t PoisoningBudget,
-                           const VerifierConfig &Config, Certificate &Out) {
-  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
-  std::lock_guard<std::mutex> Guard(Mutex);
-  auto It = Index.find(K);
+bool DiskCertStore::lookupLocked(const StoreKey &K, uint32_t PoisoningBudget,
+                                 bool RangeOnly, Certificate &Out) {
+  auto It = RangeOnly ? Index.end() : Index.find(K);
   bool Ranged = false;
   if (It == Index.end()) {
-    // Exact miss: radius-range probe, same preference order as the RAM
-    // tier — the tightest stored Robust proof at radius >= n, else the
-    // widest failed attempt at radius <= n.
+    // Exact miss (or range-only probe): radius-range resolution, same
+    // preference order as the RAM tier — the tightest stored Robust
+    // proof at radius >= n, else the widest failed attempt at
+    // radius <= n.
     auto RIt = RangeIndex.find(rangeBaseKey(K));
     if (RIt != RangeIndex.end()) {
       const StoreKey *Found = nullptr;
@@ -716,10 +939,8 @@ bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
         Ranged = true;
       }
     }
-    if (It == Index.end()) {
-      ++Stats.Misses;
+    if (It == Index.end())
       return false;
-    }
   }
   std::vector<uint8_t> Payload;
   StoreKey StoredKey;
@@ -729,12 +950,10 @@ bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
   // bug must degrade to a miss (re-verification), never to a wrong
   // certificate.
   ReadStatus Status = readPayloadLocked(It->second, Payload);
-  if (Status == ReadStatus::Transient) {
+  if (Status == ReadStatus::Transient)
     // The record is probably fine (fd exhaustion etc.); keep the entry
     // so the next lookup retries, just miss this once.
-    ++Stats.Misses;
     return false;
-  }
   if (Status == ReadStatus::Gone ||
       fnv1a64(Payload.data(), Payload.size()) != It->second.Checksum ||
       !readPayload(Payload.data(), Payload.size(), StoredKey, Cert) ||
@@ -742,19 +961,47 @@ bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
       (Ranged && !rangeServes(Cert.Kind, Cert.CertifiedRadius,
                               PoisoningBudget))) {
     dropDeadEntryLocked(It);
-    ++Stats.Misses;
     return false;
   }
   if (Ranged) {
-    ++Stats.RangeHits;
+    if (!RangeOnly)
+      ++Stats.RangeHits;
     // The stored proof keeps its radius; only the answered budget is
-    // rewritten (CertificateStore range contract, antidote/Verifier.h).
+    // rewritten (CertificateStore range contract,
+    // serving/CertificateStore.h).
     Cert.PoisoningBudget = PoisoningBudget;
-  } else {
+  } else if (!RangeOnly) {
     ++Stats.Hits;
   }
   Out = Cert;
   return true;
+}
+
+bool DiskCertStore::lookup(const DatasetFingerprint &Data, const float *X,
+                           unsigned NumFeatures, uint32_t PoisoningBudget,
+                           const VerifierConfig &Config, Certificate &Out) {
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    if (lookupLocked(K, PoisoningBudget, /*RangeOnly=*/false, Out))
+      return true;
+    // A miss may just mean a sibling process appended (or compacted)
+    // since we last looked: one journal-header pread tells, a refresh
+    // absorbs, and the retry serves their record without a reopen.
+    if (Pass != 0 || !maybeRefreshIndexLocked())
+      break;
+  }
+  ++Stats.Misses;
+  return false;
+}
+
+bool DiskCertStore::rangeLookup(const DatasetFingerprint &Data, const float *X,
+                                unsigned NumFeatures, uint32_t PoisoningBudget,
+                                const VerifierConfig &Config,
+                                Certificate &Out) {
+  StoreKey K = makeStoreKey(Data, X, NumFeatures, PoisoningBudget, Config);
+  std::lock_guard<std::mutex> Guard(Mutex);
+  return lookupLocked(K, PoisoningBudget, /*RangeOnly=*/true, Out);
 }
 
 bool DiskCertStore::appendLocked(const std::vector<uint8_t> &Record,
@@ -766,6 +1013,9 @@ bool DiskCertStore::appendLocked(const std::vector<uint8_t> &Record,
   FileLock Lock(LockFd, /*Blocking=*/false);
   if (!Lock.locked())
     return false;
+  // Under the lock, absorb any sibling journal growth first: our entry
+  // must extend the journal, not overwrite a line a sibling just wrote.
+  syncJournalWithDiskLocked();
   // Up to four tries: open + nlink-rotation + size-rotation + write.
   for (int Attempt = 0; Attempt < 4; ++Attempt) {
     if (AppendFd < 0) {
@@ -818,6 +1068,7 @@ bool DiskCertStore::appendLocked(const std::vector<uint8_t> &Record,
       if (std::find(KnownSegments.begin(), KnownSegments.end(),
                     AppendSegment) == KnownSegments.end()) {
         KnownSegments.push_back(AppendSegment);
+        std::sort(KnownSegments.begin(), KnownSegments.end());
         ++Stats.Segments;
       }
     }
@@ -836,6 +1087,19 @@ bool DiskCertStore::appendLocked(const std::vector<uint8_t> &Record,
     Ref.PayloadOffset = static_cast<uint64_t>(End) + RecordHeaderBytes;
     Ref.PayloadBytes =
         static_cast<uint32_t>(Record.size() - RecordHeaderBytes);
+    SegmentBytes[AppendSegment] =
+        static_cast<uint64_t>(End) + Record.size();
+    // Journal the record while still holding the flock: the serial a
+    // replica pulls by must name exactly these bytes.
+    StoreJournal::Entry E;
+    E.Segment = AppendSegment;
+    E.RecordBytes = static_cast<uint32_t>(Record.size());
+    E.Offset = static_cast<uint64_t>(End);
+    {
+      ByteReader R{Record.data() + 8, 8};
+      E.Checksum = R.u64();
+    }
+    Journal.append(E);
     return true;
   }
   return false;
@@ -845,7 +1109,7 @@ void DiskCertStore::store(const DatasetFingerprint &Data, const float *X,
                           unsigned NumFeatures, uint32_t PoisoningBudget,
                           const VerifierConfig &Config,
                           const Certificate &Cert) {
-  if (!isPersistableVerdict(Cert.Kind)) {
+  if (Options.ReadOnly || !isPersistableVerdict(Cert.Kind)) {
     std::lock_guard<std::mutex> Guard(Mutex);
     ++Stats.Declined;
     return;
@@ -869,9 +1133,62 @@ void DiskCertStore::store(const DatasetFingerprint &Data, const float *X,
   auto [It, Inserted] = Index.emplace(std::move(K), Ref);
   if (Inserted)
     registerRangeLocked(It->first, Ref);
-  ++Stats.Appends;
+  ++Stats.Stores;
   ++Stats.LiveRecords;
   Stats.LiveBytes += Record.size();
+  applyRetentionLocked();
+}
+
+void DiskCertStore::applyRetentionLocked() {
+  if (!Options.RetentionBytes || Options.ReadOnly)
+    return;
+  uint64_t Total = 0;
+  for (const auto &[Segment, Bytes] : SegmentBytes) {
+    (void)Segment;
+    Total += Bytes;
+  }
+  if (Total <= Options.RetentionBytes)
+    return;
+  FileLock Lock(LockFd, /*Blocking=*/false);
+  if (!Lock.locked())
+    return; // Contended: the budget check just waits for the next append.
+  bool Evicted = false;
+  // Oldest-first, never the open append segment, never the last one
+  // standing: certificates are cache entries, so an evicted record is
+  // simply re-verified — but evicting the segment appends are landing
+  // in would tear the write path out from under itself.
+  while (Total > Options.RetentionBytes && KnownSegments.size() > 1 &&
+         KnownSegments.front() != AppendSegment) {
+    uint32_t Victim = KnownSegments.front();
+    for (auto It = Index.begin(); It != Index.end();) {
+      if (It->second.Segment == Victim) {
+        unregisterRangeLocked(It->first, It->second);
+        Stats.LiveBytes -= std::min<uint64_t>(
+            Stats.LiveBytes, RecordHeaderBytes + It->second.PayloadBytes);
+        --Stats.LiveRecords;
+        ++Stats.Evictions;
+        It = Index.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    auto FdIt = ReadFds.find(Victim);
+    if (FdIt != ReadFds.end()) {
+      ::close(FdIt->second);
+      ReadFds.erase(FdIt);
+    }
+    ::unlink(segmentPath(Victim).c_str());
+    Total -= std::min(Total, SegmentBytes[Victim]);
+    SegmentBytes.erase(Victim);
+    KnownSegments.erase(KnownSegments.begin());
+    --Stats.Segments;
+    ++Stats.RetentionEvictedSegments;
+    Evicted = true;
+  }
+  if (Evicted)
+    // Serials renumbered: publish the survivors under a fresh epoch so
+    // replicas resync instead of silently skipping records.
+    Journal.reset(nextEpochLocked(), journalEntriesFromIndexLocked());
 }
 
 bool DiskCertStore::compact(std::string *Error) {
@@ -880,6 +1197,8 @@ bool DiskCertStore::compact(std::string *Error) {
       *Error = Message;
     return false;
   };
+  if (Options.ReadOnly)
+    return Fail("certificate store '" + Dir + "' is read-only");
   std::lock_guard<std::mutex> Guard(Mutex);
   FileLock Lock(LockFd);
   if (!Lock.locked())
@@ -994,6 +1313,8 @@ bool DiskCertStore::compact(std::string *Error) {
   for (const auto &[Key, Ref] : Index)
     registerRangeLocked(Key, Ref);
   KnownSegments = {NewSegment};
+  SegmentBytes.clear();
+  SegmentBytes[NewSegment] = NewBytes;
   AppendSegment = NewSegment;
   Stats.Segments = 1;
   Stats.LiveRecords = Index.size();
@@ -1003,10 +1324,115 @@ bool DiskCertStore::compact(std::string *Error) {
   ++Stats.Compactions;
   Stats.CompactionRecordsDropped += SeenRecords - Index.size();
   Stats.DuplicateRecords = 0;
+  // Every serial renumbered: new epoch, survivor list republished, and
+  // every replica's next poll answers EpochReset into a full resync.
+  Journal.reset(nextEpochLocked(), journalEntriesFromIndexLocked());
   return true;
 }
 
-DiskCertStoreStats DiskCertStore::stats() const {
+ReplicationEndpoint::Delta
+DiskCertStore::serveJournalPoll(const PollRequest &Poll) {
   std::lock_guard<std::mutex> Guard(Mutex);
-  return Stats;
+  Delta D;
+  // Serve sibling appends promptly rather than waiting for a lookup
+  // miss to notice them.
+  maybeRefreshIndexLocked();
+  if (!Journal.valid())
+    return D; // Status stays Unavailable.
+  D.Epoch = Journal.epoch();
+  D.HeadSerial = Journal.entryCount();
+  if (Poll.Epoch != Journal.epoch() || Poll.Serial > D.HeadSerial) {
+    // The replica's epoch is gone (or it is ahead of a journal that was
+    // rebuilt underneath it): full resync from serial 0.
+    D.Status = PollStatus::EpochReset;
+    return D;
+  }
+  uint32_t MaxRecords =
+      std::min<uint32_t>(std::max<uint32_t>(Poll.MaxRecords, 1), 512);
+  constexpr size_t MaxBatchBytes = 256u << 10;
+  uint64_t Serial = Poll.Serial;
+  size_t BatchBytes = 0;
+  while (Serial < D.HeadSerial && D.Records.size() < MaxRecords &&
+         BatchBytes < MaxBatchBytes) {
+    const StoreJournal::Entry &E = Journal.entry(++Serial);
+    std::vector<uint8_t> Record;
+    if (!readRecordLocked(E, Record))
+      continue; // Corrupt/evicted record: its serial still advances.
+    if (Poll.ScopeHi || Poll.ScopeLo) {
+      // The key's dataset fingerprint leads the payload; out-of-scope
+      // records are skipped but their serials advance the cursor.
+      if (Record.size() < RecordHeaderBytes + 16)
+        continue;
+      ByteReader R{Record.data() + RecordHeaderBytes, 16};
+      uint64_t Hi = R.u64();
+      uint64_t Lo = R.u64();
+      if (Hi != Poll.ScopeHi || Lo != Poll.ScopeLo)
+        continue;
+    }
+    BatchBytes += Record.size();
+    D.Records.push_back(std::move(Record));
+  }
+  D.NextSerial = Serial;
+  D.Status = PollStatus::Delta;
+  return D;
+}
+
+ReplicationEndpoint::ApplyResult
+DiskCertStore::applyReplicatedRecord(const uint8_t *Data, size_t Size) {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  if (Options.ReadOnly) {
+    ++Stats.Declined;
+    return ApplyResult::Declined;
+  }
+  // The same validation an open-time scan applies: header shape,
+  // checksum, parseable payload, persistable verdict. A corrupt delta
+  // is reported (and counted) but never lands in a segment.
+  if (Size < RecordHeaderBytes ||
+      Size > RecordHeaderBytes + static_cast<size_t>(MaxPayloadBytes)) {
+    ++Stats.CorruptSkipped;
+    return ApplyResult::Corrupt;
+  }
+  ByteReader R{Data, RecordHeaderBytes};
+  uint32_t Magic = R.u32();
+  uint32_t PayloadBytes = R.u32();
+  uint64_t Checksum = R.u64();
+  StoreKey Key;
+  Certificate Cert;
+  if (Magic != RecordMagic || PayloadBytes != Size - RecordHeaderBytes ||
+      fnv1a64(Data + RecordHeaderBytes, PayloadBytes) != Checksum ||
+      !readPayload(Data + RecordHeaderBytes, PayloadBytes, Key, Cert)) {
+    ++Stats.CorruptSkipped;
+    return ApplyResult::Corrupt;
+  }
+  if (Index.count(Key)) {
+    // Replays (EpochReset resyncs, duplicate deltas) are no-ops — the
+    // normal duplicate-decline path makes replication idempotent.
+    ++Stats.DuplicatesDeclined;
+    return ApplyResult::Duplicate;
+  }
+  // Append the *identical bytes* the source shipped: a replicated
+  // certificate is byte-for-byte the source's record payload.
+  std::vector<uint8_t> Record(Data, Data + Size);
+  RecordRef Ref;
+  if (!appendLocked(Record, Ref))
+    return ApplyResult::Declined;
+  Ref.Checksum = Checksum;
+  Ref.Kind = Cert.Kind;
+  Ref.CertifiedRadius = Cert.CertifiedRadius;
+  auto [It, Inserted] = Index.emplace(std::move(Key), Ref);
+  if (Inserted)
+    registerRangeLocked(It->first, Ref);
+  ++Stats.Stores;
+  ++Stats.LiveRecords;
+  Stats.LiveBytes += Size;
+  applyRetentionLocked();
+  return ApplyResult::Applied;
+}
+
+StoreStats DiskCertStore::stats() const {
+  std::lock_guard<std::mutex> Guard(Mutex);
+  StoreStats Snapshot = Stats;
+  Snapshot.Epoch = Journal.epoch();
+  Snapshot.JournalRecords = Journal.entryCount();
+  return Snapshot;
 }

@@ -41,6 +41,12 @@
 /// written with a single `write(2)` call, so a crash can only leave a
 /// *torn tail*, never an interleaved one.
 ///
+/// Alongside the segments lives `journal.antj` (serving/StoreJournal.h):
+/// a replication journal assigning every appended record a serial within
+/// an epoch. The journal is derived data — segments stay the system of
+/// record — reconciled against the index on every open and rebuilt
+/// under a fresh epoch when missing or unreadable.
+///
 /// ## Crash consistency and corruption tolerance
 ///
 /// `open` validates every record: a bad segment header (or unknown
@@ -51,9 +57,10 @@
 /// certificate is forgotten and re-verified, which is always sound.
 /// When the tail of the last segment is torn, open truncates it back to
 /// the last whole record (under the exclusive lock) so later appends
-/// are not stranded behind garbage. tests/DiskCertStoreTests.cpp
-/// truncates a store at every byte offset and asserts reopen never
-/// returns a wrong certificate.
+/// are not stranded behind garbage; a torn journal entry tail is
+/// repaired the same way. tests/DiskCertStoreTests.cpp truncates a
+/// store at every byte offset and asserts reopen never returns a wrong
+/// certificate.
 ///
 /// ## Locking protocol (single-writer / multi-reader)
 ///
@@ -63,9 +70,33 @@
 /// written, and the checksum + full-key compare reject anything torn).
 /// Several `CertServer` processes can thus share one store directory:
 /// one appends at a time, everyone reads. A process's index covers the
-/// records present when it opened plus its own appends; records another
-/// process appends later are picked up on its next open (a miss
-/// meanwhile just re-verifies).
+/// records present when it opened plus its own appends; a sibling's
+/// append bumps the journal generation, which a lookup miss detects
+/// with one header `pread` and absorbs by refreshing the index in
+/// place — no reopen required. A `ReadOnly` open never takes the lock
+/// at all (and never repairs, journals, or appends), so a pure replica
+/// can serve from a directory another process owns.
+///
+/// ## Replication (the `ReplicationEndpoint` face)
+///
+/// `serveJournalPoll` answers "(epoch, serial) → what next?" by
+/// shipping whole serialized records, bytes exactly as they sit in the
+/// segment (checksum re-verified before shipping, corrupt entries
+/// skipped but their serials still advance). `applyReplicatedRecord`
+/// is the replica side: it validates the record like an open-time scan
+/// would, declines duplicates, and appends the *identical bytes* — so
+/// a replicated certificate is byte-for-byte the source's, and a
+/// corrupt or replayed delta degrades to a skip, never a wrong
+/// certificate. Compaction and retention bump the journal *epoch*; a
+/// replica presenting an old epoch is told `EpochReset` and performs a
+/// full resync, which the duplicate-decline path makes idempotent.
+///
+/// ## Retention
+///
+/// `RetentionBytes` caps the directory's segment bytes: once exceeded,
+/// whole segments are evicted oldest-first (never the open append
+/// segment) and the journal epoch bumps. Certificates are cache
+/// entries, not ledger rows — an evicted record is simply re-verified.
 ///
 /// ## Invalidation story
 ///
@@ -85,6 +116,8 @@
 #ifndef ANTIDOTE_SERVING_DISKCERTSTORE_H
 #define ANTIDOTE_SERVING_DISKCERTSTORE_H
 
+#include "serving/CertificateStore.h"
+#include "serving/StoreJournal.h"
 #include "serving/StoreKey.h"
 
 #include <map>
@@ -110,40 +143,29 @@ struct DiskCertStoreOptions {
   /// failing (I/O error) is not an open failure — the store serves
   /// what it indexed and the dead bytes wait for the next chance.
   double AutoCompactDeadFraction = 0.5;
-};
 
-/// Monotonic counters plus the live footprint; a consistent snapshot is
-/// taken under the store's mutex.
-struct DiskCertStoreStats {
-  uint64_t Hits = 0;   ///< Exact-key hits.
-  uint64_t Misses = 0; ///< Neither an exact nor a range record served.
-  uint64_t RangeHits = 0; ///< Served by the radius-range rule
-                          ///< (serving/StoreKey.h `rangeServes`).
-  uint64_t Appends = 0;            ///< Records this handle wrote.
-  uint64_t DuplicatesDeclined = 0; ///< Stores skipped: key already on disk.
-  uint64_t Declined = 0;           ///< Stores refused (non-deterministic verdict).
-  uint64_t CorruptSkipped = 0;     ///< Torn/corrupt records dropped on open or read.
-  uint64_t StaleSegments = 0;      ///< Segments skipped: wrong magic/version.
-  uint64_t DuplicateRecords = 0;   ///< Redundant records seen on open (compaction reclaims them).
-  uint64_t LiveRecords = 0;
-  uint64_t LiveBytes = 0; ///< Bytes of indexed records (headers included).
-  uint64_t Segments = 0;  ///< Readable current-version segments.
-  uint64_t Compactions = 0;
-  uint64_t CompactionRecordsDropped = 0;
-};
+  /// Byte budget for the directory's segment files; 0 = unbounded.
+  /// Exceeding it after an append (or found exceeded on open) evicts
+  /// whole segments oldest-first — never the open append segment — and
+  /// bumps the journal epoch so replicas resync rather than miss the
+  /// renumbering.
+  uint64_t RetentionBytes = 0;
 
-/// One-line operator-readable rendering, e.g. "2 hits, 0 misses;
-/// 2 records in 1 segment, 472 bytes; 0 appended, 0 duplicates,
-/// 0 corrupt skipped". Printed by the CLIs behind a "disk: " prefix;
-/// the CI persistence smoke greps it.
-std::string formatDiskStoreStats(const DiskCertStoreStats &Stats);
+  /// Open without ever taking the writer flock or mutating the
+  /// directory: no tail repair, no journal reconcile, `store` declines
+  /// (counted), `compact` fails. The directory must already exist. The
+  /// mode a pure replica or diagnostic reader uses against a directory
+  /// a sibling process owns.
+  bool ReadOnly = false;
+};
 
 /// The disk tier of the production certificate store. Thread-safe like
 /// every `CertificateStore` (one internal mutex); cross-process safe per
 /// the locking protocol above. Compose it behind the RAM tier with
 /// serving/TieredStore.h rather than using it as `VerifierConfig::Cache`
 /// directly — it works alone, but every hit then pays a disk read.
-class DiskCertStore final : public CertificateStore {
+class DiskCertStore final : public CertificateStore,
+                            public ReplicationEndpoint {
 public:
   /// Bump on any record/segment layout change: old segments are then
   /// skipped wholesale on open (never half-parsed) and reclaimed by the
@@ -178,9 +200,24 @@ public:
              unsigned NumFeatures, uint32_t PoisoningBudget,
              const VerifierConfig &Config, const Certificate &Cert) override;
 
-  DiskCertStoreStats stats() const;
+  /// The radius-range probe alone, mirroring `CertCache::rangeLookup`:
+  /// no exact-key consultation and no hit/miss counter changes (though
+  /// a record whose bytes rotted is still dropped on discovery).
+  bool rangeLookup(const DatasetFingerprint &Data, const float *X,
+                   unsigned NumFeatures, uint32_t PoisoningBudget,
+                   const VerifierConfig &Config, Certificate &Out) override;
+
+  StoreStats stats() const override;
+
+  /// The disk tier *is* the replication endpoint.
+  ReplicationEndpoint *replication() override { return this; }
+
+  Delta serveJournalPoll(const PollRequest &Poll) override;
+  ApplyResult applyReplicatedRecord(const uint8_t *Data,
+                                    size_t Size) override;
 
   const std::string &directory() const { return Dir; }
+  bool readOnly() const { return Options.ReadOnly; }
 
   /// Directory-wide rewrite under the exclusive lock: re-scans every
   /// segment (not just this handle's index — sibling processes may have
@@ -188,10 +225,11 @@ public:
   /// deduplicated record into one fresh segment, then deletes the old
   /// files. What gets reclaimed is exactly duplicate records (racing
   /// writers append the same key independently), torn/corrupt records,
-  /// and stale-version segments. Lookups keep answering throughout from
-  /// this process; other processes holding an old index degrade to
-  /// misses until their next open. Returns false (and fills \p Error)
-  /// on I/O failure, leaving the old segments in place.
+  /// and stale-version segments. The journal epoch bumps and the
+  /// journal is rewritten to list the survivors. Lookups keep answering
+  /// throughout from this process; other processes holding an old index
+  /// degrade to misses until their next refresh. Returns false (and
+  /// fills \p Error) on I/O failure, leaving the old segments in place.
   bool compact(std::string *Error = nullptr);
 
 private:
@@ -225,8 +263,59 @@ private:
   /// append segment. \p TotalSegmentBytes accumulates every byte read
   /// from a segment file, indexed or not — the denominator of the
   /// auto-compaction dead fraction. Returns false with \p Error on hard
-  /// I/O failure.
+  /// I/O failure. Callable again after `clearIndexLocked` (the sibling
+  /// epoch-change reload path).
   bool loadLocked(std::string &Error, uint64_t &TotalSegmentBytes);
+
+  /// Drops every in-memory view of the directory (index, range index,
+  /// known segments, cached fds; live-footprint stats zeroed) ahead of
+  /// a full `loadLocked` rescan. Monotonic counters are kept.
+  void clearIndexLocked();
+
+  /// Reconciles the journal with the freshly built index: repairs /
+  /// rebuilds an unusable journal under a bumped epoch and appends
+  /// entries for indexed records a crash separated from their journal
+  /// line. Writable stores only; caller holds the mutex and the flock.
+  void reconcileJournalLocked();
+
+  /// The lookup-miss staleness check: one journal-header `pread`; if a
+  /// sibling moved the generation, refreshes the index (incrementally
+  /// for same-epoch growth, by full rescan across an epoch change) and
+  /// returns true so the caller retries its probe. Caller holds the
+  /// mutex.
+  bool maybeRefreshIndexLocked();
+
+  /// Brings the journal (and, for same-epoch growth, the index) in line
+  /// with sibling mutations before this process appends its own entry —
+  /// without it two writers would publish colliding generations and
+  /// overwrite each other's journal lines. An epoch change cannot be
+  /// absorbed here (the full rescan re-enters the flock, which does not
+  /// nest), so it sets `PendingFullReload` for the next lookup miss.
+  /// Caller holds the mutex *and* the flock.
+  void syncJournalWithDiskLocked();
+
+  /// Indexes one journaled record (reading and re-validating its bytes);
+  /// silently skips entries whose records vanished or rotted. Caller
+  /// holds the mutex.
+  void ingestJournalEntryLocked(const StoreJournal::Entry &E);
+
+  /// The epoch a record-removing rewrite publishes under: one past the
+  /// max of our cached epoch and whatever the on-disk header says, so
+  /// epochs stay monotone across sibling writers. Caller holds the
+  /// mutex.
+  uint64_t nextEpochLocked() const;
+
+  /// Enforces `RetentionBytes` by evicting whole segments oldest-first;
+  /// never touches the open append segment. Needs the flock (its own,
+  /// non-blocking — a contended budget check just waits for the next
+  /// append). Bumps the journal epoch when anything was evicted. Caller
+  /// holds the mutex.
+  void applyRetentionLocked();
+
+  /// Journal entries for every indexed record, in (segment, offset)
+  /// order — the survivor list a `reset` publishes after compaction or
+  /// retention. Caller holds the mutex.
+  std::vector<StoreJournal::Entry> journalEntriesFromIndexLocked() const;
 
   std::string segmentPath(uint32_t Segment) const;
 
@@ -234,7 +323,8 @@ private:
   int readFdLocked(uint32_t Segment);
 
   /// Appends one serialized record under the cross-process exclusive
-  /// lock; fills \p Ref with where it landed. Caller holds the mutex.
+  /// lock and journals it; fills \p Ref with where it landed. Caller
+  /// holds the mutex.
   bool appendLocked(const std::vector<uint8_t> &Record, RecordRef &Ref);
 
   /// How a record read failed, if it did. The distinction matters for
@@ -252,6 +342,13 @@ private:
   ReadStatus readPayloadLocked(const RecordRef &Ref,
                                std::vector<uint8_t> &Out);
 
+  /// Loads one *whole* record (header included) as a journal entry
+  /// names it, verifying the record header and payload checksum against
+  /// the entry — the poll-serving read. False on any mismatch. Caller
+  /// holds the mutex.
+  bool readRecordLocked(const StoreJournal::Entry &E,
+                        std::vector<uint8_t> &Out);
+
   void closeFdsLocked();
 
   /// Range-index maintenance for one index entry (\p K must point into
@@ -264,11 +361,16 @@ private:
   void dropDeadEntryLocked(
       std::unordered_map<StoreKey, RecordRef, StoreKeyHash>::iterator It);
 
+  /// The shared exact-miss range probe + payload load behind `lookup`
+  /// and `rangeLookup`; caller holds the mutex.
+  bool lookupLocked(const StoreKey &K, uint32_t PoisoningBudget,
+                    bool RangeOnly, Certificate &Out);
+
   const std::string Dir;
   const DiskCertStoreOptions Options;
 
   mutable std::mutex Mutex;
-  int LockFd = -1;   ///< `LOCK` file; flock target.
+  int LockFd = -1;   ///< `LOCK` file; flock target (-1 when ReadOnly).
   int AppendFd = -1; ///< Current append segment, O_APPEND.
   uint32_t AppendSegment = 0;
   std::unordered_map<StoreKey, RecordRef, StoreKeyHash> Index;
@@ -277,7 +379,14 @@ private:
   std::unordered_map<StoreKey, RangeSlot, StoreKeyHash> RangeIndex;
   std::unordered_map<uint32_t, int> ReadFds;
   std::vector<uint32_t> KnownSegments; ///< Readable, ascending.
-  DiskCertStoreStats Stats;
+  /// On-disk bytes per known segment (headers included) — the retention
+  /// accounting, maintained by load/append/compact/evict.
+  std::map<uint32_t, uint64_t> SegmentBytes;
+  StoreJournal Journal;
+  /// Set when a flock-held path noticed a sibling epoch change it could
+  /// not absorb in place; the next lookup miss performs the full rescan.
+  bool PendingFullReload = false;
+  StoreStats Stats;
 };
 
 } // namespace antidote

@@ -7,6 +7,7 @@
 
 #include "serving/NetProtocol.h"
 
+#include <algorithm>
 #include <cstring>
 
 using namespace antidote;
@@ -69,6 +70,14 @@ public:
   bool ok() const { return Ok; }
   bool exhausted() const { return Ok && Pos == Size; }
   size_t remaining() const { return Size - Pos; }
+  void skip(size_t N) {
+    if (Size - Pos < N) {
+      Ok = false;
+      Pos = Size;
+      return;
+    }
+    Pos += N;
+  }
 
 private:
   template <typename T> T le() {
@@ -239,6 +248,87 @@ antidote::decodeResponsePayload(const uint8_t *Data, size_t Size) {
   return Response;
 }
 
+std::string
+antidote::encodeJournalPollFrame(const ReplicationEndpoint::PollRequest &Poll) {
+  std::string Payload;
+  Writer W(Payload);
+  W.u64(Poll.Epoch);
+  W.u64(Poll.Serial);
+  W.u64(Poll.ScopeHi);
+  W.u64(Poll.ScopeLo);
+  W.u32(Poll.MaxRecords);
+
+  std::string Frame;
+  writeHeader(Frame, NetJournalPollMagic,
+              static_cast<uint32_t>(Payload.size()));
+  Frame += Payload;
+  return Frame;
+}
+
+std::string
+antidote::encodeJournalDeltaFrame(const ReplicationEndpoint::Delta &Delta) {
+  std::string Payload;
+  Writer W(Payload);
+  W.u8(static_cast<uint8_t>(Delta.Status));
+  W.u64(Delta.Epoch);
+  W.u64(Delta.NextSerial);
+  W.u64(Delta.HeadSerial);
+  W.u32(static_cast<uint32_t>(Delta.Records.size()));
+  for (const std::vector<uint8_t> &Record : Delta.Records) {
+    W.u32(static_cast<uint32_t>(Record.size()));
+    Payload.append(reinterpret_cast<const char *>(Record.data()),
+                   Record.size());
+  }
+
+  std::string Frame;
+  writeHeader(Frame, NetJournalDeltaMagic,
+              static_cast<uint32_t>(Payload.size()));
+  Frame += Payload;
+  return Frame;
+}
+
+std::optional<ReplicationEndpoint::PollRequest>
+antidote::decodeJournalPollPayload(const uint8_t *Data, size_t Size) {
+  Reader R(Data, Size);
+  ReplicationEndpoint::PollRequest Poll;
+  Poll.Epoch = R.u64();
+  Poll.Serial = R.u64();
+  Poll.ScopeHi = R.u64();
+  Poll.ScopeLo = R.u64();
+  Poll.MaxRecords = R.u32();
+  if (!R.exhausted())
+    return std::nullopt;
+  return Poll;
+}
+
+std::optional<ReplicationEndpoint::Delta>
+antidote::decodeJournalDeltaPayload(const uint8_t *Data, size_t Size) {
+  Reader R(Data, Size);
+  ReplicationEndpoint::Delta Delta;
+  uint8_t Status = R.u8();
+  Delta.Epoch = R.u64();
+  Delta.NextSerial = R.u64();
+  Delta.HeadSerial = R.u64();
+  uint32_t NumRecords = R.u32();
+  if (!R.ok() ||
+      Status > static_cast<uint8_t>(
+                   ReplicationEndpoint::PollStatus::Unavailable))
+    return std::nullopt;
+  Delta.Status = static_cast<ReplicationEndpoint::PollStatus>(Status);
+  Delta.Records.reserve(std::min<uint32_t>(NumRecords, 4096));
+  for (uint32_t I = 0; I < NumRecords; ++I) {
+    uint32_t Bytes = R.u32();
+    if (!R.ok() || R.remaining() < Bytes)
+      return std::nullopt;
+    const uint8_t *Start = Data + (Size - R.remaining());
+    Delta.Records.emplace_back(Start, Start + Bytes);
+    R.skip(Bytes);
+  }
+  if (!R.exhausted())
+    return std::nullopt;
+  return Delta;
+}
+
 bool FrameReader::feed(const uint8_t *Data, size_t Size) {
   if (Corrupt)
     return false;
@@ -252,16 +342,20 @@ bool FrameReader::feed(const uint8_t *Data, size_t Size) {
     uint32_t FrameMagic = 0, Length = 0;
     std::memcpy(&FrameMagic, Buffer.data() + Pos, 4);
     std::memcpy(&Length, Buffer.data() + Pos + 4, 4);
-    if (FrameMagic != Magic || Length > MaxBytes) {
+    if ((FrameMagic != Magic1 && (Magic2 == 0 || FrameMagic != Magic2)) ||
+        Length > MaxBytes) {
       Corrupt = true;
       Buffer.clear();
       return false;
     }
     if (Buffer.size() - Pos - 8 < Length)
       break; // Torn frame: recoverable, wait for the rest.
-    Ready.emplace_back(Buffer.begin() + static_cast<ptrdiff_t>(Pos + 8),
-                       Buffer.begin() +
-                           static_cast<ptrdiff_t>(Pos + 8 + Length));
+    Frame F;
+    F.Magic = FrameMagic;
+    F.Payload.assign(Buffer.begin() + static_cast<ptrdiff_t>(Pos + 8),
+                     Buffer.begin() +
+                         static_cast<ptrdiff_t>(Pos + 8 + Length));
+    Ready.push_back(std::move(F));
     Pos += 8 + Length;
   }
   Buffer.erase(Buffer.begin(), Buffer.begin() + static_cast<ptrdiff_t>(Pos));
@@ -271,7 +365,15 @@ bool FrameReader::feed(const uint8_t *Data, size_t Size) {
 std::optional<std::vector<uint8_t>> FrameReader::next() {
   if (Ready.empty())
     return std::nullopt;
-  std::vector<uint8_t> Out = std::move(Ready.front());
+  std::vector<uint8_t> Out = std::move(Ready.front().Payload);
+  Ready.erase(Ready.begin());
+  return Out;
+}
+
+std::optional<FrameReader::Frame> FrameReader::nextFrame() {
+  if (Ready.empty())
+    return std::nullopt;
+  Frame Out = std::move(Ready.front());
   Ready.erase(Ready.begin());
   return Out;
 }

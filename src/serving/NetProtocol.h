@@ -62,12 +62,34 @@
 /// close the connection, keep the process. tests/NetServerTests.cpp pins
 /// that a garbage header costs exactly one connection.
 ///
+/// ## Replication frames
+///
+/// The same server socket multiplexes the pull-based store replication
+/// protocol (serving/Replicator.h): a replica sends `JournalPoll` frames
+/// (magic "ANTJ") carrying its (epoch, serial) cursor plus an optional
+/// dataset-fingerprint scope, and the source answers with a
+/// `JournalDelta` frame (magic "ANTD") — either the next batch of whole
+/// serialized store records (bytes exactly as they sit in the source's
+/// segments), or an `EpochReset` status telling the replica its epoch
+/// is gone and it must restart from serial 0. The server tells query
+/// frames from poll frames by magic alone (the dual-magic `FrameReader`
+/// below), so one listen port serves both clients and replicas.
+///
+///   JournalPoll payload:   u64 epoch, u64 serial, u64 scopeHi,
+///                          u64 scopeLo (both 0 = unscoped), u32
+///                          maxRecords
+///   JournalDelta payload:  u8 status (0 delta, 1 epoch-reset,
+///                          2 unavailable), u64 epoch, u64 nextSerial,
+///                          u64 headSerial, u32 numRecords, then per
+///                          record u32 byteCount + the raw record
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ANTIDOTE_SERVING_NETPROTOCOL_H
 #define ANTIDOTE_SERVING_NETPROTOCOL_H
 
 #include "antidote/Certificate.h"
+#include "serving/CertificateStore.h"
 
 #include <cstdint>
 #include <optional>
@@ -79,11 +101,19 @@ namespace antidote {
 /// Wire magics, little-endian ("ANTQ"/"ANTR" as bytes on the wire).
 constexpr uint32_t NetRequestMagic = 0x51544E41;  // 'A','N','T','Q'
 constexpr uint32_t NetResponseMagic = 0x52544E41; // 'A','N','T','R'
+/// Replication magics ("ANTJ" journal poll, "ANTD" journal delta).
+constexpr uint32_t NetJournalPollMagic = 0x4A544E41;  // 'A','N','T','J'
+constexpr uint32_t NetJournalDeltaMagic = 0x44544E41; // 'A','N','T','D'
 
 /// Frames larger than this are a protocol violation (a frame holds one
 /// query or one certificate; megabytes mean a desynced or hostile
 /// peer). Servers may configure tighter.
 constexpr uint32_t NetMaxFrameBytes = 1u << 20;
+
+/// Delta frames carry a whole record batch (the source caps batches at
+/// a fraction of this), so their reader accepts more than the one-query
+/// bound above.
+constexpr uint32_t NetMaxDeltaFrameBytes = 4u << 20;
 
 /// Response status byte.
 enum class NetStatus : uint8_t {
@@ -142,6 +172,15 @@ std::optional<NetRequest> decodeRequestPayload(const uint8_t *Data,
 std::optional<NetResponse> decodeResponsePayload(const uint8_t *Data,
                                                  size_t Size);
 
+/// Replication frames: the wire twins of `ReplicationEndpoint`'s
+/// `PollRequest` and `Delta` (serving/CertificateStore.h).
+std::string encodeJournalPollFrame(const ReplicationEndpoint::PollRequest &Poll);
+std::string encodeJournalDeltaFrame(const ReplicationEndpoint::Delta &Delta);
+std::optional<ReplicationEndpoint::PollRequest>
+decodeJournalPollPayload(const uint8_t *Data, size_t Size);
+std::optional<ReplicationEndpoint::Delta>
+decodeJournalDeltaPayload(const uint8_t *Data, size_t Size);
+
 /// Incremental frame reassembler for one connection/direction. Feed it
 /// whatever recv returned — single bytes, half frames, three frames at
 /// once — and take complete payloads out. Any framing violation parks it
@@ -152,15 +191,34 @@ public:
   /// \p Magic is the expected direction magic; \p MaxFrameBytes bounds
   /// accepted payload lengths (0 = the protocol default).
   explicit FrameReader(uint32_t Magic, uint32_t MaxFrameBytes = 0)
-      : Magic(Magic),
+      : Magic1(Magic), Magic2(0),
+        MaxBytes(MaxFrameBytes ? MaxFrameBytes : NetMaxFrameBytes) {}
+
+  /// Dual-magic reader for multiplexed streams: either magic is
+  /// accepted, and `nextFrame` reports which one each frame carried —
+  /// how the server tells a query ("ANTQ") from a journal poll
+  /// ("ANTJ") on the same connection.
+  FrameReader(uint32_t MagicA, uint32_t MagicB, uint32_t MaxFrameBytes)
+      : Magic1(MagicA), Magic2(MagicB),
         MaxBytes(MaxFrameBytes ? MaxFrameBytes : NetMaxFrameBytes) {}
 
   /// Appends \p Size raw bytes. Returns false when the stream is (or
   /// just became) corrupt.
   bool feed(const uint8_t *Data, size_t Size);
 
+  /// One reassembled frame: which magic it arrived under, and its
+  /// payload.
+  struct Frame {
+    uint32_t Magic = 0;
+    std::vector<uint8_t> Payload;
+  };
+
   /// Pops the next complete frame payload, oldest first.
   std::optional<std::vector<uint8_t>> next();
+
+  /// Like `next`, but keeps the frame's magic — required with the
+  /// dual-magic constructor, where the payload type depends on it.
+  std::optional<Frame> nextFrame();
 
   bool corrupt() const { return Corrupt; }
 
@@ -169,11 +227,12 @@ public:
   bool midFrame() const { return !Corrupt && !Buffer.empty(); }
 
 private:
-  uint32_t Magic;
+  uint32_t Magic1;
+  uint32_t Magic2; ///< 0 = single-magic mode.
   uint32_t MaxBytes;
   bool Corrupt = false;
   std::vector<uint8_t> Buffer; ///< Unconsumed stream bytes.
-  std::vector<std::vector<uint8_t>> Ready;
+  std::vector<Frame> Ready;
 };
 
 } // namespace antidote

@@ -60,6 +60,7 @@ NetServerStats NetServer::stats() const {
   S.ShedPaced = NumShedPaced.load(std::memory_order_relaxed);
   S.BadArity = NumBadArity.load(std::memory_order_relaxed);
   S.Cancelled = NumCancelled.load(std::memory_order_relaxed);
+  S.JournalPolls = NumJournalPolls.load(std::memory_order_relaxed);
   return S;
 }
 
@@ -172,14 +173,25 @@ void NetServer::readable(uint64_t ConnId) {
     closeConn(ConnId, /*Framing=*/false);
     return;
   }
-  while (std::optional<std::vector<uint8_t>> Payload = C.In.next()) {
-    std::optional<NetRequest> Request =
-        decodeRequestPayload(Payload->data(), Payload->size());
-    if (!Request) {
-      closeConn(ConnId, /*Framing=*/true);
-      return;
+  while (std::optional<FrameReader::Frame> Frame = C.In.nextFrame()) {
+    if (Frame->Magic == NetJournalPollMagic) {
+      std::optional<ReplicationEndpoint::PollRequest> Poll =
+          decodeJournalPollPayload(Frame->Payload.data(),
+                                   Frame->Payload.size());
+      if (!Poll) {
+        closeConn(ConnId, /*Framing=*/true);
+        return;
+      }
+      handleJournalPoll(C, *Poll);
+    } else {
+      std::optional<NetRequest> Request =
+          decodeRequestPayload(Frame->Payload.data(), Frame->Payload.size());
+      if (!Request) {
+        closeConn(ConnId, /*Framing=*/true);
+        return;
+      }
+      handleRequest(ConnId, C, *Request);
     }
-    handleRequest(ConnId, C, *Request);
     if (!Conns.count(ConnId)) // flushOut may have lost the peer.
       return;
   }
@@ -270,6 +282,20 @@ void NetServer::handleRequest(uint64_t ConnId, Conn &C,
                 Ticket);
   C.Pending.emplace(Tag, Ticket);
   ++OutstandingTickets;
+}
+
+void NetServer::handleJournalPoll(
+    Conn &C, const ReplicationEndpoint::PollRequest &Poll) {
+  NumJournalPolls.fetch_add(1, std::memory_order_relaxed);
+  // Unavailable is the honest default: no store, or a store (a RAM
+  // cache, say) with no replication face. The replica treats it like a
+  // transient error and keeps polling.
+  ReplicationEndpoint::Delta Delta;
+  CertificateStore *Store = Server.store();
+  ReplicationEndpoint *Endpoint = Store ? Store->replication() : nullptr;
+  if (Endpoint)
+    Delta = Endpoint->serveJournalPoll(Poll);
+  C.Out += encodeJournalDeltaFrame(Delta);
 }
 
 void NetServer::drainCompletions() {

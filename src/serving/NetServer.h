@@ -119,6 +119,7 @@ struct NetServerStats {
   uint64_t ShedPaced = 0;      ///< Shed frames: client bucket empty.
   uint64_t BadArity = 0;       ///< Error frames: feature-count mismatch.
   uint64_t Cancelled = 0;      ///< Tickets cancelled for disconnects.
+  uint64_t JournalPolls = 0;   ///< Replication polls answered.
 };
 
 /// The epoll front end. Construct, `start()`, read `port()`, serve until
@@ -162,9 +163,13 @@ private:
     /// client-chosen and may repeat).
     std::unordered_multimap<uint64_t, uint64_t> Pending;
 
+    /// Dual-magic reader: one connection may interleave query frames
+    /// ("ANTQ") and replication polls ("ANTJ") — the loop dispatches by
+    /// each frame's magic.
     explicit Conn(FdHandle Fd, uint32_t MaxFrameBytes, double Burst,
                   std::chrono::steady_clock::time_point Now)
-        : Fd(std::move(Fd)), In(NetRequestMagic, MaxFrameBytes),
+        : Fd(std::move(Fd)),
+          In(NetRequestMagic, NetJournalPollMagic, MaxFrameBytes),
           Tokens(Burst), LastRefill(Now) {}
   };
 
@@ -181,6 +186,13 @@ private:
   void readable(uint64_t ConnId);
   void writable(uint64_t ConnId);
   void handleRequest(uint64_t ConnId, Conn &C, const NetRequest &Request);
+
+  /// Answers one replication poll synchronously from the server's
+  /// store endpoint (a journal read plus at most a batch of record
+  /// preads — no verification, so it cannot starve the queue). A store
+  /// without a replication face answers `Unavailable`.
+  void handleJournalPoll(Conn &C,
+                         const ReplicationEndpoint::PollRequest &Poll);
   void drainCompletions();
   void sendResponse(Conn &C, const NetResponse &Response);
   void flushOut(uint64_t ConnId, Conn &C);
@@ -207,7 +219,7 @@ private:
   /// Counters (relaxed atomics: written by the loop, read by anyone).
   std::atomic<uint64_t> NumAccepted{0}, NumRefused{0}, NumFraming{0},
       NumRequests{0}, NumVerified{0}, NumProbeHits{0}, NumShedOverload{0},
-      NumShedPaced{0}, NumBadArity{0}, NumCancelled{0};
+      NumShedPaced{0}, NumBadArity{0}, NumCancelled{0}, NumJournalPolls{0};
 
   static constexpr uint64_t ListenCookie = 0;
   static constexpr uint64_t WakeCookie = 1;

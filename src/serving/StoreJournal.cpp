@@ -1,0 +1,342 @@
+//===- serving/StoreJournal.cpp - Replication journal -------------------------===//
+//
+// Part of the Antidote reproduction of "Proving Data-Poisoning Robustness
+// in Decision Trees" (Drews, Albarghouthi, D'Antoni; PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serving/StoreJournal.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+using namespace antidote;
+
+namespace {
+
+constexpr uint32_t JournalMagic = 0x4A544341; // "ACTJ" little-endian.
+
+void putU32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+  P[2] = static_cast<uint8_t>(V >> 16);
+  P[3] = static_cast<uint8_t>(V >> 24);
+}
+
+void putU64(uint8_t *P, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    P[I] = static_cast<uint8_t>(V >> (8 * I));
+}
+
+uint32_t getU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(P[I]) << (8 * I);
+  return V;
+}
+
+void encodeHeader(uint8_t (&Buf)[StoreJournal::HeaderBytes], uint64_t Epoch,
+                  uint64_t Generation) {
+  putU32(Buf, JournalMagic);
+  putU32(Buf + 4, StoreJournal::FormatVersion);
+  putU64(Buf + 8, Epoch);
+  putU64(Buf + 16, Generation);
+}
+
+void encodeEntry(uint8_t (&Buf)[StoreJournal::EntryBytes],
+                 const StoreJournal::Entry &E) {
+  putU32(Buf, E.Segment);
+  putU32(Buf + 4, E.RecordBytes);
+  putU64(Buf + 8, E.Offset);
+  putU64(Buf + 16, E.Checksum);
+}
+
+StoreJournal::Entry decodeEntry(const uint8_t *Buf) {
+  StoreJournal::Entry E;
+  E.Segment = getU32(Buf);
+  E.RecordBytes = getU32(Buf + 4);
+  E.Offset = getU64(Buf + 8);
+  E.Checksum = getU64(Buf + 16);
+  return E;
+}
+
+bool preadAll(int Fd, uint8_t *Buf, size_t Size, uint64_t Offset) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::pread(Fd, Buf + Done, Size - Done,
+                        static_cast<off_t>(Offset + Done));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool pwriteAll(int Fd, const uint8_t *Buf, size_t Size, uint64_t Offset) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::pwrite(Fd, Buf + Done, Size - Done,
+                         static_cast<off_t>(Offset + Done));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Done += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+StoreJournal::~StoreJournal() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+bool StoreJournal::open(const std::string &Dir, bool WantWritable,
+                        std::string &Error) {
+  Path = Dir + "/journal.antj";
+  Writable = WantWritable;
+  Valid = false;
+  Epoch = 0;
+  Generation = 0;
+  Entries.clear();
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+
+  int Flags = Writable ? (O_RDWR | O_CREAT | O_CLOEXEC) : (O_RDONLY | O_CLOEXEC);
+  Fd = ::open(Path.c_str(), Flags, 0644);
+  if (Fd < 0) {
+    // A read-only opener of a store that never journaled is not an
+    // error: the store serves lookups fine, it just cannot act as a
+    // replication source until a writer creates the journal.
+    if (!Writable && errno == ENOENT) {
+      Error.clear();
+      return true;
+    }
+    Error = "cannot open journal '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+
+  std::string LoadError;
+  if (loadFile(LoadError))
+    return true;
+
+  if (!Writable) {
+    // Unreadable journal, read-only handle: degrade to "no journal".
+    Valid = false;
+    Error.clear();
+    return true;
+  }
+
+  // Writable and unparseable (fresh file lands here too: zero bytes is
+  // not a valid header): initialize a new epoch-1 journal. The caller
+  // reconciles the record list in afterwards; a *rebuild* over an old
+  // journal instead goes through reset() with epoch+1, which the caller
+  // drives because only it knows the old epoch survived peekHeader.
+  Epoch = 1;
+  Generation = 1;
+  Entries.clear();
+  if (::ftruncate(Fd, 0) != 0 || !writeHeaderLocked()) {
+    Error = "cannot initialize journal '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
+  Valid = true;
+  return true;
+}
+
+bool StoreJournal::loadFile(std::string &Error) {
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (End < 0) {
+    Error = "journal seek failed";
+    return false;
+  }
+  uint64_t Size = static_cast<uint64_t>(End);
+  if (Size < HeaderBytes) {
+    Error = "journal too short";
+    return false;
+  }
+  uint8_t Head[HeaderBytes];
+  if (!preadAll(Fd, Head, HeaderBytes, 0)) {
+    Error = "journal header unreadable";
+    return false;
+  }
+  if (getU32(Head) != JournalMagic || getU32(Head + 4) != FormatVersion) {
+    Error = "journal magic/version mismatch";
+    return false;
+  }
+  Epoch = getU64(Head + 8);
+  Generation = getU64(Head + 16);
+
+  uint64_t Body = Size - HeaderBytes;
+  uint64_t Whole = Body / EntryBytes;
+  if (Body % EntryBytes != 0) {
+    // Torn entry tail — the journal twin of the append segment's torn
+    // record. Writable handles repair in place (the caller holds the
+    // store flock); read-only handles just ignore the fragment.
+    if (Writable &&
+        ::ftruncate(Fd, static_cast<off_t>(HeaderBytes + Whole * EntryBytes)) !=
+            0) {
+      Error = "journal tail repair failed";
+      return false;
+    }
+  }
+
+  Entries.clear();
+  Entries.reserve(Whole);
+  uint8_t Buf[EntryBytes];
+  for (uint64_t I = 0; I < Whole; ++I) {
+    if (!preadAll(Fd, Buf, EntryBytes, HeaderBytes + I * EntryBytes)) {
+      Error = "journal entry unreadable";
+      return false;
+    }
+    Entries.push_back(decodeEntry(Buf));
+  }
+  Valid = true;
+  return true;
+}
+
+bool StoreJournal::writeHeaderLocked() {
+  uint8_t Head[HeaderBytes];
+  encodeHeader(Head, Epoch, Generation);
+  return pwriteAll(Fd, Head, HeaderBytes, 0);
+}
+
+bool StoreJournal::append(const Entry &E) {
+  uint64_t Index = Entries.size();
+  Entries.push_back(E);
+  ++Generation;
+  if (!Writable || Fd < 0 || !Valid)
+    return false;
+  uint8_t Buf[EntryBytes];
+  encodeEntry(Buf, E);
+  // Entry first, then the generation bump: a peeker that sees the new
+  // generation is guaranteed to find the entry it advertises.
+  bool Ok = pwriteAll(Fd, Buf, EntryBytes, HeaderBytes + Index * EntryBytes);
+  Ok = writeHeaderLocked() && Ok;
+  return Ok;
+}
+
+bool StoreJournal::reset(uint64_t NewEpoch, std::vector<Entry> NewEntries) {
+  Epoch = NewEpoch;
+  ++Generation;
+  Entries = std::move(NewEntries);
+  if (!Writable || Fd < 0)
+    return false;
+
+  // Rewrite through a temp file + rename: a crash mid-rewrite must not
+  // leave a journal whose serials misnumber the surviving records.
+  std::string Tmp = Path + ".tmp";
+  int TmpFd = ::open(Tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC,
+                     0644);
+  if (TmpFd < 0)
+    return false;
+  std::vector<uint8_t> Bytes(HeaderBytes + Entries.size() * EntryBytes);
+  uint8_t Head[HeaderBytes];
+  encodeHeader(Head, Epoch, Generation);
+  std::memcpy(Bytes.data(), Head, HeaderBytes);
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    uint8_t Buf[EntryBytes];
+    encodeEntry(Buf, Entries[I]);
+    std::memcpy(Bytes.data() + HeaderBytes + I * EntryBytes, Buf, EntryBytes);
+  }
+  bool Ok = pwriteAll(TmpFd, Bytes.data(), Bytes.size(), 0);
+  Ok = ::fsync(TmpFd) == 0 && Ok;
+  ::close(TmpFd);
+  if (!Ok || ::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return false;
+  }
+  // Swap the open descriptor to the renamed file so appends land there.
+  int NewFd = ::open(Path.c_str(), O_RDWR | O_CLOEXEC);
+  if (NewFd < 0)
+    return false;
+  ::close(Fd);
+  Fd = NewFd;
+  Valid = true;
+  return true;
+}
+
+StoreJournal::Header StoreJournal::peekHeader() const {
+  // Read via the *path*, not the cached fd: a sibling's reset() renames
+  // a fresh file over the journal, and the cached descriptor would keep
+  // reading the unlinked inode's stale (and never again changing)
+  // header, hiding the sibling's mutation forever.
+  Header H;
+  if (Path.empty())
+    return H;
+  int PeekFd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (PeekFd < 0)
+    return H;
+  uint8_t Head[HeaderBytes];
+  bool Ok = preadAll(PeekFd, Head, HeaderBytes, 0);
+  ::close(PeekFd);
+  if (!Ok)
+    return H;
+  if (getU32(Head) != JournalMagic || getU32(Head + 4) != FormatVersion)
+    return H;
+  H.Epoch = getU64(Head + 8);
+  H.Generation = getU64(Head + 16);
+  H.Ok = true;
+  return H;
+}
+
+bool StoreJournal::refresh(uint64_t &FirstNewSerial) {
+  FirstNewSerial = 1;
+  if (Path.empty())
+    return false;
+  // Chase the current inode unconditionally — cheap, and correct across
+  // a sibling's rename-over reset.
+  int NewFd = ::open(Path.c_str(),
+                     Writable ? (O_RDWR | O_CLOEXEC) : (O_RDONLY | O_CLOEXEC));
+  if (NewFd < 0)
+    return false;
+  if (Fd >= 0)
+    ::close(Fd);
+  Fd = NewFd;
+  Header H = peekHeader();
+  if (!H.Ok)
+    return false;
+
+  off_t End = ::lseek(Fd, 0, SEEK_END);
+  if (End < 0 || static_cast<uint64_t>(End) < HeaderBytes)
+    return false;
+  uint64_t Whole = (static_cast<uint64_t>(End) - HeaderBytes) / EntryBytes;
+
+  uint64_t From = 0;
+  if (H.Epoch == Epoch && Whole >= Entries.size()) {
+    From = Entries.size(); // Incremental: only the growth.
+  } else {
+    Entries.clear(); // Epoch moved or the file shrank: full reload.
+  }
+  FirstNewSerial = From + 1;
+
+  uint8_t Buf[EntryBytes];
+  for (uint64_t I = From; I < Whole; ++I) {
+    if (!preadAll(Fd, Buf, EntryBytes, HeaderBytes + I * EntryBytes))
+      return false;
+    Entries.push_back(decodeEntry(Buf));
+  }
+  Epoch = H.Epoch;
+  Generation = H.Generation;
+  Valid = true;
+  return true;
+}

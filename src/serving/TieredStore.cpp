@@ -44,10 +44,34 @@ void TieredStore::store(const DatasetFingerprint &Data, const float *X,
     Disk->store(Data, X, NumFeatures, PoisoningBudget, Config, Cert);
 }
 
-TieredStoreStats TieredStore::stats() const {
-  TieredStoreStats Stats;
+bool TieredStore::probe(const DatasetFingerprint &Data, const float *X,
+                        unsigned NumFeatures, uint32_t PoisoningBudget,
+                        const VerifierConfig &Config, Certificate &Out) {
+  // No promotion and no tier-crossing counters: a probe answers the
+  // admission-control question without disturbing residency.
+  if (Ram &&
+      Ram->probe(Data, X, NumFeatures, PoisoningBudget, Config, Out))
+    return true;
+  return Disk &&
+         Disk->probe(Data, X, NumFeatures, PoisoningBudget, Config, Out);
+}
+
+bool TieredStore::rangeLookup(const DatasetFingerprint &Data, const float *X,
+                              unsigned NumFeatures, uint32_t PoisoningBudget,
+                              const VerifierConfig &Config,
+                              Certificate &Out) {
+  if (Ram && Ram->rangeLookup(Data, X, NumFeatures, PoisoningBudget, Config,
+                              Out))
+    return true;
+  return Disk && Disk->rangeLookup(Data, X, NumFeatures, PoisoningBudget,
+                                   Config, Out);
+}
+
+StoreStats TieredStore::stats() const {
+  StoreStats Stats;
   Stats.RamHits = RamHits.load(std::memory_order_relaxed);
   Stats.DiskHits = DiskHits.load(std::memory_order_relaxed);
   Stats.Misses = Misses.load(std::memory_order_relaxed);
+  Stats.Hits = Stats.RamHits + Stats.DiskHits;
   return Stats;
 }

@@ -46,19 +46,12 @@
 #ifndef ANTIDOTE_SERVING_TIEREDSTORE_H
 #define ANTIDOTE_SERVING_TIEREDSTORE_H
 
-#include "antidote/Verifier.h"
+#include "serving/CertificateStore.h"
 
 #include <atomic>
 #include <cstdint>
 
 namespace antidote {
-
-/// Tier-crossing counters (each tier also keeps its own stats).
-struct TieredStoreStats {
-  uint64_t RamHits = 0;
-  uint64_t DiskHits = 0; ///< RAM missed, disk served (and promoted).
-  uint64_t Misses = 0;   ///< Both tiers missed; the query verified fresh.
-};
 
 /// Composes two `CertificateStore`s, RAM semantics in front and
 /// persistent semantics behind. Owns neither — the server/CLI owns the
@@ -79,7 +72,24 @@ public:
              unsigned NumFeatures, uint32_t PoisoningBudget,
              const VerifierConfig &Config, const Certificate &Cert) override;
 
-  TieredStoreStats stats() const;
+  /// Probes never promote: the shed path's "free answer?" question must
+  /// not spend RAM-tier budget on a query the server is refusing.
+  bool probe(const DatasetFingerprint &Data, const float *X,
+             unsigned NumFeatures, uint32_t PoisoningBudget,
+             const VerifierConfig &Config, Certificate &Out) override;
+
+  bool rangeLookup(const DatasetFingerprint &Data, const float *X,
+                   unsigned NumFeatures, uint32_t PoisoningBudget,
+                   const VerifierConfig &Config, Certificate &Out) override;
+
+  /// The tier-crossing counters (`RamHits`/`DiskHits`/`Misses`); each
+  /// tier keeps its own full stats behind its own handle.
+  StoreStats stats() const override;
+
+  /// Replication rides on the persistent tier: forwarded to `Disk`.
+  ReplicationEndpoint *replication() override {
+    return Disk ? Disk->replication() : nullptr;
+  }
 
 private:
   CertificateStore *Ram;

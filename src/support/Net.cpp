@@ -12,6 +12,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -88,6 +89,45 @@ FdHandle antidote::connectTcpLoopback(uint16_t Port) {
   // Request frames are small and latency-sensitive; don't Nagle them.
   int One = 1;
   ::setsockopt(Sock.get(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return Sock;
+}
+
+FdHandle antidote::connectTcp(const std::string &Host, uint16_t Port,
+                              std::string &Error) {
+  addrinfo Hints;
+  std::memset(&Hints, 0, sizeof(Hints));
+  Hints.ai_family = AF_UNSPEC;
+  Hints.ai_socktype = SOCK_STREAM;
+  addrinfo *Results = nullptr;
+  std::string PortStr = std::to_string(Port);
+  int Rc = ::getaddrinfo(Host.c_str(), PortStr.c_str(), &Hints, &Results);
+  if (Rc != 0) {
+    Error = "cannot resolve '" + Host + "': " + ::gai_strerror(Rc);
+    return FdHandle();
+  }
+  FdHandle Sock;
+  int LastErrno = 0;
+  for (addrinfo *AI = Results; AI; AI = AI->ai_next) {
+    Sock.reset(::socket(AI->ai_family, AI->ai_socktype | SOCK_CLOEXEC,
+                        AI->ai_protocol));
+    if (!Sock.valid()) {
+      LastErrno = errno;
+      continue;
+    }
+    if (::connect(Sock.get(), AI->ai_addr, AI->ai_addrlen) == 0)
+      break;
+    LastErrno = errno;
+    Sock.reset();
+  }
+  ::freeaddrinfo(Results);
+  if (!Sock.valid()) {
+    Error = "cannot connect to " + Host + ":" + PortStr + ": " +
+            std::strerror(LastErrno ? LastErrno : ECONNREFUSED);
+    return FdHandle();
+  }
+  int One = 1;
+  ::setsockopt(Sock.get(), IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  Error.clear();
   return Sock;
 }
 

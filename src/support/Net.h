@@ -90,6 +90,13 @@ ListenResult listenTcpLoopback(uint16_t Port, int Backlog = 128);
 /// on failure.
 FdHandle connectTcpLoopback(uint16_t Port);
 
+/// Connects a *blocking* TCP socket to \p Host:\p Port, resolving the
+/// host via getaddrinfo (names and dotted quads alike, every resolved
+/// address tried in order) — the cross-machine flavour the replication
+/// puller uses. Invalid handle on failure, with \p Error naming why.
+FdHandle connectTcp(const std::string &Host, uint16_t Port,
+                    std::string &Error);
+
 /// One readiness event out of `Epoll::wait`.
 struct EpollEvent {
   uint64_t Data = 0; ///< The caller's cookie from add/mod.

@@ -68,9 +68,9 @@ TEST_P(CacheIdentityTest, HitIsByteIdenticalToColdRun) {
 
   // Cold run: misses, verifies, seeds the cache.
   Certificate Cold = V.verify(X, /*PoisoningBudget=*/2, Config);
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Misses, 1u);
-  EXPECT_EQ(Stats.Insertions, 1u);
+  EXPECT_EQ(Stats.Stores, 1u);
 
   // Warm run: served from the cache, verbatim — Seconds included, which
   // a re-verification could never reproduce exactly.
@@ -151,7 +151,7 @@ TEST(CertCacheTest, ResultRelevantKnobsSplitEntries) {
   const float Y[] = {2.5f};
   V.verify(Y, 2, Config);
 
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits, 0u);
   EXPECT_EQ(Stats.RangeHits, 1u);
   EXPECT_EQ(Stats.Misses, 6u);
@@ -205,10 +205,10 @@ TEST(CertCacheTest, DatasetMutationMissesViaFingerprint) {
   const float X[] = {9.5f};
   V.verify(X, 2, Config);
   VMutated.verify(X, 2, Config);
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits, 0u);
   EXPECT_EQ(Stats.Misses, 2u);
-  EXPECT_EQ(Stats.LiveEntries, 2u);
+  EXPECT_EQ(Stats.LiveRecords, 2u);
 }
 
 TEST(CertCacheTest, TimeoutVerdictsAreNeverCached) {
@@ -222,9 +222,9 @@ TEST(CertCacheTest, TimeoutVerdictsAreNeverCached) {
   const float X[] = {9.5f};
   Certificate Cert = V.verify(X, 8, Config);
   ASSERT_EQ(Cert.Kind, VerdictKind::Timeout);
-  CertCacheStats Stats = Cache.stats();
-  EXPECT_EQ(Stats.Insertions, 0u);
-  EXPECT_EQ(Stats.LiveEntries, 0u);
+  StoreStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Stores, 0u);
+  EXPECT_EQ(Stats.LiveRecords, 0u);
 }
 
 TEST(CertCacheTest, CancelledVerdictsAreNeverCached) {
@@ -239,7 +239,7 @@ TEST(CertCacheTest, CancelledVerdictsAreNeverCached) {
   const float X[] = {9.5f};
   Certificate Cert = V.verify(X, 2, Config);
   ASSERT_EQ(Cert.Kind, VerdictKind::Cancelled);
-  EXPECT_EQ(Cache.stats().Insertions, 0u);
+  EXPECT_EQ(Cache.stats().Stores, 0u);
 }
 
 TEST(CertCacheTest, ResourceLimitVerdictsAreCached) {
@@ -295,16 +295,16 @@ TEST(CertCacheTest, EvictsLeastRecentlyUsedUnderTinyBudget) {
 
   V.verify(A, 1, Config);
   V.verify(B, 1, Config);
-  EXPECT_EQ(Cache.stats().LiveEntries, 2u);
+  EXPECT_EQ(Cache.stats().LiveRecords, 2u);
 
   // Touch A so B becomes the LRU victim.
   V.verify(A, 1, Config);
   EXPECT_EQ(Cache.stats().Hits, 1u);
 
   V.verify(C, 1, Config);
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Evictions, 1u);
-  EXPECT_EQ(Stats.LiveEntries, 2u);
+  EXPECT_EQ(Stats.LiveRecords, 2u);
   EXPECT_LE(Stats.LiveBytes, Budget);
 
   // A (recently touched) still hits; B (evicted) misses again.
@@ -328,10 +328,10 @@ TEST(CertCacheTest, BudgetIsAlwaysRespected) {
     V.verify(X, 1, Config);
     EXPECT_LE(Cache.stats().LiveBytes, Budget);
   }
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_GT(Stats.Evictions, 0u);
-  EXPECT_EQ(Stats.Insertions, 12u);
-  EXPECT_EQ(Stats.LiveEntries, Stats.Insertions - Stats.Evictions);
+  EXPECT_EQ(Stats.Stores, 12u);
+  EXPECT_EQ(Stats.LiveRecords, Stats.Stores - Stats.Evictions);
 }
 
 TEST(CertCacheTest, EntryChargeCoversKeyCertificateAndNodeOverhead) {
@@ -362,10 +362,10 @@ TEST(CertCacheTest, EntryLargerThanWholeBudgetIsDeclined) {
   Config.Cache = &Cache;
   const float X[] = {9.5f};
   V.verify(X, 1, Config);
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Declined, 1u);
-  EXPECT_EQ(Stats.Insertions, 0u);
-  EXPECT_EQ(Stats.LiveEntries, 0u);
+  EXPECT_EQ(Stats.Stores, 0u);
+  EXPECT_EQ(Stats.LiveRecords, 0u);
   EXPECT_EQ(Stats.LiveBytes, 0u);
 }
 
@@ -378,10 +378,10 @@ TEST(CertCacheTest, ClearDropsEntriesButKeepsCounters) {
   const float X[] = {9.5f};
   V.verify(X, 1, Config);
   Cache.clear();
-  CertCacheStats Stats = Cache.stats();
-  EXPECT_EQ(Stats.LiveEntries, 0u);
+  StoreStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.LiveRecords, 0u);
   EXPECT_EQ(Stats.LiveBytes, 0u);
-  EXPECT_EQ(Stats.Insertions, 1u);
+  EXPECT_EQ(Stats.Stores, 1u);
   V.verify(X, 1, Config);
   EXPECT_EQ(Cache.stats().Misses, 2u);
 }
@@ -425,7 +425,7 @@ TEST(CertCacheTest, ConcurrentBatchWorkersShareOneCache) {
     EXPECT_EQ(Certs[I].NumTerminals, Expected.NumTerminals);
     EXPECT_EQ(Certs[I].PeakDisjuncts, Expected.PeakDisjuncts);
   }
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits + Stats.Misses, Inputs.size());
   EXPECT_GE(Stats.Misses, 16u); // At least one cold run per point.
 }
@@ -479,7 +479,7 @@ TEST(CertCacheRangeTest, RobustServesEveryNarrowerBudget) {
   EXPECT_EQ(Out.PoisoningBudget, 5u);
   EXPECT_FALSE(Cache.lookup(FP, X, 1, 6, Config, Out));
 
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.RangeHits, 5u);
   EXPECT_EQ(Stats.Hits, 1u);
   EXPECT_EQ(Stats.Misses, 1u);
@@ -501,7 +501,7 @@ TEST(CertCacheRangeTest, UnknownServesEveryWiderBudget) {
   // Narrower budgets are not covered: the abstraction might succeed there.
   EXPECT_FALSE(Cache.lookup(FP, X, 1, 3, Config, Out));
 
-  CertCacheStats Stats = Cache.stats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.RangeHits, 1u);
   EXPECT_EQ(Stats.Misses, 1u);
 }

@@ -12,6 +12,8 @@
 
 #include "serving/CertServer.h"
 
+#include "serving/CertCache.h"
+
 #include "NetHarness.h"
 #include "TestUtil.h"
 
@@ -64,11 +66,16 @@ TEST(CertServerTest, ServedCertificatesMatchDirectVerification) {
 
 TEST(CertServerTest, RepeatedQueriesHitTheCache) {
   Dataset Train = figure2Dataset();
-  CertServer Server(Train, smallConfig());
+  // The store is composed at wiring time now — the server itself is
+  // store-agnostic, so the test owns the cache it asserts against.
+  CertCache Cache(/*MaxBytes=*/0);
+  CertServerConfig Config = smallConfig();
+  Config.Store = &Cache;
+  CertServer Server(Train, Config);
 
   // Seed, then drain so the repeats arrive after the entry is stored.
   Certificate Cold = Server.submit(point(9.5f), 2).get();
-  ASSERT_EQ(Server.cacheStats().Misses, 1u);
+  ASSERT_EQ(Cache.stats().Misses, 1u);
 
   std::vector<std::future<Certificate>> Repeats;
   for (int I = 0; I < 8; ++I)
@@ -81,10 +88,10 @@ TEST(CertServerTest, RepeatedQueriesHitTheCache) {
     EXPECT_EQ(Warm.PeakDisjuncts, Cold.PeakDisjuncts);
     EXPECT_EQ(Warm.Seconds, Cold.Seconds);
   }
-  CertCacheStats Stats = Server.cacheStats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits, 8u);
   EXPECT_EQ(Stats.Misses, 1u);
-  EXPECT_EQ(Stats.LiveEntries, 1u);
+  EXPECT_EQ(Stats.LiveRecords, 1u);
 }
 
 TEST(CertServerTest, MixedPoisoningBudgetsAreGroupedCorrectly) {
@@ -119,17 +126,15 @@ TEST(CertServerTest, MixedPoisoningBudgetsAreGroupedCorrectly) {
   }
 }
 
-TEST(CertServerTest, CachelessServerStillServes) {
+TEST(CertServerTest, StorelessServerStillServes) {
+  // smallConfig() wires no store at all (Store stays null) — every
+  // query verifies fresh and nothing crashes reaching for a tier.
   Dataset Train = figure2Dataset();
-  CertServerConfig Config = smallConfig();
-  Config.EnableCache = false;
-  CertServer Server(Train, Config);
-  EXPECT_EQ(Server.cache(), nullptr);
+  CertServer Server(Train, smallConfig());
+  EXPECT_EQ(Server.store(), nullptr);
   Certificate A = Server.submit(point(9.5f), 2).get();
   Certificate B = Server.submit(point(9.5f), 2).get();
   EXPECT_EQ(A.Kind, B.Kind);
-  EXPECT_EQ(Server.cacheStats().Hits, 0u);
-  EXPECT_EQ(Server.cacheStats().Misses, 0u);
 }
 
 TEST(CertServerTest, DrainWaitsForAllSubmitted) {
@@ -200,8 +205,10 @@ TEST(CertServerTest, AbortResolvesEveryFutureWithoutFullVerification) {
 
 TEST(CertServerTest, ManyClientThreadsOneServer) {
   Dataset Train = figure2Dataset();
+  CertCache Cache(/*MaxBytes=*/0);
   CertServerConfig Config = smallConfig();
   Config.MaxBatch = 4; // Several dispatch rounds, not one mega-batch.
+  Config.Store = &Cache;
   CertServer Server(Train, Config);
 
   // 4 client threads x 12 queries over 6 distinct points: submissions,
@@ -233,7 +240,7 @@ TEST(CertServerTest, ManyClientThreadsOneServer) {
                 Expected.ConcretePrediction);
       EXPECT_EQ(Results[C][I].NumTerminals, Expected.NumTerminals);
     }
-  CertCacheStats Stats = Server.cacheStats();
+  StoreStats Stats = Cache.stats();
   EXPECT_EQ(Stats.Hits + Stats.Misses, NumClients * PerClient);
   EXPECT_GE(Stats.Misses, 6u);
   EXPECT_GE(Stats.Hits, 1u); // 48 requests over 6 points must repeat.
@@ -253,7 +260,7 @@ namespace {
 CertServerConfig gatedConfig(testharness::GateStore &Gate) {
   CertServerConfig Config = smallConfig();
   Config.MaxBatch = 1;
-  Config.Backing = &Gate;
+  Config.Store = &Gate;
   return Config;
 }
 
@@ -339,7 +346,10 @@ TEST(CertServerTest, CompletionCallbackFiresExactlyOncePerRequest) {
 
 TEST(CertServerTest, ProbeStoreAnswersOnlyWhatIsAlreadyKnown) {
   Dataset Train = figure2Dataset();
-  CertServer Server(Train, smallConfig());
+  CertCache Cache(/*MaxBytes=*/0);
+  CertServerConfig Config = smallConfig();
+  Config.Store = &Cache;
+  CertServer Server(Train, Config);
 
   const float X[] = {9.5f};
   Certificate Probe;

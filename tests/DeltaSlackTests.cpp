@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "serving/CertServer.h"
+#include "serving/CertCache.h"
 
 #include "TestUtil.h"
 
@@ -328,8 +329,7 @@ TEST(DeltaSlackTest, ServerReverifiesSlackServedQueryInBackground) {
   CertServerConfig SC;
   SC.Query = slackConfig();
   SC.Jobs = 2;
-  SC.Backing = &Backing;
-  SC.EnableCache = false; // One tier keeps the stats assertions direct.
+  SC.Store = &Backing; // One tier keeps the stats assertions direct.
   SC.Lineage = lineageSinceMark(PV.fingerprint(), Child);
   CertServer Server(Child, SC);
 
@@ -374,8 +374,7 @@ TEST(DeltaSlackTest, ServerWithoutLineageServesExactOnly) {
   CertServerConfig SC;
   SC.Query = slackConfig();
   SC.Jobs = 2;
-  SC.Backing = &Backing;
-  SC.EnableCache = false;
+  SC.Store = &Backing;
   CertServer Server(Child, SC);
 
   // No lineage declared: the child verifies fresh and never consults

@@ -161,9 +161,9 @@ TEST_P(DiskStoreRestartTest, FreshProcessAnswersFromWarmDirByteIdentical) {
     std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
     Config.Cache = Store.get();
     Cold = V.verify(X, /*PoisoningBudget=*/2, Config);
-    DiskCertStoreStats Stats = Store->stats();
+    StoreStats Stats = Store->stats();
     EXPECT_EQ(Stats.Misses, 1u);
-    EXPECT_EQ(Stats.Appends, 1u);
+    EXPECT_EQ(Stats.Stores, 1u);
   }
 
   // "Process two": a fresh Verifier and a fresh store handle on the
@@ -174,7 +174,7 @@ TEST_P(DiskStoreRestartTest, FreshProcessAnswersFromWarmDirByteIdentical) {
   EXPECT_EQ(Store->stats().LiveRecords, 1u);
   Config.Cache = Store.get();
   Certificate Warm = V.verify(X, /*PoisoningBudget=*/2, Config);
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.Hits, 1u);
   EXPECT_EQ(Stats.Misses, 0u);
   expectIdenticalCertificates(Cold, Warm);
@@ -228,7 +228,7 @@ TEST(DiskCertStoreTest, DatasetMutationMissesViaFingerprint) {
   ASSERT_NE(V.fingerprint(), VMutated.fingerprint());
   VMutated.verify(X, 2, Config);
 
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.Hits, 0u);
   EXPECT_EQ(Stats.Misses, 2u);
   EXPECT_EQ(Stats.LiveRecords, 2u);
@@ -251,9 +251,9 @@ TEST(DiskCertStoreTest, NonDeterministicVerdictsAreNeverPersisted) {
   Cancelled.Kind = VerdictKind::Cancelled;
   Store->store(V.fingerprint(), X, 1, 2, Config, Cancelled);
 
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.Declined, 2u);
-  EXPECT_EQ(Stats.Appends, 0u);
+  EXPECT_EQ(Stats.Stores, 0u);
   EXPECT_EQ(Stats.LiveRecords, 0u);
 }
 
@@ -270,8 +270,8 @@ TEST(DiskCertStoreTest, DuplicateStoreIsDeclinedNotAppended) {
   // A second offer for the same key (certificates are interchangeable)
   // must not grow the segment.
   Store->store(V.fingerprint(), X, 1, 2, Config, Cold);
-  DiskCertStoreStats Stats = Store->stats();
-  EXPECT_EQ(Stats.Appends, 1u);
+  StoreStats Stats = Store->stats();
+  EXPECT_EQ(Stats.Stores, 1u);
   EXPECT_EQ(Stats.DuplicatesDeclined, 1u);
   EXPECT_EQ(Stats.LiveRecords, 1u);
 }
@@ -294,7 +294,7 @@ std::vector<Certificate> seedStore(const std::string &Dir, Verifier &V,
     const float X[] = {Q};
     Expected.push_back(V.verify(X, /*PoisoningBudget=*/1, Config));
   }
-  EXPECT_EQ(Store->stats().Appends, Queries.size());
+  EXPECT_EQ(Store->stats().Stores, Queries.size());
   return Expected;
 }
 
@@ -356,7 +356,7 @@ TEST(DiskCertStoreTest, CorruptRecordIsSkippedOthersIntact) {
   writeFileBytes(Segment, Bytes);
 
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.CorruptSkipped, 1u);
   EXPECT_EQ(Stats.LiveRecords, 2u);
 
@@ -469,7 +469,7 @@ TEST(DiskCertStoreTest, TornTailIsRepairedAndAppendsStayReachable) {
     Config.Cache = Store.get();
     const float X[] = {12.5f};
     V.verify(X, 1, Config);
-    EXPECT_EQ(Store->stats().Appends, 1u);
+    EXPECT_EQ(Store->stats().Stores, 1u);
   }
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
   EXPECT_EQ(Store->stats().LiveRecords, 2u);
@@ -503,7 +503,7 @@ TEST(DiskCertStoreTest, FormatVersionBumpInvalidatesWholeSegment) {
   DiskCertStoreOptions NoAuto;
   NoAuto.AutoCompactDeadFraction = 0;
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), NoAuto);
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.StaleSegments, 1u);
   EXPECT_EQ(Stats.LiveRecords, 0u);
   EXPECT_EQ(Stats.Segments, 0u);
@@ -514,7 +514,7 @@ TEST(DiskCertStoreTest, FormatVersionBumpInvalidatesWholeSegment) {
   Config.Cache = Store.get();
   const float X[] = {9.5f};
   Certificate Cold = V.verify(X, 1, Config);
-  EXPECT_EQ(Store->stats().Appends, 1u);
+  EXPECT_EQ(Store->stats().Stores, 1u);
   Store.reset();
 
   Store = openOrDie(Dir.path(), NoAuto);
@@ -542,7 +542,7 @@ TEST(DiskCertStoreTest, AutoCompactOnOpenReclaimsStaleSegments) {
   // The whole directory is dead (fraction 1.0 > default 0.5): open
   // compacts, unlinking the stale segment.
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.StaleSegments, 1u);
   EXPECT_EQ(Stats.LiveRecords, 0u);
   EXPECT_EQ(Stats.Compactions, 1u);
@@ -581,7 +581,7 @@ TEST(DiskCertStoreTest, AutoCompactThresholdGatesTheTrigger) {
     DiskCertStoreOptions Low;
     Low.AutoCompactDeadFraction = 0.1; // Below ~1/3 dead: triggers.
     std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), Low);
-    DiskCertStoreStats Stats = Store->stats();
+    StoreStats Stats = Store->stats();
     EXPECT_EQ(Stats.Compactions, 1u);
     EXPECT_EQ(Stats.LiveRecords, 2u);
     EXPECT_EQ(Stats.Segments, 1u);
@@ -607,18 +607,27 @@ TEST(DiskCertStoreTest, CompactionDropsDuplicatesAndStaleSegments) {
   VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
   const float X[] = {9.5f}, Y[] = {1.5f};
 
-  // Two handles share the directory, as two server processes would.
-  // Both open on an empty store, so both append the same key: a
-  // duplicate record only compaction reclaims.
+  // Sibling handles no longer race a duplicate in (the journal
+  // generation check refreshes the second handle's index on its miss),
+  // so plant the duplicate at the byte level — exactly what a writer
+  // that crashed between append and journal sync can leave behind: a
+  // valid, checksummed record for a key that is already indexed.
   std::unique_ptr<DiskCertStore> A = openOrDie(Dir.path());
-  std::unique_ptr<DiskCertStore> B = openOrDie(Dir.path());
   Config.Cache = A.get();
   Certificate Cold = V.verify(X, 1, Config);
-  Config.Cache = B.get();
-  V.verify(X, 1, Config);
   V.verify(Y, 1, Config);
   A.reset();
-  B.reset();
+  {
+    std::string Segment = Dir.sub("seg-000001.antcert");
+    std::vector<uint8_t> Bytes = readFileBytes(Segment);
+    std::vector<RecordSpan> Spans = parseRecordSpans(Bytes);
+    ASSERT_EQ(Spans.size(), 2u);
+    std::vector<uint8_t> Copy(Bytes.begin() + Spans[0].Offset,
+                              Bytes.begin() + Spans[0].Offset +
+                                  Spans[0].Bytes);
+    Bytes.insert(Bytes.end(), Copy.begin(), Copy.end());
+    writeFileBytes(Segment, Bytes);
+  }
 
   std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path());
   EXPECT_EQ(Store->stats().DuplicateRecords, 1u);
@@ -630,7 +639,7 @@ TEST(DiskCertStoreTest, CompactionDropsDuplicatesAndStaleSegments) {
 
   std::string Error;
   ASSERT_TRUE(Store->compact(&Error)) << Error;
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.Compactions, 1u);
   EXPECT_EQ(Stats.CompactionRecordsDropped, 1u);
   EXPECT_EQ(Stats.LiveRecords, 2u);
@@ -670,7 +679,7 @@ TEST(DiskCertStoreTest, CompactionPreservesRecordsFromSiblingHandles) {
   Config.Cache = B.get();
   Certificate CertX = V.verify(X, 1, Config);
   Certificate CertY = V.verify(Y, 1, Config);
-  ASSERT_EQ(B->stats().Appends, 2u);
+  ASSERT_EQ(B->stats().Stores, 2u);
   B.reset();
 
   std::string Error;
@@ -707,7 +716,7 @@ TEST(DiskCertStoreTest, AppendsSurviveSiblingCompaction) {
   std::string Error;
   ASSERT_TRUE(A->compact(&Error)) << Error;
   Certificate CertY = V.verify(Y, 1, Config);
-  EXPECT_EQ(B->stats().Appends, 2u);
+  EXPECT_EQ(B->stats().Stores, 2u);
   A.reset();
   B.reset();
 
@@ -777,10 +786,10 @@ TEST(TieredStoreTest, DiskHitIsPromotedToRam) {
     TieredStore Tiered(&Ram, Disk.get());
     Config.Cache = &Tiered;
     Cold = V.verify(X, 2, Config);
-    TieredStoreStats Stats = Tiered.stats();
+    StoreStats Stats = Tiered.stats();
     EXPECT_EQ(Stats.Misses, 1u);
-    EXPECT_EQ(Ram.stats().Insertions, 1u);
-    EXPECT_EQ(Disk->stats().Appends, 1u);
+    EXPECT_EQ(Ram.stats().Stores, 1u);
+    EXPECT_EQ(Disk->stats().Stores, 1u);
   }
 
   // Process two: RAM is empty, disk is warm. First repeat hits disk and
@@ -792,10 +801,10 @@ TEST(TieredStoreTest, DiskHitIsPromotedToRam) {
 
   Certificate FirstRepeat = V.verify(X, 2, Config);
   expectIdenticalCertificates(Cold, FirstRepeat);
-  TieredStoreStats Stats = Tiered.stats();
+  StoreStats Stats = Tiered.stats();
   EXPECT_EQ(Stats.DiskHits, 1u);
   EXPECT_EQ(Stats.RamHits, 0u);
-  EXPECT_EQ(Ram.stats().Insertions, 1u); // The promotion.
+  EXPECT_EQ(Ram.stats().Stores, 1u); // The promotion.
 
   Certificate SecondRepeat = V.verify(X, 2, Config);
   expectIdenticalCertificates(Cold, SecondRepeat);
@@ -805,7 +814,7 @@ TEST(TieredStoreTest, DiskHitIsPromotedToRam) {
   EXPECT_EQ(Disk->stats().Hits, 1u);      // Disk untouched by the repeat.
   // The disk tier declined nothing and appended nothing extra: the
   // promotion is RAM-only, write-through happened once.
-  EXPECT_EQ(Disk->stats().Appends, 0u);
+  EXPECT_EQ(Disk->stats().Stores, 0u);
   EXPECT_EQ(Disk->stats().LiveRecords, 1u);
 }
 
@@ -825,7 +834,7 @@ TEST(TieredStoreTest, RamEvictionFallsBackToDiskAndRepromotes) {
   Certificate Cold = V.verify(X, 1, Config);
   Certificate Warm = V.verify(X, 1, Config);
   expectIdenticalCertificates(Cold, Warm);
-  TieredStoreStats Stats = Tiered.stats();
+  StoreStats Stats = Tiered.stats();
   EXPECT_EQ(Stats.Misses, 1u);
   EXPECT_EQ(Stats.DiskHits, 1u);
   EXPECT_EQ(Stats.RamHits, 0u);
@@ -871,7 +880,7 @@ TEST(TieredStoreTest, ConcurrentBatchWorkersShareBothTiers) {
     EXPECT_EQ(Certs[I].NumTerminals, Expected.NumTerminals);
     EXPECT_EQ(Certs[I].PeakDisjuncts, Expected.PeakDisjuncts);
   }
-  TieredStoreStats Stats = Tiered.stats();
+  StoreStats Stats = Tiered.stats();
   EXPECT_EQ(Stats.RamHits + Stats.DiskHits + Stats.Misses, Inputs.size());
   EXPECT_GE(Stats.Misses, 16u); // At least one cold run per point.
   // Every distinct point is on disk exactly once (duplicate offers from
@@ -965,7 +974,7 @@ TEST(DiskStoreRangeTest, ColdProcessAnswersNarrowerBudgetViaRange) {
   ASSERT_TRUE(Store->lookup(FP, X, 1, 5, Config, Out));
   EXPECT_EQ(Out.CertifiedRadius, 5u);
   EXPECT_FALSE(Store->lookup(FP, X, 1, 6, Config, Out));
-  DiskCertStoreStats Stats = Store->stats();
+  StoreStats Stats = Store->stats();
   EXPECT_EQ(Stats.Hits, 1u);
   EXPECT_EQ(Stats.Misses, 1u);
 }
@@ -1058,7 +1067,7 @@ TEST(TieredStoreTest, DiskRangeHitPromotesAsExactOnly) {
   ASSERT_TRUE(Tiered.lookup(FP, X, 1, 3, Config, Out));
   EXPECT_EQ(Out.CertifiedRadius, 5u);
   EXPECT_EQ(Disk->stats().RangeHits, 1u);
-  EXPECT_EQ(Ram.stats().Insertions, 1u);
+  EXPECT_EQ(Ram.stats().Stores, 1u);
 
   // Exact repeats of budget 3 now hit RAM...
   ASSERT_TRUE(Tiered.lookup(FP, X, 1, 3, Config, Out));
@@ -1072,4 +1081,99 @@ TEST(TieredStoreTest, DiskRangeHitPromotesAsExactOnly) {
   EXPECT_EQ(Out.CertifiedRadius, 5u);
   EXPECT_EQ(Ram.stats().RangeHits, 0u);
   EXPECT_EQ(Disk->stats().RangeHits, 2u);
+}
+
+TEST(DiskCertStoreTest, RetentionEvictsOldestSegmentsButNeverTheOpenOne) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+
+  // One record per segment (a record plus the segment header is ~152
+  // bytes; rotating past 160 isolates each append), with room for two
+  // closed segments plus the open one in the byte budget.
+  DiskCertStoreOptions Options;
+  Options.MaxSegmentBytes = 160;
+  Options.RetentionBytes = 320;
+  std::unique_ptr<DiskCertStore> Store = openOrDie(Dir.path(), Options);
+  Config.Cache = Store.get();
+
+  std::vector<float> Queries = {1.5f, 4.5f, 9.5f, 12.5f};
+  Certificate Last;
+  for (float Q : Queries) {
+    const float X[] = {Q};
+    Last = V.verify(X, /*PoisoningBudget=*/1, Config);
+  }
+
+  StoreStats Stats = Store->stats();
+  EXPECT_GT(Stats.RetentionEvictedSegments, 0u);
+  EXPECT_LT(Stats.LiveRecords, Queries.size());
+  // Renumbering retires the old epoch so replicas full-resync instead
+  // of silently skipping the evicted serials.
+  EXPECT_GT(Stats.Epoch, 1u);
+
+  // The newest record rode the open append segment, which retention
+  // must never touch: it still serves, byte-identical.
+  const float X[] = {Queries.back()};
+  Certificate Out;
+  ASSERT_TRUE(
+      Store->lookup(V.fingerprint(), X, 1, 1, Config, Out));
+  expectIdenticalCertificates(Last, Out);
+
+  // The degenerate budget: every append overshoots one byte, yet the
+  // record just written must survive its own store.
+  TempStoreDir TinyDir;
+  DiskCertStoreOptions Tiny;
+  Tiny.MaxSegmentBytes = 160;
+  Tiny.RetentionBytes = 1;
+  std::unique_ptr<DiskCertStore> TinyStore = openOrDie(TinyDir.path(), Tiny);
+  VerifierConfig TinyConfig = makeConfig(AbstractDomainKind::Box);
+  TinyConfig.Cache = TinyStore.get();
+  Certificate Fresh = V.verify(X, /*PoisoningBudget=*/1, TinyConfig);
+  ASSERT_TRUE(
+      TinyStore->lookup(V.fingerprint(), X, 1, 1, TinyConfig, Out));
+  expectIdenticalCertificates(Fresh, Out);
+  EXPECT_GE(TinyStore->stats().LiveRecords, 1u);
+}
+
+TEST(DiskCertStoreTest, ReadOnlyOpenServesBesideALiveWriter) {
+  TempStoreDir Dir;
+  Dataset Train = figure2Dataset();
+  Verifier V(Train);
+  VerifierConfig Config = makeConfig(AbstractDomainKind::Box);
+
+  // The writer stays open — and keeps the writer flock — for the whole
+  // test; a pure replica or diagnostic reader must not need it.
+  std::unique_ptr<DiskCertStore> Writer = openOrDie(Dir.path());
+  Config.Cache = Writer.get();
+  const float X[] = {9.5f};
+  Certificate Cold = V.verify(X, /*PoisoningBudget=*/2, Config);
+
+  DiskCertStoreOptions ReadOnly;
+  ReadOnly.ReadOnly = true;
+  std::unique_ptr<DiskCertStore> Reader = openOrDie(Dir.path(), ReadOnly);
+  ASSERT_NE(Reader, nullptr);
+
+  Certificate Out;
+  ASSERT_TRUE(Reader->lookup(V.fingerprint(), X, 1, 2, Config, Out));
+  expectIdenticalCertificates(Cold, Out);
+
+  // Writes decline (counted, not crashed), and compaction refuses:
+  // both would mutate a directory this handle does not own.
+  Reader->store(V.fingerprint(), X, 1, 3, Config, Cold);
+  StoreStats Stats = Reader->stats();
+  EXPECT_EQ(Stats.Stores, 0u);
+  EXPECT_GE(Stats.Declined, 1u);
+  std::string Error;
+  EXPECT_FALSE(Reader->compact(&Error));
+  EXPECT_FALSE(Error.empty());
+
+  // A record the writer appends after the read-only open is picked up
+  // on the reader's next miss via the journal generation check.
+  const float Y[] = {1.5f};
+  Certificate Later = V.verify(Y, /*PoisoningBudget=*/1, Config);
+  Certificate Seen;
+  ASSERT_TRUE(Reader->lookup(V.fingerprint(), Y, 1, 1, Config, Seen));
+  expectIdenticalCertificates(Later, Seen);
+  EXPECT_GE(Reader->stats().IndexRefreshes, 1u);
 }

@@ -24,7 +24,7 @@
 #ifndef ANTIDOTE_TESTS_NETHARNESS_H
 #define ANTIDOTE_TESTS_NETHARNESS_H
 
-#include "antidote/Verifier.h"
+#include "serving/CertificateStore.h"
 #include "serving/NetProtocol.h"
 #include "support/Net.h"
 

@@ -62,7 +62,7 @@ struct ServerStack {
     Config.Query.Limits.TimeoutSeconds = 30.0;
     Config.Jobs = 2;
     Config.MaxBatch = MaxBatch;
-    Config.Backing = &Gate;
+    Config.Store = &Gate;
     Server = std::make_unique<CertServer>(Train, Config);
     NetConfig.Port = 0;
     Net = std::make_unique<NetServer>(*Server, NetConfig);

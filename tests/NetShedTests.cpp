@@ -15,6 +15,9 @@
 
 #include "serving/NetServer.h"
 
+#include "serving/CertCache.h"
+#include "serving/TieredStore.h"
+
 #include "NetHarness.h"
 #include "TestUtil.h"
 
@@ -44,10 +47,15 @@ template <typename Fn> bool eventually(Fn Cond, int TimeoutMillis = 30000) {
 }
 
 /// Server stack with admission knobs under test control. MaxBatch 1 so
-/// each gated verification pins exactly one dispatch.
+/// each gated verification pins exactly one dispatch. The store is the
+/// production composition with the persistent tier swapped for the
+/// gate: a RAM cache in front (so warmed queries probe-serve while
+/// shedding) and the GateStore behind it pinning write-throughs.
 struct ShedStack {
   Dataset Train = figure2Dataset();
   GateStore Gate;
+  CertCache Cache{/*MaxBytes=*/0};
+  TieredStore Store{&Cache, &Gate};
   std::unique_ptr<CertServer> Server;
   std::unique_ptr<NetServer> Net;
 
@@ -58,7 +66,7 @@ struct ShedStack {
     Config.Query.Limits.TimeoutSeconds = 30.0;
     Config.Jobs = 2;
     Config.MaxBatch = 1;
-    Config.Backing = &Gate;
+    Config.Store = &Store;
     Server = std::make_unique<CertServer>(Train, Config);
     NetConfig.Port = 0;
     Net = std::make_unique<NetServer>(*Server, NetConfig);

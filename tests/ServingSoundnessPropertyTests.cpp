@@ -22,14 +22,18 @@
 //===----------------------------------------------------------------------===//
 
 #include "serving/CertCache.h"
+#include "serving/DiskCertStore.h"
 #include "serving/NetServer.h"
+#include "serving/Replicator.h"
 
 #include "NetHarness.h"
 #include "TestUtil.h"
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <string>
+#include <unistd.h>
 #include <utility>
 
 using namespace antidote;
@@ -57,6 +61,36 @@ bool deterministic(VerdictKind Kind) {
   return Kind == VerdictKind::Robust || Kind == VerdictKind::Unknown ||
          Kind == VerdictKind::ResourceLimit;
 }
+
+/// A throwaway store directory for the replication property (flat:
+/// LOCK + segments + journal).
+class TempStoreDir {
+public:
+  TempStoreDir() {
+    char Template[] = "/tmp/antidote-soundness-repl-XXXXXX";
+    const char *Made = mkdtemp(Template);
+    EXPECT_NE(Made, nullptr);
+    Dir = Made ? Made : "";
+  }
+  ~TempStoreDir() {
+    if (Dir.empty())
+      return;
+    if (DIR *D = opendir(Dir.c_str())) {
+      while (struct dirent *Entry = readdir(D)) {
+        std::string Name = Entry->d_name;
+        if (Name != "." && Name != "..")
+          ::unlink((Dir + "/" + Name).c_str());
+      }
+      closedir(D);
+    }
+    ::rmdir(Dir.c_str());
+  }
+
+  const std::string &path() const { return Dir; }
+
+private:
+  std::string Dir;
+};
 
 } // namespace
 
@@ -275,7 +309,7 @@ TEST_P(ServingSoundnessProperty, WireSlackServedRobustImpliesFreshRobust) {
     CertServerConfig Config;
     Config.Query = paramConfig(GetParam());
     Config.Jobs = 2;
-    Config.Backing = &Store;
+    Config.Store = &Store;
     Config.Lineage = lineageSinceMark(PV.fingerprint(), Child);
     CertServer Server(Child, Config);
     NetServer Net(Server, NetServerConfig());
@@ -314,6 +348,101 @@ TEST_P(ServingSoundnessProperty, WireSlackServedRobustImpliesFreshRobust) {
     Net.stop();
     // stop() drops pending background re-verifications by design; the
     // server itself tears down next, before the stack-owned Store.
+  }
+}
+
+// The replication pipeline in the loop: certificates proven on a source
+// node cross a real socket into a replica store, and every
+// replica-served answer must be the source's record byte for byte —
+// Seconds included, which no re-verification could reproduce — while
+// every replica-served Robust must still be provable fresh. A
+// replication bug that altered even one payload byte would trip the
+// checksum (skipped, counted), so the only way a wrong cert could be
+// served is a hole in exactly this property.
+TEST_P(ServingSoundnessProperty, ReplicaServedRobustImpliesFreshRobust) {
+  Rng R(0x5EB1CA7E + static_cast<uint64_t>(GetParam().first) * 7 +
+        static_cast<uint64_t>(GetParam().second) * 131);
+  RandomDatasetSpec Spec;
+  VerifierConfig Fresh = paramConfig(GetParam());
+
+  for (int Trial = 0; Trial < 2; ++Trial) {
+    Dataset Train = makeRandomDataset(R, Spec);
+    Verifier V(Train);
+
+    // Source node: disk store behind a NetServer whose socket also
+    // answers journal polls.
+    TempStoreDir SourceDir;
+    DiskCertStore::OpenResult SourceOpen =
+        DiskCertStore::open(SourceDir.path());
+    ASSERT_TRUE(SourceOpen.ok()) << SourceOpen.Error;
+    CertServerConfig ServerConfig;
+    ServerConfig.Query = paramConfig(GetParam());
+    ServerConfig.Jobs = 1;
+    ServerConfig.Store = SourceOpen.Store.get();
+    CertServer Server(Train, ServerConfig);
+    NetServer Net(Server, NetServerConfig());
+    std::string Error;
+    ASSERT_TRUE(Net.start(Error)) << Error;
+
+    // Seed the source with random (point, budget) proofs.
+    VerifierConfig Seeding = paramConfig(GetParam());
+    Seeding.Cache = SourceOpen.Store.get();
+    std::vector<std::pair<std::vector<float>, uint32_t>> Seeded;
+    std::vector<Certificate> SourceCerts;
+    for (int I = 0; I < 6; ++I) {
+      std::vector<float> X = makeRandomQuery(R, Spec);
+      uint32_t N = 1 + static_cast<uint32_t>(R.uniformInt(3));
+      Certificate Cert = V.verify(X.data(), N, Seeding);
+      if (!deterministic(Cert.Kind))
+        continue;
+      Seeded.emplace_back(std::move(X), N);
+      SourceCerts.push_back(Cert);
+    }
+
+    // Replica node: pull everything over the wire.
+    TempStoreDir ReplicaDir;
+    DiskCertStore::OpenResult ReplicaOpen =
+        DiskCertStore::open(ReplicaDir.path());
+    ASSERT_TRUE(ReplicaOpen.ok()) << ReplicaOpen.Error;
+    ReplicatorConfig ReplConfig;
+    ReplConfig.Port = Net.port();
+    Replicator Repl(*ReplicaOpen.Store, ReplConfig);
+    bool More = true;
+    for (int Round = 0; More && Round < 64; ++Round)
+      ASSERT_TRUE(Repl.pollOnce(More, Error)) << Error;
+    ASSERT_FALSE(More);
+    // Colliding random queries may be range-served on the source (no
+    // new record), so the ground truth is the source's journal, not
+    // the seed count.
+    EXPECT_EQ(Repl.stats().Applied, SourceOpen.Store->stats().LiveRecords);
+    EXPECT_EQ(Repl.stats().Corrupt, 0u);
+
+    for (size_t I = 0; I < Seeded.size(); ++I) {
+      const std::vector<float> &X = Seeded[I].first;
+      uint32_t N = Seeded[I].second;
+      Certificate Served;
+      ASSERT_TRUE(ReplicaOpen.Store->lookup(V.fingerprint(), X.data(),
+                                            Train.numFeatures(), N,
+                                            Seeding, Served));
+      const Certificate &Source = SourceCerts[I];
+      EXPECT_EQ(Served.Kind, Source.Kind);
+      EXPECT_EQ(Served.PoisoningBudget, Source.PoisoningBudget);
+      EXPECT_EQ(Served.CertifiedRadius, Source.CertifiedRadius);
+      EXPECT_EQ(Served.ConcretePrediction, Source.ConcretePrediction);
+      EXPECT_EQ(Served.NumTerminals, Source.NumTerminals);
+      EXPECT_EQ(Served.PeakDisjuncts, Source.PeakDisjuncts);
+      EXPECT_EQ(Served.BestSplitCalls, Source.BestSplitCalls);
+      EXPECT_EQ(Served.Seconds, Source.Seconds);
+      if (Served.Kind != VerdictKind::Robust)
+        continue;
+      Certificate Reference = V.verify(X.data(), N, Fresh);
+      if (!deterministic(Reference.Kind))
+        continue;
+      EXPECT_EQ(Reference.Kind, VerdictKind::Robust)
+          << "unsound replica serve: trial " << Trial << " query " << I
+          << " budget " << N;
+    }
+    Net.stop();
   }
 }
 

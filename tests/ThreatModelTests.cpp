@@ -268,7 +268,7 @@ TEST(ThreatPartitionTest, VerifierWriteThroughKeysPerModel) {
   Certificate R1 = V.verify(X, 1, Removal);
   Certificate F1 = V.verify(X, 1, Flip);
   EXPECT_EQ(Cache.stats().Misses, 2u); // The flip query missed removal's.
-  EXPECT_EQ(Cache.stats().Insertions, 2u);
+  EXPECT_EQ(Cache.stats().Stores, 2u);
 
   Certificate R2 = V.verify(X, 1, Removal);
   Certificate F2 = V.verify(X, 1, Flip);
